@@ -1,0 +1,27 @@
+// Reproduces paper Fig. 6: throughput under 1 Gbps vs 100 Gbps network
+// configurations (Baseline, 4 MB writes). At 1 Gbps the link caps
+// throughput; at 100 Gbps the SSDs become the bottleneck while the
+// messenger's CPU share stays ~constant (Fig. 5).
+#include "benchcore/experiment.h"
+#include "benchcore/table.h"
+
+using namespace doceph;
+using namespace doceph::benchcore;
+
+int main() {
+  print_banner("Figure 6", "Throughput under 1Gbps vs 100Gbps (Baseline, 4MB)");
+
+  Table t({"network", "throughput MB/s", "IOPS", "link limit MB/s", "bottleneck"});
+  for (const auto net : {cluster::NetworkKind::gbe_1, cluster::NetworkKind::gbe_100}) {
+    RunSpec spec;
+    spec.mode = cluster::DeployMode::baseline;
+    spec.net = net;
+    spec.object_size = 4 << 20;
+    const auto r = run_cached(spec);
+    const bool g100 = net == cluster::NetworkKind::gbe_100;
+    t.row({g100 ? "100Gbps" : "1Gbps", Table::num(r.mbps, 1), Table::num(r.iops, 1),
+           g100 ? "12500" : "125", g100 ? "SSD (2x ~530 MB/s)" : "client NIC"});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces paper Fig. 8: average write latency, Baseline vs DoCeph, across
+// request sizes. The offload-induced gap is large at 1 MB and shrinks as
+// pipelining amortizes the DMA overheads at larger sizes.
+#include "benchcore/experiment.h"
+#include "benchcore/paper.h"
+#include "benchcore/table.h"
+
+using namespace doceph;
+using namespace doceph::benchcore;
+
+int main() {
+  print_banner("Figure 8", "Average write latency: Baseline vs DoCeph");
+
+  Table t({"size", "Baseline (s)", "DoCeph (s)", "overhead", "paper: base",
+           "paper: doceph", "paper overhead"});
+  for (int i = 0; i < paper::kNumSizes; ++i) {
+    RunSpec base, dpu;
+    base.mode = cluster::DeployMode::baseline;
+    dpu.mode = cluster::DeployMode::doceph;
+    base.object_size = dpu.object_size = paper::kSizes[i];
+    const auto rb = run_cached(base);
+    const auto rd = run_cached(dpu);
+    const double over = rb.avg_lat_s > 0 ? rd.avg_lat_s / rb.avg_lat_s - 1.0 : 0;
+    const double paper_over =
+        paper::kFig8DoCeph[i] / paper::kFig8Baseline[i] - 1.0;
+    t.row({paper::kSizeNames[i], Table::num(rb.avg_lat_s, 3),
+           Table::num(rd.avg_lat_s, 3), Table::pct(over, 0),
+           Table::num(paper::kFig8Baseline[i], 2),
+           Table::num(paper::kFig8DoCeph[i], 2), Table::pct(paper_over, 0)});
+  }
+  t.print();
+  std::printf(
+      "\nKey claim: DoCeph's latency overhead shrinks from ~2/3 at 1 MB to a\n"
+      "few percent at 16 MB as segment pipelining hides the DMA costs.\n");
+  return 0;
+}

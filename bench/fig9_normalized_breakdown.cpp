@@ -1,0 +1,29 @@
+// Reproduces paper Fig. 9: Table 3's latency breakdown normalized per
+// request size. The headline trend: DMA-wait's share is largest at 1 MB and
+// falls as pipelining overlaps segment transfers at larger sizes.
+#include "benchcore/experiment.h"
+#include "benchcore/paper.h"
+#include "benchcore/table.h"
+
+using namespace doceph;
+using namespace doceph::benchcore;
+
+int main() {
+  print_banner("Figure 9", "Normalized latency breakdown (share of total)");
+
+  Table t({"size", "Host write", "DMA", "DMA-wait", "Others",
+           "paper DMA-wait share"});
+  for (int i = 0; i < paper::kNumSizes; ++i) {
+    RunSpec spec;
+    spec.mode = cluster::DeployMode::doceph;
+    spec.object_size = paper::kSizes[i];
+    const auto r = run_cached(spec);
+    const double total = r.bd_total_s > 0 ? r.bd_total_s : 1;
+    t.row({paper::kSizeNames[i], Table::pct(r.bd_host_write_s / total),
+           Table::pct(r.bd_dma_s / total), Table::pct(r.bd_dma_wait_s / total),
+           Table::pct(r.bd_others_s / total),
+           Table::pct(paper::kTab3DmaWait[i] / paper::kTab3Total[i])});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces paper Table 2: context switches of Messenger vs ObjectStore
+// threads (Baseline, 4 MB writes, 100 Gbps). The paper reports counts per
+// measurement interval; the reproducible quantity is the ratio (~10x),
+// driven by the messenger's per-wakeup socket processing.
+#include "benchcore/experiment.h"
+#include "benchcore/paper.h"
+#include "benchcore/table.h"
+
+using namespace doceph;
+using namespace doceph::benchcore;
+
+int main() {
+  print_banner("Table 2", "Context switches: Messenger vs ObjectStore");
+
+  RunSpec spec;
+  spec.mode = cluster::DeployMode::baseline;
+  spec.object_size = 4 << 20;
+  const auto r = run_cached(spec);
+
+  const double per_s_m = static_cast<double>(r.ctx_messenger) / r.window_s;
+  const double per_s_o = static_cast<double>(r.ctx_objectstore) / r.window_s;
+  const double ratio = per_s_o > 0 ? per_s_m / per_s_o : 0;
+
+  Table t({"component", "ctx switches/s", "measured ratio", "paper count",
+           "paper ratio"});
+  t.row({"Messenger", Table::num(per_s_m, 0), Table::num(ratio, 2) + "x",
+         Table::num(paper::kTab2Messenger, 0), Table::num(paper::kTab2Ratio, 2) + "x"});
+  t.row({"ObjectStore", Table::num(per_s_o, 0), "1x",
+         Table::num(paper::kTab2ObjectStore, 0), "1x"});
+  t.print();
+  std::printf(
+      "\nKey claim: the messenger's TCP/IP socket path voluntarily context\n"
+      "switches ~an order of magnitude more often than the storage backend.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces paper Table 3: average latency time breakdown (seconds) of
+// DoCeph write requests: Host write / DMA / DMA-wait / Others / Total.
+// Note on semantics (see EXPERIMENTS.md): our Host-write includes host-side
+// queueing at the SSD, which the paper books under Others.
+#include "benchcore/experiment.h"
+#include "benchcore/paper.h"
+#include "benchcore/table.h"
+
+using namespace doceph;
+using namespace doceph::benchcore;
+
+int main() {
+  print_banner("Table 3", "DoCeph latency breakdown (seconds)");
+
+  Table t({"row", "1MB", "4MB", "8MB", "16MB"});
+  RunResult r[paper::kNumSizes];
+  for (int i = 0; i < paper::kNumSizes; ++i) {
+    RunSpec spec;
+    spec.mode = cluster::DeployMode::doceph;
+    spec.object_size = paper::kSizes[i];
+    r[i] = run_cached(spec);
+  }
+  auto row = [&](const char* name, double RunResult::* f, const double* ref) {
+    std::vector<std::string> cells{name};
+    for (int i = 0; i < paper::kNumSizes; ++i) cells.push_back(Table::num(r[i].*f, 4));
+    t.row(std::move(cells));
+    std::vector<std::string> pcells{std::string("  (paper ") + name + ")"};
+    for (int i = 0; i < paper::kNumSizes; ++i) pcells.push_back(Table::num(ref[i], 4));
+    t.row(std::move(pcells));
+  };
+  row("Host write", &RunResult::bd_host_write_s, paper::kTab3HostWrite);
+  row("DMA", &RunResult::bd_dma_s, paper::kTab3Dma);
+  row("DMA-wait", &RunResult::bd_dma_wait_s, paper::kTab3DmaWait);
+  row("Others", &RunResult::bd_others_s, paper::kTab3Others);
+  row("Total avg latency", &RunResult::bd_total_s, paper::kTab3Total);
+  t.print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Anatomy of one DoCeph write: traces a single 7 MB object through the
+// offloaded pipeline and prints the latency taxonomy of paper Table 3 —
+// where the bytes went (DMA segments vs RPC), how long each phase took, and
+// what the host actually did.
+//
+//   ./build/examples/dissect_write
+#include <cstdio>
+
+#include "client/rados_client.h"
+#include "cluster/cluster.h"
+
+using namespace doceph;
+
+int main() {
+  sim::Env env;
+  auto cfg = cluster::ClusterConfig::paper_testbed(cluster::DeployMode::doceph);
+  cfg.retain_data = true;
+  cluster::Cluster cl(env, cfg);
+
+  env.run_on_sim_thread([&] {
+    if (!cl.start().ok()) return;
+    auto io = cl.client().io_ctx(1);
+
+    constexpr std::size_t kSize = 7 << 20;  // 7 MB -> 4 DMA segments (2MB cap)
+    std::string payload(kSize, 'z');
+
+    for (int i = 0; i < cl.num_nodes(); ++i) cl.proxy_store(i)->reset_breakdown();
+    const sim::Time t0 = env.now();
+    const Status st = io.write_full("dissected", BufferList::copy_of(payload));
+    const double e2e = sim::to_seconds(env.now() - t0);
+
+    std::printf("write_full(7MB): %s, end-to-end %.2f ms\n\n",
+                st.to_string().c_str(), e2e * 1e3);
+    std::printf("the object crossed: client --100GbE--> DPU OSD (messenger,\n"
+                "PG, replication) --[2MB DMA segments]--> host write buffers\n"
+                "--> BlueStore (WAL'd KV commit + extent writes) ... x2 nodes\n\n");
+
+    for (int i = 0; i < cl.num_nodes(); ++i) {
+      auto* p = cl.proxy_store(i);
+      const auto bd = p->breakdown();
+      if (bd.count == 0) continue;
+      std::printf("node %d proxy (%llu request%s — primary or replica copy):\n", i,
+                  static_cast<unsigned long long>(bd.count), bd.count == 1 ? "" : "s");
+      std::printf("  DMA transfer : %8.3f ms  (job setup + 2.6 GB/s engine)\n",
+                  bd.avg(bd.dma_ns) * 1e3);
+      std::printf("  DMA-wait     : %8.3f ms  (staging buffer + serialization)\n",
+                  bd.avg(bd.dma_wait_ns) * 1e3);
+      std::printf("  host write   : %8.3f ms  (BlueStore commit)\n",
+                  bd.avg(bd.host_write_ns) * 1e3);
+      std::printf("  others       : %8.3f ms  (messenger, queues, RPC)\n",
+                  bd.others_ns_avg() * 1e3);
+      std::printf("  total        : %8.3f ms\n", bd.avg(bd.total_ns) * 1e3);
+      std::printf("  bytes via DMA: %.1f MB in %llu jobs\n",
+                  static_cast<double>(p->dma_bytes()) / 1e6,
+                  static_cast<unsigned long long>(cl.dpu(i)->dma().jobs_completed()));
+    }
+
+    auto back = io.read("dissected", 0, 0);
+    std::printf("\nread-back integrity: %s (%zu bytes match: %s)\n",
+                back.status().to_string().c_str(),
+                back.ok() ? static_cast<std::size_t>(back->length()) : 0,
+                back.ok() && back->to_string() == payload ? "yes" : "NO");
+    cl.stop();
+  });
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: bring up a DoCeph cluster on the simulated testbed, store and
+// fetch an object through the librados-lite API, and peek at where the CPU
+// went. Start here.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "client/rados_client.h"
+#include "cluster/cluster.h"
+
+using namespace doceph;
+
+int main() {
+  // One simulation universe. Everything below runs on a virtual clock, so
+  // "seconds" of cluster time cost milliseconds of wall time.
+  sim::Env env;
+
+  // The paper's testbed: 2 storage servers (EPYC host + BlueField-3 DPU +
+  // SATA SSD), a MON, a client, 100 Gbps Ethernet — deployed in DoCeph mode:
+  // the whole OSD (messenger included) runs on the DPU; the host keeps only
+  // BlueStore and the lightweight backend service.
+  auto cfg = cluster::ClusterConfig::paper_testbed(cluster::DeployMode::doceph);
+  cfg.retain_data = true;  // keep object bytes so we can read them back
+  cluster::Cluster cluster(env, cfg);
+
+  env.run_on_sim_thread([&] {
+    const Status up = cluster.start();
+    if (!up.ok()) {
+      std::printf("cluster failed to start: %s\n", up.to_string().c_str());
+      return;
+    }
+    std::printf("cluster up: %d OSDs, map epoch %u\n", cluster.num_nodes(),
+                cluster.client().map_epoch());
+
+    // librados-lite: pool 1 is created by the harness.
+    client::IoCtx io = cluster.client().io_ctx(1);
+
+    std::string payload(8 << 20, '\0');
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<char>('A' + i % 23);
+
+    const sim::Time t0 = env.now();
+    Status st = io.write_full("hello-object", BufferList::copy_of(payload));
+    std::printf("write_full(8MB): %s in %.2f ms (replicated 2x, committed on "
+                "both hosts)\n",
+                st.to_string().c_str(), sim::to_seconds(env.now() - t0) * 1e3);
+
+    auto data = io.read("hello-object", 4 << 20, 64);
+    if (data.ok())
+      std::printf("read back 64B @4MB: \"%.10s...\" (%zu bytes)\n",
+                  data->to_string().c_str(), static_cast<std::size_t>(data->length()));
+
+    auto info = io.stat("hello-object");
+    if (info.ok())
+      std::printf("stat: size=%llu version=%llu\n",
+                  static_cast<unsigned long long>(info->size),
+                  static_cast<unsigned long long>(info->version));
+
+    // Where did the CPU go? The OSD + messenger ran on the DPU's ARM cores.
+    const auto sample = cluster.cpu_sample();
+    std::printf("\nCPU so far (cumulative busy time per storage node):\n");
+    for (int i = 0; i < cluster.num_nodes(); ++i) {
+      std::printf("  node %d: host %.1f ms | dpu %.1f ms  <- the messenger "
+                  "lives here now\n",
+                  i, static_cast<double>(sample.host_busy[static_cast<std::size_t>(i)]) / 1e6,
+                  static_cast<double>(sample.dpu_busy[static_cast<std::size_t>(i)]) / 1e6);
+    }
+
+    // And the proxy's view of the data plane:
+    if (auto* proxy = cluster.proxy_store(0)) {
+      std::printf("\nproxy[node 0]: %.1f MB moved by DMA, %llu bytes via RPC "
+                  "fallback, DMA %s\n",
+                  static_cast<double>(proxy->dma_bytes()) / 1e6,
+                  static_cast<unsigned long long>(proxy->rpc_fallback_bytes()),
+                  proxy->fallback().dma_enabled() ? "enabled" : "in cooldown");
+    }
+
+    (void)io.remove("hello-object");
+    cluster.stop();
+    std::printf("\ndone — total simulated time %.3f s\n", sim::to_seconds(env.now()));
+  });
+  return 0;
+}

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "proxy/proxy_object_store.h"
+
+namespace doceph::benchcore {
+
+/// One experimental configuration (a cell of the paper's sweep).
+struct RunSpec {
+  cluster::DeployMode mode = cluster::DeployMode::baseline;
+  cluster::NetworkKind net = cluster::NetworkKind::gbe_100;
+  std::uint64_t object_size = 4 << 20;
+  int concurrency = 16;                       // rados bench -t 16 (paper §5.1)
+  sim::Duration warmup = 1'000'000'000;       // 1 s
+  sim::Duration measure = 4'000'000'000;      // 4 s
+  std::uint32_t pg_num = 64;
+  std::uint64_t seed = 42;
+
+  /// Ablation overrides for the proxy (DoCeph mode only).
+  std::optional<proxy::ProxyConfig> proxy_override;
+  /// DMA error injection rate (fallback experiments).
+  double dma_failure_rate = 0.0;
+
+  /// Stable cache key for this configuration.
+  [[nodiscard]] std::string cache_key() const;
+};
+
+/// Everything the paper's tables/figures need from one run.
+struct RunResult {
+  // Throughput / latency (Figs. 8, 10; Fig. 6).
+  double iops = 0;
+  double mbps = 0;
+  double avg_lat_s = 0;
+  double p99_lat_s = 0;
+
+  // CPU (Figs. 5, 7): average cores busy over the measurement window.
+  double host_cores = 0;   // per storage node (paper's single-core-normalized %)
+  double dpu_cores = 0;
+
+  // Per-class share of storage-node CPU (Fig. 5). Fractions of ceph total.
+  double share_messenger = 0;
+  double share_objectstore = 0;
+  double share_osd = 0;
+  double total_ceph_cores = 0;  // messenger+objectstore+osd+other, in cores
+
+  // Context switches over the window (Table 2), storage nodes only.
+  std::uint64_t ctx_messenger = 0;
+  std::uint64_t ctx_objectstore = 0;
+  double window_s = 0;
+
+  // DoCeph proxy breakdown (Table 3 / Fig. 9), averaged per request.
+  double bd_host_write_s = 0;
+  double bd_dma_s = 0;
+  double bd_dma_wait_s = 0;
+  double bd_others_s = 0;
+  double bd_total_s = 0;
+
+  std::uint64_t ops = 0;
+  std::uint64_t dma_fallback_events = 0;
+  std::uint64_t rpc_fallback_bytes = 0;
+};
+
+/// Execute the spec on a fresh simulated cluster (warmup, then measure).
+RunResult run_experiment(const RunSpec& spec);
+
+/// run_experiment with an on-disk cache (bench_cache/<key>): the paper
+/// sweep is shared by several figure binaries, so later ones reuse earlier
+/// results. Set DOCEPH_NO_CACHE=1 (or remove the directory) to force reruns.
+RunResult run_cached(const RunSpec& spec);
+
+}  // namespace doceph::benchcore

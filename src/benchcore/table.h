@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace doceph::benchcore {
+
+/// Fixed-width console table, used by every figure/table binary to print
+/// the same rows/series the paper reports (plus a paper-reference column
+/// where applicable).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  // 0.82 -> "82.0%"
+
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Uniform banner for bench binaries.
+void print_banner(const std::string& id, const std::string& what);
+
+}  // namespace doceph::benchcore

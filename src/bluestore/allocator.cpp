@@ -1,0 +1,64 @@
+#include "bluestore/allocator.h"
+
+#include <cassert>
+
+namespace doceph::bluestore {
+
+ExtentAllocator::ExtentAllocator(std::uint64_t base, std::uint64_t size,
+                                 std::uint64_t alloc_unit)
+    : base_(base), size_(size / alloc_unit * alloc_unit), alloc_unit_(alloc_unit) {
+  assert(alloc_unit_ > 0);
+  if (size_ > 0) free_.insert(base_, size_);
+}
+
+Result<std::vector<Extent>> ExtentAllocator::allocate(std::uint64_t len) {
+  len = round_up(len == 0 ? alloc_unit_ : len);
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (free_.size() < len) return Status(Errc::no_space, "allocator exhausted");
+
+  std::vector<Extent> out;
+  std::uint64_t remaining = len;
+  while (remaining > 0) {
+    // Prefer a single extent that fits; otherwise take the largest prefix of
+    // the first free interval (first-fit with fragmentation).
+    auto it = free_.find_first_fit(remaining);
+    if (it != free_.end()) {
+      out.push_back({it->first, remaining});
+      free_.erase(it->first, remaining);
+      remaining = 0;
+      break;
+    }
+    auto first = free_.begin();
+    assert(first != free_.end());
+    const std::uint64_t take = std::min(first->second, remaining);
+    out.push_back({first->first, take});
+    free_.erase(first->first, take);
+    remaining -= take;
+  }
+  return out;
+}
+
+void ExtentAllocator::release(const std::vector<Extent>& extents) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  for (const auto& e : extents) {
+    if (e.len > 0) free_.insert(e.off, e.len);
+  }
+}
+
+void ExtentAllocator::mark_used(std::uint64_t off, std::uint64_t len) {
+  if (len == 0) return;
+  const std::lock_guard<std::mutex> lk(mutex_);
+  free_.erase(off, round_up(len));
+}
+
+std::uint64_t ExtentAllocator::free_bytes() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return free_.size();
+}
+
+std::size_t ExtentAllocator::fragments() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return free_.num_intervals();
+}
+
+}  // namespace doceph::bluestore

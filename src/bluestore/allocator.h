@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/encoding.h"
+#include "common/interval_set.h"
+#include "common/result.h"
+
+namespace doceph::bluestore {
+
+/// A contiguous run of device blocks.
+struct Extent {
+  std::uint64_t off = 0;
+  std::uint64_t len = 0;
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+
+  void encode(BufferList& bl) const {
+    doceph::encode(off, bl);
+    doceph::encode(len, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(off, cur) && doceph::decode(len, cur);
+  }
+};
+
+/// First-fit extent allocator over [base, base+size), alloc_unit-aligned.
+/// BlueStore-lite rebuilds it on mount from the onodes' extent lists, so it
+/// needs no persistence of its own.
+class ExtentAllocator {
+ public:
+  ExtentAllocator(std::uint64_t base, std::uint64_t size, std::uint64_t alloc_unit);
+
+  /// Allocate `len` bytes (rounded up to alloc units), possibly fragmented
+  /// across several extents. Errc::no_space if it cannot be satisfied.
+  Result<std::vector<Extent>> allocate(std::uint64_t len);
+
+  void release(const std::vector<Extent>& extents);
+
+  /// Mark a range as in use during mount-time rebuild.
+  void mark_used(std::uint64_t off, std::uint64_t len);
+
+  [[nodiscard]] std::uint64_t free_bytes() const;
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return size_; }
+  [[nodiscard]] std::size_t fragments() const;
+
+ private:
+  [[nodiscard]] std::uint64_t round_up(std::uint64_t v) const noexcept {
+    return (v + alloc_unit_ - 1) / alloc_unit_ * alloc_unit_;
+  }
+
+  std::uint64_t base_;
+  std::uint64_t size_;
+  std::uint64_t alloc_unit_;
+  mutable std::mutex mutex_;
+  IntervalSet<std::uint64_t> free_;
+};
+
+}  // namespace doceph::bluestore

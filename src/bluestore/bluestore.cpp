@@ -1,0 +1,554 @@
+#include "bluestore/bluestore.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logger.h"
+
+namespace doceph::bluestore {
+
+// ---- Onode encoding -----------------------------------------------------------
+
+void BlueStore::Onode::encode(BufferList& bl) const {
+  doceph::encode(size, bl);
+  doceph::encode(version, bl);
+  doceph::encode(inline_data, bl);
+  doceph::encode(extents, bl);
+  doceph::encode(omap, bl);
+}
+
+bool BlueStore::Onode::decode(BufferList::Cursor& cur) {
+  return doceph::decode(size, cur) && doceph::decode(version, cur) &&
+         doceph::decode(inline_data, cur) && doceph::decode(extents, cur) &&
+         doceph::decode(omap, cur);
+}
+
+// ---- keys ----------------------------------------------------------------------
+
+std::string BlueStore::onode_key(const os::coll_t& c, const os::ghobject_t& o) {
+  return "O/" + c.to_string() + "/" + o.name;
+}
+std::string BlueStore::coll_key(const os::coll_t& c) { return "C/" + c.to_string(); }
+std::string BlueStore::coll_prefix(const os::coll_t& c) {
+  return "O/" + c.to_string() + "/";
+}
+
+// ---- lifecycle -----------------------------------------------------------------
+
+BlueStore::BlueStore(sim::Env& env, sim::CpuDomain* domain, BlueStoreConfig cfg,
+                     std::shared_ptr<DeviceBacking> backing)
+    : env_(env), domain_(domain), cfg_(cfg), seq_drained_(env.keeper()),
+      aio_cv_(env.keeper()) {
+  dev_ = std::make_unique<BlockDevice>(env_, cfg_.device, std::move(backing));
+  kv_ = std::make_unique<KvStore>(env_, *dev_, cfg_.wal_off, cfg_.wal_len, domain_,
+                                  cfg_.kv_costs);
+}
+
+BlueStore::~BlueStore() {
+  if (mounted_) simulate_crash();
+}
+
+Status BlueStore::mkfs() { return kv_->mkfs(); }
+
+Status BlueStore::mount() {
+  assert(!mounted_);
+  const Status st = kv_->mount();
+  if (!st.ok()) return st;
+
+  // Rebuild the allocator from the onodes: everything not referenced by an
+  // onode extent (and outside the WAL region) is free.
+  const std::uint64_t data_base =
+      (cfg_.wal_off + cfg_.wal_len + cfg_.alloc_unit - 1) / cfg_.alloc_unit *
+      cfg_.alloc_unit;
+  alloc_ = std::make_unique<ExtentAllocator>(
+      data_base, dev_->size() - data_base, cfg_.alloc_unit);
+  Status rebuild = Status::OK();
+  kv_->for_each_prefix("O/", [&](const std::string& key, const BufferList& val) {
+    Onode onode;
+    BufferList::Cursor cur(val);
+    if (!onode.decode(cur)) {
+      rebuild = Status(Errc::corrupt, "bad onode " + key);
+      return;
+    }
+    for (const auto& e : onode.extents) alloc_->mark_used(e.off, e.len);
+  });
+  if (!rebuild.ok()) {
+    (void)kv_->umount();
+    return rebuild;
+  }
+  start_aio_thread();
+  mounted_ = true;
+  return Status::OK();
+}
+
+Status BlueStore::umount() {
+  if (!mounted_) return Status::OK();
+  // Drain all in-flight transactions.
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    seq_drained_.wait(lk, [&] { return sequencers_.empty(); });
+    onode_cache_.clear();
+    lru_.clear();
+    coll_cache_.clear();
+  }
+  const Status st = kv_->umount();
+  stop_aio_thread();
+  mounted_ = false;
+  return st;
+}
+
+void BlueStore::simulate_crash() {
+  std::vector<TxRef> pending;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    for (auto& [cid, dq] : sequencers_)
+      for (auto& txc : dq) pending.push_back(txc);
+    sequencers_.clear();
+    onode_cache_.clear();
+    lru_.clear();
+    coll_cache_.clear();
+    seq_drained_.notify_all();
+  }
+  kv_->crash();
+  stop_aio_thread();
+  for (auto& txc : pending) {
+    if (txc->on_commit && !txc->submitted)
+      txc->on_commit(Status(Errc::shutting_down, "bluestore crashed"));
+  }
+  mounted_ = false;
+}
+
+// ---- onode cache ---------------------------------------------------------------
+
+std::optional<BlueStore::Onode> BlueStore::get_onode_locked(const os::coll_t& c,
+                                                            const os::ghobject_t& o) {
+  const std::string key = onode_key(c, o);
+  auto it = onode_cache_.find(key);
+  if (it != onode_cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.onode;
+  }
+  auto val = kv_->get(key);
+  if (!val) return std::nullopt;
+  Onode onode;
+  BufferList::Cursor cur(*val);
+  if (!onode.decode(cur)) return std::nullopt;
+  put_onode_locked(key, onode);
+  return onode;
+}
+
+void BlueStore::put_onode_locked(const std::string& key, const Onode& onode) {
+  auto it = onode_cache_.find(key);
+  if (it != onode_cache_.end()) {
+    it->second.onode = onode;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  onode_cache_[key] = CacheEntry{onode, lru_.begin()};
+  if (onode_cache_.size() > cfg_.onode_cache_capacity) {
+    onode_cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void BlueStore::erase_onode_locked(const std::string& key) {
+  auto it = onode_cache_.find(key);
+  if (it == onode_cache_.end()) return;
+  lru_.erase(it->second.lru_it);
+  onode_cache_.erase(it);
+}
+
+// ---- content IO ----------------------------------------------------------------
+
+BufferList BlueStore::read_content(const Onode& onode) {
+  if (onode.extents.empty()) {
+    return onode.inline_data.substr(0, onode.size);
+  }
+  BufferList out;
+  std::uint64_t remaining = onode.size;
+  for (const auto& e : onode.extents) {
+    const std::uint64_t n = std::min(e.len, remaining);
+    if (n == 0) break;
+    auto r = dev_->read(e.off, n);
+    if (!r.ok()) return out;  // device errors surface as short reads
+    out.claim_append(*r);
+    remaining -= n;
+  }
+  return out;
+}
+
+std::vector<Extent> BlueStore::place_content(
+    const BufferList& content, Onode& onode,
+    std::vector<std::pair<std::uint64_t, BufferList>>& writes) {
+  onode.size = content.length();
+  if (content.length() <= cfg_.inline_threshold) {
+    onode.inline_data = content;
+    onode.extents.clear();
+    return {};
+  }
+  auto extents = alloc_->allocate(content.length());
+  if (!extents.ok()) {
+    // Signalled via empty extents + caller checks build_status.
+    return {};
+  }
+  onode.inline_data.clear();
+  onode.extents = *extents;
+  std::uint64_t pos = 0;
+  for (const auto& e : *extents) {
+    const std::uint64_t n = std::min<std::uint64_t>(e.len, content.length() - pos);
+    writes.emplace_back(e.off, content.substr(pos, n));
+    pos += n;
+    if (pos >= content.length()) break;
+  }
+  return *extents;
+}
+
+// ---- transaction build / commit -------------------------------------------------
+
+void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
+  if (!mounted_) {
+    if (on_commit) on_commit(Status(Errc::shutting_down, "not mounted"));
+    return;
+  }
+  if (domain_ != nullptr)
+    domain_->charge(cfg_.per_op_prep * static_cast<sim::Duration>(txn.num_ops()));
+
+  auto txc = std::make_shared<TxContext>();
+  txc->on_commit = std::move(on_commit);
+  txc->seq_cid = txn.ops().empty() ? os::coll_t{} : txn.ops().front().cid;
+
+  // Read-modify-write ops must observe stable device content: wait for the
+  // collection's in-flight data writes first (write_full — the hot path —
+  // never needs this).
+  bool needs_rmw = false;
+  for (const auto& op : txn.ops()) {
+    if (op.op == os::TxnOp::write || op.op == os::TxnOp::zero ||
+        op.op == os::TxnOp::truncate)
+      needs_rmw = true;
+  }
+  std::map<std::string, BufferList> prefetched;
+  if (needs_rmw) {
+    flush_collection(txc->seq_cid);
+    // Read current whole-object content for every RMW target, without
+    // holding the store mutex (device reads block in simulated time). The
+    // PG layer serializes writers per object, so the content is stable.
+    for (const auto& op : txn.ops()) {
+      if (op.op != os::TxnOp::write && op.op != os::TxnOp::zero &&
+          op.op != os::TxnOp::truncate)
+        continue;
+      const std::string okey = onode_key(op.cid, op.oid);
+      if (prefetched.contains(okey)) continue;
+      std::optional<Onode> onode;
+      {
+        const std::lock_guard<std::mutex> lk(mutex_);
+        onode = get_onode_locked(op.cid, op.oid);
+      }
+      prefetched[okey] = onode ? read_content(*onode) : BufferList{};
+    }
+  }
+
+  std::vector<std::pair<std::uint64_t, BufferList>> writes;
+  build_txc(txn, txc, writes, prefetched);
+
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    txc->pending_ios = static_cast<int>(writes.size());
+    if (txc->pending_ios == 0) txc->ios_done = true;
+    sequencers_[txc->seq_cid].push_back(txc);
+    if (txc->ios_done) submit_ready_locked(txc->seq_cid);
+  }
+
+  for (auto& [off, data] : writes) {
+    const std::uint64_t bytes = data.length();
+    dev_->aio_write(off, std::move(data), [this, txc, bytes](Status st) {
+      // Device completion arrives on the event scheduler thread, which must
+      // never block; hand the (CPU-charged) completion work to "bstore_aio".
+      aio_enqueue([this, txc, bytes, st] {
+        if (domain_ != nullptr)
+          domain_->charge(cfg_.per_aio +
+                          static_cast<sim::Duration>(cfg_.csum_per_byte_ns *
+                                                     static_cast<double>(bytes)));
+        if (!st.ok()) txc->build_status = st;
+        on_ios_complete(txc);
+      });
+    });
+  }
+}
+
+void BlueStore::aio_enqueue(std::function<void()> task) {
+  const std::lock_guard<std::mutex> lk(aio_mutex_);
+  if (aio_stop_) return;  // post-crash stray completion: drop
+  aio_queue_.push_back(std::move(task));
+  aio_cv_.notify_one();
+}
+
+void BlueStore::aio_thread_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(aio_mutex_);
+      aio_cv_.wait(lk, [&] { return aio_stop_ || !aio_queue_.empty(); });
+      if (aio_queue_.empty() && aio_stop_) return;
+      task = std::move(aio_queue_.front());
+      aio_queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void BlueStore::start_aio_thread() {
+  {
+    const std::lock_guard<std::mutex> lk(aio_mutex_);
+    aio_stop_ = false;
+  }
+  aio_thread_ = sim::Thread(env_.keeper(), env_.stats(), "bstore_aio", domain_,
+                            [this] { aio_thread_loop(); }, /*daemon=*/true);
+}
+
+void BlueStore::stop_aio_thread() {
+  {
+    const std::lock_guard<std::mutex> lk(aio_mutex_);
+    if (aio_stop_) return;
+    aio_stop_ = true;
+    aio_cv_.notify_all();
+  }
+  aio_thread_.join();
+}
+
+void BlueStore::build_txc(os::Transaction& txn, const TxRef& txc,
+                          std::vector<std::pair<std::uint64_t, BufferList>>& writes,
+                          std::map<std::string, BufferList>& prefetched) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& op : txn.ops()) {
+    const std::string okey = onode_key(op.cid, op.oid);
+    switch (op.op) {
+      case os::TxnOp::create_collection: {
+        txc->kv.sets[coll_key(op.cid)] = BufferList{};
+        coll_cache_.insert(coll_key(op.cid));
+        continue;
+      }
+      case os::TxnOp::remove_collection: {
+        txc->kv.rms.push_back(coll_key(op.cid));
+        coll_cache_.erase(coll_key(op.cid));
+        kv_->for_each_prefix(coll_prefix(op.cid),
+                             [&](const std::string& key, const BufferList& val) {
+                               Onode onode;
+                               BufferList::Cursor cur(val);
+                               if (onode.decode(cur) && !onode.extents.empty())
+                                 txc->release_after_commit.push_back(onode.extents);
+                               txc->kv.rms.push_back(key);
+                               erase_onode_locked(key);
+                             });
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (!kv_->contains(coll_key(op.cid)) && !coll_cache_.contains(coll_key(op.cid))) {
+      txc->build_status = Status(Errc::not_found, "collection " + op.cid.to_string());
+      continue;
+    }
+
+    if (op.op == os::TxnOp::remove) {
+      auto onode = get_onode_locked(op.cid, op.oid);
+      if (onode && !onode->extents.empty())
+        txc->release_after_commit.push_back(onode->extents);
+      txc->kv.rms.push_back(okey);
+      erase_onode_locked(okey);
+      continue;
+    }
+
+    Onode onode = get_onode_locked(op.cid, op.oid).value_or(Onode{});
+    onode.version++;
+
+    switch (op.op) {
+      case os::TxnOp::touch:
+        break;
+      case os::TxnOp::write_full: {
+        if (!onode.extents.empty()) txc->release_after_commit.push_back(onode.extents);
+        place_content(op.data, onode, writes);
+        if (op.data.length() > cfg_.inline_threshold && onode.extents.empty()) {
+          txc->build_status = Status(Errc::no_space, "allocation failed");
+          continue;
+        }
+        break;
+      }
+      case os::TxnOp::write:
+      case os::TxnOp::zero:
+      case os::TxnOp::truncate: {
+        // COW read-modify-write of the whole object, using the content
+        // prefetched before the store mutex was taken.
+        std::string content = prefetched[okey].to_string();
+        if (op.op == os::TxnOp::write) {
+          const std::size_t end = op.off + op.data.length();
+          if (content.size() < end) content.resize(end, '\0');
+          op.data.copy_out(0, op.data.length(), content.data() + op.off);
+        } else if (op.op == os::TxnOp::zero) {
+          const std::size_t end = op.off + op.len;
+          if (content.size() < end) content.resize(end, '\0');
+          std::fill_n(content.begin() + static_cast<long>(op.off), op.len, '\0');
+        } else {
+          content.resize(op.off, '\0');
+        }
+        if (!onode.extents.empty()) txc->release_after_commit.push_back(onode.extents);
+        const BufferList content_bl = BufferList::copy_of(content);
+        place_content(content_bl, onode, writes);
+        if (content_bl.length() > cfg_.inline_threshold && onode.extents.empty()) {
+          txc->build_status = Status(Errc::no_space, "allocation failed");
+          continue;
+        }
+        break;
+      }
+      case os::TxnOp::omap_set:
+        for (auto& [k, v] : op.kv) onode.omap[k] = v;
+        break;
+      case os::TxnOp::omap_rm_keys:
+        for (const auto& k : op.keys) onode.omap.erase(k);
+        break;
+      default:
+        txc->build_status = Status(Errc::not_supported, "txn op");
+        continue;
+    }
+
+    BufferList encoded;
+    onode.encode(encoded);
+    txc->kv.sets[okey] = std::move(encoded);
+    put_onode_locked(okey, onode);
+  }
+}
+
+void BlueStore::on_ios_complete(const TxRef& txc) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (--txc->pending_ios > 0) return;
+  txc->ios_done = true;
+  submit_ready_locked(txc->seq_cid);
+}
+
+void BlueStore::submit_ready_locked(const os::coll_t& cid) {
+  auto it = sequencers_.find(cid);
+  if (it == sequencers_.end()) return;
+  auto& dq = it->second;
+  while (!dq.empty() && dq.front()->ios_done && !dq.front()->submitted) {
+    TxRef txc = dq.front();
+    txc->submitted = true;
+    dq.pop_front();
+    if (!txc->build_status.ok()) {
+      // Nothing reached the device/kv atomically; report the build error.
+      finish_txc(txc, txc->build_status);
+      continue;
+    }
+    kv_->queue(std::move(txc->kv), [this, txc](Status st) { finish_txc(txc, st); });
+  }
+  if (dq.empty()) {
+    sequencers_.erase(it);
+    seq_drained_.notify_all();
+  }
+}
+
+void BlueStore::finish_txc(const TxRef& txc, Status st) {
+  if (txc->finished.exchange(true)) {
+    std::fprintf(stderr,
+                 "BUG: finish_txc called twice (st=%s, build=%s, submitted=%d)\n",
+                 st.to_string().c_str(), txc->build_status.to_string().c_str(),
+                 txc->submitted ? 1 : 0);
+    return;
+  }
+  if (st.ok()) {
+    for (const auto& extents : txc->release_after_commit) alloc_->release(extents);
+  }
+  if (txc->on_commit) txc->on_commit(st);
+}
+
+void BlueStore::flush_collection(const os::coll_t& cid) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  seq_drained_.wait(lk, [&] { return !sequencers_.contains(cid); });
+}
+
+// ---- reads ----------------------------------------------------------------------
+
+Result<BufferList> BlueStore::read(const os::coll_t& c, const os::ghobject_t& o,
+                                   std::uint64_t off, std::uint64_t len) {
+  std::optional<Onode> onode;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    if (!kv_->contains(coll_key(c))) return Status(Errc::not_found, "collection");
+    onode = get_onode_locked(c, o);
+  }
+  if (!onode) return Status(Errc::not_found, o.to_string());
+  if (off >= onode->size) return BufferList{};
+  const std::uint64_t want =
+      len == 0 ? onode->size - off : std::min<std::uint64_t>(len, onode->size - off);
+
+  if (onode->extents.empty()) return onode->inline_data.substr(off, want);
+
+  // Read only the extents overlapping [off, off+want).
+  BufferList out;
+  std::uint64_t logical = 0;
+  for (const auto& e : onode->extents) {
+    if (out.length() >= want) break;
+    const std::uint64_t e_end = logical + e.len;
+    const std::uint64_t read_from = std::max(off + out.length(), logical);
+    if (read_from < e_end) {
+      const std::uint64_t n =
+          std::min<std::uint64_t>(e_end - read_from, want - out.length());
+      auto r = dev_->read(e.off + (read_from - logical), n);
+      if (!r.ok()) return r.status();
+      out.claim_append(*r);
+    }
+    logical = e_end;
+  }
+  return out;
+}
+
+Result<os::ObjectInfo> BlueStore::stat(const os::coll_t& c, const os::ghobject_t& o) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (!kv_->contains(coll_key(c))) return Status(Errc::not_found, "collection");
+  auto onode = get_onode_locked(c, o);
+  if (!onode) return Status(Errc::not_found, o.to_string());
+  return os::ObjectInfo{onode->size, onode->version};
+}
+
+bool BlueStore::exists(const os::coll_t& c, const os::ghobject_t& o) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return kv_->contains(onode_key(c, o));
+}
+
+Result<std::map<std::string, BufferList>> BlueStore::omap_get(const os::coll_t& c,
+                                                              const os::ghobject_t& o) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (!kv_->contains(coll_key(c))) return Status(Errc::not_found, "collection");
+  auto onode = get_onode_locked(c, o);
+  if (!onode) return Status(Errc::not_found, o.to_string());
+  return onode->omap;
+}
+
+Result<std::vector<os::ghobject_t>> BlueStore::list_objects(const os::coll_t& c) {
+  if (!kv_->contains(coll_key(c))) return Status(Errc::not_found, "collection");
+  std::vector<os::ghobject_t> out;
+  const std::string prefix = coll_prefix(c);
+  kv_->for_each_prefix(prefix, [&](const std::string& key, const BufferList&) {
+    out.push_back(os::ghobject_t{c.pool, key.substr(prefix.size())});
+  });
+  return out;
+}
+
+std::vector<os::coll_t> BlueStore::list_collections() {
+  std::vector<os::coll_t> out;
+  kv_->for_each_prefix("C/", [&](const std::string& key, const BufferList&) {
+    const std::string id = key.substr(2);
+    const auto dot = id.find('.');
+    if (dot == std::string::npos) return;
+    out.push_back(os::coll_t{
+        static_cast<os::pool_t>(std::stoul(id.substr(0, dot))),
+        static_cast<std::uint32_t>(std::stoul(id.substr(dot + 1)))});
+  });
+  return out;
+}
+
+bool BlueStore::collection_exists(const os::coll_t& c) {
+  return kv_->contains(coll_key(c));
+}
+
+}  // namespace doceph::bluestore

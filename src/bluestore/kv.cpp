@@ -1,0 +1,320 @@
+#include "bluestore/kv.h"
+
+#include <cassert>
+
+#include "common/crc32c.h"
+#include "common/logger.h"
+
+namespace doceph::bluestore {
+namespace {
+
+constexpr std::uint32_t kWalMagic = 0xB1E57A6E;
+constexpr std::uint8_t kKindCheckpoint = 1;
+constexpr std::uint8_t kKindTxn = 2;
+constexpr std::size_t kRecHeader = 4 + 1 + 8 + 8 + 4;  // magic kind gen seq len
+constexpr std::size_t kRecTrailer = 4;                 // crc
+
+/// Serialize one WAL record.
+BufferList make_record(std::uint8_t kind, std::uint64_t gen, std::uint64_t seq,
+                       const BufferList& payload) {
+  BufferList rec;
+  doceph::encode(kWalMagic, rec);
+  doceph::encode(kind, rec);
+  doceph::encode(gen, rec);
+  doceph::encode(seq, rec);
+  doceph::encode(static_cast<std::uint32_t>(payload.length()), rec);
+  rec.append(payload);
+  // CRC over everything after the magic.
+  const BufferList body = rec.substr(4, rec.length() - 4);
+  doceph::encode(body.crc32c(), rec);
+  return rec;
+}
+
+struct ParsedRecord {
+  std::uint8_t kind = 0;
+  std::uint64_t gen = 0;
+  std::uint64_t seq = 0;
+  BufferList payload;
+  std::uint64_t total_len = 0;
+};
+
+}  // namespace
+
+KvStore::KvStore(sim::Env& env, BlockDevice& dev, std::uint64_t wal_off,
+                 std::uint64_t wal_len, sim::CpuDomain* domain, KvCostModel costs)
+    : env_(env),
+      dev_(dev),
+      wal_off_(wal_off),
+      wal_len_(wal_len),
+      domain_(domain),
+      costs_(costs),
+      queue_cv_(env.keeper()) {
+  assert(wal_len_ >= 2 << 20 && "WAL region too small");
+}
+
+KvStore::~KvStore() {
+  if (running_) crash();
+}
+
+Status KvStore::mkfs() {
+  assert(!running_);
+  {
+    const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+    map_.clear();
+  }
+  generation_ = 1;
+  active_segment_ = 0;
+  return write_checkpoint_locked(0, 1);
+}
+
+Status KvStore::write_checkpoint_locked(int segment, std::uint64_t generation) {
+  BufferList snapshot;
+  {
+    const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+    doceph::encode(map_, snapshot);
+  }
+  BufferList rec = make_record(kKindCheckpoint, generation, 0, snapshot);
+  if (rec.length() + kRecHeader > segment_len())
+    return Status(Errc::no_space, "KV checkpoint exceeds WAL segment");
+  const Status st = dev_.write(segment_off(segment), rec);
+  if (!st.ok()) return st;
+  active_segment_ = segment;
+  generation_ = generation;
+  append_off_ = segment_off(segment) + rec.length();
+  next_seq_ = 1;
+  return Status::OK();
+}
+
+Status KvStore::mount() {
+  assert(!running_);
+  const Status st = replay();
+  if (!st.ok()) return st;
+  {
+    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    stopping_ = false;
+  }
+  running_ = true;
+  thread_ = sim::Thread(env_.keeper(), env_.stats(), "bstore_kv_sync", domain_,
+                        [this] { sync_thread(); }, /*daemon=*/true);
+  return Status::OK();
+}
+
+Status KvStore::replay() {
+  // Helper to parse one record at an absolute offset within a segment.
+  auto read_record = [&](std::uint64_t off, std::uint64_t seg_end)
+      -> std::optional<ParsedRecord> {
+    if (off + kRecHeader + kRecTrailer > seg_end) return std::nullopt;
+    auto hdr = dev_.read(off, kRecHeader);
+    if (!hdr.ok()) return std::nullopt;
+    BufferList::Cursor cur(*hdr);
+    std::uint32_t magic = 0;
+    ParsedRecord rec;
+    std::uint32_t payload_len = 0;
+    if (!doceph::decode(magic, cur) || magic != kWalMagic ||
+        !doceph::decode(rec.kind, cur) || !doceph::decode(rec.gen, cur) ||
+        !doceph::decode(rec.seq, cur) || !doceph::decode(payload_len, cur))
+      return std::nullopt;
+    if (off + kRecHeader + payload_len + kRecTrailer > seg_end) return std::nullopt;
+    auto rest = dev_.read(off + kRecHeader, payload_len + kRecTrailer);
+    if (!rest.ok()) return std::nullopt;
+    rec.payload = rest->substr(0, payload_len);
+    const BufferList crc_bl = rest->substr(payload_len, kRecTrailer);
+    BufferList::Cursor ccur(crc_bl);
+    std::uint32_t stored_crc = 0;
+    (void)doceph::decode(stored_crc, ccur);
+    BufferList body = hdr->substr(4, kRecHeader - 4);
+    body.append(rec.payload);
+    if (body.crc32c() != stored_crc) return std::nullopt;
+    rec.total_len = kRecHeader + payload_len + kRecTrailer;
+    return rec;
+  };
+
+  // Find the newest checkpoint.
+  int best_seg = -1;
+  std::uint64_t best_gen = 0;
+  for (int seg = 0; seg < 2; ++seg) {
+    auto rec = read_record(segment_off(seg), segment_off(seg) + segment_len());
+    if (rec && rec->kind == kKindCheckpoint && rec->gen >= best_gen) {
+      best_seg = seg;
+      best_gen = rec->gen;
+    }
+  }
+  if (best_seg < 0) return Status(Errc::corrupt, "no KV checkpoint found (mkfs?)");
+
+  const std::uint64_t seg_start = segment_off(best_seg);
+  const std::uint64_t seg_end = seg_start + segment_len();
+  auto cp = read_record(seg_start, seg_end);
+  assert(cp);
+  {
+    const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+    map_.clear();
+    BufferList::Cursor cur(cp->payload);
+    if (!doceph::decode(map_, cur))
+      return Status(Errc::corrupt, "bad KV checkpoint payload");
+  }
+
+  // Replay txn records after the checkpoint.
+  std::uint64_t off = seg_start + cp->total_len;
+  std::uint64_t seq = 0;
+  while (true) {
+    auto rec = read_record(off, seg_end);
+    if (!rec || rec->kind != kKindTxn || rec->gen != best_gen || rec->seq <= seq)
+      break;
+    KvTxn txn;
+    BufferList::Cursor cur(rec->payload);
+    if (!txn.decode(cur)) break;
+    {
+      const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+      for (auto& [k, v] : txn.sets) map_[k] = std::move(v);
+      for (const auto& k : txn.rms) map_.erase(k);
+    }
+    seq = rec->seq;
+    off += rec->total_len;
+  }
+
+  active_segment_ = best_seg;
+  generation_ = best_gen;
+  append_off_ = off;
+  next_seq_ = seq + 1;
+  return Status::OK();
+}
+
+Status KvStore::umount() {
+  if (!running_) return Status::OK();
+  {
+    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  thread_.join();
+  running_ = false;
+  return Status::OK();
+}
+
+void KvStore::crash() {
+  std::deque<std::pair<KvTxn, OnCommit>> dropped;
+  {
+    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    stopping_ = true;
+    dropped.swap(queue_);  // power loss: queued txns never reach the WAL
+    queue_cv_.notify_all();
+  }
+  thread_.join();
+  running_ = false;
+  for (auto& [txn, cb] : dropped) {
+    if (cb) cb(Status(Errc::shutting_down, "kv store crashed"));
+  }
+}
+
+void KvStore::queue(KvTxn txn, OnCommit cb) {
+  const std::lock_guard<std::mutex> lk(queue_mutex_);
+  assert(running_ && !stopping_);
+  queue_.emplace_back(std::move(txn), std::move(cb));
+  queue_cv_.notify_one();
+}
+
+Status KvStore::submit(KvTxn txn) {
+  std::mutex m;
+  sim::CondVar cv(env_.keeper());
+  bool done = false;
+  Status result;
+  queue(std::move(txn), [&](Status st) {
+    const std::lock_guard<std::mutex> lk(m);
+    result = st;
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return done; });
+  return result;
+}
+
+void KvStore::sync_thread() {
+  while (true) {
+    std::deque<std::pair<KvTxn, OnCommit>> batch;
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;
+      batch.swap(queue_);
+    }
+
+    // Group commit: serialize the whole batch into consecutive WAL records.
+    BufferList wal_bl;
+    for (const auto& [txn, cb] : batch) {
+      BufferList payload;
+      txn.encode(payload);
+      BufferList rec = make_record(kKindTxn, generation_, next_seq_++, payload);
+      wal_bl.claim_append(rec);
+    }
+
+    if (domain_ != nullptr) {
+      domain_->charge(costs_.per_txn * static_cast<sim::Duration>(batch.size()) +
+                      static_cast<sim::Duration>(costs_.per_byte_ns *
+                                                 static_cast<double>(wal_bl.length())));
+    }
+
+    // Segment roll if the batch does not fit.
+    const std::uint64_t seg_end = segment_off(active_segment_) + segment_len();
+    if (append_off_ + wal_bl.length() > seg_end) {
+      const Status st = write_checkpoint_locked(1 - active_segment_, generation_ + 1);
+      if (!st.ok()) {
+        for (auto& [txn, cb] : batch)
+          if (cb) cb(st);
+        continue;
+      }
+      // Re-stamp the batch under the new generation.
+      wal_bl.clear();
+      next_seq_ = 1;
+      for (const auto& [txn, cb] : batch) {
+        BufferList payload;
+        txn.encode(payload);
+        BufferList rec = make_record(kKindTxn, generation_, next_seq_++, payload);
+      wal_bl.claim_append(rec);
+      }
+    }
+
+    const Status st = dev_.write(append_off_, wal_bl);  // durable before apply
+    if (st.ok()) {
+      append_off_ += wal_bl.length();
+      const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+      for (auto& [txn, cb] : batch) {
+        for (auto& [k, v] : txn.sets) map_[k] = v;
+        for (const auto& k : txn.rms) map_.erase(k);
+      }
+      committed_.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+    for (auto& [txn, cb] : batch) {
+      if (cb) cb(st);
+    }
+  }
+}
+
+std::optional<BufferList> KvStore::get(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::contains(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  return map_.contains(key);
+}
+
+void KvStore::for_each_prefix(
+    const std::string& prefix,
+    const std::function<void(const std::string&, const BufferList&)>& fn) const {
+  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  for (auto it = map_.lower_bound(prefix);
+       it != map_.end() && it->first.starts_with(prefix); ++it) {
+    fn(it->first, it->second);
+  }
+}
+
+std::size_t KvStore::num_keys() const {
+  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  return map_.size();
+}
+
+}  // namespace doceph::bluestore

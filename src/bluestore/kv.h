@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "bluestore/block_device.h"
+#include "common/encoding.h"
+#include "sim/cpu_model.h"
+#include "sim/thread.h"
+
+namespace doceph::bluestore {
+
+/// One atomic KV mutation batch.
+struct KvTxn {
+  std::map<std::string, BufferList> sets;
+  std::vector<std::string> rms;
+
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& [k, v] : sets) n += k.size() + v.length();
+    for (const auto& k : rms) n += k.size();
+    return n;
+  }
+
+  void encode(BufferList& bl) const {
+    doceph::encode(sets, bl);
+    doceph::encode(rms, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(sets, cur) && doceph::decode(rms, cur);
+  }
+};
+
+/// CPU cost of KV work, charged on the "bstore_kv_sync" thread.
+struct KvCostModel {
+  sim::Duration per_txn = 6000;   ///< ns per committed transaction
+  double per_byte_ns = 0.05;      ///< serialization of keys/values
+};
+
+/// Ordered in-memory KV store with a crash-safe write-ahead log on a block
+/// device region — the metadata engine under BlueStore-lite (RocksDB's role
+/// in real BlueStore). A dedicated "bstore_kv_sync" thread group-commits
+/// queued transactions, exactly like Ceph's kv_sync_thread.
+///
+/// WAL layout: the region is split into two segments; records are appended
+/// to the active segment. When it fills, a checkpoint record (full map
+/// snapshot) opens the other segment with a higher generation. mount()
+/// locates the newest checkpoint and replays records after it.
+class KvStore {
+ public:
+  using OnCommit = std::function<void(Status)>;
+
+  KvStore(sim::Env& env, BlockDevice& dev, std::uint64_t wal_off,
+          std::uint64_t wal_len, sim::CpuDomain* domain, KvCostModel costs = {});
+  ~KvStore();
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Initialize an empty store on the device (writes the first checkpoint).
+  Status mkfs();
+
+  /// Load state from the WAL (checkpoint + replay) and start the sync thread.
+  Status mount();
+
+  /// Graceful stop: drain queued transactions, checkpoint, stop the thread.
+  Status umount();
+
+  /// Simulated power loss: stop without checkpoint or drain. Queued but
+  /// uncommitted transactions are lost; committed ones replay on mount.
+  void crash();
+
+  /// Queue a transaction; `cb` fires after the WAL record is durable.
+  void queue(KvTxn txn, OnCommit cb);
+
+  /// Synchronous commit helper.
+  Status submit(KvTxn txn);
+
+  [[nodiscard]] std::optional<BufferList> get(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Visit all keys with `prefix` (snapshot semantics not guaranteed across
+  /// concurrent commits; callers serialize at a higher level).
+  void for_each_prefix(const std::string& prefix,
+                       const std::function<void(const std::string&,
+                                                const BufferList&)>& fn) const;
+
+  [[nodiscard]] std::size_t num_keys() const;
+
+  /// Committed transaction count (diagnostics).
+  [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
+
+ private:
+  struct Record;  // wire format helpers in kv.cpp
+
+  void sync_thread();
+  Status write_checkpoint_locked(int segment, std::uint64_t generation);
+  Status replay();
+  [[nodiscard]] std::uint64_t segment_off(int seg) const noexcept {
+    return wal_off_ + static_cast<std::uint64_t>(seg) * (wal_len_ / 2);
+  }
+  [[nodiscard]] std::uint64_t segment_len() const noexcept { return wal_len_ / 2; }
+
+  sim::Env& env_;
+  BlockDevice& dev_;
+  std::uint64_t wal_off_;
+  std::uint64_t wal_len_;
+  sim::CpuDomain* domain_;
+  KvCostModel costs_;
+
+  mutable std::shared_mutex map_mutex_;
+  std::map<std::string, BufferList> map_;
+
+  // Sync-thread state.
+  std::mutex queue_mutex_;
+  sim::CondVar queue_cv_;
+  std::deque<std::pair<KvTxn, OnCommit>> queue_;
+  bool stopping_ = false;
+  bool running_ = false;
+  sim::Thread thread_;
+
+  // WAL positions (sync thread only, except at mount).
+  int active_segment_ = 0;
+  std::uint64_t append_off_ = 0;  // absolute device offset
+  std::uint64_t generation_ = 1;
+  std::uint64_t next_seq_ = 1;
+  std::atomic<std::uint64_t> committed_{0};
+};
+
+}  // namespace doceph::bluestore

@@ -1,0 +1,238 @@
+#include "client/rados_client.h"
+
+#include "common/logger.h"
+
+namespace doceph::client {
+
+// ---- AioCompletion ----------------------------------------------------------------
+
+Status AioCompletion::wait() {
+  std::unique_lock<std::mutex> lk(m_);
+  cv_.wait(lk, [&] { return done_; });
+  return status_;
+}
+
+bool AioCompletion::complete() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return done_;
+}
+
+Status AioCompletion::status() const {
+  const std::lock_guard<std::mutex> lk(m_);
+  return status_;
+}
+
+// ---- RadosClient ------------------------------------------------------------------
+
+RadosClient::RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
+                         sim::CpuDomain* domain, net::Address mon_addr,
+                         std::uint64_t client_id)
+    : env_(env),
+      client_id_(client_id),
+      msgr_(env, fabric, node, domain, "client." + std::to_string(client_id)),
+      monc_(env, msgr_, mon_addr) {
+  msgr_.set_dispatcher(this);
+}
+
+RadosClient::~RadosClient() { shutdown(); }
+
+Status RadosClient::connect() {
+  msgr_.start();
+  monc_.set_map_callback(
+      [this](const crush::OSDMap&) { resend_all_mistargeted(); });
+  Status st = monc_.init();
+  if (!st.ok()) return st;
+  st = monc_.subscribe();
+  if (!st.ok()) return st;
+  connected_ = true;
+  return Status::OK();
+}
+
+void RadosClient::shutdown() {
+  if (!connected_) return;
+  connected_ = false;
+  // Fail any stragglers so waiters unblock.
+  std::map<std::uint64_t, InFlight> orphans;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    orphans.swap(in_flight_);
+  }
+  for (auto& [tid, op] : orphans) {
+    const std::lock_guard<std::mutex> lk(op.completion->m_);
+    op.completion->done_ = true;
+    op.completion->status_ = Status(Errc::shutting_down, "client shutdown");
+    op.completion->cv_.notify_all();
+  }
+  msgr_.shutdown();
+}
+
+IoCtx RadosClient::io_ctx(os::pool_t pool) { return IoCtx(this, pool); }
+
+Result<std::string> RadosClient::mon_command(std::vector<std::string> args) {
+  return monc_.command(std::move(args));
+}
+
+AioCompletionRef RadosClient::aio_operate(os::pool_t pool, const std::string& object,
+                                          msgr::OsdOpType op, std::uint64_t off,
+                                          std::uint64_t len, BufferList data) {
+  auto request = std::make_shared<msgr::MOSDOp>();
+  request->tid = next_tid_.fetch_add(1);
+  request->op = op;
+  request->client_id = client_id_;
+  request->pool = pool;
+  request->object = object;
+  request->offset = off;
+  request->length = len;
+  request->data = std::move(data);
+
+  auto completion = std::make_shared<AioCompletion>(env_.keeper());
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    in_flight_[request->tid] = InFlight{request, completion, -1, 0};
+  }
+  send_op(request->tid);
+  return completion;
+}
+
+void RadosClient::send_op(std::uint64_t tid) {
+  std::shared_ptr<msgr::MOSDOp> request;
+  AioCompletionRef completion;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    auto it = in_flight_.find(tid);
+    if (it == in_flight_.end()) return;  // already completed
+    if (++it->second.attempts > kMaxAttempts) {
+      completion = it->second.completion;
+      in_flight_.erase(it);
+    } else {
+      request = it->second.request;
+    }
+  }
+  if (completion != nullptr) {
+    const std::lock_guard<std::mutex> lk(completion->m_);
+    completion->done_ = true;
+    completion->status_ = Status(Errc::timed_out, "op exhausted retries");
+    completion->cv_.notify_all();
+    return;
+  }
+
+  const crush::OSDMap map = monc_.map();
+  const auto pg = map.object_to_pg(request->pool, request->object);
+  const int primary = map.pg_primary(pg);
+  msgr::ConnectionRef con;
+  if (primary >= 0) con = msgr_.get_connection(map.osd(primary).addr);
+  if (con == nullptr) {
+    // No primary yet (PG degraded to zero, or connect refused): retry later.
+    env_.scheduler().schedule_after(kRetryDelay, [this, tid] { send_op(tid); });
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    auto it = in_flight_.find(tid);
+    if (it == in_flight_.end()) return;
+    it->second.target_osd = primary;
+  }
+  request->map_epoch = map.epoch();
+  con->send_message(request);
+}
+
+void RadosClient::finish_op(std::uint64_t tid, const msgr::MessageRef& reply) {
+  auto* r = static_cast<msgr::MOSDOpReply*>(reply.get());
+  if (r->result == -static_cast<std::int32_t>(Errc::busy)) {
+    // Wrong primary: our map is stale (or failover mid-flight). Retry after
+    // a short delay; the subscription will deliver the fresher map.
+    env_.scheduler().schedule_after(kRetryDelay, [this, tid] { send_op(tid); });
+    return;
+  }
+  AioCompletionRef completion;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    auto it = in_flight_.find(tid);
+    if (it == in_flight_.end()) return;  // duplicate reply after resend
+    completion = it->second.completion;
+    in_flight_.erase(it);
+  }
+  const std::lock_guard<std::mutex> lk(completion->m_);
+  completion->done_ = true;
+  completion->status_ =
+      r->result == 0 ? Status::OK()
+                     : Status(static_cast<Errc>(-r->result), "osd error");
+  completion->version_ = r->object_version;
+  completion->size_ = r->object_size;
+  completion->data_ = std::move(r->data);
+  completion->cv_.notify_all();
+}
+
+void RadosClient::resend_all_mistargeted() {
+  const crush::OSDMap map = monc_.map();
+  std::vector<std::uint64_t> stale;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    for (auto& [tid, op] : in_flight_) {
+      const auto pg = map.object_to_pg(op.request->pool, op.request->object);
+      if (op.target_osd >= 0 && map.pg_primary(pg) != op.target_osd)
+        stale.push_back(tid);
+    }
+  }
+  for (const auto tid : stale) send_op(tid);
+}
+
+void RadosClient::ms_dispatch(const msgr::MessageRef& m) {
+  if (monc_.handle_message(m)) return;
+  if (m->type() == msgr::MsgType::osd_op_reply) {
+    finish_op(m->tid, m);
+    return;
+  }
+  DLOG(warn, "client") << "unexpected " << msg_type_name(m->type());
+}
+
+void RadosClient::ms_handle_reset(const msgr::ConnectionRef&) {
+  // Ops to the dead peer are retried when a new map arrives; additionally
+  // nudge everything whose target may be gone.
+  resend_all_mistargeted();
+}
+
+// ---- IoCtx -----------------------------------------------------------------------
+
+Status IoCtx::write_full(const std::string& object, BufferList data) {
+  return client_
+      ->aio_operate(pool_, object, msgr::OsdOpType::write_full, 0, 0, std::move(data))
+      ->wait();
+}
+
+Status IoCtx::write(const std::string& object, std::uint64_t off, BufferList data) {
+  return client_
+      ->aio_operate(pool_, object, msgr::OsdOpType::write, off, 0, std::move(data))
+      ->wait();
+}
+
+Result<BufferList> IoCtx::read(const std::string& object, std::uint64_t off,
+                               std::uint64_t len) {
+  auto c = client_->aio_operate(pool_, object, msgr::OsdOpType::read, off, len, {});
+  const Status st = c->wait();
+  if (!st.ok()) return st;
+  return c->data();
+}
+
+Result<os::ObjectInfo> IoCtx::stat(const std::string& object) {
+  auto c = client_->aio_operate(pool_, object, msgr::OsdOpType::stat, 0, 0, {});
+  const Status st = c->wait();
+  if (!st.ok()) return st;
+  return os::ObjectInfo{c->object_size(), c->object_version()};
+}
+
+Status IoCtx::remove(const std::string& object) {
+  return client_->aio_operate(pool_, object, msgr::OsdOpType::remove, 0, 0, {})->wait();
+}
+
+AioCompletionRef IoCtx::aio_write_full(const std::string& object, BufferList data) {
+  return client_->aio_operate(pool_, object, msgr::OsdOpType::write_full, 0, 0,
+                              std::move(data));
+}
+
+AioCompletionRef IoCtx::aio_read(const std::string& object, std::uint64_t off,
+                                 std::uint64_t len) {
+  return client_->aio_operate(pool_, object, msgr::OsdOpType::read, off, len, {});
+}
+
+}  // namespace doceph::client

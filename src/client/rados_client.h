@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "mon/mon_client.h"
+#include "msgr/messages.h"
+#include "msgr/messenger.h"
+#include "os/types.h"
+
+namespace doceph::client {
+
+/// Completion handle for asynchronous object operations (librados
+/// AioCompletion). wait() blocks the calling sim thread.
+class AioCompletion {
+ public:
+  explicit AioCompletion(sim::TimeKeeper& tk) : cv_(tk) {}
+
+  /// Block until the operation completed; returns its status.
+  Status wait();
+
+  [[nodiscard]] bool complete() const;
+  [[nodiscard]] Status status() const;
+  [[nodiscard]] std::uint64_t object_version() const { return version_; }
+  [[nodiscard]] std::uint64_t object_size() const { return size_; }
+  [[nodiscard]] const BufferList& data() const { return data_; }
+
+ private:
+  friend class RadosClient;
+  mutable std::mutex m_;
+  mutable sim::CondVar cv_;
+  bool done_ = false;
+  Status status_;
+  std::uint64_t version_ = 0;
+  std::uint64_t size_ = 0;
+  BufferList data_;
+};
+using AioCompletionRef = std::shared_ptr<AioCompletion>;
+
+class IoCtx;
+
+/// librados-lite: connects to the MON for maps and embeds an Objecter that
+/// targets the primary OSD per object via CRUSH, resends on map changes /
+/// wrong-primary bounces, and matches replies by tid.
+class RadosClient final : public msgr::Dispatcher {
+ public:
+  RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
+              sim::CpuDomain* domain, net::Address mon_addr,
+              std::uint64_t client_id = 1);
+  ~RadosClient() override;
+
+  /// Start messenger, fetch the map, subscribe. Call from a sim thread.
+  Status connect();
+  void shutdown();
+
+  /// Handle for I/O against one pool.
+  IoCtx io_ctx(os::pool_t pool);
+
+  /// Administrative command to the MON (e.g. pool creation).
+  Result<std::string> mon_command(std::vector<std::string> args);
+
+  /// Current cached map epoch.
+  [[nodiscard]] crush::epoch_t map_epoch() { return monc_.epoch(); }
+
+  /// Submit an object operation; the completion fires when the primary acks.
+  AioCompletionRef aio_operate(os::pool_t pool, const std::string& object,
+                               msgr::OsdOpType op, std::uint64_t off,
+                               std::uint64_t len, BufferList data);
+
+  // msgr::Dispatcher
+  void ms_dispatch(const msgr::MessageRef& m) override;
+  void ms_handle_reset(const msgr::ConnectionRef& con) override;
+
+  [[nodiscard]] sim::Env& env() noexcept { return env_; }
+
+ private:
+  struct InFlight {
+    std::shared_ptr<msgr::MOSDOp> request;
+    AioCompletionRef completion;
+    int target_osd = -1;
+    int attempts = 0;
+  };
+
+  /// (Re)send an op to the current primary; reschedules itself on failure.
+  void send_op(std::uint64_t tid);
+  void finish_op(std::uint64_t tid, const msgr::MessageRef& reply);
+  void resend_all_mistargeted();
+
+  sim::Env& env_;
+  std::uint64_t client_id_;
+  msgr::Messenger msgr_;
+  mon::MonClient monc_;
+
+  std::mutex mutex_;
+  std::map<std::uint64_t, InFlight> in_flight_;
+  std::atomic<std::uint64_t> next_tid_{1};
+  bool connected_ = false;
+
+  static constexpr int kMaxAttempts = 300;
+  static constexpr sim::Duration kRetryDelay = 10'000'000;  // 10 ms
+};
+
+/// Pool-scoped synchronous + asynchronous object API (librados IoCtx).
+class IoCtx {
+ public:
+  IoCtx() = default;
+  IoCtx(RadosClient* client, os::pool_t pool) : client_(client), pool_(pool) {}
+
+  Status write_full(const std::string& object, BufferList data);
+  Status write(const std::string& object, std::uint64_t off, BufferList data);
+  Result<BufferList> read(const std::string& object, std::uint64_t off,
+                          std::uint64_t len);
+  Result<os::ObjectInfo> stat(const std::string& object);
+  Status remove(const std::string& object);
+
+  AioCompletionRef aio_write_full(const std::string& object, BufferList data);
+  AioCompletionRef aio_read(const std::string& object, std::uint64_t off,
+                            std::uint64_t len);
+
+  [[nodiscard]] os::pool_t pool() const noexcept { return pool_; }
+
+ private:
+  RadosClient* client_ = nullptr;
+  os::pool_t pool_ = 0;
+};
+
+}  // namespace doceph::client

@@ -1,0 +1,167 @@
+#include "cluster/cluster.h"
+
+#include "common/logger.h"
+
+namespace doceph::cluster {
+
+Cluster::Cluster(sim::Env& env, ClusterConfig cfg)
+    : env_(env), cfg_(std::move(cfg)), fabric_(env) {}
+
+Cluster::~Cluster() { stop(); }
+
+Status Cluster::start() {
+  // Runs on a registered sim thread: while we are RUNNABLE constructing
+  // components, the clock cannot run ahead — and our own blocking calls
+  // (mkfs, mounts, boots) legitimately advance it.
+
+  // MON node (CPU-only machine).
+  mon_net_ = &fabric_.add_node("mon-host", nic_for(cfg_.network), default_stack());
+  mon_cpu_ = std::make_unique<sim::CpuDomain>(env_.keeper(), "mon", 4, cfg_.host_speed);
+  mon_ = std::make_unique<mon::Monitor>(env_, fabric_, *mon_net_, mon_cpu_.get(),
+                                        cfg_.storage_nodes);
+  Status st = mon_->start();
+  if (!st.ok()) return st;
+  const net::Address mon_addr = mon_->addr();
+
+  // Storage nodes.
+  for (int i = 0; i < cfg_.storage_nodes; ++i) {
+    auto node = std::make_unique<Node>();
+    node->host_cpu = std::make_unique<sim::CpuDomain>(
+        env_.keeper(), "host-" + std::to_string(i), cfg_.host_cores, cfg_.host_speed);
+    node->backing = std::make_shared<bluestore::DeviceBacking>();
+    node->store = std::make_unique<bluestore::BlueStore>(
+        env_, node->host_cpu.get(), cfg_.store_config(), node->backing);
+    st = node->store->mkfs();
+    if (!st.ok()) return st;
+    st = node->store->mount();
+    if (!st.ok()) return st;
+
+    os::ObjectStore* osd_store = node->store.get();
+    net::NetNode* osd_net = nullptr;
+    sim::CpuDomain* osd_domain = nullptr;
+
+    if (cfg_.mode == DeployMode::baseline) {
+      // BlueField in NIC mode: the host owns the public network identity.
+      node->host_net = &fabric_.add_node("storage-" + std::to_string(i),
+                                         nic_for(cfg_.network), default_stack());
+      osd_net = node->host_net;
+      osd_domain = node->host_cpu.get();
+    } else {
+      // DPU mode: the ConnectX terminates on the DPU; the host is reachable
+      // only through the proxy channel.
+      node->dpu = std::make_unique<dpu::DpuDevice>(
+          env_, fabric_, "dpu-" + std::to_string(i), cfg_.dpu_profile());
+      node->pstore =
+          std::make_unique<proxy::ProxyObjectStore>(env_, *node->dpu, cfg_.proxy);
+      node->backend = std::make_unique<proxy::HostBackendService>(
+          env_, *node->host_cpu, *node->store, node->dpu->host_comch(),
+          node->pstore->slots().host_mmap(), node->pstore->slots().slot_size(),
+          cfg_.backend);
+      st = node->backend->start();
+      if (!st.ok()) return st;
+      st = node->pstore->mount();
+      if (!st.ok()) return st;
+      osd_store = node->pstore.get();
+      osd_net = &node->dpu->net_node();
+      osd_domain = &node->dpu->cpu();
+    }
+
+    auto osd_cfg = cfg_.osd_template;
+    osd_cfg.id = i;
+    node->osd = std::make_unique<osd::OSD>(env_, fabric_, *osd_net, osd_domain,
+                                           *osd_store, mon_addr, osd_cfg);
+    st = node->osd->init();
+    if (!st.ok()) return st;
+    nodes_.push_back(std::move(node));
+  }
+
+  // Pool, then the client.
+  mon_->create_pool(cfg_.pool_id, crush::PoolInfo{.name = "bench",
+                                                  .pg_num = cfg_.pg_num,
+                                                  .size = cfg_.replicas});
+
+  client_net_ = &fabric_.add_node("client-host", nic_for(cfg_.network), default_stack());
+  client_cpu_ = std::make_unique<sim::CpuDomain>(env_.keeper(), "client",
+                                                 cfg_.client_cores, cfg_.host_speed);
+  client_ = std::make_unique<client::RadosClient>(env_, fabric_, *client_net_,
+                                                  client_cpu_.get(), mon_addr);
+  st = client_->connect();
+  if (!st.ok()) return st;
+
+  started_ = true;
+  return Status::OK();
+}
+
+void Cluster::stop() {
+  if (!started_) return;
+  started_ = false;
+  if (client_) client_->shutdown();
+  for (auto& node : nodes_) {
+    if (node->osd) node->osd->shutdown();
+  }
+  for (auto& node : nodes_) {
+    if (node->pstore) (void)node->pstore->umount();
+    if (node->store) (void)node->store->umount();
+    if (node->backend) node->backend->shutdown();
+  }
+  if (mon_) mon_->shutdown();
+}
+
+Status Cluster::restart_osd(int i) {
+  auto& node = *nodes_.at(static_cast<std::size_t>(i));
+  node.osd->shutdown();
+  node.osd.reset();
+
+  os::ObjectStore* osd_store = node.store.get();
+  net::NetNode* osd_net = node.host_net;
+  sim::CpuDomain* osd_domain = node.host_cpu.get();
+  if (cfg_.mode == DeployMode::doceph) {
+    osd_store = node.pstore.get();
+    osd_net = &node.dpu->net_node();
+    osd_domain = &node.dpu->cpu();
+  }
+  auto osd_cfg = cfg_.osd_template;
+  osd_cfg.id = i;
+  node.osd = std::make_unique<osd::OSD>(env_, fabric_, *osd_net, osd_domain,
+                                        *osd_store, mon_->addr(), osd_cfg);
+  return node.osd->init();
+}
+
+void Cluster::wait_all_clean() {
+  while (true) {
+    bool clean = true;
+    for (auto& node : nodes_) clean &= node->osd->all_clean();
+    if (clean) return;
+    env_.keeper().sleep_for(sim::Duration{100} * 1'000'000);  // 100 ms
+  }
+}
+
+Cluster::CpuSample Cluster::cpu_sample() const {
+  CpuSample s;
+  s.at = env_.now();
+  for (const auto& node : nodes_) {
+    s.host_busy.push_back(node->host_cpu->busy_ns());
+    s.dpu_busy.push_back(node->dpu ? node->dpu->cpu().busy_ns() : 0);
+  }
+  return s;
+}
+
+double Cluster::host_cores_used(const CpuSample& a, const CpuSample& b) const {
+  const auto window = static_cast<double>(b.at - a.at);
+  if (window <= 0 || a.host_busy.empty()) return 0.0;
+  double total = 0;
+  for (std::size_t i = 0; i < a.host_busy.size(); ++i)
+    total += static_cast<double>(b.host_busy[i] - a.host_busy[i]) / window;
+  return total / static_cast<double>(a.host_busy.size());
+}
+
+double Cluster::dpu_cores_used(const CpuSample& a, const CpuSample& b) const {
+  const auto window = static_cast<double>(b.at - a.at);
+  if (window <= 0 || a.dpu_busy.empty()) return 0.0;
+  double total = 0;
+  for (std::size_t i = 0; i < a.dpu_busy.size(); ++i)
+    total += static_cast<double>(b.dpu_busy[i] - a.dpu_busy[i]) / window;
+  return total / static_cast<double>(a.dpu_busy.size());
+}
+
+}  // namespace doceph::cluster

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "client/rados_client.h"
+#include "cluster/profiles.h"
+#include "mon/monitor.h"
+
+namespace doceph::cluster {
+
+/// Assembles the paper's testbed on the simulated fabric: a MON node, a
+/// client node, and `storage_nodes` storage servers deployed in Baseline
+/// mode (whole OSD on the host) or DoCeph mode (OSD + messenger on the DPU,
+/// ProxyObjectStore over CommChannel/DMA, host running only BlueStore + the
+/// backend service). Also the metrics tap for every figure in §5.
+class Cluster {
+ public:
+  Cluster(sim::Env& env, ClusterConfig cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Bring everything up (MON, stores, OSDs, pool). Call from a sim thread.
+  Status start();
+  void stop();
+
+  /// The benchmark client (created during start()).
+  [[nodiscard]] client::RadosClient& client() noexcept { return *client_; }
+  [[nodiscard]] sim::CpuDomain& client_cpu() noexcept { return *client_cpu_; }
+
+  [[nodiscard]] sim::Env& env() noexcept { return env_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] mon::Monitor& monitor() noexcept { return *mon_; }
+
+  [[nodiscard]] int num_nodes() const noexcept { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] osd::OSD& osd(int i) { return *nodes_.at(static_cast<std::size_t>(i))->osd; }
+  [[nodiscard]] bluestore::BlueStore& blue_store(int i) {
+    return *nodes_.at(static_cast<std::size_t>(i))->store;
+  }
+  /// Null in baseline mode.
+  [[nodiscard]] proxy::ProxyObjectStore* proxy_store(int i) {
+    return nodes_.at(static_cast<std::size_t>(i))->pstore.get();
+  }
+  [[nodiscard]] dpu::DpuDevice* dpu(int i) {
+    return nodes_.at(static_cast<std::size_t>(i))->dpu.get();
+  }
+  [[nodiscard]] sim::CpuDomain& host_cpu(int i) {
+    return *nodes_.at(static_cast<std::size_t>(i))->host_cpu;
+  }
+
+  /// Wait (sim time) until every OSD reports recovery-clean.
+  void wait_all_clean();
+
+  /// Restart a (previously shut down) OSD on the same store and network
+  /// identity — the "node comes back" half of a failure drill. Call from a
+  /// sim thread.
+  Status restart_osd(int i);
+
+  // ---- metrics --------------------------------------------------------------
+  struct CpuSample {
+    sim::Time at = 0;
+    std::vector<std::uint64_t> host_busy;  // per storage node
+    std::vector<std::uint64_t> dpu_busy;   // per storage node (doceph)
+  };
+  [[nodiscard]] CpuSample cpu_sample() const;
+
+  /// Average host CPU over the window, in *cores* (the paper's
+  /// "normalized to a single core" convention: 0.94 = 94%).
+  [[nodiscard]] double host_cores_used(const CpuSample& a, const CpuSample& b) const;
+  [[nodiscard]] double dpu_cores_used(const CpuSample& a, const CpuSample& b) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<sim::CpuDomain> host_cpu;
+    net::NetNode* host_net = nullptr;              // baseline: the public NIC
+    std::unique_ptr<dpu::DpuDevice> dpu;           // doceph only
+    std::shared_ptr<bluestore::DeviceBacking> backing;
+    std::unique_ptr<bluestore::BlueStore> store;   // always on the host
+    std::unique_ptr<proxy::HostBackendService> backend;  // doceph only
+    std::unique_ptr<proxy::ProxyObjectStore> pstore;     // doceph only
+    std::unique_ptr<osd::OSD> osd;
+  };
+
+  sim::Env& env_;
+  ClusterConfig cfg_;
+  net::Fabric fabric_;
+  net::NetNode* mon_net_ = nullptr;
+  net::NetNode* client_net_ = nullptr;
+  std::unique_ptr<sim::CpuDomain> mon_cpu_;
+  std::unique_ptr<sim::CpuDomain> client_cpu_;
+  std::unique_ptr<mon::Monitor> mon_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<client::RadosClient> client_;
+  bool started_ = false;
+};
+
+}  // namespace doceph::cluster

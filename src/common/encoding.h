@@ -1,0 +1,235 @@
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.h"
+
+/// Denc-style encoding, modeled after Ceph's encode()/decode() free-function
+/// protocol. All integers are encoded little-endian fixed-width. A type T
+/// participates either as a primitive handled here or by providing member
+/// functions:
+///
+///   void encode(BufferList& bl) const;
+///   bool decode(BufferList::Cursor& cur);   // returns false on malformed input
+///
+/// Decoders never throw: malformed input yields `false`, which callers
+/// propagate (the messenger maps it to Errc::corrupt).
+namespace doceph {
+
+namespace detail {
+
+template <typename T>
+concept MemberEncodable = requires(const T t, BufferList& bl) { t.encode(bl); };
+
+template <typename T>
+concept MemberDecodable =
+    requires(T t, BufferList::Cursor& cur) { { t.decode(cur) } -> std::convertible_to<bool>; };
+
+template <std::integral T>
+void put_le(BufferList& bl, T v) {
+  using U = std::make_unsigned_t<T>;
+  auto u = static_cast<U>(v);
+  char buf[sizeof(U)];
+  for (std::size_t i = 0; i < sizeof(U); ++i) {
+    buf[i] = static_cast<char>(u & 0xff);
+    u = static_cast<U>(u >> 8);
+  }
+  bl.append(buf, sizeof(U));
+}
+
+template <std::integral T>
+bool get_le(BufferList::Cursor& cur, T& v) {
+  using U = std::make_unsigned_t<T>;
+  unsigned char buf[sizeof(U)];
+  if (!cur.copy(sizeof(U), buf)) return false;
+  U u = 0;
+  for (std::size_t i = sizeof(U); i-- > 0;) u = static_cast<U>((u << 8) | buf[i]);
+  v = static_cast<T>(u);
+  return true;
+}
+
+}  // namespace detail
+
+// ---- integral / bool / enum ------------------------------------------------
+
+template <std::integral T>
+void encode(T v, BufferList& bl) {
+  detail::put_le(bl, v);
+}
+
+template <std::integral T>
+[[nodiscard]] bool decode(T& v, BufferList::Cursor& cur) {
+  return detail::get_le(cur, v);
+}
+
+inline void encode(bool v, BufferList& bl) { encode(static_cast<std::uint8_t>(v), bl); }
+[[nodiscard]] inline bool decode(bool& v, BufferList::Cursor& cur) {
+  std::uint8_t u = 0;
+  if (!decode(u, cur)) return false;
+  v = (u != 0);
+  return true;
+}
+
+template <typename T>
+  requires std::is_enum_v<T>
+void encode(T v, BufferList& bl) {
+  encode(static_cast<std::underlying_type_t<T>>(v), bl);
+}
+
+template <typename T>
+  requires std::is_enum_v<T>
+[[nodiscard]] bool decode(T& v, BufferList::Cursor& cur) {
+  std::underlying_type_t<T> u{};
+  if (!decode(u, cur)) return false;
+  v = static_cast<T>(u);
+  return true;
+}
+
+inline void encode(double v, BufferList& bl) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  encode(u, bl);
+}
+[[nodiscard]] inline bool decode(double& v, BufferList::Cursor& cur) {
+  std::uint64_t u = 0;
+  if (!decode(u, cur)) return false;
+  std::memcpy(&v, &u, sizeof(v));
+  return true;
+}
+
+// ---- strings / buffer lists ------------------------------------------------
+
+inline void encode(const std::string& s, BufferList& bl) {
+  encode(static_cast<std::uint32_t>(s.size()), bl);
+  bl.append(s);
+}
+[[nodiscard]] inline bool decode(std::string& s, BufferList::Cursor& cur) {
+  std::uint32_t n = 0;
+  if (!decode(n, cur)) return false;
+  if (cur.remaining() < n) return false;
+  s.resize(n);
+  return cur.copy(n, s.data());
+}
+
+/// A nested BufferList is encoded with a 32-bit length prefix; decode is
+/// zero-copy (shares the underlying slices).
+inline void encode(const BufferList& data, BufferList& bl) {
+  encode(static_cast<std::uint32_t>(data.length()), bl);
+  bl.append(data);
+}
+[[nodiscard]] inline bool decode(BufferList& data, BufferList::Cursor& cur) {
+  std::uint32_t n = 0;
+  if (!decode(n, cur)) return false;
+  return cur.get_buffer_list(n, data);
+}
+
+// ---- member-encodable structs ----------------------------------------------
+
+template <detail::MemberEncodable T>
+void encode(const T& v, BufferList& bl) {
+  v.encode(bl);
+}
+
+template <detail::MemberDecodable T>
+[[nodiscard]] bool decode(T& v, BufferList::Cursor& cur) {
+  return v.decode(cur);
+}
+
+// ---- containers --------------------------------------------------------------
+
+template <typename A, typename B>
+void encode(const std::pair<A, B>& p, BufferList& bl) {
+  encode(p.first, bl);
+  encode(p.second, bl);
+}
+template <typename A, typename B>
+[[nodiscard]] bool decode(std::pair<A, B>& p, BufferList::Cursor& cur) {
+  return decode(p.first, cur) && decode(p.second, cur);
+}
+
+template <typename T>
+void encode(const std::vector<T>& v, BufferList& bl) {
+  encode(static_cast<std::uint32_t>(v.size()), bl);
+  for (const auto& e : v) encode(e, bl);
+}
+template <typename T>
+[[nodiscard]] bool decode(std::vector<T>& v, BufferList::Cursor& cur) {
+  std::uint32_t n = 0;
+  if (!decode(n, cur)) return false;
+  // Defend against hostile sizes: never reserve more than remaining bytes.
+  if (n > cur.remaining() && n > cur.remaining() * 8 + 64) return false;
+  v.clear();
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    T e{};
+    if (!decode(e, cur)) return false;
+    v.push_back(std::move(e));
+  }
+  return true;
+}
+
+template <typename K, typename V>
+void encode(const std::map<K, V>& m, BufferList& bl) {
+  encode(static_cast<std::uint32_t>(m.size()), bl);
+  for (const auto& [k, v] : m) {
+    encode(k, bl);
+    encode(v, bl);
+  }
+}
+template <typename K, typename V>
+[[nodiscard]] bool decode(std::map<K, V>& m, BufferList::Cursor& cur) {
+  std::uint32_t n = 0;
+  if (!decode(n, cur)) return false;
+  m.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    K k{};
+    V v{};
+    if (!decode(k, cur) || !decode(v, cur)) return false;
+    m.emplace(std::move(k), std::move(v));
+  }
+  return true;
+}
+
+template <typename T>
+void encode(const std::optional<T>& o, BufferList& bl) {
+  encode(o.has_value(), bl);
+  if (o) encode(*o, bl);
+}
+template <typename T>
+[[nodiscard]] bool decode(std::optional<T>& o, BufferList::Cursor& cur) {
+  bool has = false;
+  if (!decode(has, cur)) return false;
+  if (!has) {
+    o.reset();
+    return true;
+  }
+  T v{};
+  if (!decode(v, cur)) return false;
+  o = std::move(v);
+  return true;
+}
+
+/// Encode a value into a fresh BufferList (convenience for tests and RPC).
+template <typename T>
+BufferList encode_to_bl(const T& v) {
+  BufferList bl;
+  encode(v, bl);
+  return bl;
+}
+
+/// Decode a full value from a BufferList (convenience).
+template <typename T>
+[[nodiscard]] bool decode_from_bl(T& v, const BufferList& bl) {
+  BufferList::Cursor cur(bl);
+  return decode(v, cur);
+}
+
+}  // namespace doceph

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace doceph {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::bucket_index(std::uint64_t v) noexcept {
+  if (v < 2) return static_cast<int>(v);  // buckets 0 and 1 are exact
+  const int log2 = 63 - std::countl_zero(v);
+  // Sub-bucket within the power of two: top bit after the leading one.
+  const int sub = static_cast<int>((v >> (log2 - 1)) & 1u);
+  const int idx = log2 * kSubBuckets + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(int i) noexcept {
+  if (i < 2) return static_cast<std::uint64_t>(i);
+  const int log2 = i / kSubBuckets;
+  const int sub = i % kSubBuckets;
+  // Upper bound of [2^log2 * (1 + sub/2), 2^log2 * (1 + (sub+1)/2)).
+  const std::uint64_t base = 1ull << log2;
+  return base + (base >> 1) * static_cast<std::uint64_t>(sub + 1) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buckets_[static_cast<std::size_t>(bucket_index(value))]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  max_ = std::max(max_, value);
+  ++count_;
+  sum_ += value;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.buckets = buckets_;
+  return s;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  const Snapshot o = other.snapshot();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets[i];
+  if (o.count > 0) {
+    if (count_ == 0 || o.min < min_) min_ = o.min;
+    max_ = std::max(max_, o.max);
+  }
+  count_ += o.count;
+  sum_ += o.sum;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const std::uint64_t b = buckets[static_cast<std::size_t>(i)];
+    if (b == 0) continue;
+    if (static_cast<double>(cum + b) >= target) {
+      const std::uint64_t lo = i == 0 ? 0 : bucket_upper_bound(i - 1) + 1;
+      const std::uint64_t hi = bucket_upper_bound(i);
+      const double within = (target - static_cast<double>(cum)) / static_cast<double>(b);
+      const double est = static_cast<double>(lo) + within * static_cast<double>(hi - lo);
+      // Interpolation can overshoot the observed extremes; clamp to them.
+      return std::clamp(est, static_cast<double>(min), static_cast<double>(max));
+    }
+    cum += b;
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace doceph

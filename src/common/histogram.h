@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace doceph {
+
+/// Thread-safe latency/size histogram with logarithmic buckets
+/// (2 sub-buckets per power of two) plus exact running sum/min/max.
+/// Values are arbitrary non-negative integers (typically nanoseconds).
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::uint64_t value) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+
+    [[nodiscard]] double mean() const noexcept {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+    /// Approximate quantile (q in [0,1]) from the log buckets; exact at the
+    /// bucket boundaries, interpolated within.
+    [[nodiscard]] double quantile(double q) const noexcept;
+
+    std::vector<std::uint64_t> buckets;  ///< per-bucket counts
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  /// Merge another histogram's contents into this one.
+  void merge(const Histogram& other);
+
+  static constexpr int kSubBuckets = 2;   // per power of two
+  static constexpr int kNumBuckets = 64 * kSubBuckets;
+
+  /// Inclusive upper bound of bucket `i` (used by quantile interpolation).
+  static std::uint64_t bucket_upper_bound(int i) noexcept;
+
+ private:
+  static int bucket_index(std::uint64_t v) noexcept;
+
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace doceph

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+
+namespace doceph {
+
+/// A set of disjoint, coalesced half-open intervals [off, off+len), keyed by
+/// offset. Used by the extent allocator and PG missing-range tracking.
+template <typename T = std::uint64_t>
+class IntervalSet {
+ public:
+  using Map = std::map<T, T>;  // offset -> length
+  using const_iterator = typename Map::const_iterator;
+
+  [[nodiscard]] bool empty() const noexcept { return m_.empty(); }
+  [[nodiscard]] std::size_t num_intervals() const noexcept { return m_.size(); }
+  [[nodiscard]] T size() const noexcept { return total_; }
+
+  const_iterator begin() const noexcept { return m_.begin(); }
+  const_iterator end() const noexcept { return m_.end(); }
+
+  void clear() noexcept {
+    m_.clear();
+    total_ = 0;
+  }
+
+  /// True iff [off, off+len) is fully contained.
+  [[nodiscard]] bool contains(T off, T len = 1) const {
+    if (len == 0) return true;
+    auto it = find_covering(off);
+    return it != m_.end() && off + len <= it->first + it->second;
+  }
+
+  /// True iff [off, off+len) intersects any interval.
+  [[nodiscard]] bool intersects(T off, T len) const {
+    if (len == 0) return false;
+    auto it = m_.lower_bound(off);
+    if (it != m_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second > off) return true;
+    }
+    return it != m_.end() && it->first < off + len;
+  }
+
+  /// Insert [off, off+len); must not overlap existing content (checked).
+  void insert(T off, T len) {
+    if (len == 0) return;
+    assert(!intersects(off, len) && "IntervalSet::insert overlap");
+    total_ += len;
+    auto it = m_.lower_bound(off);
+    // Merge with successor?
+    const bool merge_next = it != m_.end() && it->first == off + len;
+    // Merge with predecessor?
+    bool merge_prev = false;
+    if (it != m_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == off) {
+        merge_prev = true;
+        it = prev;
+      }
+    }
+    if (merge_prev && merge_next) {
+      auto next = std::next(it);
+      it->second += len + next->second;
+      m_.erase(next);
+    } else if (merge_prev) {
+      it->second += len;
+    } else if (merge_next) {
+      const T nlen = it->second;
+      m_.erase(it);
+      m_.emplace(off, len + nlen);
+    } else {
+      m_.emplace(off, len);
+    }
+  }
+
+  /// Insert [off, off+len), ignoring parts that are already present.
+  void union_insert(T off, T len) {
+    while (len > 0) {
+      auto it = find_covering(off);
+      if (it != m_.end()) {
+        const T covered_end = it->first + it->second;
+        if (covered_end >= off + len) return;
+        len -= covered_end - off;
+        off = covered_end;
+        continue;
+      }
+      // Gap from off to the next interval start (or off+len).
+      auto next = m_.lower_bound(off);
+      const T gap_end = next == m_.end() ? off + len : std::min(off + len, next->first);
+      insert(off, gap_end - off);
+      len -= gap_end - off;
+      off = gap_end;
+    }
+  }
+
+  /// Erase [off, off+len); the range must be fully contained (checked).
+  void erase(T off, T len) {
+    if (len == 0) return;
+    auto it = find_covering(off);
+    assert(it != m_.end() && off + len <= it->first + it->second &&
+           "IntervalSet::erase range not contained");
+    const T istart = it->first;
+    const T ilen = it->second;
+    m_.erase(it);
+    total_ -= len;
+    if (istart < off) m_.emplace(istart, off - istart);
+    if (off + len < istart + ilen) m_.emplace(off + len, istart + ilen - (off + len));
+  }
+
+  /// First interval of length >= len, or end(). (First-fit allocation.)
+  [[nodiscard]] const_iterator find_first_fit(T len) const {
+    for (auto it = m_.begin(); it != m_.end(); ++it)
+      if (it->second >= len) return it;
+    return m_.end();
+  }
+
+ private:
+  /// Interval containing `off`, or end().
+  [[nodiscard]] const_iterator find_covering(T off) const {
+    auto it = m_.upper_bound(off);
+    if (it == m_.begin()) return m_.end();
+    --it;
+    return off < it->first + it->second ? it : m_.end();
+  }
+
+  Map m_;
+  T total_ = 0;
+};
+
+}  // namespace doceph

@@ -1,0 +1,43 @@
+#include "common/logger.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/thread_name.h"
+
+namespace doceph::log {
+namespace {
+
+std::atomic<Level> g_level{Level::warn};
+std::mutex g_out_mutex;
+
+constexpr std::string_view level_name(Level l) {
+  switch (l) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO";
+    case Level::warn: return "WARN";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+Record::Record(Level lvl, std::string_view subsys) : lvl_(lvl) {
+  os_ << '[' << level_name(lvl) << "][" << subsys << "][" << current_thread_name() << "] ";
+}
+
+Record::~Record() {
+  os_ << '\n';
+  const std::string line = os_.str();
+  const std::lock_guard<std::mutex> lock(g_out_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace doceph::log

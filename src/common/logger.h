@@ -1,0 +1,38 @@
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace doceph::log {
+
+enum class Level : int { trace = 0, debug, info, warn, error, off };
+
+/// Global log threshold; messages below it are dropped before formatting.
+void set_level(Level lvl) noexcept;
+Level level() noexcept;
+
+inline bool enabled(Level lvl) noexcept { return lvl >= level(); }
+
+/// One log line; flushed to stderr (with level, subsystem, and thread name)
+/// when the Record is destroyed at the end of the statement.
+class Record {
+ public:
+  Record(Level lvl, std::string_view subsys);
+  ~Record();
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+
+  std::ostringstream& stream() noexcept { return os_; }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace doceph::log
+
+/// Usage: DLOG(info, "msgr") << "accepted connection from " << addr;
+#define DLOG(lvl, subsys)                                   \
+  if (::doceph::log::enabled(::doceph::log::Level::lvl))    \
+  ::doceph::log::Record(::doceph::log::Level::lvl, subsys).stream()

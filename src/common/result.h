@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace doceph {
+
+/// Result<T>: either a value or a non-ok Status. A tiny `expected`-like type;
+/// C++20 has no std::expected, and the codebase avoids exceptions across
+/// module boundaries.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : v_(std::move(value)) {}  // NOLINT
+  /*implicit*/ Result(Status s) : v_(std::move(s)) {      // NOLINT
+    assert(!std::get<Status>(v_).ok() && "ok Status carries no value");
+  }
+  /*implicit*/ Result(Errc c) : Result(Status(c)) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace doceph

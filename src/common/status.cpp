@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace doceph {
+
+std::string_view errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::exists: return "exists";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::io_error: return "io_error";
+    case Errc::timed_out: return "timed_out";
+    case Errc::not_connected: return "not_connected";
+    case Errc::shutting_down: return "shutting_down";
+    case Errc::no_space: return "no_space";
+    case Errc::too_large: return "too_large";
+    case Errc::channel_error: return "channel_error";
+    case Errc::corrupt: return "corrupt";
+    case Errc::busy: return "busy";
+    case Errc::not_supported: return "not_supported";
+    case Errc::range_error: return "range_error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s{errc_name(code_)};
+  if (!msg_.empty()) {
+    s += ": ";
+    s += msg_;
+  }
+  return s;
+}
+
+}  // namespace doceph

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace doceph {
+
+/// Error category used across module boundaries. Modules do not throw across
+/// their public APIs; they return Status / Result<T> (see result.h).
+enum class Errc : int {
+  ok = 0,
+  not_found,
+  exists,
+  invalid_argument,
+  io_error,
+  timed_out,
+  not_connected,
+  shutting_down,
+  no_space,
+  too_large,        ///< e.g. a DMA job above the hardware transfer cap
+  channel_error,    ///< transport-level failure (RPC / DMA / socket)
+  corrupt,          ///< checksum or decode failure
+  busy,
+  not_supported,
+  range_error,
+};
+
+/// Human-readable name of an error code.
+std::string_view errc_name(Errc c) noexcept;
+
+/// A cheap, copyable status: an error code plus optional context message.
+/// An ok() Status carries no allocation.
+class Status {
+ public:
+  Status() noexcept = default;
+  /*implicit*/ Status(Errc code) noexcept : code_(code) {}  // NOLINT
+  Status(Errc code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == Errc::ok; }
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return msg_; }
+
+  /// "ok" or "not_found: missing object foo".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+  static Status OK() noexcept { return {}; }
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string msg_;
+};
+
+}  // namespace doceph

@@ -1,0 +1,147 @@
+#include "crush/crush_map.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "crush/hash.h"
+
+namespace doceph::crush {
+
+CrushMap CrushMap::build_flat(int num_osds) {
+  CrushMap map;
+  Bucket root;
+  root.id = -1;
+  root.type = "root";
+  for (int i = 0; i < num_osds; ++i) {
+    const item_t host_id = -2 - i;
+    Bucket host;
+    host.id = host_id;
+    host.type = "host";
+    host.items.push_back(i);
+    host.weights.push_back(kWeightOne);
+    map.add_bucket(std::move(host));
+    root.items.push_back(host_id);
+    root.weights.push_back(kWeightOne);
+  }
+  map.add_bucket(std::move(root));
+  map.set_root(-1);
+  return map;
+}
+
+void CrushMap::add_bucket(Bucket b) {
+  assert(b.id < 0);
+  assert(b.items.size() == b.weights.size());
+  buckets_[b.id] = std::move(b);
+}
+
+const Bucket* CrushMap::bucket(item_t id) const {
+  auto it = buckets_.find(id);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+void CrushMap::set_device_weight(item_t osd, double weight) {
+  assert(osd >= 0);
+  const auto w = static_cast<std::uint32_t>(std::max(0.0, weight) * kWeightOne);
+  for (auto& [id, b] : buckets_) {
+    for (std::size_t i = 0; i < b.items.size(); ++i) {
+      if (b.items[i] == osd) b.weights[i] = w;
+    }
+  }
+}
+
+double CrushMap::device_weight(item_t osd) const {
+  for (const auto& [id, b] : buckets_) {
+    for (std::size_t i = 0; i < b.items.size(); ++i) {
+      if (b.items[i] == osd)
+        return static_cast<double>(b.weights[i]) / kWeightOne;
+    }
+  }
+  return 0.0;
+}
+
+item_t CrushMap::straw2_choose(const Bucket& b, std::uint32_t x,
+                               std::uint32_t r) const {
+  // straw2: each child draws u ~ U(0,1] from hash(x, item, r); its straw is
+  // ln(u)/w — the max straw wins. Zero-weight children never win.
+  double best = -std::numeric_limits<double>::infinity();
+  item_t winner = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < b.items.size(); ++i) {
+    if (b.weights[i] == 0) continue;
+    const std::uint32_t h =
+        hash32_3(x, static_cast<std::uint32_t>(b.items[i]), r);
+    const double u = (static_cast<double>(h) + 1.0) / 4294967296.0;  // (0,1]
+    const double w = static_cast<double>(b.weights[i]) / kWeightOne;
+    const double straw = std::log(u) / w;
+    if (!found || straw > best) {
+      best = straw;
+      winner = b.items[i];
+      found = true;
+    }
+  }
+  return found ? winner : std::numeric_limits<item_t>::min();
+}
+
+int CrushMap::descend_to_device(item_t from, std::uint32_t x, std::uint32_t r) const {
+  item_t cur = from;
+  for (int depth = 0; depth < 16; ++depth) {
+    if (cur >= 0) return cur;  // a device
+    const Bucket* b = bucket(cur);
+    if (b == nullptr) return -1;
+    cur = straw2_choose(*b, x, r);
+    if (cur == std::numeric_limits<item_t>::min()) return -1;
+  }
+  return -1;
+}
+
+std::vector<int> CrushMap::select(std::uint32_t x, int n,
+                                  const std::string& failure_domain) const {
+  std::vector<int> out;
+  const Bucket* root = bucket(root_);
+  if (root == nullptr || n <= 0) return out;
+
+  std::set<item_t> chosen_domains;
+  std::set<int> chosen_devices;
+  // As in CRUSH firstn: scan replica ranks with bounded retries per rank.
+  constexpr std::uint32_t kMaxTries = 64;
+  std::uint32_t r = 0;
+  while (static_cast<int>(out.size()) < n && r < kMaxTries * static_cast<std::uint32_t>(n)) {
+    // First stage: choose a failure-domain bucket below the root.
+    item_t domain = root_;
+    const Bucket* level = root;
+    std::uint32_t rr = r++;
+    bool dead_end = false;
+    while (level != nullptr && level->type != failure_domain) {
+      domain = straw2_choose(*level, x, rr);
+      if (domain == std::numeric_limits<item_t>::min()) {
+        dead_end = true;
+        break;
+      }
+      if (domain >= 0) break;  // device directly under root (flat map)
+      level = bucket(domain);
+    }
+    if (dead_end) continue;
+    if (chosen_domains.contains(domain)) continue;
+
+    // Second stage: descend within the domain to one device.
+    const int dev = descend_to_device(domain, x, rr);
+    if (dev < 0 || chosen_devices.contains(dev)) continue;
+    chosen_domains.insert(domain);
+    chosen_devices.insert(dev);
+    out.push_back(dev);
+  }
+  return out;
+}
+
+void CrushMap::encode(BufferList& bl) const {
+  doceph::encode(root_, bl);
+  doceph::encode(buckets_, bl);
+}
+
+bool CrushMap::decode(BufferList::Cursor& cur) {
+  return doceph::decode(root_, cur) && doceph::decode(buckets_, cur);
+}
+
+}  // namespace doceph::crush

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/encoding.h"
+
+namespace doceph::crush {
+
+/// Item ids: devices (OSDs) are >= 0; buckets are negative.
+using item_t = std::int32_t;
+
+/// One interior node of the CRUSH hierarchy, selecting among its children
+/// with the straw2 algorithm (independent weighted draws; max wins) so that
+/// weight changes move a minimal fraction of inputs.
+struct Bucket {
+  item_t id = -1;
+  std::string type;  ///< "root", "host", ... (failure-domain matching)
+  std::vector<item_t> items;
+  std::vector<std::uint32_t> weights;  ///< 16.16 fixed point, like Ceph
+
+  void encode(BufferList& bl) const {
+    doceph::encode(id, bl);
+    doceph::encode(type, bl);
+    doceph::encode(items, bl);
+    doceph::encode(weights, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(id, cur) && doceph::decode(type, cur) &&
+           doceph::decode(items, cur) && doceph::decode(weights, cur);
+  }
+};
+
+/// The CRUSH map: a weighted hierarchy plus the replicated-placement rule
+/// "chooseleaf firstn N type <failure_domain>" (the rule Ceph uses for
+/// replicated pools). Deterministic: any party with the same map computes
+/// the same placement — the property RADOS relies on to avoid a metadata
+/// service on the data path.
+class CrushMap {
+ public:
+  static constexpr std::uint32_t kWeightOne = 0x10000;  // 1.0 in 16.16
+
+  /// Build the standard two-level hierarchy: root -> one host per OSD ->
+  /// OSD, all with weight 1.0. (Hosts are the failure domain, as in the
+  /// paper's two-node testbed.)
+  static CrushMap build_flat(int num_osds);
+
+  /// Add a bucket; its id must be negative and unused.
+  void add_bucket(Bucket b);
+
+  [[nodiscard]] const Bucket* bucket(item_t id) const;
+  [[nodiscard]] item_t root() const noexcept { return root_; }
+  void set_root(item_t id) noexcept { root_ = id; }
+
+  /// Change a device's weight everywhere it appears (0 = drained/out).
+  void set_device_weight(item_t osd, double weight);
+  [[nodiscard]] double device_weight(item_t osd) const;
+
+  /// Select `n` distinct devices for input `x` (pg seed), walking from the
+  /// root and forcing distinct `failure_domain` buckets. Devices with zero
+  /// weight are skipped. Returns fewer than n if the hierarchy is exhausted.
+  [[nodiscard]] std::vector<int> select(std::uint32_t x, int n,
+                                        const std::string& failure_domain = "host") const;
+
+  void encode(BufferList& bl) const;
+  bool decode(BufferList::Cursor& cur);
+
+ private:
+  /// straw2 draw over a bucket's children for input x and replica r.
+  [[nodiscard]] item_t straw2_choose(const Bucket& b, std::uint32_t x,
+                                     std::uint32_t r) const;
+  /// Descend from `from` to a single device, drawing with replica salt r.
+  [[nodiscard]] int descend_to_device(item_t from, std::uint32_t x,
+                                      std::uint32_t r) const;
+
+  std::map<item_t, Bucket> buckets_;
+  item_t root_ = -1;
+};
+
+}  // namespace doceph::crush

@@ -1,0 +1,52 @@
+#include "crush/hash.h"
+
+namespace doceph::crush {
+namespace {
+
+constexpr std::uint32_t kSeed = 1315423911u;
+
+// Jenkins 96-bit mix.
+inline void mix(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c) noexcept {
+  a -= b; a -= c; a ^= c >> 13;
+  b -= c; b -= a; b ^= a << 8;
+  c -= a; c -= b; c ^= b >> 13;
+  a -= b; a -= c; a ^= c >> 12;
+  b -= c; b -= a; b ^= a << 16;
+  c -= a; c -= b; c ^= b >> 5;
+  a -= b; a -= c; a ^= c >> 3;
+  b -= c; b -= a; b ^= a << 10;
+  c -= a; c -= b; c ^= b >> 15;
+}
+
+}  // namespace
+
+std::uint32_t hash32_2(std::uint32_t a, std::uint32_t b) noexcept {
+  std::uint32_t hash = kSeed ^ a ^ b;
+  std::uint32_t x = 231232u, y = 1232u;
+  mix(a, b, hash);
+  mix(x, a, hash);
+  mix(b, y, hash);
+  return hash;
+}
+
+std::uint32_t hash32_3(std::uint32_t a, std::uint32_t b, std::uint32_t c) noexcept {
+  std::uint32_t hash = kSeed ^ a ^ b ^ c;
+  std::uint32_t x = 231232u, y = 1232u;
+  mix(a, b, hash);
+  mix(c, x, hash);
+  mix(y, a, hash);
+  mix(b, x, hash);
+  mix(y, c, hash);
+  return hash;
+}
+
+std::uint32_t hash_str(std::string_view s) noexcept {
+  // rjenkins one-at-a-time, as in ceph_str_hash_rjenkins' spirit.
+  std::uint32_t hash = kSeed;
+  for (const char ch : s) {
+    hash = (hash << 5) + hash + static_cast<unsigned char>(ch);
+  }
+  return hash;
+}
+
+}  // namespace doceph::crush

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace doceph::crush {
+
+/// Robert Jenkins' 32-bit integer mix, the primitive CRUSH builds its
+/// pseudo-random choices on (Ceph's crush_hash32_*).
+std::uint32_t hash32_2(std::uint32_t a, std::uint32_t b) noexcept;
+std::uint32_t hash32_3(std::uint32_t a, std::uint32_t b, std::uint32_t c) noexcept;
+
+/// Stable string hash used to derive placement seeds from object names
+/// (Ceph's rjenkins ceph_str_hash).
+std::uint32_t hash_str(std::string_view s) noexcept;
+
+}  // namespace doceph::crush

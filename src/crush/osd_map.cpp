@@ -1,0 +1,91 @@
+#include "crush/osd_map.h"
+
+#include "crush/hash.h"
+
+namespace doceph::crush {
+
+OSDMap OSDMap::build(int num_osds) {
+  OSDMap map;
+  map.osds_.resize(static_cast<std::size_t>(num_osds));
+  for (auto& o : map.osds_) {
+    o.exists = true;
+    o.in = true;  // in the CRUSH map, awaiting boot
+  }
+  map.crush_ = CrushMap::build_flat(num_osds);
+  return map;
+}
+
+void OSDMap::mark_up(int id, const net::Address& addr) {
+  auto& o = osds_.at(static_cast<std::size_t>(id));
+  if (!o.up) o.up_since = epoch_ + 1;  // the epoch this boot will publish as
+  o.up = true;
+  o.addr = addr;
+}
+
+void OSDMap::mark_down(int id) { osds_.at(static_cast<std::size_t>(id)).up = false; }
+
+void OSDMap::mark_out(int id) {
+  osds_.at(static_cast<std::size_t>(id)).in = false;
+  crush_.set_device_weight(id, 0.0);
+}
+
+void OSDMap::mark_in(int id) {
+  osds_.at(static_cast<std::size_t>(id)).in = true;
+  crush_.set_device_weight(id, 1.0);
+}
+
+pg_t OSDMap::object_to_pg(os::pool_t pool, const std::string& name) const {
+  const PoolInfo* p = this->pool(pool);
+  const std::uint32_t pg_num = p != nullptr ? p->pg_num : 1;
+  return pg_t{pool, hash_str(name) % pg_num};
+}
+
+std::vector<int> OSDMap::pg_to_raw(const pg_t& pg) const {
+  const PoolInfo* p = pool(pg.pool);
+  if (p == nullptr) return {};
+  // Salt the CRUSH input with the pool so different pools spread differently.
+  const std::uint32_t x = hash32_2(pg.seed, pg.pool + 1);
+  return crush_.select(x, static_cast<int>(p->size));
+}
+
+std::vector<int> OSDMap::pg_to_acting(const pg_t& pg) const {
+  std::vector<int> acting;
+  for (const int osd : pg_to_raw(pg)) {
+    if (is_up(osd)) acting.push_back(osd);
+  }
+  return acting;
+}
+
+int OSDMap::pg_primary(const pg_t& pg) const {
+  const auto acting = pg_to_acting(pg);
+  return acting.empty() ? -1 : acting.front();
+}
+
+int OSDMap::pg_authority(const pg_t& pg) const {
+  int best = -1;
+  for (const int osd : pg_to_acting(pg)) {
+    if (best < 0) {
+      best = osd;
+      continue;
+    }
+    const auto& a = this->osd(osd);
+    const auto& b = this->osd(best);
+    if (a.up_since < b.up_since || (a.up_since == b.up_since && osd < best))
+      best = osd;
+  }
+  return best;
+}
+
+void OSDMap::encode(BufferList& bl) const {
+  doceph::encode(epoch_, bl);
+  doceph::encode(osds_, bl);
+  doceph::encode(pools_, bl);
+  crush_.encode(bl);
+}
+
+bool OSDMap::decode(BufferList::Cursor& cur) {
+  return doceph::decode(epoch_, cur) && doceph::decode(osds_, cur) &&
+         doceph::decode(pools_, cur) && crush_.decode(cur);
+}
+
+}  // namespace doceph::crush

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crush/crush_map.h"
+#include "net/address.h"
+#include "os/types.h"
+
+namespace doceph::crush {
+
+using epoch_t = std::uint32_t;
+
+/// A placement group id: pool + seed (Ceph's pg_t).
+struct pg_t {
+  os::pool_t pool = 0;
+  std::uint32_t seed = 0;
+
+  friend bool operator==(const pg_t&, const pg_t&) = default;
+  friend auto operator<=>(const pg_t&, const pg_t&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(pool) + "." + std::to_string(seed);
+  }
+  [[nodiscard]] os::coll_t to_coll() const { return {pool, seed}; }
+
+  void encode(BufferList& bl) const {
+    doceph::encode(pool, bl);
+    doceph::encode(seed, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(pool, cur) && doceph::decode(seed, cur);
+  }
+};
+
+struct PoolInfo {
+  std::string name;
+  std::uint32_t pg_num = 32;
+  std::uint32_t size = 2;  ///< replica count
+
+  void encode(BufferList& bl) const {
+    doceph::encode(name, bl);
+    doceph::encode(pg_num, bl);
+    doceph::encode(size, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(name, cur) && doceph::decode(pg_num, cur) &&
+           doceph::decode(size, cur);
+  }
+};
+
+struct OsdInfo {
+  bool exists = false;
+  bool up = false;
+  bool in = false;
+  /// Epoch at which this OSD last came up. Scan-based recovery uses it as
+  /// the authority rule: the longest-up acting member's data wins (the
+  /// miniature stand-in for Ceph's pg-log/pg-info authoritativeness).
+  epoch_t up_since = 0;
+  net::Address addr;  ///< public (client/peer-facing) messenger address
+
+  void encode(BufferList& bl) const {
+    doceph::encode(exists, bl);
+    doceph::encode(up, bl);
+    doceph::encode(in, bl);
+    doceph::encode(up_since, bl);
+    addr.encode(bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(exists, cur) && doceph::decode(up, cur) &&
+           doceph::decode(in, cur) && doceph::decode(up_since, cur) &&
+           addr.decode(cur);
+  }
+};
+
+/// The cluster map: OSD states, pools, and the CRUSH hierarchy, versioned by
+/// epoch. Everyone (clients, OSDs) computes placement locally from the same
+/// map; the MON publishes new epochs when state changes.
+class OSDMap {
+ public:
+  OSDMap() = default;
+
+  /// Bootstrap map: `num_osds` slots (down/out until boot), flat CRUSH.
+  static OSDMap build(int num_osds);
+
+  [[nodiscard]] epoch_t epoch() const noexcept { return epoch_; }
+  void bump_epoch() noexcept { ++epoch_; }
+
+  [[nodiscard]] int num_osds() const noexcept { return static_cast<int>(osds_.size()); }
+  [[nodiscard]] const OsdInfo& osd(int id) const { return osds_.at(static_cast<std::size_t>(id)); }
+  [[nodiscard]] bool is_up(int id) const {
+    return id >= 0 && id < num_osds() && osds_[static_cast<std::size_t>(id)].up;
+  }
+
+  void mark_up(int id, const net::Address& addr);
+  void mark_down(int id);
+  /// "out": excluded from placement (CRUSH weight 0).
+  void mark_out(int id);
+  void mark_in(int id);
+
+  void create_pool(os::pool_t id, PoolInfo info) { pools_[id] = std::move(info); }
+  [[nodiscard]] const PoolInfo* pool(os::pool_t id) const {
+    auto it = pools_.find(id);
+    return it == pools_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] const std::map<os::pool_t, PoolInfo>& pools() const noexcept {
+    return pools_;
+  }
+
+  /// Object name -> placement group (stable hash mod pg_num).
+  [[nodiscard]] pg_t object_to_pg(os::pool_t pool, const std::string& name) const;
+
+  /// PG -> ordered device list (CRUSH output, unfiltered by up/down).
+  [[nodiscard]] std::vector<int> pg_to_raw(const pg_t& pg) const;
+
+  /// PG -> acting set: raw order with down OSDs removed; acting[0] is the
+  /// primary.
+  [[nodiscard]] std::vector<int> pg_to_acting(const pg_t& pg) const;
+  [[nodiscard]] int pg_primary(const pg_t& pg) const;
+
+  /// The acting member whose data is authoritative for recovery: smallest
+  /// up_since (been up the longest), ties broken by id. -1 if none up.
+  [[nodiscard]] int pg_authority(const pg_t& pg) const;
+
+  [[nodiscard]] CrushMap& crush() noexcept { return crush_; }
+  [[nodiscard]] const CrushMap& crush() const noexcept { return crush_; }
+
+  void encode(BufferList& bl) const;
+  bool decode(BufferList::Cursor& cur);
+
+ private:
+  epoch_t epoch_ = 1;
+  std::vector<OsdInfo> osds_;
+  std::map<os::pool_t, PoolInfo> pools_;
+  CrushMap crush_;
+};
+
+}  // namespace doceph::crush

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "doca/pcie_link.h"
+#include "event/event_center.h"
+#include "sim/cpu_model.h"
+#include "sim/env.h"
+
+namespace doceph::doca {
+
+/// Message-based host<->DPU control channel (DOCA Comch). Messages are
+/// size-capped (the hardware limit that forces bulk data onto the DMA
+/// engine), delivered in order over the PCIe link model, and received either
+/// by callback into an EventCenter or by blocking recv.
+struct CommChannelConfig {
+  std::size_t max_msg_size = 4080;       ///< DOCA comch default-ish cap
+  sim::Duration per_msg_overhead = 6'000;  ///< driver/doorbell ns per message
+  double cpu_ns_per_byte = 0.15;           ///< send/recv marshalling cost
+};
+
+class CommChannel;
+using CommChannelRef = std::shared_ptr<CommChannel>;
+
+/// One endpoint of the channel. Endpoints are created in pairs via
+/// CommChannel::create_pair.
+class CommChannel {
+ public:
+  /// side 0 = host, side 1 = DPU (affects which PCIe direction is booked).
+  static std::pair<CommChannelRef, CommChannelRef> create_pair(
+      sim::Env& env, PcieLink& link, CommChannelConfig cfg = {});
+
+  /// Send one message (<= max_msg_size). The calling thread's CPU domain is
+  /// charged for marshalling. Errc::too_large if over the cap;
+  /// Errc::not_connected after close.
+  Status send(BufferList msg);
+
+  /// Deliver inbound messages as callbacks in `center`'s thread.
+  void set_recv_handler(event::EventCenter& center,
+                        std::function<void(BufferList)> handler);
+
+  /// Blocking receive (sim time); empty optional on timeout/close.
+  std::optional<BufferList> recv(sim::Duration timeout);
+
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  [[nodiscard]] const CommChannelConfig& config() const noexcept;
+
+  /// Messages sent from this endpoint (diagnostics).
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  struct Core;
+  CommChannel(std::shared_ptr<Core> core, int side)
+      : core_(std::move(core)), side_(side) {}
+
+  std::shared_ptr<Core> core_;
+  int side_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace doceph::doca

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/buffer.h"
+
+namespace doceph::doca {
+
+/// A registered memory region visible to the DMA engine (DOCA's doca_mmap).
+/// In this simulation both sides live in one process, so "export/import" is
+/// sharing the MmapRef; the negotiation *cost* is modeled by the CommChannel
+/// round trips the proxy performs (see ProxyConfig::mr_cache).
+class Mmap {
+ public:
+  explicit Mmap(std::size_t size) : storage_(Slice::allocate(size)) {
+    std::memset(storage_.mutable_data(), 0, size);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return storage_.size(); }
+  [[nodiscard]] char* data() noexcept { return storage_.mutable_data(); }
+  [[nodiscard]] const char* data() const noexcept { return storage_.data(); }
+
+  /// Zero-copy view of [off, off+len) as a BufferList slice.
+  [[nodiscard]] BufferList view(std::size_t off, std::size_t len) const {
+    BufferList bl;
+    bl.append(storage_.subslice(off, len));
+    return bl;
+  }
+
+ private:
+  Slice storage_;
+};
+
+using MmapRef = std::shared_ptr<Mmap>;
+
+/// A region handle within an Mmap (DOCA's doca_buf).
+struct Buf {
+  MmapRef mmap;
+  std::size_t off = 0;
+  std::size_t len = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return mmap != nullptr && off + len <= mmap->size();
+  }
+  [[nodiscard]] char* data() const noexcept { return mmap->data() + off; }
+};
+
+}  // namespace doceph::doca

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "sim/resource.h"
+
+namespace doceph::doca {
+
+/// Model of the PCIe path between a host and its DPU: full-duplex bandwidth
+/// (independent per direction) plus a per-transaction latency floor. Shared
+/// by the CommChannel and the DMA engine of one DpuDevice, so heavy DMA
+/// traffic delays control messages exactly as on real hardware.
+struct PcieLinkConfig {
+  double bw_bytes_per_sec = 26e9;   ///< ~PCIe Gen5 x8 effective
+  sim::Duration latency = 2'000;    ///< 2 us per transaction
+};
+
+class PcieLink {
+ public:
+  explicit PcieLink(PcieLinkConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] const PcieLinkConfig& config() const noexcept { return cfg_; }
+
+  /// Book a host->DPU transfer; returns completion time.
+  sim::Time reserve_h2d(sim::Time now, std::uint64_t bytes) {
+    return h2d_.reserve(now, sim::transfer_time(bytes, cfg_.bw_bytes_per_sec)) +
+           cfg_.latency;
+  }
+  sim::Time reserve_d2h(sim::Time now, std::uint64_t bytes) {
+    return d2h_.reserve(now, sim::transfer_time(bytes, cfg_.bw_bytes_per_sec)) +
+           cfg_.latency;
+  }
+
+  [[nodiscard]] sim::Duration busy_h2d() const { return h2d_.busy_ns(); }
+  [[nodiscard]] sim::Duration busy_d2h() const { return d2h_.busy_ns(); }
+
+ private:
+  PcieLinkConfig cfg_;
+  sim::SerialResource h2d_;
+  sim::SerialResource d2h_;
+};
+
+}  // namespace doceph::doca

@@ -1,0 +1,17 @@
+#include "dpu/dpu_device.h"
+
+namespace doceph::dpu {
+
+DpuDevice::DpuDevice(sim::Env& env, net::Fabric& fabric, const std::string& name,
+                     DpuProfile profile)
+    : profile_(profile),
+      cpu_(env.keeper(), name, profile.cores, profile.core_speed),
+      net_(fabric.add_node(name, profile.nic, profile.stack)),
+      pcie_(profile.pcie),
+      dma_(env, pcie_, profile.dma) {
+  auto [host_end, dpu_end] = doca::CommChannel::create_pair(env, pcie_, profile.comch);
+  host_ch_ = std::move(host_end);
+  dpu_ch_ = std::move(dpu_end);
+}
+
+}  // namespace doceph::dpu

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "doca/comm_channel.h"
+#include "doca/dma_engine.h"
+#include "doca/pcie_link.h"
+#include "net/fabric.h"
+#include "sim/cpu_model.h"
+#include "sim/env.h"
+
+namespace doceph::dpu {
+
+/// Characteristics of the BlueField-3-class SoC we model: ARM core complex
+/// (slower than the host's x86 cores), its own network identity (the
+/// ConnectX NIC terminates here in DPU mode), and the PCIe attachment.
+struct DpuProfile {
+  int cores = 16;        ///< BF-3: 16x Cortex-A78
+  double core_speed = 0.45;  ///< per-core throughput vs. the EPYC host core
+  net::NicProfile nic;       ///< the integrated ConnectX-7
+  net::StackModel stack;     ///< DPU-side kernel stack costs (same code path)
+  doca::PcieLinkConfig pcie;
+  doca::DmaConfig dma;
+  doca::CommChannelConfig comch;
+};
+
+/// One DPU: an execution domain with its own cores and OS, a fabric
+/// endpoint, and the DOCA devices (comm channel + DMA engine) that connect
+/// it to its host. In DoCeph mode the whole OSD runs on `cpu()` and talks
+/// to the host exclusively through these devices.
+class DpuDevice {
+ public:
+  DpuDevice(sim::Env& env, net::Fabric& fabric, const std::string& name,
+            DpuProfile profile);
+
+  DpuDevice(const DpuDevice&) = delete;
+  DpuDevice& operator=(const DpuDevice&) = delete;
+
+  [[nodiscard]] sim::CpuDomain& cpu() noexcept { return cpu_; }
+  [[nodiscard]] net::NetNode& net_node() noexcept { return net_; }
+  [[nodiscard]] doca::PcieLink& pcie() noexcept { return pcie_; }
+  [[nodiscard]] doca::DmaEngine& dma() noexcept { return dma_; }
+
+  /// Host-side / DPU-side endpoints of the control channel.
+  [[nodiscard]] doca::CommChannelRef host_comch() noexcept { return host_ch_; }
+  [[nodiscard]] doca::CommChannelRef dpu_comch() noexcept { return dpu_ch_; }
+
+  [[nodiscard]] const DpuProfile& profile() const noexcept { return profile_; }
+
+ private:
+  DpuProfile profile_;
+  sim::CpuDomain cpu_;
+  net::NetNode& net_;
+  doca::PcieLink pcie_;
+  doca::DmaEngine dma_;
+  doca::CommChannelRef host_ch_;
+  doca::CommChannelRef dpu_ch_;
+};
+
+}  // namespace doceph::dpu

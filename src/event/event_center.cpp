@@ -1,0 +1,71 @@
+#include "event/event_center.h"
+
+#include <vector>
+
+namespace doceph::event {
+
+EventCenter::EventCenter(sim::Env& env) : env_(env), cv_(env.keeper()) {}
+
+void EventCenter::run() {
+  loop_tid_.store(std::this_thread::get_id());
+  std::unique_lock<std::mutex> lk(mutex_);
+  while (true) {
+    // Drain dispatched handlers and due timers together, in order.
+    std::vector<Handler> batch;
+    while (!pending_.empty()) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    const sim::Time now = env_.now();
+    while (!timers_.empty() && timers_.begin()->first.first <= now) {
+      batch.push_back(std::move(timers_.begin()->second));
+      timers_.erase(timers_.begin());
+    }
+    if (!batch.empty()) {
+      ++wakeups_;
+      lk.unlock();
+      for (auto& h : batch) h();
+      lk.lock();
+      continue;
+    }
+    if (stopping_) break;  // drained everything; exit
+    const sim::Time next =
+        timers_.empty() ? sim::kTimeInfinity : timers_.begin()->first.first;
+    (void)cv_.wait_until(lk, next);
+  }
+  loop_tid_.store({});
+}
+
+void EventCenter::stop() {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  stopping_ = true;
+  cv_.notify_all();
+}
+
+void EventCenter::dispatch(Handler h) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  pending_.push_back(std::move(h));
+  cv_.notify_one();
+}
+
+EventCenter::TimerId EventCenter::add_timer(sim::Duration d, Handler h) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(std::make_pair(env_.now() + std::max<sim::Duration>(d, 0), id),
+                  std::move(h));
+  cv_.notify_one();
+  return id;
+}
+
+bool EventCenter::cancel_timer(TimerId id) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  for (auto it = timers_.begin(); it != timers_.end(); ++it) {
+    if (it->first.second == id) {
+      timers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace doceph::event

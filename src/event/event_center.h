@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "sim/env.h"
+#include "sim/time_keeper.h"
+
+namespace doceph::event {
+
+/// An epoll-style event loop, mirroring Ceph AsyncMessenger's EventCenter:
+/// one owning thread calls run(); other threads hand it work via dispatch()
+/// (the analogue of a readiness notification through the wakeup pipe) and
+/// timers fire in the loop thread. All handlers therefore execute serially
+/// in the owner thread — connection state machines need no further locking.
+class EventCenter {
+ public:
+  using Handler = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  explicit EventCenter(sim::Env& env);
+
+  EventCenter(const EventCenter&) = delete;
+  EventCenter& operator=(const EventCenter&) = delete;
+
+  /// Event loop; call from the owning thread. Returns after stop().
+  void run();
+
+  /// Ask the loop to exit (thread-safe); pending handlers are drained first.
+  void stop();
+
+  /// Queue `h` to run in the loop thread (thread-safe). Handlers run in
+  /// dispatch order, interleaved with due timers.
+  void dispatch(Handler h);
+
+  /// Arm a one-shot timer `d` from now; fires in the loop thread.
+  TimerId add_timer(sim::Duration d, Handler h);
+  /// Best-effort cancel; true if the timer had not fired.
+  bool cancel_timer(TimerId id);
+
+  /// True when called from the thread currently inside run().
+  [[nodiscard]] bool in_loop_thread() const noexcept {
+    return loop_tid_ == std::this_thread::get_id();
+  }
+
+  [[nodiscard]] sim::Env& env() noexcept { return env_; }
+
+  /// Number of loop wakeups that found work (diagnostics).
+  [[nodiscard]] std::uint64_t wakeups() const noexcept { return wakeups_; }
+
+ private:
+  sim::Env& env_;
+  std::mutex mutex_;
+  sim::CondVar cv_;
+  std::deque<Handler> pending_;
+  std::map<std::pair<sim::Time, TimerId>, Handler> timers_;
+  TimerId next_timer_id_ = 1;
+  bool stopping_ = false;
+  std::atomic<std::thread::id> loop_tid_{};
+  std::uint64_t wakeups_ = 0;
+};
+
+}  // namespace doceph::event

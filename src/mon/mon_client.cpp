@@ -1,0 +1,136 @@
+#include "mon/mon_client.h"
+
+#include "common/logger.h"
+
+namespace doceph::mon {
+
+MonClient::MonClient(sim::Env& env, msgr::Messenger& msgr, net::Address mon_addr)
+    : env_(env), msgr_(msgr), mon_addr_(mon_addr), map_cv_(env.keeper()) {}
+
+msgr::ConnectionRef MonClient::mon_con() { return msgr_.get_connection(mon_addr_); }
+
+Status MonClient::init() {
+  auto con = mon_con();
+  if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
+  con->send_message(std::make_shared<msgr::MMonGetMap>());
+  std::unique_lock<std::mutex> lk(mutex_);
+  if (!map_cv_.wait_until(lk, env_.now() + sim::Duration{30} * 1'000'000'000,
+                          [&] { return have_map_; }))
+    return Status(Errc::timed_out, "no initial osdmap");
+  return Status::OK();
+}
+
+Status MonClient::subscribe() {
+  auto con = mon_con();
+  if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
+  auto sub = std::make_shared<msgr::MMonSubscribe>();
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    sub->start_epoch = have_map_ ? map_.epoch() : 0;
+  }
+  con->send_message(sub);
+  return Status::OK();
+}
+
+bool MonClient::handle_message(const msgr::MessageRef& m) {
+  switch (m->type()) {
+    case msgr::MsgType::osd_map: {
+      auto* mm = static_cast<msgr::MOSDMap*>(m.get());
+      crush::OSDMap incoming;
+      BufferList::Cursor cur(mm->map_bl);
+      if (!incoming.decode(cur)) {
+        DLOG(warn, "monc") << "undecodable osdmap";
+        return true;
+      }
+      std::function<void(const crush::OSDMap&)> cb;
+      {
+        const std::lock_guard<std::mutex> lk(mutex_);
+        if (have_map_ && incoming.epoch() <= map_.epoch()) return true;
+        map_ = incoming;
+        have_map_ = true;
+        cb = map_cb_;
+        map_cv_.notify_all();
+      }
+      if (cb) cb(incoming);
+      return true;
+    }
+    case msgr::MsgType::mon_command_reply: {
+      auto* reply = static_cast<msgr::MMonCommandReply*>(m.get());
+      const std::lock_guard<std::mutex> lk(mutex_);
+      auto it = pending_cmds_.find(reply->tid);
+      if (it != pending_cmds_.end()) {
+        it->second->result = reply->result;
+        it->second->output = reply->output;
+        it->second->done = true;
+        it->second->cv.notify_all();
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+crush::OSDMap MonClient::map() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return map_;
+}
+
+crush::epoch_t MonClient::epoch() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return have_map_ ? map_.epoch() : 0;
+}
+
+void MonClient::wait_for_epoch(crush::epoch_t e) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  map_cv_.wait(lk, [&] { return have_map_ && map_.epoch() >= e; });
+}
+
+Status MonClient::send_boot(int osd_id, const net::Address& addr) {
+  auto con = mon_con();
+  if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
+  auto boot = std::make_shared<msgr::MOSDBoot>();
+  boot->osd_id = osd_id;
+  boot->addr = addr;
+  con->send_message(boot);
+  return Status::OK();
+}
+
+Status MonClient::report_failure(int failed_osd, int reporter) {
+  auto con = mon_con();
+  if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
+  auto fail = std::make_shared<msgr::MOSDFailure>();
+  fail->failed_osd = failed_osd;
+  fail->reporter = reporter;
+  con->send_message(fail);
+  return Status::OK();
+}
+
+Result<std::string> MonClient::command(std::vector<std::string> args) {
+  auto con = mon_con();
+  if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
+  auto cmd = std::make_shared<msgr::MMonCommand>();
+  cmd->args = std::move(args);
+  cmd->tid = next_tid_.fetch_add(1);
+
+  auto pending = std::make_shared<PendingCommand>(env_.keeper());
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    pending_cmds_[cmd->tid] = pending;
+  }
+  con->send_message(cmd);
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  pending->cv.wait(lk, [&] { return pending->done; });
+  pending_cmds_.erase(cmd->tid);
+  if (pending->result != 0)
+    return Status(static_cast<Errc>(-pending->result), pending->output);
+  return pending->output;
+}
+
+void MonClient::set_map_callback(std::function<void(const crush::OSDMap&)> cb) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  map_cb_ = std::move(cb);
+}
+
+}  // namespace doceph::mon

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "crush/osd_map.h"
+#include "msgr/messages.h"
+#include "msgr/messenger.h"
+
+namespace doceph::mon {
+
+/// Client-side monitor session, embedded in OSDs and librados clients. The
+/// owner routes mon-originated messages (osd_map, mon_command_reply) into
+/// handle_message() from its own dispatcher; MonClient maintains the cached
+/// OSDMap and wakes waiters on new epochs.
+class MonClient {
+ public:
+  /// `msgr` is the owner's messenger; `mon_addr` comes from cluster config
+  /// (the out-of-band mon host list every Ceph client is given).
+  MonClient(sim::Env& env, msgr::Messenger& msgr, net::Address mon_addr);
+
+  /// Fetch the initial map (blocking).
+  Status init();
+
+  /// Subscribe to map updates from the current epoch.
+  Status subscribe();
+
+  /// Returns true if the message was a mon message and was consumed.
+  bool handle_message(const msgr::MessageRef& m);
+
+  /// Latest cached map (copy; maps are small).
+  [[nodiscard]] crush::OSDMap map() const;
+  [[nodiscard]] crush::epoch_t epoch() const;
+
+  /// Block until the cached epoch is >= `e`.
+  void wait_for_epoch(crush::epoch_t e);
+
+  /// Announce an OSD boot / report a peer failure.
+  Status send_boot(int osd_id, const net::Address& addr);
+  Status report_failure(int failed_osd, int reporter);
+
+  /// Run an administrative command and wait for the reply.
+  Result<std::string> command(std::vector<std::string> args);
+
+  /// Invoked (on a messenger thread) whenever a newer map is installed.
+  void set_map_callback(std::function<void(const crush::OSDMap&)> cb);
+
+ private:
+  msgr::ConnectionRef mon_con();
+
+  sim::Env& env_;
+  msgr::Messenger& msgr_;
+  net::Address mon_addr_;
+
+  mutable std::mutex mutex_;
+  sim::CondVar map_cv_;
+  crush::OSDMap map_;
+  bool have_map_ = false;
+  std::function<void(const crush::OSDMap&)> map_cb_;
+
+  std::atomic<std::uint64_t> next_tid_{1};
+  struct PendingCommand {
+    sim::CondVar cv;
+    bool done = false;
+    std::int32_t result = 0;
+    std::string output;
+    explicit PendingCommand(sim::TimeKeeper& tk) : cv(tk) {}
+  };
+  std::map<std::uint64_t, std::shared_ptr<PendingCommand>> pending_cmds_;
+};
+
+}  // namespace doceph::mon

@@ -1,0 +1,156 @@
+#include "mon/monitor.h"
+
+#include "common/logger.h"
+
+namespace doceph::mon {
+
+Monitor::Monitor(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
+                 sim::CpuDomain* domain, int num_osds, MonitorConfig cfg)
+    : env_(env),
+      cfg_(cfg),
+      msgr_(env, fabric, node, domain, "mon.0",
+            msgr::MessengerConfig{.num_workers = 1, .costs = {}}),
+      map_(crush::OSDMap::build(num_osds)) {
+  msgr_.set_dispatcher(this);
+}
+
+Monitor::~Monitor() { shutdown(); }
+
+Status Monitor::start() {
+  const Status st = msgr_.bind(cfg_.port);
+  if (!st.ok()) return st;
+  msgr_.start();
+  started_ = true;
+  return Status::OK();
+}
+
+void Monitor::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  msgr_.shutdown();
+}
+
+void Monitor::create_pool(os::pool_t id, crush::PoolInfo info) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  map_.create_pool(id, std::move(info));
+  map_.bump_epoch();
+  publish_locked();
+}
+
+crush::OSDMap Monitor::current_map() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return map_;
+}
+
+crush::epoch_t Monitor::epoch() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return map_.epoch();
+}
+
+void Monitor::ms_dispatch(const msgr::MessageRef& m) {
+  switch (m->type()) {
+    case msgr::MsgType::mon_get_map: handle_get_map(m); break;
+    case msgr::MsgType::mon_subscribe: handle_subscribe(m); break;
+    case msgr::MsgType::osd_boot: handle_boot(m); break;
+    case msgr::MsgType::osd_failure: handle_failure(m); break;
+    case msgr::MsgType::mon_command: handle_command(m); break;
+    default:
+      DLOG(warn, "mon") << "unexpected message " << msg_type_name(m->type());
+  }
+}
+
+void Monitor::ms_handle_reset(const msgr::ConnectionRef& con) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  std::erase(subscribers_, con);
+}
+
+void Monitor::send_map_locked(const msgr::ConnectionRef& con) {
+  auto reply = std::make_shared<msgr::MOSDMap>();
+  reply->epoch = map_.epoch();
+  map_.encode(reply->map_bl);
+  con->send_message(reply);
+}
+
+void Monitor::publish_locked() {
+  std::erase_if(subscribers_,
+                [](const msgr::ConnectionRef& c) { return !c->is_connected(); });
+  for (const auto& con : subscribers_) send_map_locked(con);
+}
+
+void Monitor::handle_get_map(const msgr::MessageRef& m) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  send_map_locked(m->connection);
+}
+
+void Monitor::handle_subscribe(const msgr::MessageRef& m) {
+  auto* sub = static_cast<msgr::MMonSubscribe*>(m.get());
+  const std::lock_guard<std::mutex> lk(mutex_);
+  subscribers_.push_back(m->connection);
+  if (map_.epoch() > sub->start_epoch) send_map_locked(m->connection);
+}
+
+void Monitor::handle_boot(const msgr::MessageRef& m) {
+  auto* boot = static_cast<msgr::MOSDBoot*>(m.get());
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (boot->osd_id < 0 || boot->osd_id >= map_.num_osds()) {
+    DLOG(warn, "mon") << "boot from unknown osd." << boot->osd_id;
+    return;
+  }
+  DLOG(info, "mon") << "osd." << boot->osd_id << " booted at "
+                    << boot->addr.to_string();
+  map_.mark_up(boot->osd_id, boot->addr);
+  map_.mark_in(boot->osd_id);
+  failure_reports_.erase(boot->osd_id);
+  map_.bump_epoch();
+  publish_locked();
+}
+
+void Monitor::handle_failure(const msgr::MessageRef& m) {
+  auto* fail = static_cast<msgr::MOSDFailure*>(m.get());
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (!map_.is_up(fail->failed_osd)) return;  // already down
+  auto& reporters = failure_reports_[fail->failed_osd];
+  reporters.insert(fail->reporter);
+  if (static_cast<int>(reporters.size()) < cfg_.failure_reports_needed) return;
+  DLOG(info, "mon") << "marking osd." << fail->failed_osd << " down ("
+                    << reporters.size() << " reports)";
+  map_.mark_down(fail->failed_osd);
+  failure_reports_.erase(fail->failed_osd);
+  map_.bump_epoch();
+  publish_locked();
+}
+
+void Monitor::handle_command(const msgr::MessageRef& m) {
+  auto* cmd = static_cast<msgr::MMonCommand*>(m.get());
+  auto reply = std::make_shared<msgr::MMonCommandReply>();
+  reply->tid = m->tid;
+
+  if (cmd->args.size() == 5 && cmd->args[0] == "create_pool") {
+    crush::PoolInfo info;
+    const auto pool_id = static_cast<os::pool_t>(std::stoul(cmd->args[1]));
+    info.name = cmd->args[2];
+    info.pg_num = static_cast<std::uint32_t>(std::stoul(cmd->args[3]));
+    info.size = static_cast<std::uint32_t>(std::stoul(cmd->args[4]));
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      map_.create_pool(pool_id, std::move(info));
+      map_.bump_epoch();
+      publish_locked();
+    }
+    reply->result = 0;
+    reply->output = "pool created";
+  } else if (cmd->args.size() == 2 && cmd->args[0] == "osd_out") {
+    const int id = std::stoi(cmd->args[1]);
+    const std::lock_guard<std::mutex> lk(mutex_);
+    map_.mark_out(id);
+    map_.bump_epoch();
+    publish_locked();
+    reply->result = 0;
+  } else {
+    reply->result = -static_cast<std::int32_t>(Errc::invalid_argument);
+    reply->output = "unknown command";
+  }
+  m->connection->send_message(reply);
+}
+
+}  // namespace doceph::mon

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "crush/osd_map.h"
+#include "msgr/messages.h"
+#include "msgr/messenger.h"
+
+namespace doceph::mon {
+
+struct MonitorConfig {
+  std::uint16_t port = 6789;
+  /// Distinct reporters required before an OSD is marked down (1 suits the
+  /// paper's two-OSD testbed; Ceph defaults to 2).
+  int failure_reports_needed = 1;
+};
+
+/// The cluster monitor: owns the authoritative OSDMap, admits booting OSDs,
+/// processes failure reports, serves map fetches and publishes new epochs to
+/// subscribers. Single-monitor quorum (no Paxos) — see DESIGN.md deviations.
+class Monitor final : public msgr::Dispatcher {
+ public:
+  Monitor(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
+          sim::CpuDomain* domain, int num_osds, MonitorConfig cfg = {});
+  ~Monitor() override;
+
+  Status start();
+  void shutdown();
+
+  /// Create a pool administratively (also reachable via MMonCommand).
+  void create_pool(os::pool_t id, crush::PoolInfo info);
+
+  [[nodiscard]] net::Address addr() const { return msgr_.addr(); }
+  [[nodiscard]] crush::OSDMap current_map() const;
+  [[nodiscard]] crush::epoch_t epoch() const;
+
+  // msgr::Dispatcher
+  void ms_dispatch(const msgr::MessageRef& m) override;
+  void ms_handle_reset(const msgr::ConnectionRef& con) override;
+
+ private:
+  void handle_get_map(const msgr::MessageRef& m);
+  void handle_subscribe(const msgr::MessageRef& m);
+  void handle_boot(const msgr::MessageRef& m);
+  void handle_failure(const msgr::MessageRef& m);
+  void handle_command(const msgr::MessageRef& m);
+
+  /// Send the current map over one connection. Requires mutex_ held.
+  void send_map_locked(const msgr::ConnectionRef& con);
+  /// Publish the current map to every subscriber. Requires mutex_ held.
+  void publish_locked();
+
+  sim::Env& env_;
+  MonitorConfig cfg_;
+  msgr::Messenger msgr_;
+
+  mutable std::mutex mutex_;
+  crush::OSDMap map_;
+  std::vector<msgr::ConnectionRef> subscribers_;
+  std::map<int, std::set<int>> failure_reports_;  // failed osd -> reporters
+  bool started_ = false;
+};
+
+}  // namespace doceph::mon

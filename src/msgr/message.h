@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "common/buffer.h"
+#include "common/encoding.h"
+#include "net/address.h"
+
+namespace doceph::msgr {
+
+class Connection;
+using ConnectionRef = std::shared_ptr<Connection>;
+
+/// Wire message types (the subset of Ceph's msg_types.h this system needs).
+enum class MsgType : std::uint16_t {
+  none = 0,
+  osd_op = 1,           ///< client -> OSD I/O request
+  osd_op_reply = 2,     ///< OSD -> client completion
+  osd_repop = 3,        ///< primary -> replica transaction
+  osd_repop_reply = 4,  ///< replica -> primary ack
+  osd_ping = 5,         ///< OSD <-> OSD heartbeat
+  osd_map = 6,          ///< MON -> * map publication
+  mon_get_map = 7,      ///< * -> MON map fetch
+  mon_subscribe = 8,    ///< * -> MON map subscription
+  osd_boot = 9,         ///< OSD -> MON boot announcement
+  osd_failure = 10,     ///< OSD -> MON failure report
+  mon_command = 11,     ///< * -> MON administrative command
+  mon_command_reply = 12,
+  pg_scan = 13,         ///< primary -> replica recovery scan request
+  pg_scan_reply = 14,   ///< replica -> primary object inventory
+};
+
+std::string_view msg_type_name(MsgType t) noexcept;
+
+/// Base class of every wire message. A message is a scalar "front" payload
+/// (encoded by the subclass) plus an optional bulk `data` BufferList that is
+/// carried without re-encoding (Ceph's front/data split, which is what lets
+/// DoCeph stage bulk data separately from metadata).
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  [[nodiscard]] virtual MsgType type() const noexcept = 0;
+
+  /// Encode the front (scalar) payload.
+  virtual void encode_payload(BufferList& out) const = 0;
+  /// Decode the front payload; false on malformed input.
+  [[nodiscard]] virtual bool decode_payload(BufferList::Cursor& cur) = 0;
+
+  /// Bulk data (object payload); transported verbatim after the front.
+  BufferList data;
+
+  /// Transaction id chosen by the sender for matching replies.
+  std::uint64_t tid = 0;
+
+  // ---- set by the receiving messenger --------------------------------------
+  /// Connection the message arrived on (reply path); null on the send side.
+  ConnectionRef connection;
+  /// Advertised address of the sending messenger.
+  net::Address src;
+  /// Per-connection sequence number.
+  std::uint64_t seq = 0;
+};
+
+using MessageRef = std::shared_ptr<Message>;
+
+/// Construct an empty message of dynamic type `t` (for decode); null if the
+/// type is unknown.
+MessageRef create_message(MsgType t);
+
+}  // namespace doceph::msgr

@@ -1,0 +1,47 @@
+#include "msgr/messages.h"
+
+namespace doceph::msgr {
+
+std::string_view msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::none: return "none";
+    case MsgType::osd_op: return "osd_op";
+    case MsgType::osd_op_reply: return "osd_op_reply";
+    case MsgType::osd_repop: return "osd_repop";
+    case MsgType::osd_repop_reply: return "osd_repop_reply";
+    case MsgType::osd_ping: return "osd_ping";
+    case MsgType::osd_map: return "osd_map";
+    case MsgType::mon_get_map: return "mon_get_map";
+    case MsgType::mon_subscribe: return "mon_subscribe";
+    case MsgType::osd_boot: return "osd_boot";
+    case MsgType::osd_failure: return "osd_failure";
+    case MsgType::mon_command: return "mon_command";
+    case MsgType::pg_scan: return "pg_scan";
+    case MsgType::pg_scan_reply: return "pg_scan_reply";
+    case MsgType::mon_command_reply: return "mon_command_reply";
+  }
+  return "unknown";
+}
+
+MessageRef create_message(MsgType t) {
+  switch (t) {
+    case MsgType::osd_op: return std::make_shared<MOSDOp>();
+    case MsgType::osd_op_reply: return std::make_shared<MOSDOpReply>();
+    case MsgType::osd_repop: return std::make_shared<MOSDRepOp>();
+    case MsgType::osd_repop_reply: return std::make_shared<MOSDRepOpReply>();
+    case MsgType::osd_ping: return std::make_shared<MOSDPing>();
+    case MsgType::osd_map: return std::make_shared<MOSDMap>();
+    case MsgType::mon_get_map: return std::make_shared<MMonGetMap>();
+    case MsgType::mon_subscribe: return std::make_shared<MMonSubscribe>();
+    case MsgType::osd_boot: return std::make_shared<MOSDBoot>();
+    case MsgType::osd_failure: return std::make_shared<MOSDFailure>();
+    case MsgType::mon_command: return std::make_shared<MMonCommand>();
+    case MsgType::pg_scan: return std::make_shared<MPGScan>();
+    case MsgType::pg_scan_reply: return std::make_shared<MPGScanReply>();
+    case MsgType::mon_command_reply: return std::make_shared<MMonCommandReply>();
+    case MsgType::none: return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace doceph::msgr

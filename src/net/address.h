@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/encoding.h"
+
+namespace doceph::net {
+
+/// A fabric endpoint address: node id + port (the sim analogue of ip:port).
+struct Address {
+  std::int32_t node = -1;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return node >= 0; }
+
+  [[nodiscard]] std::string to_string() const {
+    return "n" + std::to_string(node) + ":" + std::to_string(port);
+  }
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+  void encode(BufferList& bl) const {
+    doceph::encode(node, bl);
+    doceph::encode(port, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(node, cur) && doceph::decode(port, cur);
+  }
+};
+
+}  // namespace doceph::net

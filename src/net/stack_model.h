@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cpu_model.h"
+#include "sim/exec_context.h"
+#include "sim/time.h"
+
+namespace doceph::net {
+
+/// CPU cost model of the kernel TCP/IP path, charged on the thread that
+/// performs the (simulated) syscall. This is the mechanism behind the
+/// paper's core observation: the messenger's socket traffic burns host CPU
+/// in per-byte copies and per-packet processing, so its CPU share tracks
+/// throughput (Fig. 5), and offloading the messenger moves exactly these
+/// charges onto the DPU's cores (Fig. 7).
+struct StackModel {
+  sim::Duration per_syscall = 1500;   ///< ns per send/recv entry (mode switch)
+  double per_byte_ns = 0.45;          ///< user<->kernel copy + checksum, per byte
+  sim::Duration per_frame = 250;      ///< per-MTU segment processing, ns
+  std::uint32_t mtu = 9000;           ///< jumbo frames (100G fabrics)
+
+  [[nodiscard]] sim::Duration cost(std::uint64_t bytes) const noexcept {
+    const std::uint64_t frames = bytes == 0 ? 0 : (bytes + mtu - 1) / mtu;
+    return per_syscall + static_cast<sim::Duration>(per_byte_ns * static_cast<double>(bytes)) +
+           per_frame * static_cast<sim::Duration>(frames);
+  }
+
+  /// Charge the calling thread's CPU domain for moving `bytes` through the
+  /// stack (one syscall). No-op for threads without a domain.
+  void charge(std::uint64_t bytes) const {
+    if (auto* domain = sim::ExecContext::current().domain)
+      domain->charge(cost(bytes));
+  }
+};
+
+}  // namespace doceph::net

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "os/transaction.h"
+
+namespace doceph::os {
+
+/// The pluggable storage-backend interface (Ceph's ObjectStore). The OSD is
+/// written against this; DoCeph exploits exactly this seam: on the DPU the
+/// OSD holds a ProxyObjectStore that forwards calls to a host-side BlueStore.
+///
+/// Writes are asynchronous: queue_transaction returns immediately and
+/// `on_commit` fires (possibly on an internal thread) once the batch is
+/// durable. Reads are synchronous and may block the calling sim thread.
+class ObjectStore {
+ public:
+  using OnCommit = std::function<void(Status)>;
+
+  virtual ~ObjectStore() = default;
+
+  virtual Status mount() = 0;
+  virtual Status umount() = 0;
+
+  /// Apply `txn` atomically; `on_commit` fires after durability. Callbacks
+  /// for transactions queued from the same thread fire in queue order.
+  virtual void queue_transaction(Transaction txn, OnCommit on_commit) = 0;
+
+  /// Read [off, off+len) of an object (len 0 = whole object).
+  virtual Result<BufferList> read(const coll_t& c, const ghobject_t& o,
+                                  std::uint64_t off, std::uint64_t len) = 0;
+
+  virtual Result<ObjectInfo> stat(const coll_t& c, const ghobject_t& o) = 0;
+  virtual bool exists(const coll_t& c, const ghobject_t& o) = 0;
+
+  virtual Result<std::map<std::string, BufferList>> omap_get(const coll_t& c,
+                                                             const ghobject_t& o) = 0;
+
+  /// Objects in a collection, sorted.
+  virtual Result<std::vector<ghobject_t>> list_objects(const coll_t& c) = 0;
+  virtual std::vector<coll_t> list_collections() = 0;
+  virtual bool collection_exists(const coll_t& c) = 0;
+
+  /// Human-readable backend kind ("memstore", "bluestore", "proxy").
+  [[nodiscard]] virtual std::string store_type() const = 0;
+};
+
+using ObjectStoreRef = std::unique_ptr<ObjectStore>;
+
+}  // namespace doceph::os

@@ -1,0 +1,93 @@
+#include "os/transaction.h"
+
+namespace doceph::os {
+
+void Transaction::Op::encode(BufferList& bl) const {
+  doceph::encode(op, bl);
+  cid.encode(bl);
+  oid.encode(bl);
+  doceph::encode(off, bl);
+  doceph::encode(len, bl);
+  doceph::encode(data, bl);
+  doceph::encode(kv, bl);
+  doceph::encode(keys, bl);
+}
+
+bool Transaction::Op::decode(BufferList::Cursor& cur) {
+  return doceph::decode(op, cur) && cid.decode(cur) && oid.decode(cur) &&
+         doceph::decode(off, cur) && doceph::decode(len, cur) &&
+         doceph::decode(data, cur) && doceph::decode(kv, cur) &&
+         doceph::decode(keys, cur);
+}
+
+void Transaction::touch(const coll_t& c, const ghobject_t& o) {
+  ops_.push_back(Op{.op = TxnOp::touch, .cid = c, .oid = o});
+}
+
+void Transaction::write(const coll_t& c, const ghobject_t& o, std::uint64_t off,
+                        BufferList data) {
+  Op op{.op = TxnOp::write, .cid = c, .oid = o, .off = off, .len = data.length()};
+  op.data = std::move(data);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::write_full(const coll_t& c, const ghobject_t& o, BufferList data) {
+  Op op{.op = TxnOp::write_full, .cid = c, .oid = o, .off = 0, .len = data.length()};
+  op.data = std::move(data);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::zero(const coll_t& c, const ghobject_t& o, std::uint64_t off,
+                       std::uint64_t len) {
+  ops_.push_back(Op{.op = TxnOp::zero, .cid = c, .oid = o, .off = off, .len = len});
+}
+
+void Transaction::truncate(const coll_t& c, const ghobject_t& o, std::uint64_t size) {
+  ops_.push_back(Op{.op = TxnOp::truncate, .cid = c, .oid = o, .off = size});
+}
+
+void Transaction::remove(const coll_t& c, const ghobject_t& o) {
+  ops_.push_back(Op{.op = TxnOp::remove, .cid = c, .oid = o});
+}
+
+void Transaction::omap_set(const coll_t& c, const ghobject_t& o,
+                           std::map<std::string, BufferList> kv) {
+  Op op{.op = TxnOp::omap_set, .cid = c, .oid = o};
+  op.kv = std::move(kv);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::omap_rm_keys(const coll_t& c, const ghobject_t& o,
+                               std::vector<std::string> keys) {
+  Op op{.op = TxnOp::omap_rm_keys, .cid = c, .oid = o};
+  op.keys = std::move(keys);
+  ops_.push_back(std::move(op));
+}
+
+void Transaction::create_collection(const coll_t& c) {
+  ops_.push_back(Op{.op = TxnOp::create_collection, .cid = c});
+}
+
+void Transaction::remove_collection(const coll_t& c) {
+  ops_.push_back(Op{.op = TxnOp::remove_collection, .cid = c});
+}
+
+std::uint64_t Transaction::data_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& op : ops_) {
+    total += op.data.length();
+    for (const auto& [k, v] : op.kv) total += v.length();
+  }
+  return total;
+}
+
+void Transaction::append(Transaction&& other) {
+  for (auto& op : other.ops_) ops_.push_back(std::move(op));
+  other.ops_.clear();
+}
+
+void Transaction::encode(BufferList& bl) const { doceph::encode(ops_, bl); }
+
+bool Transaction::decode(BufferList::Cursor& cur) { return doceph::decode(ops_, cur); }
+
+}  // namespace doceph::os

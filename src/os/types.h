@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/encoding.h"
+
+namespace doceph::os {
+
+using pool_t = std::uint32_t;
+
+/// Collection id: one collection per placement group (Ceph's coll_t).
+struct coll_t {
+  pool_t pool = 0;
+  std::uint32_t pg_seed = 0;
+
+  friend bool operator==(const coll_t&, const coll_t&) = default;
+  friend auto operator<=>(const coll_t&, const coll_t&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(pool) + "." + std::to_string(pg_seed);
+  }
+
+  void encode(BufferList& bl) const {
+    doceph::encode(pool, bl);
+    doceph::encode(pg_seed, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(pool, cur) && doceph::decode(pg_seed, cur);
+  }
+};
+
+/// Global object id (Ceph's ghobject_t, simplified to pool + name).
+struct ghobject_t {
+  pool_t pool = 0;
+  std::string name;
+
+  friend bool operator==(const ghobject_t&, const ghobject_t&) = default;
+  friend auto operator<=>(const ghobject_t&, const ghobject_t&) = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(pool) + "/" + name;
+  }
+
+  void encode(BufferList& bl) const {
+    doceph::encode(pool, bl);
+    doceph::encode(name, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(pool, cur) && doceph::decode(name, cur);
+  }
+};
+
+/// stat() result.
+struct ObjectInfo {
+  std::uint64_t size = 0;
+  std::uint64_t version = 0;  ///< bumped on every mutating transaction
+
+  friend bool operator==(const ObjectInfo&, const ObjectInfo&) = default;
+
+  void encode(BufferList& bl) const {
+    doceph::encode(size, bl);
+    doceph::encode(version, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(size, cur) && doceph::decode(version, cur);
+  }
+};
+
+}  // namespace doceph::os

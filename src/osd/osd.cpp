@@ -1,0 +1,599 @@
+#include "osd/osd.h"
+
+#include "common/crc32c.h"
+#include "common/logger.h"
+
+namespace doceph::osd {
+
+using crush::pg_t;
+using msgr::MessageRef;
+
+OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
+         sim::CpuDomain* domain, os::ObjectStore& store, net::Address mon_addr,
+         OsdConfig cfg)
+    : env_(env),
+      cfg_(cfg),
+      domain_(domain),
+      store_(store),
+      msgr_(env, fabric, node, domain, "osd." + std::to_string(cfg.id)),
+      monc_(env, msgr_, mon_addr),
+      queue_cv_(env.keeper()),
+      tick_cv_(env.keeper()) {
+  msgr_.set_dispatcher(this);
+}
+
+OSD::~OSD() { shutdown(); }
+
+Status OSD::init() {
+  Status st = msgr_.bind(cfg_.public_port);
+  if (!st.ok()) return st;
+  msgr_.start();
+
+  monc_.set_map_callback([this](const crush::OSDMap& map) {
+    // Runs on a messenger worker: refresh heartbeat targets and unblock
+    // in-flight writes that were waiting on now-dead replicas.
+    //
+    // A new map proves every up-marked peer was alive moments ago, so the
+    // liveness clock resets; keeping a stale pre-crash timestamp would trip
+    // the failure detector the instant a rebooted peer rejoins.
+    if (map.epoch() > 0 && !map.is_up(cfg_.id) && started_) {
+      // The map says we are down but we are demonstrably running (Ceph's
+      // "map wrongly marks me down" case): announce ourselves again.
+      (void)monc_.send_boot(cfg_.id, msgr_.addr());
+    }
+    const std::lock_guard<std::mutex> lk(mutex_);
+    const sim::Time now = env_.now();
+    for (int p = 0; p < map.num_osds(); ++p) {
+      if (p == cfg_.id || !map.is_up(p)) continue;
+      last_heard_[p] = now;
+      reported_.erase(p);
+    }
+    std::vector<std::uint64_t> done;
+    for (auto& [tid, op] : in_flight_) {
+      std::erase_if(op.waiting_on,
+                    [&](int osd) { return osd >= 0 && !map.is_up(osd); });
+      if (op.waiting_on.empty()) done.push_back(tid);
+    }
+    for (const std::uint64_t tid : done) {
+      // complete_if_done relocks; defer via the op queue.
+      enqueue_op([this, tid] { complete_if_done(tid); });
+    }
+  });
+
+  st = monc_.init();
+  if (!st.ok()) return st;
+  st = monc_.subscribe();
+  if (!st.ok()) return st;
+  st = monc_.send_boot(cfg_.id, msgr_.addr());
+  if (!st.ok()) return st;
+  while (!monc_.map().is_up(cfg_.id)) monc_.wait_for_epoch(monc_.epoch() + 1);
+
+  for (const auto& c : store_.list_collections()) created_colls_.insert(c);
+
+  {
+    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    stopping_ = false;
+  }
+  for (int i = 0; i < cfg_.op_threads; ++i) {
+    op_workers_.emplace_back(env_.keeper(), env_.stats(), "tp_osd_tp", domain_,
+                             [this] { op_worker(); }, /*daemon=*/true);
+  }
+  ticker_ = sim::Thread(env_.keeper(), env_.stats(),
+                        "osd-tick." + std::to_string(cfg_.id), domain_,
+                        [this] { tick_thread(); }, /*daemon=*/true);
+  started_ = true;
+  return Status::OK();
+}
+
+void OSD::shutdown() {
+  if (!started_) return;
+  started_ = false;
+  {
+    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    stopping_ = true;
+    queue_cv_.notify_all();
+    tick_cv_.notify_all();
+  }
+  {
+    // Unblock any tick-thread scan waits.
+    const std::lock_guard<std::mutex> lk(mutex_);
+    for (auto& [tid, scan] : pending_scans_) {
+      scan->done = true;
+      scan->cv.notify_all();
+    }
+  }
+  op_workers_.clear();  // joins
+  ticker_.join();
+  msgr_.shutdown();
+}
+
+// ---- dispatch -------------------------------------------------------------------
+
+void OSD::ms_dispatch(const MessageRef& m) {
+  if (monc_.handle_message(m)) return;
+  switch (m->type()) {
+    case msgr::MsgType::osd_op:
+      enqueue_op([this, m] { handle_client_op(m); });
+      break;
+    case msgr::MsgType::osd_repop:
+      enqueue_op([this, m] { handle_repop(m); });
+      break;
+    case msgr::MsgType::osd_repop_reply:
+      handle_repop_reply(m);
+      break;
+    case msgr::MsgType::osd_ping:
+      handle_ping(m);
+      break;
+    case msgr::MsgType::pg_scan:
+      enqueue_op([this, m] { handle_pg_scan(m); });
+      break;
+    case msgr::MsgType::pg_scan_reply:
+      handle_pg_scan_reply(m);
+      break;
+    default:
+      DLOG(warn, "osd") << "osd." << cfg_.id << " unexpected "
+                        << msg_type_name(m->type());
+  }
+}
+
+void OSD::ms_handle_reset(const msgr::ConnectionRef&) {}
+
+void OSD::enqueue_op(std::function<void()> fn) {
+  const std::lock_guard<std::mutex> lk(queue_mutex_);
+  if (stopping_) return;
+  op_queue_.push_back(std::move(fn));
+  queue_cv_.notify_one();
+}
+
+void OSD::op_worker() {
+  while (true) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex_);
+      queue_cv_.wait(lk, [&] { return stopping_ || !op_queue_.empty(); });
+      if (stopping_) return;
+      fn = std::move(op_queue_.front());
+      op_queue_.pop_front();
+    }
+    if (domain_ != nullptr) domain_->charge(cfg_.per_op_cost);
+    fn();
+  }
+}
+
+// ---- client ops ------------------------------------------------------------------
+
+void OSD::reply_client(const MessageRef& req, std::int32_t result,
+                       std::uint64_t version, std::uint64_t size, BufferList data) {
+  auto reply = std::make_shared<msgr::MOSDOpReply>();
+  reply->tid = req->tid;
+  reply->result = result;
+  reply->object_version = version;
+  reply->object_size = size;
+  reply->map_epoch = monc_.epoch();
+  reply->data = std::move(data);
+  req->connection->send_message(reply);
+}
+
+void OSD::ensure_pg_collection(const pg_t& pg, os::Transaction& txn) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (created_colls_.contains(pg.to_coll())) return;
+  os::Transaction pre;
+  pre.create_collection(pg.to_coll());
+  pre.append(std::move(txn));
+  txn = std::move(pre);
+  created_colls_.insert(pg.to_coll());
+}
+
+void OSD::handle_client_op(const MessageRef& m) {
+  auto* op = static_cast<msgr::MOSDOp*>(m.get());
+  const crush::OSDMap map = monc_.map();
+  const pg_t pg = map.object_to_pg(op->pool, op->object);
+  const auto acting = map.pg_to_acting(pg);
+  if (acting.empty() || acting.front() != cfg_.id) {
+    // Not the primary (stale client map, or mid-failover).
+    reply_client(m, -static_cast<std::int32_t>(Errc::busy));
+    return;
+  }
+
+  const os::ghobject_t oid{op->pool, op->object};
+  switch (op->op) {
+    case msgr::OsdOpType::write_full:
+    case msgr::OsdOpType::write:
+    case msgr::OsdOpType::remove:
+      start_write(m, pg, acting);
+      return;
+    case msgr::OsdOpType::read: {
+      auto r = store_.read(pg.to_coll(), oid, op->offset, op->length);
+      if (!r.ok()) {
+        reply_client(m, -static_cast<std::int32_t>(r.status().code()));
+        return;
+      }
+      ops_served_.fetch_add(1, std::memory_order_relaxed);
+      reply_client(m, 0, 0, r->length(), std::move(*r));
+      return;
+    }
+    case msgr::OsdOpType::stat: {
+      auto r = store_.stat(pg.to_coll(), oid);
+      if (!r.ok()) {
+        reply_client(m, -static_cast<std::int32_t>(r.status().code()));
+        return;
+      }
+      ops_served_.fetch_add(1, std::memory_order_relaxed);
+      reply_client(m, 0, r->version, r->size);
+      return;
+    }
+  }
+  reply_client(m, -static_cast<std::int32_t>(Errc::not_supported));
+}
+
+void OSD::start_write(const MessageRef& m, const pg_t& pg,
+                      const std::vector<int>& acting) {
+  auto* op = static_cast<msgr::MOSDOp*>(m.get());
+  const os::ghobject_t oid{op->pool, op->object};
+
+  os::Transaction txn;
+  switch (op->op) {
+    case msgr::OsdOpType::write_full:
+      txn.write_full(pg.to_coll(), oid, op->data);
+      break;
+    case msgr::OsdOpType::write:
+      txn.write(pg.to_coll(), oid, op->offset, op->data);
+      break;
+    case msgr::OsdOpType::remove:
+      txn.remove(pg.to_coll(), oid);
+      break;
+    default:
+      reply_client(m, -static_cast<std::int32_t>(Errc::not_supported));
+      return;
+  }
+
+  const std::uint64_t tid = next_tid_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    last_pg_write_[pg] = env_.now();
+    InFlightOp inflight;
+    inflight.client_msg = m;
+    inflight.waiting_on.insert(-1);  // local commit
+    for (const int r : acting) {
+      if (r != cfg_.id) inflight.waiting_on.insert(r);
+    }
+    in_flight_[tid] = std::move(inflight);
+  }
+
+  // Replicate: the transaction (metadata + payload) to each replica.
+  const crush::OSDMap map = monc_.map();
+  BufferList txn_bl;
+  txn.encode(txn_bl);
+  for (const int r : acting) {
+    if (r == cfg_.id) continue;
+    auto con = msgr_.get_connection(map.osd(r).addr);
+    if (con == nullptr) {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      in_flight_[tid].waiting_on.erase(r);
+      continue;
+    }
+    auto repop = std::make_shared<msgr::MOSDRepOp>();
+    repop->tid = tid;
+    repop->pool = pg.pool;
+    repop->pg_seed = pg.seed;
+    repop->from_osd = cfg_.id;
+    repop->map_epoch = map.epoch();
+    repop->txn = txn_bl;
+    con->send_message(repop);
+  }
+
+  // Local apply (may prepend create_collection for this OSD only).
+  ensure_pg_collection(pg, txn);
+  store_.queue_transaction(std::move(txn), [this, tid](Status st) {
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      auto it = in_flight_.find(tid);
+      if (it == in_flight_.end()) return;
+      if (!st.ok()) it->second.result = -static_cast<std::int32_t>(st.code());
+      it->second.waiting_on.erase(-1);
+    }
+    complete_if_done(tid);
+  });
+}
+
+void OSD::complete_if_done(std::uint64_t tid) {
+  MessageRef client_msg;
+  std::int32_t result = 0;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    auto it = in_flight_.find(tid);
+    if (it == in_flight_.end() || !it->second.waiting_on.empty()) return;
+    client_msg = it->second.client_msg;
+    result = it->second.result;
+    in_flight_.erase(it);
+  }
+  if (client_msg != nullptr) {
+    ops_served_.fetch_add(1, std::memory_order_relaxed);
+    reply_client(client_msg, result);
+  }
+}
+
+// ---- replica side ----------------------------------------------------------------
+
+void OSD::handle_repop(const MessageRef& m) {
+  auto* repop = static_cast<msgr::MOSDRepOp*>(m.get());
+  os::Transaction txn;
+  BufferList::Cursor cur(repop->txn);
+  if (!txn.decode(cur)) {
+    DLOG(warn, "osd") << "osd." << cfg_.id << " undecodable repop";
+    return;
+  }
+  const pg_t pg{repop->pool, repop->pg_seed};
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    last_pg_write_[pg] = env_.now();
+  }
+  ensure_pg_collection(pg, txn);
+  auto con = m->connection;
+  const std::uint64_t tid = m->tid;
+  store_.queue_transaction(std::move(txn), [this, con, tid](Status st) {
+    auto reply = std::make_shared<msgr::MOSDRepOpReply>();
+    reply->tid = tid;
+    reply->from_osd = cfg_.id;
+    reply->result = st.ok() ? 0 : -static_cast<std::int32_t>(st.code());
+    con->send_message(reply);
+  });
+}
+
+void OSD::handle_repop_reply(const MessageRef& m) {
+  auto* reply = static_cast<msgr::MOSDRepOpReply*>(m.get());
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    auto it = in_flight_.find(m->tid);
+    if (it == in_flight_.end()) return;  // recovery push ack, or late reply
+    if (reply->result != 0) it->second.result = reply->result;
+    it->second.waiting_on.erase(reply->from_osd);
+  }
+  complete_if_done(m->tid);
+}
+
+// ---- heartbeats ------------------------------------------------------------------
+
+void OSD::handle_ping(const MessageRef& m) {
+  auto* ping = static_cast<msgr::MOSDPing*>(m.get());
+  if (ping->op == msgr::MOSDPing::Op::ping) {
+    auto reply = std::make_shared<msgr::MOSDPing>();
+    reply->op = msgr::MOSDPing::Op::reply;
+    reply->from_osd = cfg_.id;
+    reply->stamp_ns = ping->stamp_ns;
+    m->connection->send_message(reply);
+    return;
+  }
+  const std::lock_guard<std::mutex> lk(mutex_);
+  last_heard_[ping->from_osd] = env_.now();
+}
+
+void OSD::tick_thread() {
+  sim::Time next_hb = env_.now();
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex_);
+      (void)tick_cv_.wait_for(lk, cfg_.tick_interval);
+      if (stopping_) return;
+    }
+    if (env_.now() >= next_hb) {
+      do_heartbeats();
+      next_hb = env_.now() + cfg_.heartbeat_interval;
+    }
+    check_recovery();
+  }
+}
+
+void OSD::do_heartbeats() {
+  const crush::OSDMap map = monc_.map();
+  const sim::Time now = env_.now();
+  for (int p = 0; p < map.num_osds(); ++p) {
+    if (p == cfg_.id || !map.is_up(p)) continue;
+    auto con = msgr_.get_connection(map.osd(p).addr);
+    if (con != nullptr) {
+      auto ping = std::make_shared<msgr::MOSDPing>();
+      ping->op = msgr::MOSDPing::Op::ping;
+      ping->from_osd = cfg_.id;
+      ping->stamp_ns = now;
+      con->send_message(ping);
+    }
+    // Grace check.
+    bool report = false;
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      auto it = last_heard_.find(p);
+      if (it == last_heard_.end()) {
+        last_heard_[p] = now;
+      } else if (now - it->second > cfg_.heartbeat_grace &&
+                 !reported_.contains(p)) {
+        reported_.insert(p);
+        report = true;
+      }
+    }
+    if (report) {
+      DLOG(info, "osd") << "osd." << cfg_.id << " reporting osd." << p
+                        << " as failed";
+      (void)monc_.report_failure(p, cfg_.id);
+    }
+  }
+}
+
+// ---- recovery --------------------------------------------------------------------
+
+bool OSD::all_clean() {
+  const crush::epoch_t e = monc_.epoch();
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return last_seen_epoch_ == e && dirty_pgs_.empty();
+}
+
+void OSD::check_recovery() {
+  const crush::OSDMap map = monc_.map();
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    if (map.epoch() != last_seen_epoch_) {
+      last_seen_epoch_ = map.epoch();
+      dirty_pgs_.clear();
+      for (const auto& [pool_id, pool] : map.pools()) {
+        for (std::uint32_t s = 0; s < pool.pg_num; ++s) {
+          const pg_t pg{pool_id, s};
+          // Recovery is driven by the AUTHORITATIVE acting member (longest
+          // up), not necessarily the primary: a freshly rejoined primary has
+          // stale data and must not push it over the survivor's.
+          if (map.pg_authority(pg) == cfg_.id) dirty_pgs_.insert(pg);
+        }
+      }
+    }
+  }
+
+  std::set<pg_t> todo;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    todo = dirty_pgs_;
+  }
+  for (const auto& pg : todo) {
+    const auto acting = map.pg_to_acting(pg);
+    const auto* pool = map.pool(pg.pool);
+    if (pool == nullptr) continue;
+    if (acting.size() < pool->size) continue;  // degraded: wait for peers
+    {
+      // Defer while the PG is taking writes: the scan diff cannot tell
+      // in-flight replication apart from loss, and pushing against live
+      // traffic would thrash (and full-content scans are expensive).
+      const std::lock_guard<std::mutex> lk(mutex_);
+      auto it = last_pg_write_.find(pg);
+      if (it != last_pg_write_.end() &&
+          env_.now() - it->second < cfg_.recovery_quiesce)
+        continue;
+    }
+    recover_pg(pg, acting);
+    if (monc_.epoch() != map.epoch()) return;  // map moved: restart next tick
+  }
+}
+
+Result<std::vector<msgr::ObjectSummary>> OSD::scan_pg_local(const pg_t& pg) {
+  std::vector<msgr::ObjectSummary> out;
+  if (!store_.collection_exists(pg.to_coll())) return out;
+  auto objects = store_.list_objects(pg.to_coll());
+  if (!objects.ok()) return objects.status();
+  for (const auto& oid : *objects) {
+    auto content = store_.read(pg.to_coll(), oid, 0, 0);
+    if (!content.ok()) continue;
+    out.push_back({oid.name, content->length(), content->crc32c()});
+  }
+  return out;
+}
+
+Result<std::vector<msgr::ObjectSummary>> OSD::scan_pg_remote(const pg_t& pg, int osd) {
+  const crush::OSDMap map = monc_.map();
+  if (!map.is_up(osd)) return Status(Errc::not_connected, "peer down");
+  auto con = msgr_.get_connection(map.osd(osd).addr);
+  if (con == nullptr) return Status(Errc::not_connected, "peer unreachable");
+
+  auto scan = std::make_shared<msgr::MPGScan>();
+  scan->tid = next_tid_.fetch_add(1);
+  scan->pool = pg.pool;
+  scan->pg_seed = pg.seed;
+  auto pending = std::make_shared<PendingScan>(env_.keeper());
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    pending_scans_[scan->tid] = pending;
+  }
+  con->send_message(scan);
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  const bool ok = pending->cv.wait_until(lk, env_.now() + cfg_.heartbeat_grace,
+                                         [&] { return pending->done; });
+  pending_scans_.erase(scan->tid);
+  if (!ok) return Status(Errc::timed_out, "pg scan");
+  return pending->objects;
+}
+
+void OSD::handle_pg_scan(const MessageRef& m) {
+  auto* scan = static_cast<msgr::MPGScan*>(m.get());
+  auto local = scan_pg_local(pg_t{scan->pool, scan->pg_seed});
+  auto reply = std::make_shared<msgr::MPGScanReply>();
+  reply->tid = m->tid;
+  reply->pool = scan->pool;
+  reply->pg_seed = scan->pg_seed;
+  if (local.ok()) reply->objects = std::move(*local);
+  m->connection->send_message(reply);
+}
+
+void OSD::handle_pg_scan_reply(const MessageRef& m) {
+  auto* reply = static_cast<msgr::MPGScanReply*>(m.get());
+  const std::lock_guard<std::mutex> lk(mutex_);
+  auto it = pending_scans_.find(m->tid);
+  if (it == pending_scans_.end()) return;
+  it->second->objects = std::move(reply->objects);
+  it->second->done = true;
+  it->second->cv.notify_all();
+}
+
+Status OSD::push_object(const pg_t& pg, int target, const std::string& name,
+                        bool remove) {
+  const crush::OSDMap map = monc_.map();
+  if (!map.is_up(target)) return Status(Errc::not_connected, "peer down");
+  auto con = msgr_.get_connection(map.osd(target).addr);
+  if (con == nullptr) return Status(Errc::not_connected, "peer unreachable");
+
+  const os::ghobject_t oid{pg.pool, name};
+  os::Transaction txn;
+  if (remove) {
+    txn.remove(pg.to_coll(), oid);
+  } else {
+    auto content = store_.read(pg.to_coll(), oid, 0, 0);
+    if (!content.ok()) return content.status();
+    txn.write_full(pg.to_coll(), oid, std::move(*content));
+  }
+  auto repop = std::make_shared<msgr::MOSDRepOp>();
+  repop->tid = next_tid_.fetch_add(1);
+  repop->pool = pg.pool;
+  repop->pg_seed = pg.seed;
+  repop->from_osd = cfg_.id;
+  repop->map_epoch = map.epoch();
+  repop->recovery_push = true;
+  txn.encode(repop->txn);
+  con->send_message(repop);
+  return Status::OK();
+}
+
+void OSD::recover_pg(const pg_t& pg, const std::vector<int>& acting) {
+  auto local = scan_pg_local(pg);
+  if (!local.ok()) return;
+  std::map<std::string, msgr::ObjectSummary> mine;
+  for (auto& o : *local) mine[o.name] = o;
+
+  bool clean = true;
+  for (const int peer : acting) {
+    if (peer == cfg_.id) continue;
+    auto remote = scan_pg_remote(pg, peer);
+    if (!remote.ok()) {
+      clean = false;
+      continue;
+    }
+    std::map<std::string, msgr::ObjectSummary> theirs;
+    for (auto& o : *remote) theirs[o.name] = o;
+
+    for (const auto& [name, summary] : mine) {
+      auto it = theirs.find(name);
+      if (it == theirs.end() || !(it->second == summary)) {
+        clean = false;
+        DLOG(info, "osd") << "osd." << cfg_.id << " pushing " << name << " to osd."
+                          << peer;
+        (void)push_object(pg, peer, name, /*remove=*/false);
+      }
+    }
+    for (const auto& [name, summary] : theirs) {
+      if (!mine.contains(name)) {
+        clean = false;
+        (void)push_object(pg, peer, name, /*remove=*/true);
+      }
+    }
+  }
+  if (clean) {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    dirty_pgs_.erase(pg);
+  }
+}
+
+}  // namespace doceph::osd

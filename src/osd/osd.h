@@ -1,0 +1,154 @@
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "mon/mon_client.h"
+#include "msgr/messages.h"
+#include "msgr/messenger.h"
+#include "os/object_store.h"
+
+namespace doceph::osd {
+
+struct OsdConfig {
+  int id = 0;
+  std::uint16_t public_port = 6800;
+  int op_threads = 2;  ///< "tp_osd_tp" worker count
+
+  sim::Duration heartbeat_interval = 1'000'000'000;   // 1 s
+  sim::Duration heartbeat_grace = 4'000'000'000;      // 4 s
+  sim::Duration tick_interval = 500'000'000;          // 500 ms
+
+  /// OSD bookkeeping CPU per request (dispatch, PG lookup, repop
+  /// accounting), charged on tp_osd_tp threads.
+  sim::Duration per_op_cost = 15'000;  // 15 us
+
+  /// Recovery scans defer while a PG has seen writes within this window:
+  /// scan-based diffing cannot distinguish in-flight replication from
+  /// genuinely missing objects, and (like Ceph throttling recovery under
+  /// client load) catching up proceeds once the PG quiesces.
+  sim::Duration recovery_quiesce = 5'000'000'000;  // 5 s
+};
+
+/// The Object Storage Daemon: client request handling, PG-based
+/// primary-copy replication, heartbeats/failure reporting, and scan-based
+/// recovery, over a pluggable ObjectStore — the component DoCeph relocates
+/// onto the DPU wholesale (paper §3.1: everything here runs on the DPU's
+/// ARM cores in DoCeph mode; only the ObjectStore behind it stays on the
+/// host, reached through the ProxyObjectStore).
+class OSD final : public msgr::Dispatcher {
+ public:
+  /// `store` must already be mounted. `domain` hosts all OSD threads:
+  /// the host CPU domain in Baseline, the DPU domain in DoCeph mode.
+  OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
+      sim::CpuDomain* domain, os::ObjectStore& store, net::Address mon_addr,
+      OsdConfig cfg);
+  ~OSD() override;
+
+  /// Boot: bind, fetch the map, announce to the MON, start workers. Must be
+  /// called from a sim thread. Returns once the MON marked this OSD up.
+  Status init();
+
+  void shutdown();
+
+  [[nodiscard]] int id() const noexcept { return cfg_.id; }
+  [[nodiscard]] net::Address addr() const { return msgr_.addr(); }
+  [[nodiscard]] crush::epoch_t map_epoch() const { return monc_.epoch(); }
+
+  /// Ops fully processed as primary (diagnostics).
+  [[nodiscard]] std::uint64_t ops_served() const noexcept { return ops_served_.load(); }
+
+  /// True when every PG this OSD leads has verified replica parity since the
+  /// last map change (i.e. recovery is complete).
+  [[nodiscard]] bool all_clean();
+
+  // msgr::Dispatcher
+  void ms_dispatch(const msgr::MessageRef& m) override;
+  void ms_handle_reset(const msgr::ConnectionRef& con) override;
+
+ private:
+  // ---- op pipeline -----------------------------------------------------------
+  void enqueue_op(std::function<void()> fn);
+  void op_worker();
+
+  void handle_client_op(const msgr::MessageRef& m);
+  void handle_repop(const msgr::MessageRef& m);
+  void handle_repop_reply(const msgr::MessageRef& m);
+  void handle_ping(const msgr::MessageRef& m);
+  void handle_pg_scan(const msgr::MessageRef& m);
+  void handle_pg_scan_reply(const msgr::MessageRef& m);
+
+  void reply_client(const msgr::MessageRef& req, std::int32_t result,
+                    std::uint64_t version = 0, std::uint64_t size = 0,
+                    BufferList data = {});
+
+  /// Prepend create_collection if this OSD has not materialized the PG yet.
+  void ensure_pg_collection(const crush::pg_t& pg, os::Transaction& txn);
+
+  // ---- replication ------------------------------------------------------------
+  struct InFlightOp {
+    msgr::MessageRef client_msg;
+    std::set<int> waiting_on;  ///< replica osds + (-1) for the local commit
+    std::int32_t result = 0;
+    std::uint64_t version = 0;
+  };
+  void start_write(const msgr::MessageRef& m, const crush::pg_t& pg,
+                   const std::vector<int>& acting);
+  void complete_if_done(std::uint64_t tid);
+
+  // ---- heartbeats / recovery ---------------------------------------------------
+  void tick_thread();
+  void do_heartbeats();
+  void check_recovery();
+  void recover_pg(const crush::pg_t& pg, const std::vector<int>& acting);
+  Result<std::vector<msgr::ObjectSummary>> scan_pg_local(const crush::pg_t& pg);
+  Result<std::vector<msgr::ObjectSummary>> scan_pg_remote(const crush::pg_t& pg, int osd);
+  Status push_object(const crush::pg_t& pg, int target, const std::string& name,
+                     bool remove);
+
+  sim::Env& env_;
+  OsdConfig cfg_;
+  sim::CpuDomain* domain_;
+  os::ObjectStore& store_;
+  msgr::Messenger msgr_;
+  mon::MonClient monc_;
+
+  // Op queue feeding tp_osd_tp workers.
+  std::mutex queue_mutex_;
+  sim::CondVar queue_cv_;
+  std::deque<std::function<void()>> op_queue_;
+  bool stopping_ = false;
+  std::vector<sim::Thread> op_workers_;
+  sim::CondVar tick_cv_;
+  sim::Thread ticker_;
+
+  std::mutex mutex_;  // in-flight ops, pg state, heartbeat state
+  std::atomic<std::uint64_t> next_tid_{1};
+  std::map<std::uint64_t, InFlightOp> in_flight_;
+  std::set<os::coll_t> created_colls_;
+
+  // Heartbeat bookkeeping: peer -> last reply time.
+  std::map<int, sim::Time> last_heard_;
+  std::set<int> reported_;
+
+  // Recovery bookkeeping: PGs whose acting set changed since last clean scan.
+  std::set<crush::pg_t> dirty_pgs_;
+  std::map<crush::pg_t, sim::Time> last_pg_write_;
+  crush::epoch_t last_seen_epoch_ = 0;
+
+  // Pending remote scans (tick thread blocks on the reply).
+  struct PendingScan {
+    sim::CondVar cv;
+    bool done = false;
+    std::vector<msgr::ObjectSummary> objects;
+    explicit PendingScan(sim::TimeKeeper& tk) : cv(tk) {}
+  };
+  std::map<std::uint64_t, std::shared_ptr<PendingScan>> pending_scans_;
+
+  std::atomic<std::uint64_t> ops_served_{0};
+  bool started_ = false;
+};
+
+}  // namespace doceph::osd

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/time.h"
+
+namespace doceph::proxy {
+
+/// The paper's adaptive fallback (§4): after a DMA error the data path
+/// reverts to socket-style RPC for a cooldown period, then a single probe
+/// transfer decides whether DMA can be re-enabled. Thread-safe; the write
+/// workers consult it per segment.
+class FallbackManager {
+ public:
+  explicit FallbackManager(sim::Duration cooldown) : cooldown_(cooldown) {}
+
+  enum class Path {
+    dma,    ///< normal fast path
+    probe,  ///< cooldown expired: this transfer is the test DMA
+    rpc,    ///< DMA disabled: route through the control channel
+  };
+
+  /// Pick the path for the next segment.
+  Path choose(sim::Time now) {
+    const std::lock_guard<std::mutex> lk(m_);
+    if (!disabled_) return Path::dma;
+    if (now >= expiry_ && !probe_outstanding_) {
+      probe_outstanding_ = true;
+      return Path::probe;
+    }
+    return Path::rpc;
+  }
+
+  void on_dma_success() {
+    const std::lock_guard<std::mutex> lk(m_);
+    disabled_ = false;
+    probe_outstanding_ = false;
+  }
+
+  void on_dma_failure(sim::Time now) {
+    const std::lock_guard<std::mutex> lk(m_);
+    disabled_ = true;
+    expiry_ = now + cooldown_;
+    probe_outstanding_ = false;
+    ++failures_;
+  }
+
+  [[nodiscard]] bool dma_enabled() const {
+    const std::lock_guard<std::mutex> lk(m_);
+    return !disabled_;
+  }
+  [[nodiscard]] std::uint64_t failures() const {
+    const std::lock_guard<std::mutex> lk(m_);
+    return failures_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  sim::Duration cooldown_;
+  bool disabled_ = false;
+  bool probe_outstanding_ = false;
+  sim::Time expiry_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace doceph::proxy

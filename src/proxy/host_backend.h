@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+
+#include "doca/mmap.h"
+#include "event/event_center.h"
+#include "os/object_store.h"
+#include "proxy/proxy_protocol.h"
+#include "proxy/rpc_channel.h"
+#include "sim/cpu_model.h"
+#include "sim/thread.h"
+
+namespace doceph::proxy {
+
+struct HostBackendConfig {
+  int workers = 2;                 ///< host-side RPC execution threads
+  /// Copy cost (ns/byte) for moving DMA'd payloads from the pre-exported
+  /// write buffers into store-owned memory (Fig. 4's post-transfer write
+  /// buffers) — the residual host CPU DoCeph cannot eliminate.
+  double copy_ns_per_byte = 0.15;
+};
+
+/// The lightweight host-side server of Fig. 3: it owns no OSD logic — it
+/// listens on the proxy channel, rebuilds transactions whose bulk payload
+/// arrived in the DMA write buffers, executes them on the local BlueStore,
+/// and answers control-plane RPCs. This (plus BlueStore itself) is ALL that
+/// runs on the host in a DoCeph deployment.
+class HostBackendService {
+ public:
+  /// `host_mmap` is the pre-exported write-buffer region shared with the
+  /// DPU's SlotPool (the MR cache). `slot_size` must match the pool's.
+  HostBackendService(sim::Env& env, sim::CpuDomain& domain, os::ObjectStore& store,
+                     doca::CommChannelRef channel, doca::MmapRef host_mmap,
+                     std::size_t slot_size, HostBackendConfig cfg = {});
+  ~HostBackendService();
+
+  Status start();
+  void shutdown();
+
+  [[nodiscard]] std::uint64_t txns_applied() const noexcept { return txns_.load(); }
+  [[nodiscard]] std::uint64_t control_rpcs() const noexcept { return control_.load(); }
+  [[nodiscard]] std::uint64_t dma_payload_bytes() const noexcept {
+    return dma_bytes_.load();
+  }
+
+ private:
+  void handle_request(BufferList req, bool oneway, RpcChannel::Responder respond);
+  void do_submit_txn(BufferList body, const RpcChannel::Responder& respond);
+  void do_stage_segment(BufferList body, const RpcChannel::Responder& respond);
+  void do_control(ProxyOp op, BufferList body, const RpcChannel::Responder& respond);
+  void do_read(BufferList body, const RpcChannel::Responder& respond);
+
+  /// Materialize one op's payload from its DataRefs (staged segments were
+  /// already copied out of the DMA slots by do_stage_segment).
+  BufferList assemble_payload(std::uint64_t token, const std::vector<DataRef>& refs);
+
+  void worker_loop();
+
+  sim::Env& env_;
+  sim::CpuDomain& domain_;
+  os::ObjectStore& store_;
+  RpcChannel rpc_;
+  event::EventCenter center_;
+  doca::MmapRef host_mmap_;
+  std::size_t slot_size_;
+  HostBackendConfig cfg_;
+
+  // Work queue: handlers run on worker threads so blocking store calls never
+  // stall the channel pump.
+  std::mutex queue_mutex_;
+  sim::CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+
+  // Per-request write buffers (Fig. 4): segments copied out of the DMA
+  // slots, keyed by (request token, segment index) until submit_txn.
+  std::mutex staged_mutex_;
+  std::map<std::uint64_t, std::map<std::uint32_t, BufferList>> staged_;
+
+  sim::Thread pump_thread_;
+  std::vector<sim::Thread> workers_;
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> txns_{0};
+  std::atomic<std::uint64_t> control_{0};
+  std::atomic<std::uint64_t> dma_bytes_{0};
+};
+
+}  // namespace doceph::proxy

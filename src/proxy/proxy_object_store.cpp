@@ -1,0 +1,508 @@
+#include "proxy/proxy_object_store.h"
+
+#include <cstring>
+#include <functional>
+
+#include "common/logger.h"
+
+namespace doceph::proxy {
+
+ProxyObjectStore::ProxyObjectStore(sim::Env& env, dpu::DpuDevice& dpu, ProxyConfig cfg)
+    : env_(env),
+      dpu_(dpu),
+      cfg_(cfg),
+      rpc_(env, dpu.dpu_comch()),
+      center_(env),
+      slots_(env, cfg.slots, cfg.segment_size),
+      fallback_(cfg.cooldown) {
+  queues_.reserve(static_cast<std::size_t>(cfg_.write_workers));
+  for (int i = 0; i < cfg_.write_workers; ++i) {
+    auto q = std::make_unique<WorkerQueue>();
+    q->cv = std::make_unique<sim::CondVar>(env.keeper());
+    queues_.push_back(std::move(q));
+  }
+}
+
+ProxyObjectStore::~ProxyObjectStore() {
+  if (mounted_) (void)umount();
+}
+
+Status ProxyObjectStore::mount() {
+  rpc_.start(center_);
+  stopping_ = false;
+  pump_thread_ = sim::Thread(env_.keeper(), env_.stats(), "dpu-proxy-ch",
+                             &dpu_.cpu(), [this] { center_.run(); },
+                             /*daemon=*/true);
+  for (int i = 0; i < cfg_.write_workers; ++i) {
+    workers_.emplace_back(env_.keeper(), env_.stats(),
+                          "dpu-dma-pipe-" + std::to_string(i), &dpu_.cpu(),
+                          [this, i] { write_worker(i); }, /*daemon=*/true);
+  }
+  mounted_ = true;
+  // Verify the channel end-to-end.
+  auto r = control_call(ProxyOp::ping, {});
+  if (!r.ok()) {
+    (void)umount();
+    return r.status();
+  }
+  return Status::OK();
+}
+
+Status ProxyObjectStore::umount() {
+  if (!mounted_) return Status::OK();
+  mounted_ = false;
+  std::vector<WriteReq> orphans;
+  for (auto& q : queues_) {
+    const std::lock_guard<std::mutex> lk(q->m);
+    for (auto& req : q->q) orphans.push_back(std::move(req));
+    q->q.clear();
+  }
+  stopping_ = true;
+  for (auto& q : queues_) {
+    const std::lock_guard<std::mutex> lk(q->m);
+    q->cv->notify_all();
+  }
+  workers_.clear();
+  rpc_.detach();  // stop channel -> center dispatches before the center dies
+  center_.stop();
+  pump_thread_.join();
+  for (auto& req : orphans) {
+    if (req.on_commit) req.on_commit(Status(Errc::shutting_down, "proxy umount"));
+  }
+  return Status::OK();
+}
+
+// ---- write path -----------------------------------------------------------------
+
+void ProxyObjectStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
+  if (!mounted_) {
+    if (on_commit) on_commit(Status(Errc::shutting_down, "proxy not mounted"));
+    return;
+  }
+  // Per-collection ordering: requests for one PG always land on one worker.
+  const os::coll_t cid = txn.ops().empty() ? os::coll_t{} : txn.ops().front().cid;
+  const std::size_t idx =
+      (static_cast<std::size_t>(cid.pool) * 1315423911u + cid.pg_seed) %
+      queues_.size();
+  auto& q = *queues_[idx];
+  const std::lock_guard<std::mutex> lk(q.m);
+  q.q.push_back(WriteReq{std::move(txn), std::move(on_commit), env_.now()});
+  q.cv->notify_one();
+}
+
+void ProxyObjectStore::write_worker(int idx) {
+  auto& q = *queues_[static_cast<std::size_t>(idx)];
+  while (true) {
+    WriteReq req;
+    {
+      std::unique_lock<std::mutex> lk(q.m);
+      q.cv->wait(lk, [&] { return stopping_ || !q.q.empty(); });
+      if (stopping_) return;
+      req = std::move(q.q.front());
+      q.q.pop_front();
+    }
+    process_write(std::move(req));
+  }
+}
+
+DataRef ProxyObjectStore::move_segment(BufferList seg,
+                                       const std::shared_ptr<SegCtx>& ctx) {
+  const auto path = fallback_.choose(env_.now());
+  if (path == FallbackManager::Path::rpc) {
+    rpc_fallback_bytes_.fetch_add(seg.length(), std::memory_order_relaxed);
+    DataRef ref;
+    ref.kind = DataRef::Kind::inline_;
+    ref.len = static_cast<std::uint32_t>(seg.length());
+    ref.data = std::move(seg);
+    return ref;
+  }
+
+  // Acquire a paired staging/write buffer; blocked time is DMA-wait.
+  const sim::Time w0 = env_.now();
+  const int slot = slots_.acquire();
+  ctx->dma_wait += env_.now() - w0;
+
+  if (!cfg_.mr_cache) {
+    // Without the MR cache each transfer renegotiates its memory region
+    // over the CommChannel (one round trip).
+    (void)control_call(ProxyOp::ping, {});
+  }
+
+  // Stage: copy the payload into the DMA-capable buffer.
+  const std::uint32_t seg_index = ctx->next_seg++;
+  doca::Buf src = slots_.dpu_buf(slot, seg.length());
+  seg.copy_out(0, seg.length(), src.data());
+  dpu_.cpu().charge(static_cast<sim::Duration>(cfg_.stage_copy_ns_per_byte *
+                                               static_cast<double>(seg.length())));
+
+  doca::Buf dst = slots_.host_buf(slot, seg.length());
+  const bool probing = path == FallbackManager::Path::probe;
+  const auto seg_len = static_cast<std::uint32_t>(seg.length());
+  {
+    const std::lock_guard<std::mutex> lk(ctx->m);
+    ++ctx->outstanding;
+    if (ctx->first_submit < 0) ctx->first_submit = env_.now();
+  }
+
+  auto finish_segment = [this, ctx, slot](bool failed) {
+    slots_.release(slot);
+    const std::lock_guard<std::mutex> lk(ctx->m);
+    if (failed) ctx->any_failed = true;
+    --ctx->outstanding;
+    ctx->cv.notify_all();
+  };
+
+  const Status submitted = dpu_.dma().submit(
+      src, dst, doca::DmaDir::dpu_to_host,
+      [this, ctx, slot, seg_index, seg_len, probing,
+       finish_segment](Status st) {
+        ctx->last_complete.store(env_.now(), std::memory_order_relaxed);
+        if (!st.ok()) {
+          fallback_.on_dma_failure(env_.now());
+          finish_segment(true);
+          return;
+        }
+        if (probing) fallback_.on_dma_success();
+        // Hand the slot's content to the host's per-request write buffer;
+        // the slot recycles as soon as the host acks the copy (Fig. 4).
+        StageSegment msg{.token = ctx->token,
+                         .seg_index = seg_index,
+                         .slot = static_cast<std::uint32_t>(slot),
+                         .len = seg_len};
+        BufferList request;
+        encode(ProxyOp::stage_segment, request);
+        msg.encode(request);
+        rpc_.call_async(std::move(request),
+                        [finish_segment](Result<BufferList> r) {
+                          bool failed = !r.ok();
+                          if (r.ok()) {
+                            BufferList::Cursor cur(*r);
+                            std::int32_t res = 0;
+                            failed = !decode(res, cur) || res != 0;
+                          }
+                          finish_segment(failed);
+                        });
+      });
+  if (!submitted.ok()) {
+    fallback_.on_dma_failure(env_.now());
+    finish_segment(true);
+  } else {
+    dma_bytes_.fetch_add(seg.length(), std::memory_order_relaxed);
+    if (!cfg_.pipelining) {
+      // Ablation: strictly serial -- wait out this transfer (and its staging
+      // handoff) before touching the next segment.
+      std::unique_lock<std::mutex> lk(ctx->m);
+      ctx->cv.wait(lk, [&] { return ctx->outstanding == 0; });
+    }
+  }
+
+  DataRef ref;
+  ref.kind = DataRef::Kind::staged;
+  ref.index = seg_index;
+  ref.len = seg_len;
+  return ref;
+}
+
+void ProxyObjectStore::process_write(WriteReq req) {
+  const sim::Time t_start = req.enqueued;
+  WireTxn wire;
+
+  // Detach bulk payloads from the transaction metadata.
+  std::vector<BufferList> payloads(req.txn.ops().size());
+  for (std::size_t i = 0; i < req.txn.ops().size(); ++i) {
+    payloads[i] = std::move(req.txn.ops()[i].data);
+    req.txn.ops()[i].data = BufferList{};
+  }
+  wire.meta = std::move(req.txn);
+  wire.parts.resize(payloads.size());
+  wire.token = next_token_.fetch_add(1);
+
+  std::uint64_t total_bytes = 0;
+  for (const auto& p : payloads) total_bytes += p.length();
+  std::uint64_t dma_bytes_this_request = 0;
+
+  auto ctx = std::make_shared<SegCtx>(env_.keeper());
+  ctx->token = wire.token;
+
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    BufferList& payload = payloads[i];
+    if (payload.empty()) continue;
+    if (total_bytes <= cfg_.inline_write_max) {
+      // Tiny request: not worth a DMA round; ride the control channel.
+      DataRef ref;
+      ref.kind = DataRef::Kind::inline_;
+      ref.len = static_cast<std::uint32_t>(payload.length());
+      ref.data = std::move(payload);
+      wire.parts[i].push_back(std::move(ref));
+      continue;
+    }
+    std::size_t off = 0;
+    while (off < payload.length()) {
+      const std::size_t n =
+          std::min<std::size_t>(cfg_.segment_size, payload.length() - off);
+      DataRef ref = move_segment(payload.substr(off, n), ctx);
+      if (ref.kind == DataRef::Kind::staged) dma_bytes_this_request += n;
+      wire.parts[i].push_back(std::move(ref));
+      off += n;
+    }
+  }
+
+  // Drain in-flight segments (DMA + staging handoff).
+  {
+    std::unique_lock<std::mutex> lk(ctx->m);
+    ctx->cv.wait(lk, [&] { return ctx->outstanding == 0; });
+  }
+
+  if (ctx->any_failed) {
+    // Fallback (paper §4): staged segments whose transfer or handoff
+    // failed are unusable; conservatively re-send every staged chunk inline
+    // over RPC (the cooldown routes subsequent traffic there anyway).
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      std::size_t off = 0;
+      for (auto& ref : wire.parts[i]) {
+        if (ref.kind == DataRef::Kind::staged) {
+          ref.kind = DataRef::Kind::inline_;
+          ref.data = payloads[i].substr(off, ref.len);
+          rpc_fallback_bytes_.fetch_add(ref.len, std::memory_order_relaxed);
+        }
+        off += ref.len;
+      }
+    }
+  }
+
+  // Ship the transaction (metadata + refs) and wait for the host commit.
+  BufferList request;
+  encode(ProxyOp::submit_txn, request);
+  wire.encode(request);
+  auto response = rpc_.call(std::move(request), cfg_.rpc_timeout);
+
+  Status st;
+  TxnReply reply;
+  if (!response.ok()) {
+    st = response.status();
+  } else {
+    BufferList::Cursor cur(*response);
+    if (!reply.decode(cur)) {
+      st = Status(Errc::corrupt, "bad txn reply");
+    } else if (reply.result != 0) {
+      st = Status(static_cast<Errc>(-reply.result), "host backend error");
+    }
+  }
+
+  // Table 3 tracks client *write* requests; metadata-only transactions
+  // (collection creates etc.) are not part of the taxonomy. The DMA phase
+  // splits into transfer time (job setup + bytes/bandwidth, the paper's
+  // "actual data transfer time") and DMA-wait (slot acquisition + the
+  // serialization remainder of the phase's wall time).
+  if (total_bytes > 0) {
+    const auto& dma_cfg = dpu_.dma().config();
+    std::uint64_t dma_transfer = 0;
+    if (ctx->first_submit >= 0) {
+      dma_transfer = static_cast<std::uint64_t>(dma_cfg.setup_latency) +
+                     static_cast<std::uint64_t>(sim::transfer_time(
+                         dma_bytes_this_request, dma_cfg.bw_bytes_per_sec));
+    }
+    std::uint64_t phase_wall = 0;
+    if (ctx->first_submit >= 0 && ctx->last_complete.load() > ctx->first_submit)
+      phase_wall =
+          static_cast<std::uint64_t>(ctx->last_complete.load() - ctx->first_submit);
+    const std::uint64_t serialization =
+        phase_wall > dma_transfer ? phase_wall - dma_transfer : 0;
+
+    const std::lock_guard<std::mutex> lk(bd_mutex_);
+    bd_.count++;
+    bd_.total_ns += static_cast<std::uint64_t>(env_.now() - t_start);
+    bd_.dma_ns += dma_transfer;
+    bd_.dma_wait_ns += static_cast<std::uint64_t>(ctx->dma_wait) + serialization;
+    bd_.host_write_ns += static_cast<std::uint64_t>(std::max<std::int64_t>(
+        reply.host_write_ns, 0));
+  }
+
+  if (req.on_commit) req.on_commit(st);
+}
+
+// ---- control plane / reads ---------------------------------------------------------
+
+Result<BufferList> ProxyObjectStore::control_call(ProxyOp op, const BufferList& body) {
+  BufferList request;
+  encode(op, request);
+  request.append(body);
+  auto r = rpc_.call(std::move(request), cfg_.rpc_timeout);
+  if (!r.ok()) return r.status();
+  BufferList::Cursor cur(*r);
+  std::int32_t result = 0;
+  if (!decode(result, cur)) return Status(Errc::corrupt, "bad control reply");
+  if (result != 0) return Status(static_cast<Errc>(-result), "host error");
+  BufferList rest;
+  (void)cur.get_buffer_list(cur.remaining(), rest);
+  return rest;
+}
+
+Result<BufferList> ProxyObjectStore::read(const os::coll_t& c, const os::ghobject_t& o,
+                                          std::uint64_t off, std::uint64_t len) {
+  ReadRequest rr;
+  rr.cid = c;
+  rr.oid = o;
+  rr.off = off;
+  rr.len = len;
+  rr.inline_max = fallback_.dma_enabled() ? cfg_.inline_read_max
+                                          : std::numeric_limits<std::uint64_t>::max();
+  // Opportunistically offer slots for the bulk path (host-side staging).
+  std::vector<int> held;
+  if (fallback_.dma_enabled()) {
+    for (int i = 0; i < 8; ++i) {
+      auto s = slots_.try_acquire();
+      if (!s) break;
+      held.push_back(*s);
+      rr.slots.push_back(static_cast<std::uint32_t>(*s));
+    }
+  }
+  auto release_all = [&] {
+    for (const int s : held) slots_.release(s);
+    held.clear();
+  };
+
+  BufferList body;
+  rr.encode(body);
+  BufferList request;
+  encode(ProxyOp::read_obj, request);
+  request.claim_append(body);
+  auto response = rpc_.call(std::move(request), cfg_.rpc_timeout);
+  if (!response.ok()) {
+    release_all();
+    return response.status();
+  }
+  ReadReply reply;
+  BufferList::Cursor cur(*response);
+  if (!reply.decode(cur)) {
+    release_all();
+    return Status(Errc::corrupt, "bad read reply");
+  }
+  if (reply.result != 0) {
+    release_all();
+    return Status(static_cast<Errc>(-reply.result), "host read error");
+  }
+  if (reply.inline_data) {
+    release_all();
+    return reply.data;
+  }
+
+  // DMA the filled slots back (host -> DPU), in order.
+  BufferList out;
+  for (const auto& ref : reply.refs) {
+    if (ref.kind == DataRef::Kind::inline_) {
+      out.append(ref.data);
+      continue;
+    }
+    std::mutex m;
+    sim::CondVar cv(env_.keeper());
+    bool done = false;
+    Status st;
+    doca::Buf src = slots_.host_buf(static_cast<int>(ref.index), ref.len);
+    doca::Buf dst = slots_.dpu_buf(static_cast<int>(ref.index), ref.len);
+    const Status submitted =
+        dpu_.dma().submit(src, dst, doca::DmaDir::host_to_dpu, [&](Status s) {
+          const std::lock_guard<std::mutex> lk(m);
+          st = s;
+          done = true;
+          cv.notify_all();
+        });
+    if (!submitted.ok()) {
+      release_all();
+      return submitted;
+    }
+    {
+      std::unique_lock<std::mutex> lk(m);
+      cv.wait(lk, [&] { return done; });
+    }
+    if (!st.ok()) {
+      fallback_.on_dma_failure(env_.now());
+      release_all();
+      return st;
+    }
+    out.append(dst.data(), ref.len);
+    dpu_.cpu().charge(static_cast<sim::Duration>(cfg_.stage_copy_ns_per_byte *
+                                                 static_cast<double>(ref.len)));
+  }
+  release_all();
+  return out;
+}
+
+Result<os::ObjectInfo> ProxyObjectStore::stat(const os::coll_t& c,
+                                              const os::ghobject_t& o) {
+  BufferList body;
+  c.encode(body);
+  o.encode(body);
+  auto r = control_call(ProxyOp::stat, body);
+  if (!r.ok()) return r.status();
+  os::ObjectInfo info;
+  BufferList::Cursor cur(*r);
+  if (!info.decode(cur)) return Status(Errc::corrupt, "bad stat reply");
+  return info;
+}
+
+bool ProxyObjectStore::exists(const os::coll_t& c, const os::ghobject_t& o) {
+  BufferList body;
+  c.encode(body);
+  o.encode(body);
+  auto r = control_call(ProxyOp::exists, body);
+  if (!r.ok()) return false;
+  bool e = false;
+  BufferList::Cursor cur(*r);
+  return decode(e, cur) && e;
+}
+
+Result<std::map<std::string, BufferList>> ProxyObjectStore::omap_get(
+    const os::coll_t& c, const os::ghobject_t& o) {
+  BufferList body;
+  c.encode(body);
+  o.encode(body);
+  auto r = control_call(ProxyOp::omap_get, body);
+  if (!r.ok()) return r.status();
+  std::map<std::string, BufferList> m;
+  BufferList::Cursor cur(*r);
+  if (!decode(m, cur)) return Status(Errc::corrupt, "bad omap reply");
+  return m;
+}
+
+Result<std::vector<os::ghobject_t>> ProxyObjectStore::list_objects(const os::coll_t& c) {
+  BufferList body;
+  c.encode(body);
+  auto r = control_call(ProxyOp::list_objects, body);
+  if (!r.ok()) return r.status();
+  std::vector<os::ghobject_t> v;
+  BufferList::Cursor cur(*r);
+  if (!decode(v, cur)) return Status(Errc::corrupt, "bad list reply");
+  return v;
+}
+
+std::vector<os::coll_t> ProxyObjectStore::list_collections() {
+  auto r = control_call(ProxyOp::list_collections, {});
+  if (!r.ok()) return {};
+  std::vector<os::coll_t> v;
+  BufferList::Cursor cur(*r);
+  if (!decode(v, cur)) return {};
+  return v;
+}
+
+bool ProxyObjectStore::collection_exists(const os::coll_t& c) {
+  BufferList body;
+  c.encode(body);
+  auto r = control_call(ProxyOp::coll_exists, body);
+  if (!r.ok()) return false;
+  bool e = false;
+  BufferList::Cursor cur(*r);
+  return decode(e, cur) && e;
+}
+
+BreakdownSnapshot ProxyObjectStore::breakdown() const {
+  const std::lock_guard<std::mutex> lk(bd_mutex_);
+  return bd_;
+}
+
+void ProxyObjectStore::reset_breakdown() {
+  const std::lock_guard<std::mutex> lk(bd_mutex_);
+  bd_ = BreakdownSnapshot{};
+}
+
+}  // namespace doceph::proxy

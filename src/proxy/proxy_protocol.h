@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/encoding.h"
+#include "os/transaction.h"
+
+namespace doceph::proxy {
+
+/// Operations of the Proxy Interface between the DPU-resident
+/// ProxyObjectStore and the host-resident backend (paper §3.2). The binary
+/// classification the paper describes: submit_txn/read_obj are data-plane
+/// (payload moves via DMA slots when possible), the rest are control-plane
+/// RPCs over the CommChannel.
+enum class ProxyOp : std::uint8_t {
+  ping = 1,
+  submit_txn = 2,
+  read_obj = 3,
+  stage_segment = 11,  ///< one DMA'd segment is ready in a write-buffer slot
+  stat = 4,
+  exists = 5,
+  omap_get = 6,
+  list_objects = 7,
+  list_collections = 8,
+  coll_exists = 9,
+  release_slots = 10,  ///< oneway: read-path slots returned by the DPU
+};
+
+/// Where one chunk of an op's bulk payload lives. `staged`: it was DMA'd
+/// into a slot and already copied by the host into that request's write
+/// buffer (stage_segment), indexed by a per-request sequence number —
+/// Fig. 4's staging-buffer -> write-buffer handoff, which lets the scarce
+/// DMA slots recycle immediately. `inline` data rides in the RPC itself
+/// (control fallback after a DMA error, or tiny payloads). For the read
+/// path, refs point at slots directly (`slot`), since the DPU drains them.
+struct DataRef {
+  enum class Kind : std::uint8_t { inline_ = 0, staged = 1, slot = 2 };
+  Kind kind = Kind::inline_;
+  std::uint32_t index = 0;  ///< staged: per-request segment seq; slot: slot id
+  std::uint32_t len = 0;
+  BufferList data;          ///< used when kind == inline_
+
+  [[nodiscard]] bool inline_data() const noexcept { return kind == Kind::inline_; }
+
+  void encode(BufferList& bl) const {
+    doceph::encode(kind, bl);
+    doceph::encode(index, bl);
+    doceph::encode(len, bl);
+    if (kind == Kind::inline_) doceph::encode(data, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    if (!doceph::decode(kind, cur) || !doceph::decode(index, cur) ||
+        !doceph::decode(len, cur))
+      return false;
+    return kind != Kind::inline_ || doceph::decode(data, cur);
+  }
+};
+
+/// stage_segment request: segment `seg_index` of request `token` has landed
+/// in write-buffer `slot`; the host copies it out so the slot can recycle.
+struct StageSegment {
+  std::uint64_t token = 0;
+  std::uint32_t seg_index = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t len = 0;
+
+  void encode(BufferList& bl) const {
+    doceph::encode(token, bl);
+    doceph::encode(seg_index, bl);
+    doceph::encode(slot, bl);
+    doceph::encode(len, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(token, cur) && doceph::decode(seg_index, cur) &&
+           doceph::decode(slot, cur) && doceph::decode(len, cur);
+  }
+};
+
+/// A transaction with its bulk payload externalized: `meta` carries the ops
+/// with empty data; `parts[i]` lists where op i's payload chunks live.
+/// `token` keys the host-side staged segments of this request.
+struct WireTxn {
+  std::uint64_t token = 0;
+  os::Transaction meta;
+  std::vector<std::vector<DataRef>> parts;
+
+  void encode(BufferList& bl) const {
+    doceph::encode(token, bl);
+    meta.encode(bl);
+    doceph::encode(parts, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(token, cur) && meta.decode(cur) &&
+           doceph::decode(parts, cur);
+  }
+};
+
+/// Response to submit_txn, with the host-side commit time (paper Table 3's
+/// "Host write" row comes from here).
+struct TxnReply {
+  std::int32_t result = 0;
+  std::int64_t host_write_ns = 0;
+
+  void encode(BufferList& bl) const {
+    doceph::encode(result, bl);
+    doceph::encode(host_write_ns, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(result, cur) && doceph::decode(host_write_ns, cur);
+  }
+};
+
+/// read_obj request: the DPU offers `slots` it has acquired; the host fills
+/// them (or replies inline when the result is tiny).
+struct ReadRequest {
+  os::coll_t cid;
+  os::ghobject_t oid;
+  std::uint64_t off = 0;
+  std::uint64_t len = 0;
+  std::uint64_t inline_max = 4096;
+  std::vector<std::uint32_t> slots;
+
+  void encode(BufferList& bl) const {
+    cid.encode(bl);
+    oid.encode(bl);
+    doceph::encode(off, bl);
+    doceph::encode(len, bl);
+    doceph::encode(inline_max, bl);
+    doceph::encode(slots, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return cid.decode(cur) && oid.decode(cur) && doceph::decode(off, cur) &&
+           doceph::decode(len, cur) && doceph::decode(inline_max, cur) &&
+           doceph::decode(slots, cur);
+  }
+};
+
+/// read_obj response: either inline data, or the filled slot layout the DPU
+/// should DMA back (host->DPU).
+struct ReadReply {
+  std::int32_t result = 0;
+  bool inline_data = false;
+  BufferList data;                       ///< when inline
+  std::vector<DataRef> refs;             ///< slot refs when not inline
+  std::uint64_t total_len = 0;
+
+  void encode(BufferList& bl) const {
+    doceph::encode(result, bl);
+    doceph::encode(inline_data, bl);
+    doceph::encode(total_len, bl);
+    if (inline_data) doceph::encode(data, bl);
+    doceph::encode(refs, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    if (!doceph::decode(result, cur) || !doceph::decode(inline_data, cur) ||
+        !doceph::decode(total_len, cur))
+      return false;
+    if (inline_data && !doceph::decode(data, cur)) return false;
+    return doceph::decode(refs, cur);
+  }
+};
+
+}  // namespace doceph::proxy

@@ -1,0 +1,134 @@
+#include "proxy/rpc_channel.h"
+
+#include "common/encoding.h"
+#include "common/logger.h"
+
+namespace doceph::proxy {
+namespace {
+constexpr std::size_t kFragHeader = 8 + 1;  // req_id + flags
+}
+
+RpcChannel::RpcChannel(sim::Env& env, doca::CommChannelRef channel)
+    : env_(env), ch_(std::move(channel)) {}
+
+void RpcChannel::start(event::EventCenter& center) {
+  ch_->set_recv_handler(center, [this](BufferList msg) { on_message(std::move(msg)); });
+}
+
+void RpcChannel::detach() { ch_->close(); }
+
+Status RpcChannel::send_fragmented(std::uint64_t req_id, std::uint8_t flags,
+                                   BufferList payload) {
+  const std::size_t chunk_max = ch_->config().max_msg_size - kFragHeader;
+  bytes_sent_.fetch_add(payload.length(), std::memory_order_relaxed);
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(chunk_max, payload.length() - off);
+    const bool last = off + n == payload.length();
+    BufferList frame;
+    encode(req_id, frame);
+    encode(static_cast<std::uint8_t>(flags | (last ? kLastPart : 0)), frame);
+    frame.append(payload.substr(off, n));
+    const Status st = ch_->send(std::move(frame));
+    if (!st.ok()) return st;
+    off += n;
+  } while (off < payload.length());
+  return Status::OK();
+}
+
+void RpcChannel::call_async(BufferList request, ResponseCb cb) {
+  const std::uint64_t id = next_id_.fetch_add(1);
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    pending_[id] = std::move(cb);
+  }
+  const Status st = send_fragmented(id, 0, std::move(request));
+  if (!st.ok()) {
+    ResponseCb pending;
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;
+      pending = std::move(it->second);
+      pending_.erase(it);
+    }
+    pending(st);
+  }
+}
+
+Result<BufferList> RpcChannel::call(BufferList request, sim::Duration timeout) {
+  std::mutex m;
+  sim::CondVar cv(env_.keeper());
+  bool done = false;
+  Result<BufferList> result = BufferList{};
+  call_async(std::move(request), [&](Result<BufferList> r) {
+    const std::lock_guard<std::mutex> lk(m);
+    result = std::move(r);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(m);
+  if (!cv.wait_until(lk, env_.now() + timeout, [&] { return done; }))
+    return Status(Errc::timed_out, "rpc call");
+  return result;
+}
+
+Status RpcChannel::notify(BufferList request) {
+  return send_fragmented(next_id_.fetch_add(1), kOneway, std::move(request));
+}
+
+void RpcChannel::on_message(BufferList msg) {
+  BufferList::Cursor cur(msg);
+  std::uint64_t req_id = 0;
+  std::uint8_t flags = 0;
+  if (!decode(req_id, cur) || !decode(flags, cur)) {
+    DLOG(warn, "proxy") << "malformed rpc fragment";
+    return;
+  }
+  BufferList chunk;
+  (void)cur.get_buffer_list(cur.remaining(), chunk);
+
+  const bool is_response = (flags & kResponse) != 0;
+  BufferList full;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    const auto key = std::make_pair(req_id, is_response);
+    auto it = partial_.find(key);
+    if (it != partial_.end()) {
+      it->second.claim_append(chunk);
+      if ((flags & kLastPart) == 0) return;
+      full = std::move(it->second);
+      partial_.erase(it);
+    } else if ((flags & kLastPart) == 0) {
+      partial_[key] = std::move(chunk);
+      return;
+    } else {
+      full = std::move(chunk);
+    }
+  }
+
+  if (is_response) {
+    ResponseCb cb;
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      auto it = pending_.find(req_id);
+      if (it == pending_.end()) return;  // late/duplicate
+      cb = std::move(it->second);
+      pending_.erase(it);
+    }
+    cb(std::move(full));
+    return;
+  }
+
+  if (handler_ == nullptr) {
+    DLOG(warn, "proxy") << "rpc request with no handler installed";
+    return;
+  }
+  const bool oneway = (flags & kOneway) != 0;
+  Responder respond = [this, req_id](BufferList response) {
+    (void)send_fragmented(req_id, kResponse, std::move(response));
+  };
+  handler_(std::move(full), oneway, oneway ? Responder{} : std::move(respond));
+}
+
+}  // namespace doceph::proxy

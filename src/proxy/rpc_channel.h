@@ -1,0 +1,66 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "doca/comm_channel.h"
+#include "sim/env.h"
+
+namespace doceph::proxy {
+
+/// Request/response RPC over a size-capped CommChannel: payloads larger than
+/// one channel message are fragmented and reassembled transparently. One
+/// side acts as client (call/call_async/notify), the other as server
+/// (set_request_handler); both roles may be mixed.
+class RpcChannel {
+ public:
+  RpcChannel(sim::Env& env, doca::CommChannelRef channel);
+
+  /// Install the inbound pump; messages are processed in `center`'s thread.
+  /// Must be called before any traffic arrives.
+  void start(event::EventCenter& center);
+
+  /// Detach from the channel (drops its recv handler). Must be called
+  /// before the EventCenter passed to start() is destroyed.
+  void detach();
+
+  // ---- client role -----------------------------------------------------------
+  using ResponseCb = std::function<void(Result<BufferList>)>;
+  /// Fire a request; `cb` runs in the channel's EventCenter thread when the
+  /// response arrives (or with a status on channel failure).
+  void call_async(BufferList request, ResponseCb cb);
+  /// Blocking call (sim time) with timeout.
+  Result<BufferList> call(BufferList request, sim::Duration timeout);
+  /// One-way request (no response expected).
+  Status notify(BufferList request);
+
+  // ---- server role -----------------------------------------------------------
+  /// `respond` may be invoked from any thread, exactly once (skip for oneway).
+  using Responder = std::function<void(BufferList)>;
+  using RequestHandler = std::function<void(BufferList, bool oneway, Responder)>;
+  void set_request_handler(RequestHandler h) { handler_ = std::move(h); }
+
+  /// Total payload bytes moved through this endpoint (diagnostics).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_.load(); }
+
+ private:
+  enum Flags : std::uint8_t { kResponse = 1, kOneway = 2, kLastPart = 4 };
+
+  Status send_fragmented(std::uint64_t req_id, std::uint8_t flags, BufferList payload);
+  void on_message(BufferList msg);
+
+  sim::Env& env_;
+  doca::CommChannelRef ch_;
+  RequestHandler handler_;
+
+  std::mutex mutex_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::map<std::uint64_t, ResponseCb> pending_;
+  // Reassembly buffers keyed by (req_id, is_response).
+  std::map<std::pair<std::uint64_t, bool>, BufferList> partial_;
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace doceph::proxy

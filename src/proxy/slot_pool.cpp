@@ -1,0 +1,47 @@
+#include "proxy/slot_pool.h"
+
+#include <cassert>
+
+namespace doceph::proxy {
+
+SlotPool::SlotPool(sim::Env& env, int slots, std::size_t slot_size)
+    : env_(env),
+      capacity_(slots),
+      slot_size_(slot_size),
+      dpu_mmap_(std::make_shared<doca::Mmap>(static_cast<std::size_t>(slots) * slot_size)),
+      host_mmap_(std::make_shared<doca::Mmap>(static_cast<std::size_t>(slots) * slot_size)),
+      cv_(env.keeper()) {
+  for (int i = 0; i < slots; ++i) free_.push_back(i);
+}
+
+int SlotPool::acquire() {
+  const sim::Time t0 = env_.now();
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_.wait(lk, [&] { return !free_.empty(); });
+  const int slot = free_.front();
+  free_.pop_front();
+  total_wait_ += env_.now() - t0;
+  return slot;
+}
+
+std::optional<int> SlotPool::try_acquire() {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  if (free_.empty()) return std::nullopt;
+  const int slot = free_.front();
+  free_.pop_front();
+  return slot;
+}
+
+void SlotPool::release(int slot) {
+  assert(slot >= 0 && slot < capacity_);
+  const std::lock_guard<std::mutex> lk(mutex_);
+  free_.push_back(slot);
+  cv_.notify_one();
+}
+
+sim::Duration SlotPool::total_wait_ns() const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return total_wait_;
+}
+
+}  // namespace doceph::proxy

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "doca/mmap.h"
+#include "sim/env.h"
+#include "sim/time_keeper.h"
+
+namespace doceph::proxy {
+
+/// The paired DMA buffers of Fig. 4: slot i is a staging buffer in DPU
+/// memory plus the matching pre-exported write buffer in host memory (the
+/// MR cache — regions negotiated once and reused, paper §3.3). acquire()
+/// blocks when all slots are busy; that blocked time is the "DMA-wait"
+/// component of Table 3.
+class SlotPool {
+ public:
+  SlotPool(sim::Env& env, int slots, std::size_t slot_size);
+
+  /// Block until a slot is free; returns its index.
+  int acquire();
+  /// Non-blocking variant.
+  std::optional<int> try_acquire();
+  void release(int slot);
+
+  [[nodiscard]] int capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t slot_size() const noexcept { return slot_size_; }
+
+  [[nodiscard]] doca::Buf dpu_buf(int slot, std::size_t len) const {
+    return {dpu_mmap_, static_cast<std::size_t>(slot) * slot_size_, len};
+  }
+  [[nodiscard]] doca::Buf host_buf(int slot, std::size_t len) const {
+    return {host_mmap_, static_cast<std::size_t>(slot) * slot_size_, len};
+  }
+  [[nodiscard]] doca::MmapRef host_mmap() const noexcept { return host_mmap_; }
+
+  /// Cumulative simulated time spent blocked in acquire() (DMA-wait).
+  [[nodiscard]] sim::Duration total_wait_ns() const;
+
+ private:
+  sim::Env& env_;
+  int capacity_;
+  std::size_t slot_size_;
+  doca::MmapRef dpu_mmap_;
+  doca::MmapRef host_mmap_;
+
+  mutable std::mutex mutex_;
+  sim::CondVar cv_;
+  std::deque<int> free_;
+  sim::Duration total_wait_ = 0;
+};
+
+}  // namespace doceph::proxy

@@ -1,0 +1,37 @@
+#include "sim/cpu_model.h"
+
+#include <cassert>
+
+#include "sim/exec_context.h"
+
+namespace doceph::sim {
+
+CpuDomain::CpuDomain(TimeKeeper& tk, std::string name, int cores, double speed)
+    : tk_(tk), name_(std::move(name)), cores_(cores), speed_(speed), core_free_(tk) {
+  assert(cores_ > 0 && speed_ > 0.0);
+}
+
+void CpuDomain::charge(Duration work_ns) {
+  if (work_ns <= 0) return;
+  const auto scaled = static_cast<Duration>(static_cast<double>(work_ns) / speed_);
+
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    core_free_.wait(lk, [this] { return busy_threads_ < cores_; });
+    ++busy_threads_;
+  }
+
+  tk_.sleep_for(scaled);
+
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    --busy_threads_;
+  }
+  core_free_.notify_one();
+
+  busy_ns_.fetch_add(static_cast<std::uint64_t>(scaled), std::memory_order_relaxed);
+  if (const auto& stats = ExecContext::current().stats)
+    stats->cpu_ns.fetch_add(static_cast<std::uint64_t>(scaled), std::memory_order_relaxed);
+}
+
+}  // namespace doceph::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "sim/time_keeper.h"
+
+namespace doceph::sim {
+
+/// A pool of modeled CPU cores belonging to one execution domain (the host
+/// of a storage node, or its DPU's ARM complex).
+///
+/// `charge(work)` occupies one core for work/speed of simulated time: the
+/// calling thread queues if all cores are busy, then sleeps for the scaled
+/// duration. Queueing delay and saturation therefore *emerge* exactly as on
+/// real hardware, and cumulative busy time drives the utilization metrics in
+/// Figs. 5 and 7.
+class CpuDomain {
+ public:
+  /// `speed` scales work: 1.0 = reference core; BlueField-3 ARM cores use
+  /// < 1.0, so offloaded work takes proportionally longer there.
+  CpuDomain(TimeKeeper& tk, std::string name, int cores, double speed);
+
+  CpuDomain(const CpuDomain&) = delete;
+  CpuDomain& operator=(const CpuDomain&) = delete;
+
+  /// Consume `work_ns` of reference-core CPU. Blocks (in simulated time) for
+  /// queueing + execution. Accounts to the domain and to the calling
+  /// thread's ThreadStats (from the ambient ExecContext).
+  void charge(Duration work_ns);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int cores() const noexcept { return cores_; }
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+
+  /// Cumulative busy core-nanoseconds (scaled, i.e. as observed on this
+  /// domain's cores). Sample twice and divide by (elapsed * cores) for
+  /// utilization over a window.
+  [[nodiscard]] std::uint64_t busy_ns() const noexcept {
+    return busy_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Utilization in [0,1] over a window given two busy_ns samples.
+  static double utilization(std::uint64_t busy_start, std::uint64_t busy_end,
+                            Duration window, int cores) noexcept {
+    if (window <= 0 || cores <= 0) return 0.0;
+    return static_cast<double>(busy_end - busy_start) /
+           (static_cast<double>(window) * cores);
+  }
+
+ private:
+  TimeKeeper& tk_;
+  std::string name_;
+  int cores_;
+  double speed_;
+
+  std::mutex mutex_;
+  CondVar core_free_;
+  int busy_threads_ = 0;
+  std::atomic<std::uint64_t> busy_ns_{0};
+};
+
+}  // namespace doceph::sim

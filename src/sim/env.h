@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/stats.h"
+#include "sim/thread.h"
+#include "sim/time_keeper.h"
+
+namespace doceph::sim {
+
+/// One simulation universe: clock + thread stats + timed-event service +
+/// seed. Everything in a cluster (fabric, daemons, devices, benches) hangs
+/// off one Env; tests create a fresh Env each and destroy it at the end.
+class Env {
+ public:
+  explicit Env(TimeKeeper::Mode mode = TimeKeeper::Mode::virtual_time,
+               std::uint64_t seed = 42)
+      : keeper_(mode), scheduler_(keeper_, stats_), seed_(seed) {}
+
+  [[nodiscard]] TimeKeeper& keeper() noexcept { return keeper_; }
+  [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
+  [[nodiscard]] EventScheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  [[nodiscard]] Time now() const { return keeper_.now(); }
+
+  /// Spawn a named sim thread bound to a CPU domain (may be null).
+  /// Set `daemon` for service threads that park forever when idle.
+  Thread spawn(std::string name, CpuDomain* domain, std::function<void()> body,
+               bool daemon = false) {
+    return Thread(keeper_, stats_, std::move(name), domain, std::move(body), daemon);
+  }
+
+  /// Block clock advancement while constructing multiple threads/components
+  /// from an unregistered (external) thread.
+  [[nodiscard]] TimeKeeper::AdvanceHold hold() { return TimeKeeper::AdvanceHold(keeper_); }
+
+  /// Derive a deterministic RNG for a component.
+  [[nodiscard]] Rng make_rng(std::uint64_t salt) const {
+    return Rng(Rng::derive_seed(seed_, salt));
+  }
+
+  /// Run `body` to completion on a registered sim thread and join. The
+  /// entry point for drivers (tests, benches, examples): blocking sim
+  /// primitives are only legal on such threads.
+  void run_on_sim_thread(const std::function<void()>& body,
+                         const std::string& name = "driver") {
+    Thread t(keeper_, stats_, name, nullptr, body);
+    t.join();
+  }
+
+ private:
+  TimeKeeper keeper_;
+  StatsRegistry stats_;
+  EventScheduler scheduler_;
+  std::uint64_t seed_;
+};
+
+}  // namespace doceph::sim

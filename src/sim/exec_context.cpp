@@ -1,0 +1,10 @@
+#include "sim/exec_context.h"
+
+namespace doceph::sim {
+
+ExecContext& ExecContext::current() noexcept {
+  thread_local ExecContext ctx;
+  return ctx;
+}
+
+}  // namespace doceph::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/stats.h"
+
+namespace doceph::sim {
+
+class TimeKeeper;
+class CpuDomain;
+
+/// Ambient per-thread execution context, established by sim::Thread (or
+/// manually via ScopedExecContext for externally created threads). Cost
+/// models use it to find the calling thread's CPU domain and stats without
+/// threading them through every call.
+struct ExecContext {
+  TimeKeeper* keeper = nullptr;
+  CpuDomain* domain = nullptr;          ///< may be null (housekeeping threads)
+  std::shared_ptr<ThreadStats> stats;   ///< may be null
+
+  /// Context of the calling thread (default-empty if none installed).
+  static ExecContext& current() noexcept;
+};
+
+/// RAII installation of an ExecContext on the current thread.
+class ScopedExecContext {
+ public:
+  ScopedExecContext(TimeKeeper* keeper, CpuDomain* domain,
+                    std::shared_ptr<ThreadStats> stats) {
+    prev_ = ExecContext::current();
+    ExecContext::current() = ExecContext{keeper, domain, std::move(stats)};
+  }
+  ~ScopedExecContext() { ExecContext::current() = std::move(prev_); }
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext prev_;
+};
+
+}  // namespace doceph::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/time.h"
+
+namespace doceph::sim {
+
+/// A serially reusable device (a link direction, a DMA engine, an SSD write
+/// channel): requests occupy it back-to-back. `reserve` books occupancy and
+/// returns the completion instant; callers schedule their completion events
+/// there. This is the token-bucket equivalent in event-driven form.
+class SerialResource {
+ public:
+  SerialResource() = default;
+
+  /// Book `occupancy` starting no earlier than `now`; returns completion time.
+  Time reserve(Time now, Duration occupancy) {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    const Time start = std::max(now, next_free_);
+    next_free_ = start + std::max<Duration>(occupancy, 0);
+    busy_ns_ += std::max<Duration>(occupancy, 0);
+    return next_free_;
+  }
+
+  /// Earliest instant a new request could start.
+  [[nodiscard]] Time next_free() const {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    return next_free_;
+  }
+
+  /// Cumulative booked occupancy (for utilization reporting).
+  [[nodiscard]] Duration busy_ns() const {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    return busy_ns_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Time next_free_ = 0;
+  Duration busy_ns_ = 0;
+};
+
+/// Occupancy helper: time to move `bytes` at `bytes_per_sec`.
+inline Duration transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes_per_sec <= 0.0) return 0;
+  return static_cast<Duration>(static_cast<double>(bytes) / bytes_per_sec * 1e9);
+}
+
+}  // namespace doceph::sim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace doceph::sim {
+
+/// Deterministic per-component random source. Components derive their own
+/// streams from the environment seed + a stable salt so that adding a
+/// component does not perturb others' sequences.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent stream (splitmix-style mixing of seed and salt).
+  [[nodiscard]] static std::uint64_t derive_seed(std::uint64_t seed,
+                                                 std::uint64_t salt) noexcept {
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace doceph::sim

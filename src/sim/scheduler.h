@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "sim/thread.h"
+#include "sim/time_keeper.h"
+
+namespace doceph::sim {
+
+/// Global timed-callback service: device models (links, DMA engines, disks)
+/// schedule completion callbacks at absolute simulated times. Callbacks run
+/// on the scheduler's own thread, outside its lock, in timestamp order
+/// (FIFO at equal timestamps) — keep them short: flip state, notify a
+/// CondVar, never block.
+class EventScheduler {
+ public:
+  EventScheduler(TimeKeeper& tk, StatsRegistry& stats);
+  ~EventScheduler();
+
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  /// Run `cb` at simulated time `t` (immediately if t is in the past).
+  EventId schedule_at(Time t, Callback cb);
+  EventId schedule_after(Duration d, Callback cb) {
+    return schedule_at(tk_.now() + std::max<Duration>(d, 0), cb);
+  }
+
+  /// Best-effort cancel; returns true if the event had not yet fired.
+  bool cancel(EventId id);
+
+  /// Stop the service; pending events are dropped. Called by the destructor.
+  void stop();
+
+  [[nodiscard]] TimeKeeper& keeper() const noexcept { return tk_; }
+
+ private:
+  void run();
+
+  TimeKeeper& tk_;
+  std::mutex mutex_;
+  CondVar wakeup_;
+  // (time, seq) -> callback: map iteration order gives temporal + FIFO order.
+  std::map<std::pair<Time, EventId>, Callback> queue_;
+  EventId next_id_ = 1;
+  bool stopping_ = false;
+  Thread thread_;  // must be last: starts running in the constructor
+};
+
+}  // namespace doceph::sim

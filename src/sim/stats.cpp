@@ -1,0 +1,79 @@
+#include "sim/stats.h"
+
+namespace doceph::sim {
+
+std::string_view thread_class_name(ThreadClass c) noexcept {
+  switch (c) {
+    case ThreadClass::messenger: return "Messenger";
+    case ThreadClass::objectstore: return "ObjectStore";
+    case ThreadClass::osd: return "OSD";
+    case ThreadClass::client: return "Client";
+    case ThreadClass::other: return "Other";
+  }
+  return "?";
+}
+
+ThreadClass classify_thread_name(std::string_view name) noexcept {
+  if (name.starts_with("msgr-worker-")) return ThreadClass::messenger;
+  if (name.starts_with("bstore_")) return ThreadClass::objectstore;
+  if (name.starts_with("tp_osd_tp")) return ThreadClass::osd;
+  if (name.starts_with("client") || name.starts_with("bench")) return ThreadClass::client;
+  return ThreadClass::other;
+}
+
+std::shared_ptr<ThreadStats> StatsRegistry::add(std::string name, std::string group) {
+  auto stats = std::make_shared<ThreadStats>(std::move(name), std::move(group));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  threads_.push_back(stats);
+  return stats;
+}
+
+std::vector<std::pair<ThreadClass, ClassTotals>> StatsRegistry::totals_by_class(
+    std::string_view group_prefix) const {
+  constexpr int kNumClasses = 5;
+  ClassTotals totals[kNumClasses];
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& t : threads_) {
+      if (!t->group.starts_with(group_prefix)) continue;
+      auto& tot = totals[static_cast<int>(t->cls)];
+      tot.cpu_ns += t->cpu_ns.load(std::memory_order_relaxed);
+      tot.ctx_switches += t->ctx_switches.load(std::memory_order_relaxed);
+      tot.threads++;
+    }
+  }
+  std::vector<std::pair<ThreadClass, ClassTotals>> out;
+  out.reserve(kNumClasses);
+  for (int i = 0; i < kNumClasses; ++i)
+    out.emplace_back(static_cast<ThreadClass>(i), totals[i]);
+  return out;
+}
+
+std::uint64_t StatsRegistry::class_cpu_ns(ThreadClass c,
+                                          std::string_view group_prefix) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& t : threads_)
+    if (t->cls == c && t->group.starts_with(group_prefix))
+      sum += t->cpu_ns.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::uint64_t StatsRegistry::class_ctx_switches(ThreadClass c,
+                                                std::string_view group_prefix) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& t : threads_)
+    if (t->cls == c && t->group.starts_with(group_prefix))
+      sum += t->ctx_switches.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void StatsRegistry::for_each(
+    const std::function<void(const ThreadStats&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& t : threads_) fn(*t);
+}
+
+}  // namespace doceph::sim
+

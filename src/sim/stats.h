@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace doceph::sim {
+
+/// Thread classification, mirroring the paper's perf-based attribution
+/// (§5.2): Ceph thread-naming conventions decide which component a thread's
+/// CPU time belongs to.
+enum class ThreadClass : int {
+  messenger,    ///< "msgr-worker-*"
+  objectstore,  ///< "bstore_*"
+  osd,          ///< "tp_osd_tp*"
+  client,       ///< bench / librados threads
+  other,
+};
+
+std::string_view thread_class_name(ThreadClass c) noexcept;
+
+/// Classify a thread by its name, following Ceph conventions.
+ThreadClass classify_thread_name(std::string_view name) noexcept;
+
+/// Per-thread counters. cpu_ns counts *modeled* CPU work charged through the
+/// CpuModel; ctx_switches counts voluntary blocking events (each time the
+/// thread actually blocks at a wait point), mirroring the kernel's
+/// voluntary_ctxt_switches the paper reads for Table 2.
+struct ThreadStats {
+  std::string name;
+  std::string group;  ///< CPU-domain name ("host-0", "dpu-0", "client", "")
+  ThreadClass cls = ThreadClass::other;
+  std::atomic<std::uint64_t> cpu_ns{0};
+  std::atomic<std::uint64_t> ctx_switches{0};
+
+  explicit ThreadStats(std::string n, std::string g = "")
+      : name(std::move(n)), group(std::move(g)), cls(classify_thread_name(name)) {}
+};
+
+/// Aggregated view of one thread class.
+struct ClassTotals {
+  std::uint64_t cpu_ns = 0;
+  std::uint64_t ctx_switches = 0;
+  int threads = 0;
+};
+
+/// Registry of every sim thread's stats; owned by the SimEnv. Snapshots are
+/// the raw material for Fig. 5 (CPU breakdown) and Table 2 (context switches).
+class StatsRegistry {
+ public:
+  /// Register stats for a (new) thread; the registry keeps them alive for
+  /// the lifetime of the simulation so late snapshots still see exited
+  /// threads' totals. `group` tags the thread's CPU domain so aggregations
+  /// can scope to storage nodes only (Fig. 5 excludes client threads).
+  std::shared_ptr<ThreadStats> add(std::string name, std::string group = "");
+
+  /// Totals per class at this instant, restricted to threads whose group
+  /// starts with `group_prefix` (empty = everything).
+  [[nodiscard]] std::vector<std::pair<ThreadClass, ClassTotals>> totals_by_class(
+      std::string_view group_prefix = "") const;
+
+  /// Sum of cpu_ns over threads of a class (optionally group-scoped).
+  [[nodiscard]] std::uint64_t class_cpu_ns(ThreadClass c,
+                                           std::string_view group_prefix = "") const;
+  [[nodiscard]] std::uint64_t class_ctx_switches(
+      ThreadClass c, std::string_view group_prefix = "") const;
+
+  /// Visit every thread's stats (diagnostics).
+  void for_each(const std::function<void(const ThreadStats&)>& fn) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadStats>> threads_;
+};
+
+}  // namespace doceph::sim

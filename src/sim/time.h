@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace doceph::sim {
+
+/// Simulated time: nanoseconds since simulation start.
+using Time = std::int64_t;
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::max();
+
+inline constexpr Duration operator""_ns(unsigned long long v) {
+  return static_cast<Duration>(v);
+}
+inline constexpr Duration operator""_us(unsigned long long v) {
+  return static_cast<Duration>(v) * 1000;
+}
+inline constexpr Duration operator""_ms(unsigned long long v) {
+  return static_cast<Duration>(v) * 1000 * 1000;
+}
+inline constexpr Duration operator""_s(unsigned long long v) {
+  return static_cast<Duration>(v) * 1000 * 1000 * 1000;
+}
+
+inline constexpr double to_seconds(Duration d) { return static_cast<double>(d) * 1e-9; }
+inline constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9);
+}
+
+}  // namespace doceph::sim

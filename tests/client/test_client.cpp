@@ -1,0 +1,163 @@
+// Client-library semantics against a live (baseline) cluster: aio
+// completion behaviour, error propagation, object lifecycle corner cases,
+// and the bench harness itself.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "client/rados_bench.h"
+#include "cluster/cluster.h"
+
+namespace doceph::client {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::pattern;
+using doceph::testing::run_sim;
+
+struct ClientFixture {
+  Env env;
+  cluster::Cluster cl;
+
+  ClientFixture()
+      : cl(env, [] {
+          auto cfg = cluster::ClusterConfig::paper_testbed(
+              cluster::DeployMode::baseline, cluster::NetworkKind::gbe_100, true);
+          cfg.pg_num = 16;
+          return cfg;
+        }()) {}
+};
+
+TEST(Client, AioCompletionLifecycle) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    auto io = f.cl.client().io_ctx(1);
+    auto c = io.aio_write_full("obj", BufferList::copy_of(pattern(1 << 20)));
+    // wait() is idempotent and status() is stable afterwards.
+    EXPECT_TRUE(c->wait().ok());
+    EXPECT_TRUE(c->complete());
+    EXPECT_TRUE(c->status().ok());
+    EXPECT_TRUE(c->wait().ok());
+    f.cl.stop();
+  });
+}
+
+TEST(Client, ReadOfMissingObjectFails) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    auto io = f.cl.client().io_ctx(1);
+    EXPECT_EQ(io.read("ghost", 0, 0).status().code(), Errc::not_found);
+    EXPECT_EQ(io.stat("ghost").status().code(), Errc::not_found);
+    f.cl.stop();
+  });
+}
+
+TEST(Client, RemoveIsIdempotentAcrossStates) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    auto io = f.cl.client().io_ctx(1);
+    ASSERT_TRUE(io.write_full("o", BufferList::copy_of("x")).ok());
+    EXPECT_TRUE(io.remove("o").ok());
+    EXPECT_EQ(io.read("o", 0, 0).status().code(), Errc::not_found);
+    // Removing a missing object commits an (empty) remove — like rados.
+    EXPECT_TRUE(io.remove("o").ok());
+    f.cl.stop();
+  });
+}
+
+TEST(Client, PartialWriteThenReadBack) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    auto io = f.cl.client().io_ctx(1);
+    ASSERT_TRUE(io.write_full("p", BufferList::copy_of(std::string(1000, 'a'))).ok());
+    ASSERT_TRUE(io.write("p", 500, BufferList::copy_of(std::string(100, 'b'))).ok());
+    auto r = io.read("p", 490, 120);
+    ASSERT_TRUE(r.ok());
+    std::string expect = std::string(10, 'a') + std::string(100, 'b') +
+                         std::string(10, 'a');
+    EXPECT_EQ(r->to_string(), expect);
+    // Write past the end extends with zeros.
+    ASSERT_TRUE(io.write("p", 2000, BufferList::copy_of("tail")).ok());
+    auto st = io.stat("p");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->size, 2004u);
+    f.cl.stop();
+  });
+}
+
+TEST(Client, ZeroByteObject) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    auto io = f.cl.client().io_ctx(1);
+    ASSERT_TRUE(io.write_full("empty", BufferList{}).ok());
+    auto st = io.stat("empty");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->size, 0u);
+    auto r = io.read("empty", 0, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->empty());
+    f.cl.stop();
+  });
+}
+
+TEST(Client, ManyAioCompletionsResolveIndependently) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    auto io = f.cl.client().io_ctx(1);
+    std::vector<AioCompletionRef> cs;
+    for (int i = 0; i < 24; ++i)
+      cs.push_back(io.aio_write_full("m" + std::to_string(i),
+                                     BufferList::copy_of(pattern(64 << 10,
+                                                                 static_cast<unsigned>(i)))));
+    // Wait in reverse order: completions are independent of wait order.
+    for (int i = 23; i >= 0; --i) EXPECT_TRUE(cs[static_cast<std::size_t>(i)]->wait().ok());
+    // Read a sample back via aio too.
+    auto rc = io.aio_read("m7", 0, 0);
+    EXPECT_TRUE(rc->wait().ok());
+    EXPECT_EQ(rc->data().to_string(), pattern(64 << 10, 7));
+    f.cl.stop();
+  });
+}
+
+TEST(Client, BenchProducesConsistentAccounting) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    BenchConfig cfg;
+    cfg.concurrency = 4;
+    cfg.object_size = 256 << 10;
+    cfg.duration = 500'000'000;  // 0.5 s
+    RadosBench bench(f.cl.client(), cfg);
+    const auto r = bench.run(&f.cl.client_cpu());
+    EXPECT_EQ(r.ops, r.latency.count);
+    EXPECT_GT(r.ops, 0u);
+    EXPECT_GE(r.seconds, 0.5);
+    EXPECT_GT(r.avg_latency_s(), 0.0);
+    EXPECT_GE(r.p99_latency_s(), r.avg_latency_s() * 0.5);
+    EXPECT_NEAR(r.iops() * r.avg_latency_s(), 4.0, 2.0);  // Little's law, c=4
+    f.cl.stop();
+  });
+}
+
+TEST(Client, MonCommandRoundTrip) {
+  ClientFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.cl.start().ok());
+    auto ok = f.cl.client().mon_command({"create_pool", "7", "extra", "8", "2"});
+    EXPECT_TRUE(ok.ok());
+    auto bad = f.cl.client().mon_command({"no-such-command"});
+    EXPECT_FALSE(bad.ok());
+    // The new pool is usable.
+    auto io = f.cl.client().io_ctx(7);
+    EXPECT_TRUE(io.write_full("in-new-pool", BufferList::copy_of("y")).ok());
+    f.cl.stop();
+  });
+}
+
+}  // namespace
+}  // namespace doceph::client

@@ -1,0 +1,42 @@
+// Calibration sweep: key metrics for both modes across the paper's sizes.
+#include <cstdio>
+#include <cstdlib>
+
+#include "benchcore/experiment.h"
+#include "benchcore/paper.h"
+
+using namespace doceph;
+using namespace doceph::benchcore;
+
+int main(int argc, char** argv) {
+  const sim::Duration measure =
+      argc > 1 ? static_cast<sim::Duration>(atof(argv[1]) * 1e9) : 3'000'000'000;
+
+  for (int i = 0; i < paper::kNumSizes; ++i) {
+    for (const auto mode :
+         {cluster::DeployMode::baseline, cluster::DeployMode::doceph}) {
+      RunSpec spec;
+      spec.mode = mode;
+      spec.object_size = paper::kSizes[i];
+      spec.measure = measure;
+      const auto r = run_experiment(spec);
+      std::printf(
+          "%5s %-8s iops=%6.1f lat=%.4f host=%.3f dpu=%.3f msgr%%=%.1f os%%=%.1f "
+          "osd%%=%.1f ceph_cores=%.3f ctxM=%llu ctxO=%llu\n",
+          paper::kSizeNames[i],
+          mode == cluster::DeployMode::baseline ? "base" : "doceph", r.iops,
+          r.avg_lat_s, r.host_cores, r.dpu_cores, r.share_messenger * 100,
+          r.share_objectstore * 100, r.share_osd * 100, r.total_ceph_cores,
+          (unsigned long long)r.ctx_messenger, (unsigned long long)r.ctx_objectstore);
+      if (mode == cluster::DeployMode::doceph) {
+        std::printf(
+            "      breakdown: host_w=%.4f dma=%.4f dma_wait=%.4f others=%.4f "
+            "total=%.4f\n",
+            r.bd_host_write_s, r.bd_dma_s, r.bd_dma_wait_s, r.bd_others_s,
+            r.bd_total_s);
+      }
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "client/rados_bench.h"
+
+namespace doceph::cluster {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::pattern;
+using doceph::testing::run_sim;
+
+ClusterConfig small_cfg(DeployMode mode) {
+  auto cfg = ClusterConfig::paper_testbed(mode, NetworkKind::gbe_100,
+                                          /*retain_data=*/true);
+  cfg.pg_num = 16;
+  return cfg;
+}
+
+class IntegrationTest : public ::testing::TestWithParam<DeployMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, IntegrationTest,
+                         ::testing::Values(DeployMode::baseline, DeployMode::doceph),
+                         [](const auto& info) {
+                           return info.param == DeployMode::baseline ? "Baseline"
+                                                                     : "DoCeph";
+                         });
+
+TEST_P(IntegrationTest, WriteReadStatRemove) {
+  Env env;
+  Cluster cluster(env, small_cfg(GetParam()));
+  run_sim(env, [&] {
+    ASSERT_TRUE(cluster.start().ok());
+    auto io = cluster.client().io_ctx(1);
+
+    const std::string payload = pattern(3 << 20);
+    ASSERT_TRUE(io.write_full("objA", BufferList::copy_of(payload)).ok());
+
+    auto read = io.read("objA", 0, 0);
+    ASSERT_TRUE(read.ok()) << read.status().to_string();
+    EXPECT_EQ(read->to_string(), payload);
+
+    auto part = io.read("objA", 1 << 20, 4096);
+    ASSERT_TRUE(part.ok());
+    EXPECT_EQ(part->to_string(), payload.substr(1 << 20, 4096));
+
+    auto st = io.stat("objA");
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->size, payload.size());
+
+    ASSERT_TRUE(io.remove("objA").ok());
+    EXPECT_EQ(io.read("objA", 0, 0).status().code(), Errc::not_found);
+    EXPECT_EQ(io.stat("missing").status().code(), Errc::not_found);
+    cluster.stop();
+  });
+}
+
+TEST_P(IntegrationTest, DataIsReplicatedToBothOsds) {
+  Env env;
+  Cluster cluster(env, small_cfg(GetParam()));
+  run_sim(env, [&] {
+    ASSERT_TRUE(cluster.start().ok());
+    auto io = cluster.client().io_ctx(1);
+    const std::string payload = pattern(1 << 20, 5);
+    ASSERT_TRUE(io.write_full("replicated", BufferList::copy_of(payload)).ok());
+
+    // With size=2 over 2 OSDs, both host stores hold the object.
+    const auto pg = cluster.monitor().current_map().object_to_pg(1, "replicated");
+    int copies = 0;
+    for (int i = 0; i < cluster.num_nodes(); ++i) {
+      auto r = cluster.blue_store(i).read(pg.to_coll(), {1, "replicated"}, 0, 0);
+      if (r.ok() && r->to_string() == payload) copies++;
+    }
+    EXPECT_EQ(copies, 2);
+    cluster.stop();
+  });
+}
+
+TEST_P(IntegrationTest, ManyObjectsManyClientsConcurrently) {
+  Env env;
+  Cluster cluster(env, small_cfg(GetParam()));
+  run_sim(env, [&] {
+    ASSERT_TRUE(cluster.start().ok());
+    auto io = cluster.client().io_ctx(1);
+    constexpr int kOps = 40;
+    std::vector<client::AioCompletionRef> completions;
+    completions.reserve(kOps);
+    for (int i = 0; i < kOps; ++i) {
+      completions.push_back(io.aio_write_full(
+          "obj" + std::to_string(i),
+          BufferList::copy_of(pattern(256 << 10, static_cast<unsigned>(i)))));
+    }
+    for (auto& c : completions) EXPECT_TRUE(c->wait().ok());
+    for (int i = 0; i < kOps; i += 7) {
+      auto r = io.read("obj" + std::to_string(i), 0, 0);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->to_string(), pattern(256 << 10, static_cast<unsigned>(i)));
+    }
+    cluster.stop();
+  });
+}
+
+TEST_P(IntegrationTest, SameObjectSequentialOverwrites) {
+  Env env;
+  Cluster cluster(env, small_cfg(GetParam()));
+  run_sim(env, [&] {
+    ASSERT_TRUE(cluster.start().ok());
+    auto io = cluster.client().io_ctx(1);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(io.write_full("same", BufferList::copy_of(pattern(
+                                            1 << 20, static_cast<unsigned>(i))))
+                      .ok());
+    }
+    auto r = io.read("same", 0, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->to_string(), pattern(1 << 20, 4));
+    cluster.stop();
+  });
+}
+
+TEST_P(IntegrationTest, BenchSmokeRun) {
+  Env env;
+  auto cfg = small_cfg(GetParam());
+  cfg.retain_data = false;  // bench mode
+  Cluster cluster(env, cfg);
+  run_sim(env, [&] {
+    ASSERT_TRUE(cluster.start().ok());
+    client::BenchConfig bcfg;
+    bcfg.concurrency = 8;
+    bcfg.object_size = 1 << 20;
+    bcfg.duration = 2'000'000'000;  // 2 s
+    client::RadosBench bench(cluster.client(), bcfg);
+    const auto result = bench.run(&cluster.client_cpu());
+    EXPECT_GT(result.ops, 100u);       // sane throughput
+    EXPECT_GT(result.iops(), 50.0);
+    EXPECT_GT(result.avg_latency_s(), 0.0);
+    cluster.stop();
+  });
+}
+
+TEST_P(IntegrationTest, HostCpuAccountingMatchesMode) {
+  Env env;
+  auto cfg = small_cfg(GetParam());
+  cfg.retain_data = false;
+  Cluster cluster(env, cfg);
+  run_sim(env, [&] {
+    ASSERT_TRUE(cluster.start().ok());
+    client::BenchConfig bcfg;
+    bcfg.concurrency = 8;
+    bcfg.object_size = 4 << 20;
+    bcfg.duration = 2'000'000'000;
+    const auto s0 = cluster.cpu_sample();
+    client::RadosBench bench(cluster.client(), bcfg);
+    (void)bench.run(&cluster.client_cpu());
+    const auto s1 = cluster.cpu_sample();
+    const double host = cluster.host_cores_used(s0, s1);
+    const double dpu = cluster.dpu_cores_used(s0, s1);
+    if (GetParam() == DeployMode::baseline) {
+      EXPECT_GT(host, 0.2);   // messenger burns host CPU
+      EXPECT_EQ(dpu, 0.0);
+    } else {
+      EXPECT_LT(host, 0.3);   // only BlueStore + backend remain
+      EXPECT_GT(dpu, 0.1);    // the OSD moved to the DPU
+      EXPECT_GT(dpu, host);
+    }
+    cluster.stop();
+  });
+}
+
+TEST(ClusterFailover, OsdFailureIsDetectedAndWritesContinue) {
+  Env env;
+  auto cfg = small_cfg(DeployMode::baseline);
+  cfg.osd_template.heartbeat_grace = 2'000'000'000;
+  Cluster cluster(env, cfg);
+  run_sim(env, [&] {
+    ASSERT_TRUE(cluster.start().ok());
+    auto io = cluster.client().io_ctx(1);
+    ASSERT_TRUE(io.write_full("pre-failure", BufferList::copy_of("v1")).ok());
+
+    // Kill osd.1; osd.0's heartbeats stop being answered, it reports the
+    // failure, the MON republishes, and all PGs re-home to osd.0.
+    cluster.osd(1).shutdown();
+    const auto epoch_before = cluster.monitor().epoch();
+    while (cluster.monitor().current_map().is_up(1)) {
+      env.keeper().sleep_for(200'000'000);
+    }
+    EXPECT_GT(cluster.monitor().epoch(), epoch_before);
+
+    // Writes keep working (degraded, single replica).
+    ASSERT_TRUE(io.write_full("post-failure", BufferList::copy_of("v2")).ok());
+    auto r = io.read("post-failure", 0, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->to_string(), "v2");
+    cluster.stop();
+  });
+}
+
+}  // namespace
+}  // namespace doceph::cluster

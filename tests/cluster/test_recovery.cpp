@@ -1,0 +1,145 @@
+// Failure/recovery integration: an OSD dies mid-life, the cluster degrades
+// but keeps serving, the OSD returns, and scan-based recovery pushes it the
+// objects it missed until both replicas agree byte-for-byte.
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "cluster/cluster.h"
+
+namespace doceph::cluster {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::pattern;
+using doceph::testing::run_sim;
+
+ClusterConfig recovery_cfg(DeployMode mode) {
+  auto cfg = ClusterConfig::paper_testbed(mode, NetworkKind::gbe_100,
+                                          /*retain_data=*/true);
+  cfg.pg_num = 8;
+  cfg.osd_template.heartbeat_grace = 2'000'000'000;
+  cfg.osd_template.recovery_quiesce = 500'000'000;
+  cfg.osd_template.tick_interval = 250'000'000;
+  return cfg;
+}
+
+class RecoveryTest : public ::testing::TestWithParam<DeployMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, RecoveryTest,
+                         ::testing::Values(DeployMode::baseline, DeployMode::doceph),
+                         [](const auto& info) {
+                           return info.param == DeployMode::baseline ? "Baseline"
+                                                                     : "DoCeph";
+                         });
+
+TEST_P(RecoveryTest, RejoiningOsdCatchesUp) {
+  Env env;
+  Cluster cl(env, recovery_cfg(GetParam()));
+  run_sim(env, [&] {
+    ASSERT_TRUE(cl.start().ok());
+    auto io = cl.client().io_ctx(1);
+
+    // Phase 1: both OSDs healthy.
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(io.write_full("obj" + std::to_string(i),
+                                BufferList::copy_of(pattern(256 << 10,
+                                                            static_cast<unsigned>(i))))
+                      .ok());
+    }
+
+    // Phase 2: osd.1 dies; the MON notices via osd.0's failure report.
+    cl.osd(1).shutdown();
+    while (cl.monitor().current_map().is_up(1))
+      env.keeper().sleep_for(200'000'000);
+
+    // Degraded writes + an overwrite of existing data osd.1 will have stale.
+    for (int i = 6; i < 10; ++i) {
+      ASSERT_TRUE(io.write_full("obj" + std::to_string(i),
+                                BufferList::copy_of(pattern(256 << 10,
+                                                            static_cast<unsigned>(i))))
+                      .ok());
+    }
+    ASSERT_TRUE(
+        io.write_full("obj0", BufferList::copy_of(pattern(256 << 10, 100))).ok());
+
+    // Phase 3: osd.1 rejoins and recovery converges once the PGs quiesce.
+    ASSERT_TRUE(cl.restart_osd(1).ok());
+    while (!cl.monitor().current_map().is_up(1))
+      env.keeper().sleep_for(200'000'000);
+    cl.wait_all_clean();
+
+    // Every object must now be identical on BOTH hosts' stores.
+    const auto map = cl.monitor().current_map();
+    for (int i = 0; i < 10; ++i) {
+      const std::string name = "obj" + std::to_string(i);
+      const auto pg = map.object_to_pg(1, name);
+      const std::string expect =
+          i == 0 ? pattern(256 << 10, 100) : pattern(256 << 10, static_cast<unsigned>(i));
+      for (int n = 0; n < cl.num_nodes(); ++n) {
+        auto r = cl.blue_store(n).read(pg.to_coll(), {1, name}, 0, 0);
+        ASSERT_TRUE(r.ok()) << "node " << n << " obj " << i << ": "
+                            << r.status().to_string();
+        EXPECT_EQ(r->to_string(), expect) << "node " << n << " obj " << i;
+      }
+    }
+    cl.stop();
+  });
+}
+
+TEST_P(RecoveryTest, DeletedObjectsAreRemovedFromRejoiner) {
+  Env env;
+  Cluster cl(env, recovery_cfg(GetParam()));
+  run_sim(env, [&] {
+    ASSERT_TRUE(cl.start().ok());
+    auto io = cl.client().io_ctx(1);
+    ASSERT_TRUE(io.write_full("doomed", BufferList::copy_of(pattern(64 << 10))).ok());
+    ASSERT_TRUE(io.write_full("keeper", BufferList::copy_of(pattern(64 << 10, 2))).ok());
+
+    cl.osd(1).shutdown();
+    while (cl.monitor().current_map().is_up(1))
+      env.keeper().sleep_for(200'000'000);
+
+    // Deleted while osd.1 is down: its stale copy must be scrubbed on rejoin.
+    ASSERT_TRUE(io.remove("doomed").ok());
+
+    ASSERT_TRUE(cl.restart_osd(1).ok());
+    cl.wait_all_clean();
+
+    const auto map = cl.monitor().current_map();
+    const auto pg = map.object_to_pg(1, "doomed");
+    EXPECT_FALSE(cl.blue_store(1).exists(pg.to_coll(), {1, "doomed"}));
+    const auto pg2 = map.object_to_pg(1, "keeper");
+    EXPECT_TRUE(cl.blue_store(1).exists(pg2.to_coll(), {1, "keeper"}));
+    cl.stop();
+  });
+}
+
+TEST(RecoveryClientView, FailoverIsTransparentToTheClient) {
+  Env env;
+  Cluster cl(env, recovery_cfg(DeployMode::baseline));
+  run_sim(env, [&] {
+    ASSERT_TRUE(cl.start().ok());
+    auto io = cl.client().io_ctx(1);
+    ASSERT_TRUE(io.write_full("stable", BufferList::copy_of("v1")).ok());
+
+    cl.osd(1).shutdown();
+    while (cl.monitor().current_map().is_up(1))
+      env.keeper().sleep_for(200'000'000);
+
+    // Reads and writes keep working regardless of which OSD led each PG.
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "post" + std::to_string(i);
+      ASSERT_TRUE(io.write_full(name, BufferList::copy_of(name)).ok());
+      auto r = io.read(name, 0, 0);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r->to_string(), name);
+    }
+    auto r = io.read("stable", 0, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->to_string(), "v1");
+    cl.stop();
+  });
+}
+
+}  // namespace
+}  // namespace doceph::cluster

@@ -1,0 +1,161 @@
+#include "common/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace doceph {
+namespace {
+
+template <typename T>
+T round_trip(const T& in) {
+  const BufferList bl = encode_to_bl(in);
+  T out{};
+  EXPECT_TRUE(decode_from_bl(out, bl));
+  return out;
+}
+
+TEST(Encoding, IntegersLittleEndianFixedWidth) {
+  BufferList bl;
+  encode(static_cast<std::uint32_t>(0x01020304), bl);
+  EXPECT_EQ(bl.length(), 4u);
+  const std::string raw = bl.to_string();
+  EXPECT_EQ(raw[0], '\x04');
+  EXPECT_EQ(raw[3], '\x01');
+}
+
+TEST(Encoding, IntegerRoundTrips) {
+  EXPECT_EQ(round_trip<std::uint8_t>(0xAB), 0xAB);
+  EXPECT_EQ(round_trip<std::uint16_t>(0xBEEF), 0xBEEF);
+  EXPECT_EQ(round_trip<std::uint32_t>(0xDEADBEEF), 0xDEADBEEFu);
+  EXPECT_EQ(round_trip<std::uint64_t>(0x0123456789ABCDEFull), 0x0123456789ABCDEFull);
+  EXPECT_EQ(round_trip<std::int64_t>(-42), -42);
+  EXPECT_EQ(round_trip<std::int32_t>(-1), -1);
+}
+
+TEST(Encoding, BoolAndDouble) {
+  EXPECT_EQ(round_trip(true), true);
+  EXPECT_EQ(round_trip(false), false);
+  EXPECT_DOUBLE_EQ(round_trip(3.14159), 3.14159);
+  EXPECT_DOUBLE_EQ(round_trip(-0.0), -0.0);
+}
+
+enum class Color : std::uint8_t { red = 1, green = 2 };
+
+TEST(Encoding, Enum) {
+  BufferList bl = encode_to_bl(Color::green);
+  EXPECT_EQ(bl.length(), 1u);
+  EXPECT_EQ(round_trip(Color::red), Color::red);
+}
+
+TEST(Encoding, Strings) {
+  EXPECT_EQ(round_trip(std::string("")), "");
+  EXPECT_EQ(round_trip(std::string("hello")), "hello");
+  EXPECT_EQ(round_trip(std::string(100000, 'z')), std::string(100000, 'z'));
+}
+
+TEST(Encoding, NestedBufferListZeroCopyDecode) {
+  BufferList payload;
+  payload.append(std::string(4096, 'p'));
+  BufferList bl;
+  encode(payload, bl);
+  encode(std::string("tail"), bl);
+
+  BufferList::Cursor cur(bl);
+  BufferList out;
+  ASSERT_TRUE(decode(out, cur));
+  EXPECT_EQ(out.length(), 4096u);
+  std::string tail;
+  ASSERT_TRUE(decode(tail, cur));
+  EXPECT_EQ(tail, "tail");
+}
+
+TEST(Encoding, Containers) {
+  const std::vector<std::uint32_t> v{1, 2, 3, 0xFFFFFFFF};
+  EXPECT_EQ(round_trip(v), v);
+
+  const std::map<std::string, std::uint64_t> m{{"a", 1}, {"bb", 22}};
+  EXPECT_EQ(round_trip(m), m);
+
+  const std::vector<std::string> empty;
+  EXPECT_EQ(round_trip(empty), empty);
+
+  const std::pair<std::string, std::uint8_t> p{"k", 9};
+  EXPECT_EQ(round_trip(p), p);
+
+  std::optional<std::string> some = "present";
+  EXPECT_EQ(round_trip(some), some);
+  std::optional<std::string> none;
+  EXPECT_EQ(round_trip(none), none);
+}
+
+struct Point {
+  std::int32_t x = 0, y = 0;
+  void encode(BufferList& bl) const {
+    doceph::encode(x, bl);
+    doceph::encode(y, bl);
+  }
+  bool decode(BufferList::Cursor& cur) {
+    return doceph::decode(x, cur) && doceph::decode(y, cur);
+  }
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+TEST(Encoding, MemberEncodableStruct) {
+  const Point p{-3, 99};
+  EXPECT_EQ(round_trip(p), p);
+  const std::vector<Point> pts{{1, 2}, {3, 4}};
+  EXPECT_EQ(round_trip(pts), pts);
+  const std::map<std::string, Point> named{{"origin", {0, 0}}};
+  EXPECT_EQ(round_trip(named), named);
+}
+
+TEST(Encoding, TruncatedInputFailsCleanly) {
+  BufferList bl = encode_to_bl(std::string("hello world"));
+  for (std::size_t cut = 0; cut < bl.length(); ++cut) {
+    BufferList trunc = bl.substr(0, cut);
+    std::string out;
+    EXPECT_FALSE(decode_from_bl(out, trunc)) << "cut at " << cut;
+  }
+}
+
+TEST(Encoding, HostileVectorLengthRejected) {
+  // A length prefix far beyond the remaining bytes must not allocate wildly.
+  BufferList bl;
+  encode(static_cast<std::uint32_t>(0x7FFFFFFF), bl);
+  std::vector<std::uint64_t> v;
+  EXPECT_FALSE(decode_from_bl(v, bl));
+}
+
+TEST(Encoding, TruncatedStructFails) {
+  BufferList bl = encode_to_bl(Point{5, 6});
+  BufferList trunc = bl.substr(0, 6);
+  Point p;
+  EXPECT_FALSE(decode_from_bl(p, trunc));
+}
+
+TEST(Encoding, SequentialFieldsDecodeInOrder) {
+  BufferList bl;
+  encode(std::uint16_t{7}, bl);
+  encode(std::string("mid"), bl);
+  encode(std::uint64_t{1ull << 40}, bl);
+
+  BufferList::Cursor cur(bl);
+  std::uint16_t a = 0;
+  std::string b;
+  std::uint64_t c = 0;
+  ASSERT_TRUE(decode(a, cur));
+  ASSERT_TRUE(decode(b, cur));
+  ASSERT_TRUE(decode(c, cur));
+  EXPECT_EQ(a, 7);
+  EXPECT_EQ(b, "mid");
+  EXPECT_EQ(c, 1ull << 40);
+  EXPECT_EQ(cur.remaining(), 0u);
+}
+
+}  // namespace
+}  // namespace doceph

@@ -1,0 +1,118 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace doceph {
+namespace {
+
+TEST(Histogram, EmptySnapshot) {
+  Histogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (std::uint64_t v : {10u, 20u, 30u, 40u}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 100u);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 40u);
+  EXPECT_DOUBLE_EQ(s.mean(), 25.0);
+}
+
+TEST(Histogram, QuantilesApproximate) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const auto s = h.snapshot();
+  // Log buckets give coarse but bounded estimates: within a factor of ~1.6.
+  const double p50 = s.quantile(0.5);
+  EXPECT_GT(p50, 300.0);
+  EXPECT_LT(p50, 800.0);
+  const double p99 = s.quantile(0.99);
+  EXPECT_GT(p99, 700.0);
+  EXPECT_LE(p99, 1100.0);
+  EXPECT_LE(s.quantile(1.0), static_cast<double>(s.max) + 1);
+}
+
+TEST(Histogram, ZeroAndOneAreExact) {
+  Histogram h;
+  h.record(0);
+  h.record(0);
+  h.record(1);
+  const auto s = h.snapshot();
+  EXPECT_LT(s.quantile(0.3), 0.5);
+  EXPECT_LE(s.quantile(0.99), 1.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+  h.record(7);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, 7u);
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  a.record(1);
+  a.record(100);
+  b.record(50);
+  a.merge(b);
+  const auto s = a.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 151u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+}
+
+TEST(Histogram, MergeIntoEmptyTakesMin) {
+  Histogram a, b;
+  b.record(9);
+  a.merge(b);
+  EXPECT_EQ(a.snapshot().min, 9u);
+}
+
+TEST(Histogram, BucketBoundsMonotonic) {
+  std::uint64_t prev = 0;
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    const auto ub = Histogram::bucket_upper_bound(i);
+    EXPECT_GT(ub, prev) << "bucket " << i;
+    prev = ub;
+  }
+}
+
+TEST(Histogram, ConcurrentRecording) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4, kPer = 10000;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPer; ++i) h.record(static_cast<std::uint64_t>(i));
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.snapshot().count, static_cast<std::uint64_t>(kThreads * kPer));
+}
+
+TEST(Histogram, VeryLargeValues) {
+  Histogram h;
+  h.record(~0ull);
+  h.record(1ull << 62);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.max, ~0ull);
+  EXPECT_GT(s.quantile(0.9), 0.0);
+}
+
+}  // namespace
+}  // namespace doceph

@@ -1,0 +1,165 @@
+#include "common/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace doceph {
+namespace {
+
+TEST(IntervalSet, EmptyBasics) {
+  IntervalSet<> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.intersects(0, 100));
+  EXPECT_TRUE(s.contains(5, 0));  // empty range trivially contained
+}
+
+TEST(IntervalSet, InsertAndContains) {
+  IntervalSet<> s;
+  s.insert(10, 5);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(14));
+  EXPECT_FALSE(s.contains(15));
+  EXPECT_FALSE(s.contains(9));
+  EXPECT_TRUE(s.contains(10, 5));
+  EXPECT_FALSE(s.contains(10, 6));
+}
+
+TEST(IntervalSet, CoalescesAdjacent) {
+  IntervalSet<> s;
+  s.insert(0, 10);
+  s.insert(20, 10);
+  EXPECT_EQ(s.num_intervals(), 2u);
+  s.insert(10, 10);  // bridges both
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_TRUE(s.contains(0, 30));
+}
+
+TEST(IntervalSet, CoalescePrevOnly) {
+  IntervalSet<> s;
+  s.insert(0, 10);
+  s.insert(10, 5);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_TRUE(s.contains(0, 15));
+}
+
+TEST(IntervalSet, CoalesceNextOnly) {
+  IntervalSet<> s;
+  s.insert(10, 5);
+  s.insert(5, 5);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_TRUE(s.contains(5, 10));
+}
+
+TEST(IntervalSet, Intersects) {
+  IntervalSet<> s;
+  s.insert(10, 10);
+  EXPECT_TRUE(s.intersects(15, 1));
+  EXPECT_TRUE(s.intersects(5, 6));
+  EXPECT_TRUE(s.intersects(19, 5));
+  EXPECT_FALSE(s.intersects(20, 5));
+  EXPECT_FALSE(s.intersects(0, 10));
+  EXPECT_FALSE(s.intersects(15, 0));
+}
+
+TEST(IntervalSet, EraseMiddleSplits) {
+  IntervalSet<> s;
+  s.insert(0, 100);
+  s.erase(40, 20);
+  EXPECT_EQ(s.num_intervals(), 2u);
+  EXPECT_EQ(s.size(), 80u);
+  EXPECT_TRUE(s.contains(0, 40));
+  EXPECT_TRUE(s.contains(60, 40));
+  EXPECT_FALSE(s.intersects(40, 20));
+}
+
+TEST(IntervalSet, EraseEndsTrim) {
+  IntervalSet<> s;
+  s.insert(0, 100);
+  s.erase(0, 10);
+  s.erase(90, 10);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_TRUE(s.contains(10, 80));
+}
+
+TEST(IntervalSet, EraseWholeInterval) {
+  IntervalSet<> s;
+  s.insert(5, 5);
+  s.insert(20, 5);
+  s.erase(5, 5);
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_FALSE(s.intersects(5, 5));
+}
+
+TEST(IntervalSet, UnionInsertOverlapping) {
+  IntervalSet<> s;
+  s.insert(10, 10);
+  s.union_insert(5, 20);  // covers [5,25), overlapping [10,20)
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_TRUE(s.contains(5, 20));
+}
+
+TEST(IntervalSet, UnionInsertSpanningGaps) {
+  IntervalSet<> s;
+  s.insert(0, 5);
+  s.insert(10, 5);
+  s.insert(20, 5);
+  s.union_insert(3, 20);  // [3,23)
+  EXPECT_EQ(s.num_intervals(), 1u);
+  EXPECT_TRUE(s.contains(0, 25));
+}
+
+TEST(IntervalSet, FindFirstFit) {
+  IntervalSet<> s;
+  s.insert(0, 3);
+  s.insert(10, 8);
+  s.insert(30, 100);
+  auto it = s.find_first_fit(5);
+  ASSERT_NE(it, s.end());
+  EXPECT_EQ(it->first, 10u);
+  it = s.find_first_fit(50);
+  ASSERT_NE(it, s.end());
+  EXPECT_EQ(it->first, 30u);
+  EXPECT_EQ(s.find_first_fit(1000), s.end());
+}
+
+// Property test: interleaved alloc/free against a reference bitmap.
+TEST(IntervalSet, RandomizedAgainstBitmap) {
+  constexpr std::size_t kSpace = 2048;
+  IntervalSet<> s;
+  std::vector<bool> ref(kSpace, false);
+  std::mt19937 rng(1234);
+
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::size_t off = rng() % kSpace;
+    const std::size_t len = 1 + rng() % 32;
+    if (off + len > kSpace) continue;
+    bool any = false, all = true;
+    for (std::size_t i = off; i < off + len; ++i) {
+      any |= ref[i];
+      all &= ref[i];
+    }
+    EXPECT_EQ(s.intersects(off, len), any) << off << "+" << len;
+    EXPECT_EQ(s.contains(off, len), all);
+    if (rng() % 2 == 0) {
+      if (!any) {
+        s.insert(off, len);
+        for (std::size_t i = off; i < off + len; ++i) ref[i] = true;
+      }
+    } else if (all) {
+      s.erase(off, len);
+      for (std::size_t i = off; i < off + len; ++i) ref[i] = false;
+    }
+  }
+  std::size_t expect_size = 0;
+  for (bool b : ref) expect_size += b ? 1 : 0;
+  EXPECT_EQ(s.size(), expect_size);
+}
+
+}  // namespace
+}  // namespace doceph

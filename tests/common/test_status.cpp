@@ -1,0 +1,74 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace doceph {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Errc::ok);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s(Errc::not_found, "object foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::not_found);
+  EXPECT_EQ(s.message(), "object foo");
+  EXPECT_EQ(s.to_string(), "not_found: object foo");
+}
+
+TEST(Status, ImplicitFromErrc) {
+  const Status s = Errc::too_large;
+  EXPECT_EQ(s.code(), Errc::too_large);
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status(Errc::busy, "a"), Status(Errc::busy, "b"));
+  EXPECT_FALSE(Status(Errc::busy) == Status(Errc::io_error));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Errc::range_error); ++c) {
+    EXPECT_NE(errc_name(static_cast<Errc>(c)), "unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r = Status(Errc::io_error, "disk gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status().code(), Errc::io_error);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ImplicitFromErrc) {
+  const Result<std::string> r = Errc::timed_out;
+  EXPECT_EQ(r.status().code(), Errc::timed_out);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace doceph

@@ -1,0 +1,195 @@
+#include "crush/crush_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "crush/hash.h"
+#include "crush/osd_map.h"
+
+namespace doceph::crush {
+namespace {
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(hash32_2(1, 2), hash32_2(1, 2));
+  EXPECT_EQ(hash32_3(1, 2, 3), hash32_3(1, 2, 3));
+  EXPECT_NE(hash32_2(1, 2), hash32_2(2, 1));
+  EXPECT_NE(hash32_3(1, 2, 3), hash32_3(1, 2, 4));
+  EXPECT_EQ(hash_str("objname"), hash_str("objname"));
+  EXPECT_NE(hash_str("a"), hash_str("b"));
+}
+
+TEST(CrushMap, SelectsDistinctDevices) {
+  const CrushMap map = CrushMap::build_flat(6);
+  for (std::uint32_t x = 0; x < 200; ++x) {
+    const auto picked = map.select(x, 3);
+    ASSERT_EQ(picked.size(), 3u) << "x=" << x;
+    const std::set<int> uniq(picked.begin(), picked.end());
+    EXPECT_EQ(uniq.size(), 3u) << "x=" << x;
+    for (const int osd : picked) {
+      EXPECT_GE(osd, 0);
+      EXPECT_LT(osd, 6);
+    }
+  }
+}
+
+TEST(CrushMap, DeterministicAcrossCalls) {
+  const CrushMap a = CrushMap::build_flat(4);
+  const CrushMap b = CrushMap::build_flat(4);
+  for (std::uint32_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(a.select(x, 2), b.select(x, 2));
+  }
+}
+
+TEST(CrushMap, DistributionRoughlyUniform) {
+  const CrushMap map = CrushMap::build_flat(4);
+  std::map<int, int> primary_count;
+  constexpr int kSamples = 4000;
+  for (std::uint32_t x = 0; x < kSamples; ++x) {
+    const auto picked = map.select(x, 1);
+    ASSERT_EQ(picked.size(), 1u);
+    primary_count[picked[0]]++;
+  }
+  for (int osd = 0; osd < 4; ++osd) {
+    // Expect 1000 each; allow wide tolerance (hash quality, not statistics).
+    EXPECT_GT(primary_count[osd], 700) << "osd " << osd;
+    EXPECT_LT(primary_count[osd], 1300) << "osd " << osd;
+  }
+}
+
+TEST(CrushMap, ZeroWeightExcluded) {
+  CrushMap map = CrushMap::build_flat(3);
+  map.set_device_weight(1, 0.0);
+  for (std::uint32_t x = 0; x < 200; ++x) {
+    for (const int osd : map.select(x, 2)) EXPECT_NE(osd, 1);
+  }
+  EXPECT_EQ(map.device_weight(1), 0.0);
+  EXPECT_EQ(map.device_weight(0), 1.0);
+}
+
+TEST(CrushMap, WeightChangeMovesMinimalData) {
+  CrushMap before = CrushMap::build_flat(5);
+  CrushMap after = CrushMap::build_flat(5);
+  after.set_device_weight(4, 0.0);  // drain osd.4
+  constexpr int kSamples = 2000;
+  int moved = 0, hit4 = 0;
+  for (std::uint32_t x = 0; x < kSamples; ++x) {
+    const auto a = before.select(x, 1);
+    const auto b = after.select(x, 1);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    if (a[0] == 4) {
+      hit4++;
+      EXPECT_NE(b[0], 4);
+    } else {
+      // straw2 property: inputs not on the drained device must not move.
+      EXPECT_EQ(a[0], b[0]) << "x=" << x;
+      if (a[0] != b[0]) moved++;
+    }
+  }
+  EXPECT_GT(hit4, 200);  // osd.4 held ~1/5 of the data
+  EXPECT_EQ(moved, 0);
+}
+
+TEST(CrushMap, SelectMoreThanDomainsReturnsFewer) {
+  const CrushMap map = CrushMap::build_flat(2);
+  const auto picked = map.select(7, 5);
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(CrushMap, EncodeDecodeRoundTrip) {
+  CrushMap map = CrushMap::build_flat(4);
+  map.set_device_weight(2, 0.0);
+  BufferList bl;
+  map.encode(bl);
+  CrushMap copy;
+  BufferList::Cursor cur(bl);
+  ASSERT_TRUE(copy.decode(cur));
+  for (std::uint32_t x = 0; x < 100; ++x) EXPECT_EQ(copy.select(x, 2), map.select(x, 2));
+}
+
+TEST(OSDMap, BuildAndStates) {
+  OSDMap map = OSDMap::build(3);
+  EXPECT_EQ(map.num_osds(), 3);
+  EXPECT_EQ(map.epoch(), 1u);
+  EXPECT_FALSE(map.is_up(0));
+  map.mark_up(0, {5, 6800});
+  map.bump_epoch();
+  EXPECT_TRUE(map.is_up(0));
+  EXPECT_EQ(map.osd(0).addr, (net::Address{5, 6800}));
+  EXPECT_EQ(map.epoch(), 2u);
+  map.mark_down(0);
+  EXPECT_FALSE(map.is_up(0));
+  EXPECT_FALSE(map.is_up(99));  // out of range is just "not up"
+}
+
+TEST(OSDMap, ObjectToPgStable) {
+  OSDMap map = OSDMap::build(2);
+  map.create_pool(1, {.name = "rbd", .pg_num = 64, .size = 2});
+  const pg_t a = map.object_to_pg(1, "objA");
+  EXPECT_EQ(a, map.object_to_pg(1, "objA"));
+  EXPECT_LT(a.seed, 64u);
+  EXPECT_EQ(a.pool, 1u);
+  // Spread: many names should cover many PGs.
+  std::set<std::uint32_t> seeds;
+  for (int i = 0; i < 300; ++i)
+    seeds.insert(map.object_to_pg(1, "obj" + std::to_string(i)).seed);
+  EXPECT_GT(seeds.size(), 40u);
+}
+
+TEST(OSDMap, ActingSetFiltersDownOsds) {
+  OSDMap map = OSDMap::build(3);
+  map.create_pool(1, {.name = "p", .pg_num = 16, .size = 2});
+  for (int i = 0; i < 3; ++i) map.mark_up(i, {i, 6800});
+
+  const pg_t pg{1, 5};
+  const auto raw = map.pg_to_raw(pg);
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_EQ(map.pg_to_acting(pg), raw);
+  EXPECT_EQ(map.pg_primary(pg), raw[0]);
+
+  map.mark_down(raw[0]);
+  const auto acting = map.pg_to_acting(pg);
+  ASSERT_EQ(acting.size(), 1u);
+  EXPECT_EQ(acting[0], raw[1]);
+  EXPECT_EQ(map.pg_primary(pg), raw[1]);
+
+  map.mark_down(raw[1]);
+  EXPECT_EQ(map.pg_primary(pg), -1);
+}
+
+TEST(OSDMap, EncodeDecodeRoundTrip) {
+  OSDMap map = OSDMap::build(4);
+  map.create_pool(7, {.name = "data", .pg_num = 8, .size = 3});
+  map.mark_up(1, {1, 6800});
+  map.bump_epoch();
+
+  BufferList bl;
+  map.encode(bl);
+  OSDMap copy;
+  BufferList::Cursor cur(bl);
+  ASSERT_TRUE(copy.decode(cur));
+  EXPECT_EQ(copy.epoch(), map.epoch());
+  EXPECT_EQ(copy.num_osds(), 4);
+  EXPECT_TRUE(copy.is_up(1));
+  ASSERT_NE(copy.pool(7), nullptr);
+  EXPECT_EQ(copy.pool(7)->pg_num, 8u);
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(copy.pg_to_raw({7, s}), map.pg_to_raw({7, s}));
+  }
+}
+
+TEST(OSDMap, PoolsPlaceIndependently) {
+  OSDMap map = OSDMap::build(8);
+  map.create_pool(1, {.name = "a", .pg_num = 32, .size = 2});
+  map.create_pool(2, {.name = "b", .pg_num = 32, .size = 2});
+  int differs = 0;
+  for (std::uint32_t s = 0; s < 32; ++s) {
+    if (map.pg_to_raw({1, s}) != map.pg_to_raw({2, s})) differs++;
+  }
+  EXPECT_GT(differs, 10);  // pool id salts the placement
+}
+
+}  // namespace
+}  // namespace doceph::crush

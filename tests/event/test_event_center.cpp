@@ -1,0 +1,139 @@
+#include "event/event_center.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sim/env.h"
+
+namespace doceph::event {
+namespace {
+
+using namespace doceph::sim;
+
+struct LoopFixture {
+  Env env;
+  EventCenter center{env};
+  Thread loop;
+
+  LoopFixture()
+      : loop(env.keeper(), env.stats(), "loop", nullptr, [this] { center.run(); },
+             /*daemon=*/true) {}
+  ~LoopFixture() {
+    center.stop();
+    loop.join();
+  }
+};
+
+TEST(EventCenter, DispatchRunsInLoopThread) {
+  LoopFixture f;
+  std::atomic<bool> ran{false};
+  std::atomic<bool> in_loop{false};
+  f.center.dispatch([&] {
+    in_loop.store(f.center.in_loop_thread());
+    ran.store(true);
+  });
+  // Poll (real time) until the handler ran; the loop is a daemon thread.
+  while (!ran.load()) std::this_thread::yield();
+  EXPECT_TRUE(in_loop.load());
+  EXPECT_FALSE(f.center.in_loop_thread());
+}
+
+TEST(EventCenter, DispatchPreservesOrder) {
+  LoopFixture f;
+  std::vector<int> order;
+  std::atomic<bool> done{false};
+  for (int i = 0; i < 10; ++i) {
+    f.center.dispatch([&order, i] { order.push_back(i); });
+  }
+  f.center.dispatch([&] { done.store(true); });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventCenter, TimerFiresAtSimTime) {
+  LoopFixture f;
+  std::atomic<Time> fired_at{-1};
+  f.center.add_timer(15_ms, [&] { fired_at.store(f.env.now()); });
+  // Advance virtual time from a sim thread.
+  Thread t = f.env.spawn("sleeper", nullptr, [&] { f.env.keeper().sleep_for(50_ms); });
+  t.join();
+  while (fired_at.load() < 0) std::this_thread::yield();
+  EXPECT_EQ(fired_at.load(), 15_ms);
+}
+
+TEST(EventCenter, TimersFireInDeadlineOrder) {
+  LoopFixture f;
+  std::vector<Time> seq;
+  std::atomic<int> remaining{3};
+  auto hold = f.env.hold();
+  f.center.add_timer(30_ms, [&] {
+    seq.push_back(f.env.now());
+    remaining.fetch_sub(1);
+  });
+  f.center.add_timer(10_ms, [&] {
+    seq.push_back(f.env.now());
+    remaining.fetch_sub(1);
+  });
+  f.center.add_timer(20_ms, [&] {
+    seq.push_back(f.env.now());
+    remaining.fetch_sub(1);
+  });
+  hold.release();
+  Thread t = f.env.spawn("sleeper", nullptr, [&] { f.env.keeper().sleep_for(100_ms); });
+  t.join();
+  while (remaining.load() > 0) std::this_thread::yield();
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq, (std::vector<Time>{10_ms, 20_ms, 30_ms}));
+}
+
+TEST(EventCenter, CancelTimer) {
+  LoopFixture f;
+  std::atomic<bool> fired{false};
+  auto hold = f.env.hold();
+  const auto id = f.center.add_timer(10_ms, [&] { fired.store(true); });
+  EXPECT_TRUE(f.center.cancel_timer(id));
+  EXPECT_FALSE(f.center.cancel_timer(id));
+  hold.release();
+  Thread t = f.env.spawn("sleeper", nullptr, [&] { f.env.keeper().sleep_for(50_ms); });
+  t.join();
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(EventCenter, TimerCanRearmItself) {
+  LoopFixture f;
+  std::atomic<int> count{0};
+  std::function<void()> tick = [&] {
+    if (count.fetch_add(1) + 1 < 5) f.center.add_timer(10_ms, tick);
+  };
+  f.center.add_timer(10_ms, tick);
+  Thread t = f.env.spawn("sleeper", nullptr, [&] { f.env.keeper().sleep_for(1_s); });
+  t.join();
+  while (count.load() < 5) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 5);
+}
+
+TEST(EventCenter, StopDrainsPendingDispatches) {
+  Env env;
+  EventCenter center(env);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) center.dispatch([&] { ran.fetch_add(1); });
+  center.stop();
+  Thread loop(env.keeper(), env.stats(), "loop", nullptr, [&] { center.run(); },
+              /*daemon=*/true);
+  loop.join();
+  EXPECT_EQ(ran.load(), 5);
+}
+
+TEST(EventCenter, DispatchFromHandler) {
+  LoopFixture f;
+  std::atomic<bool> second{false};
+  f.center.dispatch([&] { f.center.dispatch([&] { second.store(true); }); });
+  while (!second.load()) std::this_thread::yield();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace doceph::event

@@ -1,0 +1,182 @@
+#include "mon/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "mon/mon_client.h"
+
+namespace doceph::mon {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::run_sim;
+
+/// Monitor + one client endpoint whose dispatcher feeds a MonClient.
+struct MonFixture : msgr::Dispatcher {
+  Env env;
+  net::Fabric fabric{env};
+  net::NetNode& mon_node;
+  net::NetNode& client_node;
+  Monitor mon;
+  msgr::Messenger client_msgr;
+  MonClient monc;
+
+  MonFixture(int num_osds = 2)
+      : mon_node(fabric.add_node("mon-host")),
+        client_node(fabric.add_node("client-host")),
+        mon(env, fabric, mon_node, nullptr, num_osds),
+        client_msgr(env, fabric, client_node, nullptr, "client.0"),
+        monc(env, client_msgr, net::Address{mon_node.id(), 6789}) {
+    client_msgr.set_dispatcher(this);
+    EXPECT_TRUE(mon.start().ok());
+    client_msgr.start();
+  }
+
+  ~MonFixture() override {
+    client_msgr.shutdown();
+    mon.shutdown();
+  }
+
+  void ms_dispatch(const msgr::MessageRef& m) override {
+    EXPECT_TRUE(monc.handle_message(m)) << msg_type_name(m->type());
+  }
+};
+
+TEST(Monitor, InitialMapFetch) {
+  MonFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    EXPECT_EQ(f.monc.epoch(), 1u);
+    EXPECT_EQ(f.monc.map().num_osds(), 2);
+    EXPECT_FALSE(f.monc.map().is_up(0));
+  });
+}
+
+TEST(Monitor, BootMarksOsdUpAndPublishes) {
+  MonFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    ASSERT_TRUE(f.monc.subscribe().ok());
+    ASSERT_TRUE(f.monc.send_boot(0, net::Address{7, 6800}).ok());
+    f.monc.wait_for_epoch(2);
+    EXPECT_TRUE(f.monc.map().is_up(0));
+    EXPECT_EQ(f.monc.map().osd(0).addr, (net::Address{7, 6800}));
+  });
+}
+
+TEST(Monitor, CreatePoolCommand) {
+  MonFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    ASSERT_TRUE(f.monc.subscribe().ok());
+    auto r = f.monc.command({"create_pool", "1", "rbd", "32", "2"});
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    f.monc.wait_for_epoch(2);
+    ASSERT_NE(f.monc.map().pool(1), nullptr);
+    EXPECT_EQ(f.monc.map().pool(1)->pg_num, 32u);
+    EXPECT_EQ(f.monc.map().pool(1)->size, 2u);
+  });
+}
+
+TEST(Monitor, UnknownCommandFails) {
+  MonFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    auto r = f.monc.command({"bogus"});
+    EXPECT_FALSE(r.ok());
+  });
+}
+
+TEST(Monitor, FailureReportMarksDown) {
+  MonFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    ASSERT_TRUE(f.monc.subscribe().ok());
+    ASSERT_TRUE(f.monc.send_boot(0, net::Address{7, 6800}).ok());
+    ASSERT_TRUE(f.monc.send_boot(1, net::Address{8, 6800}).ok());
+    f.monc.wait_for_epoch(3);
+    ASSERT_TRUE(f.monc.report_failure(1, 0).ok());
+    f.monc.wait_for_epoch(4);
+    EXPECT_FALSE(f.monc.map().is_up(1));
+    EXPECT_TRUE(f.monc.map().is_up(0));
+  });
+}
+
+TEST(Monitor, FailureNeedsEnoughReporters) {
+  MonitorConfig cfg;
+  cfg.failure_reports_needed = 2;
+  Env env;
+  net::Fabric fabric{env};
+  auto& mn = fabric.add_node("mon-host");
+  auto& cn = fabric.add_node("client-host");
+  Monitor mon(env, fabric, mn, nullptr, 3, cfg);
+  msgr::Messenger cm(env, fabric, cn, nullptr, "client.0");
+  MonClient monc(env, cm, net::Address{mn.id(), 6789});
+  struct D : msgr::Dispatcher {
+    MonClient* mc;
+    void ms_dispatch(const msgr::MessageRef& m) override { mc->handle_message(m); }
+  } disp;
+  disp.mc = &monc;
+  cm.set_dispatcher(&disp);
+  ASSERT_TRUE(mon.start().ok());
+  cm.start();
+  run_sim(env, [&] {
+    ASSERT_TRUE(monc.init().ok());
+    ASSERT_TRUE(monc.subscribe().ok());
+    ASSERT_TRUE(monc.send_boot(2, net::Address{9, 6800}).ok());
+    monc.wait_for_epoch(2);
+    ASSERT_TRUE(monc.report_failure(2, 0).ok());
+    // One reporter is not enough; give the message time to arrive.
+    env.keeper().sleep_for(10_ms);
+    EXPECT_TRUE(monc.map().is_up(2));
+    ASSERT_TRUE(monc.report_failure(2, 1).ok());
+    monc.wait_for_epoch(3);
+    EXPECT_FALSE(monc.map().is_up(2));
+  });
+  cm.shutdown();
+  mon.shutdown();
+}
+
+TEST(Monitor, RebootAfterFailureClearsReports) {
+  MonFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    ASSERT_TRUE(f.monc.subscribe().ok());
+    ASSERT_TRUE(f.monc.send_boot(0, net::Address{7, 6800}).ok());
+    f.monc.wait_for_epoch(2);
+    ASSERT_TRUE(f.monc.report_failure(0, 1).ok());
+    f.monc.wait_for_epoch(3);
+    EXPECT_FALSE(f.monc.map().is_up(0));
+    ASSERT_TRUE(f.monc.send_boot(0, net::Address{7, 6801}).ok());
+    f.monc.wait_for_epoch(4);
+    EXPECT_TRUE(f.monc.map().is_up(0));
+    EXPECT_EQ(f.monc.map().osd(0).addr, (net::Address{7, 6801}));
+  });
+}
+
+TEST(Monitor, MonClientIgnoresStaleEpochs) {
+  MonFixture f;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    const auto e = f.monc.epoch();
+    // A second explicit fetch of the same epoch must not regress anything.
+    ASSERT_TRUE(f.monc.init().ok());
+    EXPECT_EQ(f.monc.epoch(), e);
+  });
+}
+
+TEST(Monitor, MapCallbackFires) {
+  MonFixture f;
+  std::atomic<int> cb_epochs{0};
+  f.monc.set_map_callback([&](const crush::OSDMap&) { cb_epochs.fetch_add(1); });
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.monc.init().ok());
+    ASSERT_TRUE(f.monc.subscribe().ok());
+    ASSERT_TRUE(f.monc.send_boot(0, net::Address{7, 6800}).ok());
+    f.monc.wait_for_epoch(2);
+  });
+  EXPECT_GE(cb_epochs.load(), 2);  // initial + boot publication
+}
+
+}  // namespace
+}  // namespace doceph::mon

@@ -1,0 +1,179 @@
+#include "os/mem_store.h"
+
+#include <gtest/gtest.h>
+
+namespace doceph::os {
+namespace {
+
+const coll_t kColl{2, 0};
+const ghobject_t kObj{2, "obj"};
+
+class MemStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Transaction t;
+    t.create_collection(kColl);
+    commit(std::move(t));
+  }
+
+  Status commit(Transaction t) {
+    Status out;
+    store_.queue_transaction(std::move(t), [&](Status st) { out = st; });
+    return out;
+  }
+
+  MemStore store_;
+};
+
+TEST_F(MemStoreTest, WriteFullAndRead) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("hello world"));
+  EXPECT_TRUE(commit(std::move(t)).ok());
+
+  auto r = store_.read(kColl, kObj, 0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->to_string(), "hello world");
+
+  auto mid = store_.read(kColl, kObj, 6, 5);
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->to_string(), "world");
+}
+
+TEST_F(MemStoreTest, ReadPastEndClamps) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("abc"));
+  commit(std::move(t));
+  auto r = store_.read(kColl, kObj, 2, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->to_string(), "c");
+  auto past = store_.read(kColl, kObj, 10, 5);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past->empty());
+}
+
+TEST_F(MemStoreTest, WriteAtOffsetExtends) {
+  Transaction t;
+  t.write(kColl, kObj, 4, BufferList::copy_of("tail"));
+  commit(std::move(t));
+  auto r = store_.read(kColl, kObj, 0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->to_string(), std::string("\0\0\0\0tail", 8));
+}
+
+TEST_F(MemStoreTest, OverwritePreservesRest) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("0123456789"));
+  t.write(kColl, kObj, 3, BufferList::copy_of("XYZ"));
+  commit(std::move(t));
+  EXPECT_EQ(store_.read(kColl, kObj, 0, 0)->to_string(), "012XYZ6789");
+}
+
+TEST_F(MemStoreTest, ZeroAndTruncate) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("abcdefgh"));
+  t.zero(kColl, kObj, 2, 3);
+  commit(std::move(t));
+  EXPECT_EQ(store_.read(kColl, kObj, 0, 0)->to_string(),
+            std::string("ab\0\0\0fgh", 8));
+  Transaction t2;
+  t2.truncate(kColl, kObj, 4);
+  commit(std::move(t2));
+  EXPECT_EQ(store_.stat(kColl, kObj)->size, 4u);
+}
+
+TEST_F(MemStoreTest, StatTracksVersionAndSize) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("v1"));
+  commit(std::move(t));
+  auto s1 = store_.stat(kColl, kObj);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->size, 2u);
+  Transaction t2;
+  t2.write_full(kColl, kObj, BufferList::copy_of("vtwo"));
+  commit(std::move(t2));
+  auto s2 = store_.stat(kColl, kObj);
+  EXPECT_EQ(s2->size, 4u);
+  EXPECT_GT(s2->version, s1->version);
+}
+
+TEST_F(MemStoreTest, TouchCreatesEmpty) {
+  Transaction t;
+  t.touch(kColl, kObj);
+  commit(std::move(t));
+  EXPECT_TRUE(store_.exists(kColl, kObj));
+  EXPECT_EQ(store_.stat(kColl, kObj)->size, 0u);
+}
+
+TEST_F(MemStoreTest, RemoveObject) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("x"));
+  commit(std::move(t));
+  Transaction t2;
+  t2.remove(kColl, kObj);
+  commit(std::move(t2));
+  EXPECT_FALSE(store_.exists(kColl, kObj));
+  EXPECT_EQ(store_.read(kColl, kObj, 0, 0).status().code(), Errc::not_found);
+}
+
+TEST_F(MemStoreTest, OmapSetGetRemove) {
+  Transaction t;
+  t.touch(kColl, kObj);
+  t.omap_set(kColl, kObj, {{"k1", BufferList::copy_of("v1")},
+                           {"k2", BufferList::copy_of("v2")}});
+  commit(std::move(t));
+  auto m = store_.omap_get(kColl, kObj);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->size(), 2u);
+  EXPECT_EQ(m->at("k1").to_string(), "v1");
+
+  Transaction t2;
+  t2.omap_rm_keys(kColl, kObj, {"k1"});
+  commit(std::move(t2));
+  EXPECT_EQ(store_.omap_get(kColl, kObj)->size(), 1u);
+}
+
+TEST_F(MemStoreTest, ListObjectsSorted) {
+  Transaction t;
+  t.touch(kColl, {2, "b"});
+  t.touch(kColl, {2, "a"});
+  t.touch(kColl, {2, "c"});
+  commit(std::move(t));
+  auto l = store_.list_objects(kColl);
+  ASSERT_TRUE(l.ok());
+  ASSERT_EQ(l->size(), 3u);
+  EXPECT_EQ((*l)[0].name, "a");
+  EXPECT_EQ((*l)[2].name, "c");
+}
+
+TEST_F(MemStoreTest, MissingCollectionFails) {
+  const coll_t other{9, 9};
+  Transaction t;
+  t.touch(other, kObj);
+  EXPECT_EQ(commit(std::move(t)).code(), Errc::not_found);
+  EXPECT_FALSE(store_.collection_exists(other));
+  EXPECT_EQ(store_.read(other, kObj, 0, 0).status().code(), Errc::not_found);
+}
+
+TEST_F(MemStoreTest, RemoveCollection) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("x"));
+  commit(std::move(t));
+  Transaction t2;
+  t2.remove_collection(kColl);
+  commit(std::move(t2));
+  EXPECT_FALSE(store_.collection_exists(kColl));
+  EXPECT_EQ(store_.list_collections().size(), 0u);
+}
+
+TEST_F(MemStoreTest, CommitCallbackOrderPreserved) {
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    Transaction t;
+    t.touch(kColl, {2, "o" + std::to_string(i)});
+    store_.queue_transaction(std::move(t), [&order, i](Status) { order.push_back(i); });
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace doceph::os

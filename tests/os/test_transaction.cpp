@@ -1,0 +1,96 @@
+#include "os/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace doceph::os {
+namespace {
+
+const coll_t kColl{1, 3};
+const ghobject_t kObj{1, "alpha"};
+
+TEST(Transaction, BuildersRecordOps) {
+  Transaction t;
+  EXPECT_TRUE(t.empty());
+  t.create_collection(kColl);
+  t.touch(kColl, kObj);
+  t.write_full(kColl, kObj, BufferList::copy_of("hello"));
+  t.write(kColl, kObj, 2, BufferList::copy_of("xy"));
+  t.zero(kColl, kObj, 0, 4);
+  t.truncate(kColl, kObj, 3);
+  t.omap_set(kColl, kObj, {{"k", BufferList::copy_of("v")}});
+  t.omap_rm_keys(kColl, kObj, {"k"});
+  t.remove(kColl, kObj);
+  t.remove_collection(kColl);
+  EXPECT_EQ(t.num_ops(), 10u);
+  EXPECT_EQ(t.ops()[2].op, TxnOp::write_full);
+  EXPECT_EQ(t.ops()[2].len, 5u);
+  EXPECT_EQ(t.ops()[3].off, 2u);
+}
+
+TEST(Transaction, DataBytesCountsPayloads) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of(std::string(100, 'a')));
+  t.write(kColl, kObj, 0, BufferList::copy_of(std::string(50, 'b')));
+  t.omap_set(kColl, kObj, {{"key", BufferList::copy_of(std::string(10, 'c'))}});
+  t.touch(kColl, kObj);
+  EXPECT_EQ(t.data_bytes(), 160u);
+}
+
+TEST(Transaction, EncodeDecodeRoundTrip) {
+  Transaction t;
+  t.create_collection(kColl);
+  t.write_full(kColl, kObj, BufferList::copy_of("content-bytes"));
+  t.omap_set(kColl, kObj, {{"a", BufferList::copy_of("1")},
+                           {"b", BufferList::copy_of("2")}});
+  t.omap_rm_keys(kColl, kObj, {"zz"});
+  t.truncate(kColl, kObj, 99);
+
+  const BufferList bl = encode_to_bl(t);
+  Transaction u;
+  ASSERT_TRUE(decode_from_bl(u, bl));
+  ASSERT_EQ(u.num_ops(), t.num_ops());
+  for (std::size_t i = 0; i < t.num_ops(); ++i) {
+    EXPECT_EQ(u.ops()[i].op, t.ops()[i].op) << i;
+    EXPECT_EQ(u.ops()[i].cid, t.ops()[i].cid) << i;
+    EXPECT_EQ(u.ops()[i].oid, t.ops()[i].oid) << i;
+    EXPECT_EQ(u.ops()[i].off, t.ops()[i].off) << i;
+    EXPECT_TRUE(u.ops()[i].data == t.ops()[i].data) << i;
+    EXPECT_EQ(u.ops()[i].keys, t.ops()[i].keys) << i;
+  }
+}
+
+TEST(Transaction, DecodeMalformedFails) {
+  Transaction t;
+  t.write_full(kColl, kObj, BufferList::copy_of("payload"));
+  BufferList bl = encode_to_bl(t);
+  BufferList trunc = bl.substr(0, bl.length() - 3);
+  Transaction u;
+  EXPECT_FALSE(decode_from_bl(u, trunc));
+}
+
+TEST(Transaction, AppendMovesOps) {
+  Transaction a, b;
+  a.touch(kColl, kObj);
+  b.remove(kColl, kObj);
+  b.truncate(kColl, kObj, 1);
+  a.append(std::move(b));
+  EXPECT_EQ(a.num_ops(), 3u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.ops()[1].op, TxnOp::remove);
+}
+
+TEST(Transaction, TypesEncodeRoundTrip) {
+  const BufferList bl = encode_to_bl(kObj);
+  ghobject_t o;
+  ASSERT_TRUE(decode_from_bl(o, bl));
+  EXPECT_EQ(o, kObj);
+
+  const BufferList cb = encode_to_bl(kColl);
+  coll_t c;
+  ASSERT_TRUE(decode_from_bl(c, cb));
+  EXPECT_EQ(c, kColl);
+  EXPECT_EQ(c.to_string(), "1.3");
+}
+
+}  // namespace
+}  // namespace doceph::os

@@ -1,0 +1,307 @@
+#include "proxy/proxy_object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "bluestore/bluestore.h"
+#include "proxy/host_backend.h"
+
+namespace doceph::proxy {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::pattern;
+using doceph::testing::run_sim;
+
+const os::coll_t kColl{1, 0};
+const os::ghobject_t kObj{1, "obj"};
+
+/// DPU + host BlueStore + backend + proxy — the full DoCeph storage path of
+/// one node, without the OSD on top.
+struct ProxyFixture {
+  Env env;
+  net::Fabric fabric{env};
+  CpuDomain host_cpu{env.keeper(), "host-0", 8, 1.0};
+  dpu::DpuDevice dpu{env, fabric, "dpu-0", dpu::DpuProfile{}};
+  std::unique_ptr<bluestore::BlueStore> store;
+  std::unique_ptr<HostBackendService> backend;
+  std::unique_ptr<ProxyObjectStore> proxy;
+
+  explicit ProxyFixture(ProxyConfig pcfg = {}) {
+    bluestore::BlueStoreConfig scfg;
+    scfg.device.size_bytes = 4ull << 30;
+    store = std::make_unique<bluestore::BlueStore>(env, &host_cpu, scfg);
+    proxy = std::make_unique<ProxyObjectStore>(env, dpu, pcfg);
+    backend = std::make_unique<HostBackendService>(
+        env, host_cpu, *store, dpu.host_comch(), proxy->slots().host_mmap(),
+        proxy->slots().slot_size());
+  }
+
+  void up() {
+    run_sim(env, [&] {
+      ASSERT_TRUE(store->mkfs().ok());
+      ASSERT_TRUE(store->mount().ok());
+      ASSERT_TRUE(backend->start().ok());
+      ASSERT_TRUE(proxy->mount().ok());
+      Status st = commit(make_coll());
+      ASSERT_TRUE(st.ok()) << st.to_string();
+    });
+  }
+
+  void down() {
+    run_sim(env, [&] {
+      ASSERT_TRUE(proxy->umount().ok());
+      ASSERT_TRUE(store->umount().ok());
+      backend->shutdown();
+    });
+  }
+
+  static os::Transaction make_coll() {
+    os::Transaction t;
+    t.create_collection(kColl);
+    return t;
+  }
+
+  Status commit(os::Transaction t) {
+    std::mutex m;
+    CondVar cv(env.keeper());
+    bool done = false;
+    Status out;
+    proxy->queue_transaction(std::move(t), [&](Status st) {
+      const std::lock_guard<std::mutex> lk(m);
+      out = st;
+      done = true;
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done; });
+    return out;
+  }
+};
+
+TEST(Proxy, SmallWriteInlineRoundTrip) {
+  ProxyFixture f;
+  f.up();
+  run_sim(f.env, [&] {
+    os::Transaction t;
+    t.write_full(kColl, kObj, BufferList::copy_of("small payload"));
+    ASSERT_TRUE(f.commit(std::move(t)).ok());
+    // Visible on the host store directly...
+    EXPECT_EQ(f.store->read(kColl, kObj, 0, 0)->to_string(), "small payload");
+    // ...and through the proxy read path.
+    auto r = f.proxy->read(kColl, kObj, 0, 0);
+    ASSERT_TRUE(r.ok()) << r.status().to_string();
+    EXPECT_EQ(r->to_string(), "small payload");
+  });
+  EXPECT_EQ(f.dpu.dma().jobs_completed(), 0u);  // tiny payload: no DMA round
+  f.down();
+}
+
+TEST(Proxy, LargeWriteUsesDmaSegments) {
+  ProxyFixture f;
+  f.up();
+  const std::string big = pattern(7 << 20);  // 7 MB -> 4 segments at 2 MB
+  run_sim(f.env, [&] {
+    os::Transaction t;
+    t.write_full(kColl, kObj, BufferList::copy_of(big));
+    ASSERT_TRUE(f.commit(std::move(t)).ok());
+    EXPECT_EQ(f.store->read(kColl, kObj, 0, 0)->to_string(), big);
+  });
+  EXPECT_EQ(f.dpu.dma().jobs_completed(), 4u);
+  EXPECT_EQ(f.proxy->dma_bytes(), big.size());
+  EXPECT_EQ(f.backend->txns_applied(), 2u);  // create_collection + the write
+  const auto bd = f.proxy->breakdown();
+  EXPECT_EQ(bd.count, 1u);
+  EXPECT_GT(bd.dma_ns, 0u);
+  EXPECT_GT(bd.host_write_ns, 0u);
+  EXPECT_GT(bd.total_ns, bd.dma_ns);
+  f.down();
+}
+
+TEST(Proxy, LargeReadComesBackOverDma) {
+  ProxyFixture f;
+  f.up();
+  const std::string big = pattern(5 << 20, 3);
+  run_sim(f.env, [&] {
+    os::Transaction t;
+    t.write_full(kColl, kObj, BufferList::copy_of(big));
+    ASSERT_TRUE(f.commit(std::move(t)).ok());
+    const auto jobs_before = f.dpu.dma().jobs_completed();
+    auto r = f.proxy->read(kColl, kObj, 0, 0);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->to_string(), big);
+    EXPECT_GT(f.dpu.dma().jobs_completed(), jobs_before);  // host->dpu transfers
+    // Partial read.
+    auto mid = f.proxy->read(kColl, kObj, 1 << 20, 4096);
+    ASSERT_TRUE(mid.ok());
+    EXPECT_EQ(mid->to_string(), big.substr(1 << 20, 4096));
+  });
+  f.down();
+}
+
+TEST(Proxy, ControlPlaneOps) {
+  ProxyFixture f;
+  f.up();
+  run_sim(f.env, [&] {
+    os::Transaction t;
+    t.write_full(kColl, kObj, BufferList::copy_of("x"));
+    t.omap_set(kColl, kObj, {{"k", BufferList::copy_of("v")}});
+    ASSERT_TRUE(f.commit(std::move(t)).ok());
+
+    EXPECT_TRUE(f.proxy->exists(kColl, kObj));
+    EXPECT_FALSE(f.proxy->exists(kColl, {1, "nope"}));
+    auto st = f.proxy->stat(kColl, kObj);
+    ASSERT_TRUE(st.ok());
+    EXPECT_EQ(st->size, 1u);
+    auto omap = f.proxy->omap_get(kColl, kObj);
+    ASSERT_TRUE(omap.ok());
+    EXPECT_EQ(omap->at("k").to_string(), "v");
+    auto objs = f.proxy->list_objects(kColl);
+    ASSERT_TRUE(objs.ok());
+    EXPECT_EQ(objs->size(), 1u);
+    EXPECT_TRUE(f.proxy->collection_exists(kColl));
+    EXPECT_FALSE(f.proxy->collection_exists({9, 9}));
+    EXPECT_EQ(f.proxy->list_collections().size(), 1u);
+    EXPECT_EQ(f.proxy->stat(kColl, {1, "nope"}).status().code(), Errc::not_found);
+  });
+  EXPECT_GT(f.backend->control_rpcs(), 5u);
+  f.down();
+}
+
+TEST(Proxy, DmaFailureFallsBackToRpcAndRecovers) {
+  ProxyConfig cfg;
+  cfg.cooldown = 50'000'000;  // 50 ms for a fast test
+  ProxyFixture f(cfg);
+  f.up();
+  const std::string big = pattern(4 << 20, 9);
+  f.dpu.dma().fail_next(1);
+  run_sim(f.env, [&] {
+    // First write hits the injected DMA failure -> inline fallback, still
+    // commits correctly.
+    os::Transaction t;
+    t.write_full(kColl, kObj, BufferList::copy_of(big));
+    ASSERT_TRUE(f.commit(std::move(t)).ok());
+    EXPECT_EQ(f.store->read(kColl, kObj, 0, 0)->to_string(), big);
+    EXPECT_FALSE(f.proxy->fallback().dma_enabled());
+    EXPECT_GT(f.proxy->rpc_fallback_bytes(), 0u);
+
+    // During cooldown, writes route over RPC.
+    const auto dma_bytes_before = f.proxy->dma_bytes();
+    os::Transaction t2;
+    t2.write_full(kColl, {1, "during-cooldown"}, BufferList::copy_of(pattern(3 << 20, 4)));
+    ASSERT_TRUE(f.commit(std::move(t2)).ok());
+    EXPECT_EQ(f.proxy->dma_bytes(), dma_bytes_before);
+
+    // After cooldown a probe re-enables DMA.
+    f.env.keeper().sleep_for(60'000'000);
+    os::Transaction t3;
+    t3.write_full(kColl, {1, "after-cooldown"}, BufferList::copy_of(pattern(3 << 20, 5)));
+    ASSERT_TRUE(f.commit(std::move(t3)).ok());
+    EXPECT_TRUE(f.proxy->fallback().dma_enabled());
+    EXPECT_GT(f.proxy->dma_bytes(), dma_bytes_before);
+    EXPECT_EQ(f.store->read(kColl, {1, "after-cooldown"}, 0, 0)->to_string(),
+              pattern(3 << 20, 5));
+  });
+  EXPECT_GE(f.proxy->fallback().failures(), 1u);
+  f.down();
+}
+
+TEST(Proxy, ConcurrentWritersKeepPerObjectOrder) {
+  ProxyFixture f;
+  f.up();
+  run_sim(f.env, [&] {
+    std::mutex m;
+    CondVar cv(f.env.keeper());
+    int done = 0;
+    constexpr int kN = 12;
+    // Interleave: many objects written concurrently + one object written
+    // twice in order.
+    for (int i = 0; i < kN; ++i) {
+      os::Transaction t;
+      t.write_full(kColl, {1, "multi" + std::to_string(i)},
+                   BufferList::copy_of(pattern(1 << 20, static_cast<unsigned>(i))));
+      f.proxy->queue_transaction(std::move(t), [&](Status st) {
+        EXPECT_TRUE(st.ok());
+        const std::lock_guard<std::mutex> lk(m);
+        ++done;
+        cv.notify_all();
+      });
+    }
+    os::Transaction first, second;
+    first.write_full(kColl, kObj, BufferList::copy_of(pattern(3 << 20, 100)));
+    second.write_full(kColl, kObj, BufferList::copy_of("FINAL"));
+    auto bump = [&](Status st) {
+      EXPECT_TRUE(st.ok());
+      const std::lock_guard<std::mutex> lk(m);
+      ++done;
+      cv.notify_all();
+    };
+    f.proxy->queue_transaction(std::move(first), bump);
+    f.proxy->queue_transaction(std::move(second), bump);
+
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done == kN + 2; });
+    lk.unlock();
+
+    EXPECT_EQ(f.store->read(kColl, kObj, 0, 0)->to_string(), "FINAL");
+    for (int i = 0; i < kN; ++i) {
+      EXPECT_EQ(f.store->read(kColl, {1, "multi" + std::to_string(i)}, 0, 0)->to_string(),
+                pattern(1 << 20, static_cast<unsigned>(i)));
+    }
+  });
+  f.down();
+}
+
+TEST(Proxy, BreakdownAccumulatesAndResets) {
+  ProxyFixture f;
+  f.up();
+  run_sim(f.env, [&] {
+    for (int i = 0; i < 3; ++i) {
+      os::Transaction t;
+      t.write_full(kColl, {1, "bd" + std::to_string(i)},
+                   BufferList::copy_of(pattern(2 << 20, static_cast<unsigned>(i))));
+      ASSERT_TRUE(f.commit(std::move(t)).ok());
+    }
+  });
+  auto bd = f.proxy->breakdown();
+  EXPECT_EQ(bd.count, 3u);
+  EXPECT_GT(bd.total_ns, 0u);
+  EXPECT_GE(bd.avg(bd.total_ns),
+            bd.avg(bd.dma_ns));  // total >= component
+  f.proxy->reset_breakdown();
+  EXPECT_EQ(f.proxy->breakdown().count, 0u);
+  f.down();
+}
+
+TEST(Proxy, MrCacheOffStillCorrect) {
+  ProxyConfig cfg;
+  cfg.mr_cache = false;
+  ProxyFixture f(cfg);
+  f.up();
+  const std::string big = pattern(4 << 20, 2);
+  run_sim(f.env, [&] {
+    os::Transaction t;
+    t.write_full(kColl, kObj, BufferList::copy_of(big));
+    ASSERT_TRUE(f.commit(std::move(t)).ok());
+    EXPECT_EQ(f.store->read(kColl, kObj, 0, 0)->to_string(), big);
+  });
+  f.down();
+}
+
+TEST(Proxy, PipeliningOffStillCorrect) {
+  ProxyConfig cfg;
+  cfg.pipelining = false;
+  ProxyFixture f(cfg);
+  f.up();
+  const std::string big = pattern(6 << 20, 8);
+  run_sim(f.env, [&] {
+    os::Transaction t;
+    t.write_full(kColl, kObj, BufferList::copy_of(big));
+    ASSERT_TRUE(f.commit(std::move(t)).ok());
+    EXPECT_EQ(f.store->read(kColl, kObj, 0, 0)->to_string(), big);
+  });
+  f.down();
+}
+
+}  // namespace
+}  // namespace doceph::proxy

@@ -1,0 +1,64 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace doceph::sim {
+namespace {
+
+TEST(Stats, ClassifiesCephThreadNames) {
+  EXPECT_EQ(classify_thread_name("msgr-worker-0"), ThreadClass::messenger);
+  EXPECT_EQ(classify_thread_name("msgr-worker-12"), ThreadClass::messenger);
+  EXPECT_EQ(classify_thread_name("bstore_kv_sync"), ThreadClass::objectstore);
+  EXPECT_EQ(classify_thread_name("bstore_aio"), ThreadClass::objectstore);
+  EXPECT_EQ(classify_thread_name("tp_osd_tp"), ThreadClass::osd);
+  EXPECT_EQ(classify_thread_name("tp_osd_tp-3"), ThreadClass::osd);
+  EXPECT_EQ(classify_thread_name("client-bench-1"), ThreadClass::client);
+  EXPECT_EQ(classify_thread_name("bench-writer"), ThreadClass::client);
+  EXPECT_EQ(classify_thread_name("sim-scheduler"), ThreadClass::other);
+  EXPECT_EQ(classify_thread_name("msgr"), ThreadClass::other);  // prefix only
+}
+
+TEST(Stats, RegistryAggregatesByClass) {
+  StatsRegistry reg;
+  auto a = reg.add("msgr-worker-0");
+  auto b = reg.add("msgr-worker-1");
+  auto c = reg.add("bstore_kv_sync");
+  a->cpu_ns += 100;
+  b->cpu_ns += 50;
+  c->cpu_ns += 7;
+  a->ctx_switches += 3;
+  c->ctx_switches += 1;
+
+  EXPECT_EQ(reg.class_cpu_ns(ThreadClass::messenger), 150u);
+  EXPECT_EQ(reg.class_cpu_ns(ThreadClass::objectstore), 7u);
+  EXPECT_EQ(reg.class_ctx_switches(ThreadClass::messenger), 3u);
+
+  const auto totals = reg.totals_by_class();
+  for (const auto& [cls, t] : totals) {
+    if (cls == ThreadClass::messenger) {
+      EXPECT_EQ(t.threads, 2);
+      EXPECT_EQ(t.cpu_ns, 150u);
+    }
+    if (cls == ThreadClass::client) {
+      EXPECT_EQ(t.threads, 0);
+    }
+  }
+}
+
+TEST(Stats, RegistryKeepsExitedThreadTotals) {
+  StatsRegistry reg;
+  {
+    auto s = reg.add("tp_osd_tp");
+    s->cpu_ns += 42;
+  }  // shared_ptr dropped by the "thread"
+  EXPECT_EQ(reg.class_cpu_ns(ThreadClass::osd), 42u);
+}
+
+TEST(Stats, ClassNames) {
+  EXPECT_EQ(thread_class_name(ThreadClass::messenger), "Messenger");
+  EXPECT_EQ(thread_class_name(ThreadClass::objectstore), "ObjectStore");
+  EXPECT_EQ(thread_class_name(ThreadClass::osd), "OSD");
+}
+
+}  // namespace
+}  // namespace doceph::sim

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/env.h"
+#include "sim/thread.h"
+
+namespace doceph::testing {
+
+/// Run `body` on a registered sim thread of `env` and join. Blocking sim
+/// primitives (device IO, CondVars, sleeps) are only legal on such threads.
+inline void run_sim(sim::Env& env, const std::function<void()>& body,
+                    const std::string& name = "test-driver") {
+  env.run_on_sim_thread(body, name);
+}
+
+/// Deterministic pseudo-random payload of n bytes.
+inline std::string pattern(std::size_t n, unsigned seed = 7) {
+  std::string s(n, '\0');
+  unsigned x = seed * 2654435761u + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    s[i] = static_cast<char>(x >> 24);
+  }
+  return s;
+}
+
+}  // namespace doceph::testing
