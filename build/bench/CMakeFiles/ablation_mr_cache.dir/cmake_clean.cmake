@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mr_cache.dir/ablation_mr_cache.cpp.o"
+  "CMakeFiles/ablation_mr_cache.dir/ablation_mr_cache.cpp.o.d"
+  "ablation_mr_cache"
+  "ablation_mr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_read_path.dir/ext_read_path.cpp.o"
+  "CMakeFiles/ext_read_path.dir/ext_read_path.cpp.o.d"
+  "ext_read_path"
+  "ext_read_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_read_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

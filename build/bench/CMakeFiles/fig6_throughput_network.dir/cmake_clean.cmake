@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_throughput_network.dir/fig6_throughput_network.cpp.o"
+  "CMakeFiles/fig6_throughput_network.dir/fig6_throughput_network.cpp.o.d"
+  "fig6_throughput_network"
+  "fig6_throughput_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_throughput_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_context_switches.dir/tab2_context_switches.cpp.o"
+  "CMakeFiles/tab2_context_switches.dir/tab2_context_switches.cpp.o.d"
+  "tab2_context_switches"
+  "tab2_context_switches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_context_switches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

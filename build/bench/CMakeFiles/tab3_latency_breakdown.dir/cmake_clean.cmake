@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_latency_breakdown.dir/tab3_latency_breakdown.cpp.o"
+  "CMakeFiles/tab3_latency_breakdown.dir/tab3_latency_breakdown.cpp.o.d"
+  "tab3_latency_breakdown"
+  "tab3_latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

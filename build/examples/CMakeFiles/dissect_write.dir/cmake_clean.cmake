@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissect_write.dir/dissect_write.cpp.o"
+  "CMakeFiles/dissect_write.dir/dissect_write.cpp.o.d"
+  "dissect_write"
+  "dissect_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissect_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchcore/experiment.cpp" "src/CMakeFiles/doceph.dir/benchcore/experiment.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/benchcore/experiment.cpp.o.d"
+  "/root/repo/src/benchcore/table.cpp" "src/CMakeFiles/doceph.dir/benchcore/table.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/benchcore/table.cpp.o.d"
+  "/root/repo/src/bluestore/allocator.cpp" "src/CMakeFiles/doceph.dir/bluestore/allocator.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/bluestore/allocator.cpp.o.d"
+  "/root/repo/src/bluestore/block_device.cpp" "src/CMakeFiles/doceph.dir/bluestore/block_device.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/bluestore/block_device.cpp.o.d"
+  "/root/repo/src/bluestore/bluestore.cpp" "src/CMakeFiles/doceph.dir/bluestore/bluestore.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/bluestore/bluestore.cpp.o.d"
+  "/root/repo/src/bluestore/kv.cpp" "src/CMakeFiles/doceph.dir/bluestore/kv.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/bluestore/kv.cpp.o.d"
+  "/root/repo/src/client/rados_bench.cpp" "src/CMakeFiles/doceph.dir/client/rados_bench.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/client/rados_bench.cpp.o.d"
+  "/root/repo/src/client/rados_client.cpp" "src/CMakeFiles/doceph.dir/client/rados_client.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/client/rados_client.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/doceph.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/common/buffer.cpp" "src/CMakeFiles/doceph.dir/common/buffer.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/common/buffer.cpp.o.d"
+  "/root/repo/src/common/crc32c.cpp" "src/CMakeFiles/doceph.dir/common/crc32c.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/common/crc32c.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/doceph.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/logger.cpp" "src/CMakeFiles/doceph.dir/common/logger.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/common/logger.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/doceph.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/thread_name.cpp" "src/CMakeFiles/doceph.dir/common/thread_name.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/common/thread_name.cpp.o.d"
+  "/root/repo/src/crush/crush_map.cpp" "src/CMakeFiles/doceph.dir/crush/crush_map.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/crush/crush_map.cpp.o.d"
+  "/root/repo/src/crush/hash.cpp" "src/CMakeFiles/doceph.dir/crush/hash.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/crush/hash.cpp.o.d"
+  "/root/repo/src/crush/osd_map.cpp" "src/CMakeFiles/doceph.dir/crush/osd_map.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/crush/osd_map.cpp.o.d"
+  "/root/repo/src/doca/comm_channel.cpp" "src/CMakeFiles/doceph.dir/doca/comm_channel.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/doca/comm_channel.cpp.o.d"
+  "/root/repo/src/doca/dma_engine.cpp" "src/CMakeFiles/doceph.dir/doca/dma_engine.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/doca/dma_engine.cpp.o.d"
+  "/root/repo/src/dpu/dpu_device.cpp" "src/CMakeFiles/doceph.dir/dpu/dpu_device.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/dpu/dpu_device.cpp.o.d"
+  "/root/repo/src/event/event_center.cpp" "src/CMakeFiles/doceph.dir/event/event_center.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/event/event_center.cpp.o.d"
+  "/root/repo/src/mon/mon_client.cpp" "src/CMakeFiles/doceph.dir/mon/mon_client.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/mon/mon_client.cpp.o.d"
+  "/root/repo/src/mon/monitor.cpp" "src/CMakeFiles/doceph.dir/mon/monitor.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/mon/monitor.cpp.o.d"
+  "/root/repo/src/msgr/messages.cpp" "src/CMakeFiles/doceph.dir/msgr/messages.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/msgr/messages.cpp.o.d"
+  "/root/repo/src/msgr/messenger.cpp" "src/CMakeFiles/doceph.dir/msgr/messenger.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/msgr/messenger.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/doceph.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/os/mem_store.cpp" "src/CMakeFiles/doceph.dir/os/mem_store.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/os/mem_store.cpp.o.d"
+  "/root/repo/src/os/transaction.cpp" "src/CMakeFiles/doceph.dir/os/transaction.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/os/transaction.cpp.o.d"
+  "/root/repo/src/osd/osd.cpp" "src/CMakeFiles/doceph.dir/osd/osd.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/osd/osd.cpp.o.d"
+  "/root/repo/src/proxy/host_backend.cpp" "src/CMakeFiles/doceph.dir/proxy/host_backend.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/proxy/host_backend.cpp.o.d"
+  "/root/repo/src/proxy/proxy_object_store.cpp" "src/CMakeFiles/doceph.dir/proxy/proxy_object_store.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/proxy/proxy_object_store.cpp.o.d"
+  "/root/repo/src/proxy/rpc_channel.cpp" "src/CMakeFiles/doceph.dir/proxy/rpc_channel.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/proxy/rpc_channel.cpp.o.d"
+  "/root/repo/src/proxy/slot_pool.cpp" "src/CMakeFiles/doceph.dir/proxy/slot_pool.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/proxy/slot_pool.cpp.o.d"
+  "/root/repo/src/sim/cpu_model.cpp" "src/CMakeFiles/doceph.dir/sim/cpu_model.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/sim/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/exec_context.cpp" "src/CMakeFiles/doceph.dir/sim/exec_context.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/sim/exec_context.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/doceph.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/doceph.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/thread.cpp" "src/CMakeFiles/doceph.dir/sim/thread.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/sim/thread.cpp.o.d"
+  "/root/repo/src/sim/time_keeper.cpp" "src/CMakeFiles/doceph.dir/sim/time_keeper.cpp.o" "gcc" "src/CMakeFiles/doceph.dir/sim/time_keeper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("event")
+subdirs("net")
+subdirs("msgr")
+subdirs("os")
+subdirs("bluestore")
+subdirs("crush")
+subdirs("mon")
+subdirs("osd")
+subdirs("client")
+subdirs("doca")
+subdirs("dpu")
+subdirs("proxy")
+subdirs("cluster")
+subdirs("benchcore")

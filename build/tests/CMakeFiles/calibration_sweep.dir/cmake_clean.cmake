@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_sweep.dir/cluster/debug_probe.cpp.o"
+  "CMakeFiles/calibration_sweep.dir/cluster/debug_probe.cpp.o.d"
+  "calibration_sweep"
+  "calibration_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchcore.dir/benchcore/test_benchcore.cpp.o"
+  "CMakeFiles/test_benchcore.dir/benchcore/test_benchcore.cpp.o.d"
+  "test_benchcore"
+  "test_benchcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

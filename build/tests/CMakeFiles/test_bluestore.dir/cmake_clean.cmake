@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bluestore.dir/bluestore/test_allocator.cpp.o"
+  "CMakeFiles/test_bluestore.dir/bluestore/test_allocator.cpp.o.d"
+  "CMakeFiles/test_bluestore.dir/bluestore/test_block_device.cpp.o"
+  "CMakeFiles/test_bluestore.dir/bluestore/test_block_device.cpp.o.d"
+  "CMakeFiles/test_bluestore.dir/bluestore/test_bluestore.cpp.o"
+  "CMakeFiles/test_bluestore.dir/bluestore/test_bluestore.cpp.o.d"
+  "CMakeFiles/test_bluestore.dir/bluestore/test_kv.cpp.o"
+  "CMakeFiles/test_bluestore.dir/bluestore/test_kv.cpp.o.d"
+  "test_bluestore"
+  "test_bluestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bluestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_integration.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_integration.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_recovery.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_recovery.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_buffer.cpp" "tests/CMakeFiles/test_common.dir/common/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_buffer.cpp.o.d"
+  "/root/repo/tests/common/test_crc32c.cpp" "tests/CMakeFiles/test_common.dir/common/test_crc32c.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_crc32c.cpp.o.d"
+  "/root/repo/tests/common/test_encoding.cpp" "tests/CMakeFiles/test_common.dir/common/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_encoding.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_interval_set.cpp" "tests/CMakeFiles/test_common.dir/common/test_interval_set.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_interval_set.cpp.o.d"
+  "/root/repo/tests/common/test_status.cpp" "tests/CMakeFiles/test_common.dir/common/test_status.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doceph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_buffer.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_buffer.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_crc32c.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_crc32c.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_encoding.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_encoding.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_interval_set.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_interval_set.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_status.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_status.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

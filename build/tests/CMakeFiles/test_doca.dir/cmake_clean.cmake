@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doca.dir/doca/test_doca.cpp.o"
+  "CMakeFiles/test_doca.dir/doca/test_doca.cpp.o.d"
+  "test_doca"
+  "test_doca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event.dir/event/test_event_center.cpp.o"
+  "CMakeFiles/test_event.dir/event/test_event_center.cpp.o.d"
+  "test_event"
+  "test_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

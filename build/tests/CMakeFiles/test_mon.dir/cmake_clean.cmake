@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mon.dir/mon/test_monitor.cpp.o"
+  "CMakeFiles/test_mon.dir/mon/test_monitor.cpp.o.d"
+  "test_mon"
+  "test_mon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

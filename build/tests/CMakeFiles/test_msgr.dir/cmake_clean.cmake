@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msgr.dir/msgr/test_messenger.cpp.o"
+  "CMakeFiles/test_msgr.dir/msgr/test_messenger.cpp.o.d"
+  "CMakeFiles/test_msgr.dir/msgr/test_msgr_robustness.cpp.o"
+  "CMakeFiles/test_msgr.dir/msgr/test_msgr_robustness.cpp.o.d"
+  "test_msgr"
+  "test_msgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

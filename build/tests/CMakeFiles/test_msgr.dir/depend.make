@@ -1,0 +1,2 @@
+# Empty dependencies file for test_msgr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_fabric.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_fabric.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_fabric_params.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_fabric_params.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

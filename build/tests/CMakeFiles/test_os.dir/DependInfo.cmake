@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os/test_mem_store.cpp" "tests/CMakeFiles/test_os.dir/os/test_mem_store.cpp.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_mem_store.cpp.o.d"
+  "/root/repo/tests/os/test_store_property.cpp" "tests/CMakeFiles/test_os.dir/os/test_store_property.cpp.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_store_property.cpp.o.d"
+  "/root/repo/tests/os/test_transaction.cpp" "tests/CMakeFiles/test_os.dir/os/test_transaction.cpp.o" "gcc" "tests/CMakeFiles/test_os.dir/os/test_transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doceph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

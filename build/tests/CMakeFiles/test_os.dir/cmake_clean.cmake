@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/test_mem_store.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_mem_store.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/test_store_property.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_store_property.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/test_transaction.cpp.o"
+  "CMakeFiles/test_os.dir/os/test_transaction.cpp.o.d"
+  "test_os"
+  "test_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

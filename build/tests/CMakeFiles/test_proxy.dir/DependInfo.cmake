@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/proxy/test_proxy.cpp" "tests/CMakeFiles/test_proxy.dir/proxy/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/test_proxy.dir/proxy/test_proxy.cpp.o.d"
+  "/root/repo/tests/proxy/test_proxy_multiop.cpp" "tests/CMakeFiles/test_proxy.dir/proxy/test_proxy_multiop.cpp.o" "gcc" "tests/CMakeFiles/test_proxy.dir/proxy/test_proxy_multiop.cpp.o.d"
+  "/root/repo/tests/proxy/test_proxy_reads.cpp" "tests/CMakeFiles/test_proxy.dir/proxy/test_proxy_reads.cpp.o" "gcc" "tests/CMakeFiles/test_proxy.dir/proxy/test_proxy_reads.cpp.o.d"
+  "/root/repo/tests/proxy/test_rpc_channel.cpp" "tests/CMakeFiles/test_proxy.dir/proxy/test_rpc_channel.cpp.o" "gcc" "tests/CMakeFiles/test_proxy.dir/proxy/test_rpc_channel.cpp.o.d"
+  "/root/repo/tests/proxy/test_slot_fallback.cpp" "tests/CMakeFiles/test_proxy.dir/proxy/test_slot_fallback.cpp.o" "gcc" "tests/CMakeFiles/test_proxy.dir/proxy/test_slot_fallback.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doceph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy.dir/proxy/test_proxy.cpp.o"
+  "CMakeFiles/test_proxy.dir/proxy/test_proxy.cpp.o.d"
+  "CMakeFiles/test_proxy.dir/proxy/test_proxy_multiop.cpp.o"
+  "CMakeFiles/test_proxy.dir/proxy/test_proxy_multiop.cpp.o.d"
+  "CMakeFiles/test_proxy.dir/proxy/test_proxy_reads.cpp.o"
+  "CMakeFiles/test_proxy.dir/proxy/test_proxy_reads.cpp.o.d"
+  "CMakeFiles/test_proxy.dir/proxy/test_rpc_channel.cpp.o"
+  "CMakeFiles/test_proxy.dir/proxy/test_rpc_channel.cpp.o.d"
+  "CMakeFiles/test_proxy.dir/proxy/test_slot_fallback.cpp.o"
+  "CMakeFiles/test_proxy.dir/proxy/test_slot_fallback.cpp.o.d"
+  "test_proxy"
+  "test_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cpu_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cpu_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_scheduler.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_time_keeper.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_time_keeper.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

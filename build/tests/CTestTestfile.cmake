@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_event "/root/repo/build/tests/test_event")
+set_tests_properties(test_event PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_os "/root/repo/build/tests/test_os")
+set_tests_properties(test_os PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_bluestore "/root/repo/build/tests/test_bluestore")
+set_tests_properties(test_bluestore PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;30;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_crush "/root/repo/build/tests/test_crush")
+set_tests_properties(test_crush PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;37;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mon "/root/repo/build/tests/test_mon")
+set_tests_properties(test_mon PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;41;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_doca "/root/repo/build/tests/test_doca")
+set_tests_properties(test_doca PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;45;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_proxy "/root/repo/build/tests/test_proxy")
+set_tests_properties(test_proxy PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;49;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_msgr "/root/repo/build/tests/test_msgr")
+set_tests_properties(test_msgr PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;57;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_net "/root/repo/build/tests/test_net")
+set_tests_properties(test_net PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;62;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_client "/root/repo/build/tests/test_client")
+set_tests_properties(test_client PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;67;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_benchcore "/root/repo/build/tests/test_benchcore")
+set_tests_properties(test_benchcore PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;71;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cluster "/root/repo/build/tests/test_cluster")
+set_tests_properties(test_cluster PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;75;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sim "/root/repo/build/tests/test_sim")
+set_tests_properties(test_sim PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;80;doceph_add_test;/root/repo/tests/CMakeLists.txt;0;")
