@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# doceph verification matrix: lint + lockdep + sanitizer test runs.
+#
+#   scripts/check.sh            # full matrix: lint, Debug+lockdep, TSan
+#   scripts/check.sh lint       # clang-tidy only
+#   scripts/check.sh lockdep    # Debug + DOCEPH_LOCKDEP=ON ctest
+#   scripts/check.sh tsan       # ThreadSanitizer ctest
+#   scripts/check.sh asan       # Address+UB sanitizer ctest
+#
+# Each configuration gets its own build tree (build-<name>/) so the presets
+# never contaminate each other; trees are reused across runs for speed.
+# Also invocable as `cmake --build build --target check`.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+FAILED=()
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+run_config() { # name cmake-args...
+  local name=$1
+  shift
+  banner "configure+build: $name ($*)"
+  cmake -B "build-$name" -S . "$@" > "build-$name.configure.log" 2>&1 || {
+    echo "configure failed (build-$name.configure.log)"
+    FAILED+=("$name:configure")
+    return 1
+  }
+  cmake --build "build-$name" -j "$JOBS" > "build-$name.build.log" 2>&1 || {
+    echo "build failed (build-$name.build.log)"
+    tail -30 "build-$name.build.log"
+    FAILED+=("$name:build")
+    return 1
+  }
+  banner "ctest: $name"
+  if ! ctest --test-dir "build-$name" --output-on-failure -j "$JOBS"; then
+    FAILED+=("$name:ctest")
+    return 1
+  fi
+}
+
+run_lint() {
+  banner "clang-tidy"
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "clang-tidy not installed; skipping lint (install clang-tidy to enable)"
+    return 0
+  fi
+  cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    > build-lint.configure.log 2>&1 || {
+    FAILED+=("lint:configure")
+    return 1
+  }
+  local files
+  files=$(git ls-files 'src/*.cpp' 'tests/*.cpp')
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    # shellcheck disable=SC2086
+    run-clang-tidy -p build-lint -quiet $files || FAILED+=("lint:clang-tidy")
+  else
+    # shellcheck disable=SC2086
+    clang-tidy -p build-lint --quiet $files || FAILED+=("lint:clang-tidy")
+  fi
+}
+
+MODE=${1:-all}
+case "$MODE" in
+  lint) run_lint ;;
+  lockdep) run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON ;;
+  tsan) run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON ;;
+  asan) run_config asan -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_ASAN_UBSAN=ON ;;
+  all)
+    run_lint
+    run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON
+    run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON
+    ;;
+  *)
+    echo "usage: $0 [all|lint|lockdep|tsan|asan]" >&2
+    exit 2
+    ;;
+esac
+
+banner "summary"
+if [ ${#FAILED[@]} -eq 0 ]; then
+  echo "verification matrix ($MODE): all green"
+else
+  echo "FAILURES: ${FAILED[*]}"
+  exit 1
+fi

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace doceph::dbg {
+
+/// Runtime lockdep: a lock-order checker in the spirit of the Linux kernel's
+/// lockdep, scaled to this codebase. Every dbg::Mutex belongs to a named
+/// *lock class* (e.g. "bluestore.store", "msgr.messenger"); instances of the
+/// same class share one node in a global lock-order graph. While checking is
+/// enabled the engine maintains, per thread, the stack of held locks and, on
+/// every acquisition, records held-class -> acquired-class edges. It reports:
+///
+///  (a) lock-order inversion — acquiring B while holding A after some thread
+///      has acquired A while holding B (any cycle, not just length 2);
+///  (b) recursive self-deadlock — re-acquiring a mutex instance the calling
+///      thread already holds (including same-class instance pairs, which are
+///      a potential ABBA between two threads unless the class is explicitly
+///      registered as rank-ordered);
+///  (c) condvar-wait-while-holding — waiting on a dbg::CondVar while holding
+///      any tracked lock other than the one associated with the wait, from a
+///      thread registered with a TimeKeeper. Such a wait parks the thread in
+///      simulated time while the extra lock stays held, stalling every other
+///      thread that needs it — the classic way a simulation wedges.
+///
+/// Checking costs one hash lookup + small vector scan per lock op and is
+/// disabled by default; enable per-build with -DDOCEPH_LOCKDEP=ON or per
+/// test/process with set_enabled(true). The engine itself is always compiled
+/// so any build can run the checker's own tests.
+///
+/// Violations go to the installed handler; the default prints the report to
+/// stderr and aborts. Tests install a recording handler; when a handler
+/// returns normally the offending operation proceeds (the report has been
+/// made; aborting twice on one bug helps nobody).
+namespace lockdep {
+
+using ClassId = std::uint32_t;
+constexpr ClassId kInvalidClass = 0;
+
+struct Violation {
+  enum class Kind {
+    lock_inversion,     ///< cycle in the lock-order graph
+    recursive_lock,     ///< same instance (or same class) already held
+    cond_wait_holding,  ///< condvar wait with an unrelated tracked lock held
+  };
+  Kind kind;
+  std::string report;  ///< multi-line human-readable report
+};
+
+using Handler = std::function<void(const Violation&)>;
+
+/// Master switch. Starts as `true` when built with -DDOCEPH_LOCKDEP=ON
+/// (compile definition DOCEPH_LOCKDEP), else `false`.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Replace the violation handler (pass nullptr to restore the default
+/// print-and-abort behavior). Returns the previous handler.
+Handler set_handler(Handler h);
+
+/// Intern a lock class. Same name -> same id, across all call sites.
+/// `rank_ordered` permits holding several *instances* of this class at once
+/// (callers guarantee a consistent instance order, e.g. by address); the
+/// default treats same-class nesting as a potential ABBA deadlock.
+ClassId register_class(const std::string& name, bool rank_ordered = false);
+
+/// Name of a registered class (for reports/tests).
+[[nodiscard]] std::string class_name(ClassId cls);
+
+/// Called by dbg::Mutex before blocking on the underlying mutex: runs checks
+/// (a)/(b) against the calling thread's held set, records order edges, and
+/// pushes the lock onto the held stack. The push happens even when a check
+/// fires and the handler returns, keeping bookkeeping consistent with the
+/// acquisition that is about to happen anyway.
+void acquire(const void* instance, ClassId cls);
+
+/// Bookkeeping for a lock acquired via a *successful* try_lock: pushes the
+/// held entry and records order edges, but never fires a violation —
+/// probing locks in reverse order is a legitimate deadlock-avoidance idiom
+/// (try_lock cannot block). An edge that would close a cycle is skipped so
+/// the probe does not poison the graph for checked acquisitions.
+void acquire_trylock(const void* instance, ClassId cls);
+
+/// Called by dbg::Mutex after releasing: pops the lock from the held stack
+/// (out-of-order release is fine).
+void release(const void* instance) noexcept;
+
+/// Check (c): about to wait on a condvar whose associated mutex is
+/// `wait_mutex`. `in_sim_thread` is whether the caller is registered with a
+/// TimeKeeper (the wait stalls simulated time only then). `what` names the
+/// condvar's wrapper for the report.
+void cond_wait_check(const void* wait_mutex, bool in_sim_thread, const char* what);
+
+/// Number of tracked locks the calling thread currently holds.
+[[nodiscard]] std::size_t held_count() noexcept;
+
+/// Test hook: forget all recorded order edges (class registrations persist).
+/// Lets independent test cases seed contradictory orders without tripping
+/// over each other. Not for production code.
+void reset_graph_for_testing();
+
+}  // namespace lockdep
+}  // namespace doceph::dbg

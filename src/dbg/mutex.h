@@ -1,0 +1,126 @@
+#pragma once
+
+#include <mutex>
+
+#include "dbg/lockdep.h"
+
+namespace doceph::dbg {
+
+/// A std::mutex with lockdep instrumentation (see dbg/lockdep.h). Every
+/// mutex names its lock class; instances of a class share one node in the
+/// lock-order graph. With checking disabled the overhead is one relaxed
+/// atomic load and a thread-local vector push/pop per lock/unlock.
+///
+/// `rank_ordered` permits holding several instances of the class at once
+/// (the caller guarantees a consistent instance order); default forbids it.
+///
+/// Checks fire *before* blocking on the underlying mutex, so an about-to-
+/// deadlock acquisition is reported instead of hanging. A violation handler
+/// may throw to abort the acquisition (the lock is then not taken).
+class Mutex {
+ public:
+  explicit Mutex(const char* class_name, bool rank_ordered = false)
+      : cls_(lockdep::register_class(class_name, rank_ordered)) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    lockdep::acquire(this, cls_);
+    try {
+      m_.lock();
+    } catch (...) {
+      lockdep::release(this);
+      throw;
+    }
+  }
+
+  void unlock() {
+    m_.unlock();
+    lockdep::release(this);
+  }
+
+  /// Deadlock-free probe: held-set bookkeeping happens on success, but no
+  /// violation can fire — reverse-order trylock is a legitimate idiom.
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+    lockdep::acquire_trylock(this, cls_);
+    return true;
+  }
+
+  /// The raw mutex, for the TimeKeeper/CondVar substrate only. Locking it
+  /// directly bypasses all checking.
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+  [[nodiscard]] lockdep::ClassId lockdep_class() const noexcept { return cls_; }
+
+ private:
+  std::mutex m_;
+  lockdep::ClassId cls_;
+};
+
+/// Scoped lock over dbg::Mutex (drop-in for std::lock_guard<std::mutex>).
+using LockGuard = std::lock_guard<Mutex>;
+
+/// Movable lock over dbg::Mutex (drop-in for std::unique_lock<std::mutex>).
+/// `inner()` exposes the underlying std::unique_lock so sim::CondVar (the
+/// unchecked substrate) can park on it; use dbg::CondVar instead of reaching
+/// for it directly.
+class UniqueLock {
+ public:
+  UniqueLock() noexcept = default;
+  explicit UniqueLock(Mutex& m) : mx_(&m), inner_(m.native(), std::defer_lock) {
+    lock();
+  }
+  UniqueLock(Mutex& m, std::defer_lock_t) noexcept
+      : mx_(&m), inner_(m.native(), std::defer_lock) {}
+
+  UniqueLock(UniqueLock&& o) noexcept
+      : mx_(o.mx_), inner_(std::move(o.inner_)) {
+    o.mx_ = nullptr;
+  }
+  UniqueLock& operator=(UniqueLock&& o) noexcept {
+    if (this == &o) return *this;
+    if (owns_lock()) unlock();
+    mx_ = o.mx_;
+    inner_ = std::move(o.inner_);
+    o.mx_ = nullptr;
+    return *this;
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  ~UniqueLock() {
+    if (owns_lock()) unlock();
+  }
+
+  void lock() {
+    lockdep::acquire(mx_, mx_->lockdep_class());
+    try {
+      inner_.lock();
+    } catch (...) {
+      lockdep::release(mx_);
+      throw;
+    }
+  }
+
+  bool try_lock() {
+    if (!inner_.try_lock()) return false;
+    lockdep::acquire_trylock(mx_, mx_->lockdep_class());
+    return true;
+  }
+
+  void unlock() {
+    inner_.unlock();
+    lockdep::release(mx_);
+  }
+
+  [[nodiscard]] bool owns_lock() const noexcept { return inner_.owns_lock(); }
+  [[nodiscard]] Mutex* mutex() const noexcept { return mx_; }
+  [[nodiscard]] std::unique_lock<std::mutex>& inner() noexcept { return inner_; }
+
+ private:
+  Mutex* mx_ = nullptr;
+  std::unique_lock<std::mutex> inner_;
+};
+
+}  // namespace doceph::dbg
