@@ -13,7 +13,7 @@ ExtentAllocator::ExtentAllocator(std::uint64_t base, std::uint64_t size,
 
 Result<std::vector<Extent>> ExtentAllocator::allocate(std::uint64_t len) {
   len = round_up(len == 0 ? alloc_unit_ : len);
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (free_.size() < len) return Status(Errc::no_space, "allocator exhausted");
 
   std::vector<Extent> out;
@@ -39,7 +39,7 @@ Result<std::vector<Extent>> ExtentAllocator::allocate(std::uint64_t len) {
 }
 
 void ExtentAllocator::release(const std::vector<Extent>& extents) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   for (const auto& e : extents) {
     if (e.len > 0) free_.insert(e.off, e.len);
   }
@@ -47,17 +47,17 @@ void ExtentAllocator::release(const std::vector<Extent>& extents) {
 
 void ExtentAllocator::mark_used(std::uint64_t off, std::uint64_t len) {
   if (len == 0) return;
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   free_.erase(off, round_up(len));
 }
 
 std::uint64_t ExtentAllocator::free_bytes() const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return free_.size();
 }
 
 std::size_t ExtentAllocator::fragments() const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return free_.num_intervals();
 }
 

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/encoding.h"
 #include "common/interval_set.h"
 #include "common/result.h"
+#include "dbg/mutex.h"
 
 namespace doceph::bluestore {
 
@@ -54,7 +54,7 @@ class ExtentAllocator {
   std::uint64_t base_;
   std::uint64_t size_;
   std::uint64_t alloc_unit_;
-  mutable std::mutex mutex_;
+  mutable dbg::Mutex mutex_{"bluestore.alloc"};
   IntervalSet<std::uint64_t> free_;
 };
 

@@ -37,8 +37,8 @@ std::string BlueStore::coll_prefix(const os::coll_t& c) {
 
 BlueStore::BlueStore(sim::Env& env, sim::CpuDomain* domain, BlueStoreConfig cfg,
                      std::shared_ptr<DeviceBacking> backing)
-    : env_(env), domain_(domain), cfg_(cfg), seq_drained_(env.keeper()),
-      aio_cv_(env.keeper()) {
+    : env_(env), domain_(domain), cfg_(cfg), seq_drained_(env.keeper(), "bluestore.seq_drained"),
+      aio_cv_(env.keeper(), "bluestore.aio_cv") {
   dev_ = std::make_unique<BlockDevice>(env_, cfg_.device, std::move(backing));
   kv_ = std::make_unique<KvStore>(env_, *dev_, cfg_.wal_off, cfg_.wal_len, domain_,
                                   cfg_.kv_costs);
@@ -85,7 +85,7 @@ Status BlueStore::umount() {
   if (!mounted_) return Status::OK();
   // Drain all in-flight transactions.
   {
-    std::unique_lock<std::mutex> lk(mutex_);
+    dbg::UniqueLock lk(mutex_);
     seq_drained_.wait(lk, [&] { return sequencers_.empty(); });
     onode_cache_.clear();
     lru_.clear();
@@ -100,7 +100,7 @@ Status BlueStore::umount() {
 void BlueStore::simulate_crash() {
   std::vector<TxRef> pending;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     for (auto& [cid, dq] : sequencers_)
       for (auto& txc : dq) pending.push_back(txc);
     sequencers_.clear();
@@ -241,7 +241,7 @@ void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
       if (prefetched.contains(okey)) continue;
       std::optional<Onode> onode;
       {
-        const std::lock_guard<std::mutex> lk(mutex_);
+        const dbg::LockGuard lk(mutex_);
         onode = get_onode_locked(op.cid, op.oid);
       }
       prefetched[okey] = onode ? read_content(*onode) : BufferList{};
@@ -252,7 +252,7 @@ void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
   build_txc(txn, txc, writes, prefetched);
 
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     txc->pending_ios = static_cast<int>(writes.size());
     if (txc->pending_ios == 0) txc->ios_done = true;
     sequencers_[txc->seq_cid].push_back(txc);
@@ -277,7 +277,7 @@ void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
 }
 
 void BlueStore::aio_enqueue(std::function<void()> task) {
-  const std::lock_guard<std::mutex> lk(aio_mutex_);
+  const dbg::LockGuard lk(aio_mutex_);
   if (aio_stop_) return;  // post-crash stray completion: drop
   aio_queue_.push_back(std::move(task));
   aio_cv_.notify_one();
@@ -287,7 +287,7 @@ void BlueStore::aio_thread_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(aio_mutex_);
+      dbg::UniqueLock lk(aio_mutex_);
       aio_cv_.wait(lk, [&] { return aio_stop_ || !aio_queue_.empty(); });
       if (aio_queue_.empty() && aio_stop_) return;
       task = std::move(aio_queue_.front());
@@ -299,7 +299,7 @@ void BlueStore::aio_thread_loop() {
 
 void BlueStore::start_aio_thread() {
   {
-    const std::lock_guard<std::mutex> lk(aio_mutex_);
+    const dbg::LockGuard lk(aio_mutex_);
     aio_stop_ = false;
   }
   aio_thread_ = sim::Thread(env_.keeper(), env_.stats(), "bstore_aio", domain_,
@@ -308,7 +308,7 @@ void BlueStore::start_aio_thread() {
 
 void BlueStore::stop_aio_thread() {
   {
-    const std::lock_guard<std::mutex> lk(aio_mutex_);
+    const dbg::LockGuard lk(aio_mutex_);
     if (aio_stop_) return;
     aio_stop_ = true;
     aio_cv_.notify_all();
@@ -319,7 +319,7 @@ void BlueStore::stop_aio_thread() {
 void BlueStore::build_txc(os::Transaction& txn, const TxRef& txc,
                           std::vector<std::pair<std::uint64_t, BufferList>>& writes,
                           std::map<std::string, BufferList>& prefetched) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   for (auto& op : txn.ops()) {
     const std::string okey = onode_key(op.cid, op.oid);
     switch (op.op) {
@@ -420,7 +420,7 @@ void BlueStore::build_txc(os::Transaction& txn, const TxRef& txc,
 }
 
 void BlueStore::on_ios_complete(const TxRef& txc) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (--txc->pending_ios > 0) return;
   txc->ios_done = true;
   submit_ready_locked(txc->seq_cid);
@@ -462,7 +462,7 @@ void BlueStore::finish_txc(const TxRef& txc, Status st) {
 }
 
 void BlueStore::flush_collection(const os::coll_t& cid) {
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   seq_drained_.wait(lk, [&] { return !sequencers_.contains(cid); });
 }
 
@@ -472,7 +472,7 @@ Result<BufferList> BlueStore::read(const os::coll_t& c, const os::ghobject_t& o,
                                    std::uint64_t off, std::uint64_t len) {
   std::optional<Onode> onode;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     if (!kv_->contains(coll_key(c))) return Status(Errc::not_found, "collection");
     onode = get_onode_locked(c, o);
   }
@@ -503,7 +503,7 @@ Result<BufferList> BlueStore::read(const os::coll_t& c, const os::ghobject_t& o,
 }
 
 Result<os::ObjectInfo> BlueStore::stat(const os::coll_t& c, const os::ghobject_t& o) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (!kv_->contains(coll_key(c))) return Status(Errc::not_found, "collection");
   auto onode = get_onode_locked(c, o);
   if (!onode) return Status(Errc::not_found, o.to_string());
@@ -511,13 +511,13 @@ Result<os::ObjectInfo> BlueStore::stat(const os::coll_t& c, const os::ghobject_t
 }
 
 bool BlueStore::exists(const os::coll_t& c, const os::ghobject_t& o) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return kv_->contains(onode_key(c, o));
 }
 
 Result<std::map<std::string, BufferList>> BlueStore::omap_get(const os::coll_t& c,
                                                               const os::ghobject_t& o) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (!kv_->contains(coll_key(c))) return Status(Errc::not_found, "collection");
   auto onode = get_onode_locked(c, o);
   if (!onode) return Status(Errc::not_found, o.to_string());

@@ -10,6 +10,8 @@
 #include "bluestore/allocator.h"
 #include "bluestore/block_device.h"
 #include "bluestore/kv.h"
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "os/object_store.h"
 #include "sim/cpu_model.h"
 
@@ -157,8 +159,8 @@ class BlueStore final : public os::ObjectStore {
   std::unique_ptr<ExtentAllocator> alloc_;
   bool mounted_ = false;
 
-  std::mutex mutex_;  // onode cache + sequencers
-  sim::CondVar seq_drained_;
+  dbg::Mutex mutex_{"bluestore.store"};  // onode cache + sequencers
+  dbg::CondVar seq_drained_;
 
   // Onode LRU cache.
   struct CacheEntry {
@@ -175,8 +177,8 @@ class BlueStore final : public os::ObjectStore {
   std::map<os::coll_t, std::deque<TxRef>> sequencers_;
 
   // "bstore_aio" completion thread.
-  std::mutex aio_mutex_;
-  sim::CondVar aio_cv_;
+  dbg::Mutex aio_mutex_{"bluestore.aio"};
+  dbg::CondVar aio_cv_;
   std::deque<std::function<void()>> aio_queue_;
   bool aio_stop_ = true;
   sim::Thread aio_thread_;

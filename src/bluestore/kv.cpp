@@ -48,7 +48,7 @@ KvStore::KvStore(sim::Env& env, BlockDevice& dev, std::uint64_t wal_off,
       wal_len_(wal_len),
       domain_(domain),
       costs_(costs),
-      queue_cv_(env.keeper()) {
+      queue_cv_(env.keeper(), "bluestore.kv_queue_cv") {
   assert(wal_len_ >= 2 << 20 && "WAL region too small");
 }
 
@@ -90,7 +90,7 @@ Status KvStore::mount() {
   const Status st = replay();
   if (!st.ok()) return st;
   {
-    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    const dbg::LockGuard lk(queue_mutex_);
     stopping_ = false;
   }
   running_ = true;
@@ -182,7 +182,7 @@ Status KvStore::replay() {
 Status KvStore::umount() {
   if (!running_) return Status::OK();
   {
-    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    const dbg::LockGuard lk(queue_mutex_);
     stopping_ = true;
     queue_cv_.notify_all();
   }
@@ -194,7 +194,7 @@ Status KvStore::umount() {
 void KvStore::crash() {
   std::deque<std::pair<KvTxn, OnCommit>> dropped;
   {
-    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    const dbg::LockGuard lk(queue_mutex_);
     stopping_ = true;
     dropped.swap(queue_);  // power loss: queued txns never reach the WAL
     queue_cv_.notify_all();
@@ -207,24 +207,24 @@ void KvStore::crash() {
 }
 
 void KvStore::queue(KvTxn txn, OnCommit cb) {
-  const std::lock_guard<std::mutex> lk(queue_mutex_);
+  const dbg::LockGuard lk(queue_mutex_);
   assert(running_ && !stopping_);
   queue_.emplace_back(std::move(txn), std::move(cb));
   queue_cv_.notify_one();
 }
 
 Status KvStore::submit(KvTxn txn) {
-  std::mutex m;
-  sim::CondVar cv(env_.keeper());
+  dbg::Mutex m{"bluestore.kv_submit"};
+  dbg::CondVar cv(env_.keeper(), "bluestore.kv_submit");
   bool done = false;
   Status result;
   queue(std::move(txn), [&](Status st) {
-    const std::lock_guard<std::mutex> lk(m);
+    const dbg::LockGuard lk(m);
     result = st;
     done = true;
     cv.notify_all();
   });
-  std::unique_lock<std::mutex> lk(m);
+  dbg::UniqueLock lk(m);
   cv.wait(lk, [&] { return done; });
   return result;
 }
@@ -233,7 +233,7 @@ void KvStore::sync_thread() {
   while (true) {
     std::deque<std::pair<KvTxn, OnCommit>> batch;
     {
-      std::unique_lock<std::mutex> lk(queue_mutex_);
+      dbg::UniqueLock lk(queue_mutex_);
       queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty() && stopping_) return;
       batch.swap(queue_);

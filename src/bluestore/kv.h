@@ -12,6 +12,8 @@
 
 #include "bluestore/block_device.h"
 #include "common/encoding.h"
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "sim/cpu_model.h"
 #include "sim/thread.h"
 
@@ -119,8 +121,8 @@ class KvStore {
   std::map<std::string, BufferList> map_;
 
   // Sync-thread state.
-  std::mutex queue_mutex_;
-  sim::CondVar queue_cv_;
+  dbg::Mutex queue_mutex_{"bluestore.kv_queue"};
+  dbg::CondVar queue_cv_;
   std::deque<std::pair<KvTxn, OnCommit>> queue_;
   bool stopping_ = false;
   bool running_ = false;

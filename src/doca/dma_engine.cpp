@@ -12,12 +12,12 @@ DmaEngine::DmaEngine(sim::Env& env, PcieLink& link, DmaConfig cfg,
       rng_(sim::Rng::derive_seed(env.seed(), rng_salt)) {}
 
 void DmaEngine::set_failure_rate(double rate) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   failure_rate_ = rate;
 }
 
 void DmaEngine::fail_next(int n) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   forced_failures_ += n;
 }
 
@@ -33,7 +33,7 @@ Status DmaEngine::submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb) {
 
   bool fail = false;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     if (forced_failures_ > 0) {
       --forced_failures_;
       fail = true;

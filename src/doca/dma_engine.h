@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 
 #include "common/result.h"
+#include "dbg/mutex.h"
 #include "doca/mmap.h"
 #include "doca/pcie_link.h"
 #include "sim/env.h"
@@ -60,7 +60,7 @@ class DmaEngine {
 
   sim::SerialResource engine_;
 
-  std::mutex mutex_;
+  dbg::Mutex mutex_{"doca.dma"};
   sim::Rng rng_;
   double failure_rate_ = 0.0;
   int forced_failures_ = 0;

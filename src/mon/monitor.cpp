@@ -31,19 +31,19 @@ void Monitor::shutdown() {
 }
 
 void Monitor::create_pool(os::pool_t id, crush::PoolInfo info) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   map_.create_pool(id, std::move(info));
   map_.bump_epoch();
   publish_locked();
 }
 
 crush::OSDMap Monitor::current_map() const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return map_;
 }
 
 crush::epoch_t Monitor::epoch() const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return map_.epoch();
 }
 
@@ -60,7 +60,7 @@ void Monitor::ms_dispatch(const msgr::MessageRef& m) {
 }
 
 void Monitor::ms_handle_reset(const msgr::ConnectionRef& con) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   std::erase(subscribers_, con);
 }
 
@@ -78,20 +78,20 @@ void Monitor::publish_locked() {
 }
 
 void Monitor::handle_get_map(const msgr::MessageRef& m) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   send_map_locked(m->connection);
 }
 
 void Monitor::handle_subscribe(const msgr::MessageRef& m) {
   auto* sub = static_cast<msgr::MMonSubscribe*>(m.get());
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   subscribers_.push_back(m->connection);
   if (map_.epoch() > sub->start_epoch) send_map_locked(m->connection);
 }
 
 void Monitor::handle_boot(const msgr::MessageRef& m) {
   auto* boot = static_cast<msgr::MOSDBoot*>(m.get());
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (boot->osd_id < 0 || boot->osd_id >= map_.num_osds()) {
     DLOG(warn, "mon") << "boot from unknown osd." << boot->osd_id;
     return;
@@ -107,7 +107,7 @@ void Monitor::handle_boot(const msgr::MessageRef& m) {
 
 void Monitor::handle_failure(const msgr::MessageRef& m) {
   auto* fail = static_cast<msgr::MOSDFailure*>(m.get());
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (!map_.is_up(fail->failed_osd)) return;  // already down
   auto& reporters = failure_reports_[fail->failed_osd];
   reporters.insert(fail->reporter);
@@ -132,7 +132,7 @@ void Monitor::handle_command(const msgr::MessageRef& m) {
     info.pg_num = static_cast<std::uint32_t>(std::stoul(cmd->args[3]));
     info.size = static_cast<std::uint32_t>(std::stoul(cmd->args[4]));
     {
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       map_.create_pool(pool_id, std::move(info));
       map_.bump_epoch();
       publish_locked();
@@ -141,7 +141,7 @@ void Monitor::handle_command(const msgr::MessageRef& m) {
     reply->output = "pool created";
   } else if (cmd->args.size() == 2 && cmd->args[0] == "osd_out") {
     const int id = std::stoi(cmd->args[1]);
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     map_.mark_out(id);
     map_.bump_epoch();
     publish_locked();

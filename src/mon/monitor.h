@@ -1,11 +1,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "crush/osd_map.h"
+#include "dbg/mutex.h"
 #include "msgr/messages.h"
 #include "msgr/messenger.h"
 
@@ -57,7 +57,7 @@ class Monitor final : public msgr::Dispatcher {
   MonitorConfig cfg_;
   msgr::Messenger msgr_;
 
-  mutable std::mutex mutex_;
+  mutable dbg::Mutex mutex_{"mon.monitor"};
   crush::OSDMap map_;
   std::vector<msgr::ConnectionRef> subscribers_;
   std::map<int, std::set<int>> failure_reports_;  // failed osd -> reporters

@@ -240,7 +240,7 @@ void Messenger::shutdown() {
   started_ = false;
   std::vector<ConnectionRef> cons;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     for (auto& [addr, con] : outgoing_) cons.push_back(con);
     for (auto& con : accepted_) cons.push_back(con);
     outgoing_.clear();
@@ -261,7 +261,7 @@ void Messenger::accept(net::SocketRef sock) {
   auto& center = pick_center();
   ConnectionRef con(new Connection(*this, center, std::move(sock), /*incoming=*/true));
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     accepted_.push_back(con);
   }
   center.dispatch([con] { con->start(); });
@@ -269,7 +269,7 @@ void Messenger::accept(net::SocketRef sock) {
 
 ConnectionRef Messenger::get_connection(const net::Address& peer) {
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     auto it = outgoing_.find(peer);
     if (it != outgoing_.end() && it->second->is_connected()) return it->second;
     if (it != outgoing_.end() && it->second->state_.load() == Connection::State::banner_wait)
@@ -285,7 +285,7 @@ ConnectionRef Messenger::get_connection(const net::Address& peer) {
   ConnectionRef con(new Connection(*this, center, std::move(sock).value(),
                                    /*incoming=*/false));
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     outgoing_[peer] = con;
   }
   center.dispatch([con] { con->start(); });

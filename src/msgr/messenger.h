@@ -5,11 +5,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "dbg/mutex.h"
 #include "event/event_center.h"
 #include "msgr/message.h"
 #include "net/fabric.h"
@@ -179,7 +179,7 @@ class Messenger {
   std::atomic<std::size_t> next_center_{0};
   bool started_ = false;
 
-  std::mutex mutex_;
+  dbg::Mutex mutex_{"msgr.messenger"};
   std::map<net::Address, ConnectionRef> outgoing_;   // by peer bound addr
   std::vector<ConnectionRef> accepted_;              // inbound connections
 };

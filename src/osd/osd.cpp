@@ -17,8 +17,8 @@ OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
       store_(store),
       msgr_(env, fabric, node, domain, "osd." + std::to_string(cfg.id)),
       monc_(env, msgr_, mon_addr),
-      queue_cv_(env.keeper()),
-      tick_cv_(env.keeper()) {
+      queue_cv_(env.keeper(), "osd.queue_cv"),
+      tick_cv_(env.keeper(), "osd.tick_cv") {
   msgr_.set_dispatcher(this);
 }
 
@@ -41,7 +41,7 @@ Status OSD::init() {
       // "map wrongly marks me down" case): announce ourselves again.
       (void)monc_.send_boot(cfg_.id, msgr_.addr());
     }
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     const sim::Time now = env_.now();
     for (int p = 0; p < map.num_osds(); ++p) {
       if (p == cfg_.id || !map.is_up(p)) continue;
@@ -71,7 +71,7 @@ Status OSD::init() {
   for (const auto& c : store_.list_collections()) created_colls_.insert(c);
 
   {
-    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    const dbg::LockGuard lk(queue_mutex_);
     stopping_ = false;
   }
   for (int i = 0; i < cfg_.op_threads; ++i) {
@@ -89,14 +89,14 @@ void OSD::shutdown() {
   if (!started_) return;
   started_ = false;
   {
-    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    const dbg::LockGuard lk(queue_mutex_);
     stopping_ = true;
     queue_cv_.notify_all();
     tick_cv_.notify_all();
   }
   {
     // Unblock any tick-thread scan waits.
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     for (auto& [tid, scan] : pending_scans_) {
       scan->done = true;
       scan->cv.notify_all();
@@ -139,7 +139,7 @@ void OSD::ms_dispatch(const MessageRef& m) {
 void OSD::ms_handle_reset(const msgr::ConnectionRef&) {}
 
 void OSD::enqueue_op(std::function<void()> fn) {
-  const std::lock_guard<std::mutex> lk(queue_mutex_);
+  const dbg::LockGuard lk(queue_mutex_);
   if (stopping_) return;
   op_queue_.push_back(std::move(fn));
   queue_cv_.notify_one();
@@ -149,7 +149,7 @@ void OSD::op_worker() {
   while (true) {
     std::function<void()> fn;
     {
-      std::unique_lock<std::mutex> lk(queue_mutex_);
+      dbg::UniqueLock lk(queue_mutex_);
       queue_cv_.wait(lk, [&] { return stopping_ || !op_queue_.empty(); });
       if (stopping_) return;
       fn = std::move(op_queue_.front());
@@ -175,7 +175,7 @@ void OSD::reply_client(const MessageRef& req, std::int32_t result,
 }
 
 void OSD::ensure_pg_collection(const pg_t& pg, os::Transaction& txn) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (created_colls_.contains(pg.to_coll())) return;
   os::Transaction pre;
   pre.create_collection(pg.to_coll());
@@ -249,7 +249,7 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
 
   const std::uint64_t tid = next_tid_.fetch_add(1);
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     last_pg_write_[pg] = env_.now();
     InFlightOp inflight;
     inflight.client_msg = m;
@@ -268,7 +268,7 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
     if (r == cfg_.id) continue;
     auto con = msgr_.get_connection(map.osd(r).addr);
     if (con == nullptr) {
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       in_flight_[tid].waiting_on.erase(r);
       continue;
     }
@@ -286,7 +286,7 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
   ensure_pg_collection(pg, txn);
   store_.queue_transaction(std::move(txn), [this, tid](Status st) {
     {
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       auto it = in_flight_.find(tid);
       if (it == in_flight_.end()) return;
       if (!st.ok()) it->second.result = -static_cast<std::int32_t>(st.code());
@@ -300,7 +300,7 @@ void OSD::complete_if_done(std::uint64_t tid) {
   MessageRef client_msg;
   std::int32_t result = 0;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(tid);
     if (it == in_flight_.end() || !it->second.waiting_on.empty()) return;
     client_msg = it->second.client_msg;
@@ -325,7 +325,7 @@ void OSD::handle_repop(const MessageRef& m) {
   }
   const pg_t pg{repop->pool, repop->pg_seed};
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     last_pg_write_[pg] = env_.now();
   }
   ensure_pg_collection(pg, txn);
@@ -343,7 +343,7 @@ void OSD::handle_repop(const MessageRef& m) {
 void OSD::handle_repop_reply(const MessageRef& m) {
   auto* reply = static_cast<msgr::MOSDRepOpReply*>(m.get());
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(m->tid);
     if (it == in_flight_.end()) return;  // recovery push ack, or late reply
     if (reply->result != 0) it->second.result = reply->result;
@@ -364,7 +364,7 @@ void OSD::handle_ping(const MessageRef& m) {
     m->connection->send_message(reply);
     return;
   }
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   last_heard_[ping->from_osd] = env_.now();
 }
 
@@ -372,7 +372,7 @@ void OSD::tick_thread() {
   sim::Time next_hb = env_.now();
   while (true) {
     {
-      std::unique_lock<std::mutex> lk(queue_mutex_);
+      dbg::UniqueLock lk(queue_mutex_);
       (void)tick_cv_.wait_for(lk, cfg_.tick_interval);
       if (stopping_) return;
     }
@@ -400,7 +400,7 @@ void OSD::do_heartbeats() {
     // Grace check.
     bool report = false;
     {
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       auto it = last_heard_.find(p);
       if (it == last_heard_.end()) {
         last_heard_[p] = now;
@@ -422,14 +422,14 @@ void OSD::do_heartbeats() {
 
 bool OSD::all_clean() {
   const crush::epoch_t e = monc_.epoch();
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return last_seen_epoch_ == e && dirty_pgs_.empty();
 }
 
 void OSD::check_recovery() {
   const crush::OSDMap map = monc_.map();
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     if (map.epoch() != last_seen_epoch_) {
       last_seen_epoch_ = map.epoch();
       dirty_pgs_.clear();
@@ -447,7 +447,7 @@ void OSD::check_recovery() {
 
   std::set<pg_t> todo;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     todo = dirty_pgs_;
   }
   for (const auto& pg : todo) {
@@ -459,7 +459,7 @@ void OSD::check_recovery() {
       // Defer while the PG is taking writes: the scan diff cannot tell
       // in-flight replication apart from loss, and pushing against live
       // traffic would thrash (and full-content scans are expensive).
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       auto it = last_pg_write_.find(pg);
       if (it != last_pg_write_.end() &&
           env_.now() - it->second < cfg_.recovery_quiesce)
@@ -495,12 +495,12 @@ Result<std::vector<msgr::ObjectSummary>> OSD::scan_pg_remote(const pg_t& pg, int
   scan->pg_seed = pg.seed;
   auto pending = std::make_shared<PendingScan>(env_.keeper());
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     pending_scans_[scan->tid] = pending;
   }
   con->send_message(scan);
 
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   const bool ok = pending->cv.wait_until(lk, env_.now() + cfg_.heartbeat_grace,
                                          [&] { return pending->done; });
   pending_scans_.erase(scan->tid);
@@ -521,7 +521,7 @@ void OSD::handle_pg_scan(const MessageRef& m) {
 
 void OSD::handle_pg_scan_reply(const MessageRef& m) {
   auto* reply = static_cast<msgr::MPGScanReply*>(m.get());
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto it = pending_scans_.find(m->tid);
   if (it == pending_scans_.end()) return;
   it->second->objects = std::move(reply->objects);
@@ -591,7 +591,7 @@ void OSD::recover_pg(const pg_t& pg, const std::vector<int>& acting) {
     }
   }
   if (clean) {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     dirty_pgs_.erase(pg);
   }
 }

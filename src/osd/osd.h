@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "mon/mon_client.h"
 #include "msgr/messages.h"
 #include "msgr/messenger.h"
@@ -116,15 +118,15 @@ class OSD final : public msgr::Dispatcher {
   mon::MonClient monc_;
 
   // Op queue feeding tp_osd_tp workers.
-  std::mutex queue_mutex_;
-  sim::CondVar queue_cv_;
+  dbg::Mutex queue_mutex_{"osd.queue"};
+  dbg::CondVar queue_cv_;
   std::deque<std::function<void()>> op_queue_;
   bool stopping_ = false;
   std::vector<sim::Thread> op_workers_;
-  sim::CondVar tick_cv_;
+  dbg::CondVar tick_cv_;
   sim::Thread ticker_;
 
-  std::mutex mutex_;  // in-flight ops, pg state, heartbeat state
+  dbg::Mutex mutex_{"osd.state"};  // in-flight ops, pg state, heartbeat state
   std::atomic<std::uint64_t> next_tid_{1};
   std::map<std::uint64_t, InFlightOp> in_flight_;
   std::set<os::coll_t> created_colls_;
@@ -140,10 +142,10 @@ class OSD final : public msgr::Dispatcher {
 
   // Pending remote scans (tick thread blocks on the reply).
   struct PendingScan {
-    sim::CondVar cv;
+    dbg::CondVar cv;
     bool done = false;
     std::vector<msgr::ObjectSummary> objects;
-    explicit PendingScan(sim::TimeKeeper& tk) : cv(tk) {}
+    explicit PendingScan(sim::TimeKeeper& tk) : cv(tk, "osd.scan") {}
   };
   std::map<std::uint64_t, std::shared_ptr<PendingScan>> pending_scans_;
 

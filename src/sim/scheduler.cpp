@@ -6,7 +6,7 @@ namespace doceph::sim {
 
 EventScheduler::EventScheduler(TimeKeeper& tk, StatsRegistry& stats)
     : tk_(tk),
-      wakeup_(tk),
+      wakeup_(tk, "sim.scheduler.wakeup"),
       thread_(tk, stats, "sim-scheduler", /*domain=*/nullptr, [this] { run(); },
               /*daemon=*/true) {}
 
@@ -16,7 +16,7 @@ EventScheduler::~EventScheduler() {
 }
 
 EventScheduler::EventId EventScheduler::schedule_at(Time t, Callback cb) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   const EventId id = next_id_++;
   queue_.emplace(std::make_pair(t, id), std::move(cb));
   wakeup_.notify_one();
@@ -24,7 +24,7 @@ EventScheduler::EventId EventScheduler::schedule_at(Time t, Callback cb) {
 }
 
 bool EventScheduler::cancel(EventId id) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->first.second == id) {
       queue_.erase(it);
@@ -35,13 +35,13 @@ bool EventScheduler::cancel(EventId id) {
 }
 
 void EventScheduler::stop() {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   stopping_ = true;
   wakeup_.notify_all();
 }
 
 void EventScheduler::run() {
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   while (!stopping_) {
     if (queue_.empty()) {
       wakeup_.wait(lk);

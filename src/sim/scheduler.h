@@ -3,7 +3,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 
 #include "sim/thread.h"
 #include "sim/time_keeper.h"
@@ -44,8 +46,8 @@ class EventScheduler {
   void run();
 
   TimeKeeper& tk_;
-  std::mutex mutex_;
-  CondVar wakeup_;
+  dbg::Mutex mutex_{"sim.scheduler"};
+  dbg::CondVar wakeup_;
   // (time, seq) -> callback: map iteration order gives temporal + FIFO order.
   std::map<std::pair<Time, EventId>, Callback> queue_;
   EventId next_id_ = 1;

@@ -25,7 +25,7 @@ Thread::Thread(TimeKeeper& tk, StatsRegistry& stats, std::string name,
     // Signal the exit latch while still registered: a sim-thread joiner
     // wakes in simulated time, and only the (instant, real-time) OS reap
     // remains after we unregister.
-    const std::lock_guard<std::mutex> lk(latch->m);
+    const dbg::LockGuard lk(latch->m);
     latch->exited = true;
     latch->cv.notify_all();
   });
@@ -37,7 +37,7 @@ Thread::Thread(TimeKeeper& tk, StatsRegistry& stats, std::string name,
 void Thread::join() {
   if (!impl_.joinable()) return;
   if (latch_ != nullptr && latch_->tk.current_thread_registered()) {
-    std::unique_lock<std::mutex> lk(latch_->m);
+    dbg::UniqueLock lk(latch_->m);
     latch_->cv.wait(lk, [&] { return latch_->exited; });
   }
   impl_.join();

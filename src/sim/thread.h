@@ -5,6 +5,8 @@
 #include <string>
 #include <thread>
 
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "sim/exec_context.h"
 #include "sim/stats.h"
 #include "sim/time_keeper.h"
@@ -32,7 +34,10 @@ class Thread {
          std::function<void()> body, bool daemon = false);
 
   Thread(Thread&&) = default;
-  Thread& operator=(Thread&& other) noexcept {
+  /// Joins the currently owned thread first, which blocks (in simulated
+  /// time) and can throw via std::thread::join — hence not noexcept.
+  Thread& operator=(Thread&& other) {
+    if (this == &other) return *this;
     join();
     impl_ = std::move(other.impl_);
     latch_ = std::move(other.latch_);
@@ -49,10 +54,11 @@ class Thread {
  private:
   struct ExitLatch {
     TimeKeeper& tk;
-    std::mutex m;
-    CondVar cv;
+    dbg::Mutex m{"sim.thread_exit"};
+    dbg::CondVar cv;
     bool exited = false;
-    explicit ExitLatch(TimeKeeper& keeper) : tk(keeper), cv(keeper) {}
+    explicit ExitLatch(TimeKeeper& keeper)
+        : tk(keeper), cv(keeper, "sim.thread_exit") {}
   };
 
   std::thread impl_;

@@ -27,7 +27,7 @@ TimeKeeper::TimeKeeper(Mode mode)
 
 TimeKeeper::~TimeKeeper() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const dbg::LockGuard lock(mutex_);
     watchdog_stop_ = true;
     watchdog_cv_.notify_all();
     assert(threads_.empty() && "threads still registered at TimeKeeper teardown");
@@ -41,7 +41,7 @@ Time TimeKeeper::now() const {
                std::chrono::steady_clock::now() - real_start_)
         .count();
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const dbg::LockGuard lock(mutex_);
   return now_;
 }
 
@@ -53,7 +53,7 @@ void TimeKeeper::register_current_thread(std::shared_ptr<ThreadStats> stats,
   rec->stats = std::move(stats);
   rec->daemon = daemon;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const dbg::LockGuard lock(mutex_);
     threads_.push_back(rec);
     ++epoch_;
     parked_suspect_ = false;
@@ -66,7 +66,7 @@ void TimeKeeper::unregister_current_thread() {
   assert(t_keeper == this && "thread not registered with this TimeKeeper");
   auto* rec = static_cast<ThreadRec*>(t_rec);
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const dbg::LockGuard lock(mutex_);
     assert(!rec->blocked);
     threads_.erase(std::find(threads_.begin(), threads_.end(), rec));
     ++epoch_;
@@ -82,17 +82,17 @@ void TimeKeeper::unregister_current_thread() {
 bool TimeKeeper::current_thread_registered() const { return t_keeper == this; }
 
 int TimeKeeper::registered_threads() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const dbg::LockGuard lock(mutex_);
   return static_cast<int>(threads_.size());
 }
 
 void TimeKeeper::set_deadlock_handler(std::function<void(const std::string&)> h) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const dbg::LockGuard lock(mutex_);
   deadlock_handler_ = std::move(h);
 }
 
 void TimeKeeper::set_deadlock_grace(std::chrono::milliseconds grace) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const dbg::LockGuard lock(mutex_);
   grace_ = grace;
 }
 
@@ -106,11 +106,11 @@ void TimeKeeper::sleep_for(Duration d) { sleep_until(now() + std::max<Duration>(
 
 void TimeKeeper::sleep_until(Time t) {
   ThreadRec& rec = current_rec();
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   (void)wait_locked(lk, rec, t);
 }
 
-bool TimeKeeper::wait_locked(std::unique_lock<std::mutex>& lk, ThreadRec& rec,
+bool TimeKeeper::wait_locked(dbg::UniqueLock& lk, ThreadRec& rec,
                              Time deadline) {
   if (mode_ == Mode::real_time) {
     rec.blocked = true;
@@ -118,11 +118,11 @@ bool TimeKeeper::wait_locked(std::unique_lock<std::mutex>& lk, ThreadRec& rec,
     ++blocked_;
     if (rec.stats) rec.stats->ctx_switches.fetch_add(1, std::memory_order_relaxed);
     if (deadline == kTimeInfinity) {
-      while (rec.blocked) rec.cv.wait(lk);
+      while (rec.blocked) rec.cv.wait(lk.inner());
     } else {
       const auto abs = real_start_ + std::chrono::nanoseconds(deadline);
       while (rec.blocked) {
-        if (rec.cv.wait_until(lk, abs) == std::cv_status::timeout && rec.blocked) {
+        if (rec.cv.wait_until(lk.inner(), abs) == std::cv_status::timeout && rec.blocked) {
           rec.blocked = false;
           --blocked_;
           break;
@@ -140,7 +140,7 @@ bool TimeKeeper::wait_locked(std::unique_lock<std::mutex>& lk, ThreadRec& rec,
   ++blocked_;
   if (rec.stats) rec.stats->ctx_switches.fetch_add(1, std::memory_order_relaxed);
   maybe_advance_locked();
-  while (rec.blocked) rec.cv.wait(lk);
+  while (rec.blocked) rec.cv.wait(lk.inner());
   return rec.notified;
 }
 
@@ -155,14 +155,14 @@ void TimeKeeper::notify_locked(ThreadRec& rec) {
 }
 
 void TimeKeeper::hold_advance() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const dbg::LockGuard lock(mutex_);
   ++holds_;
   ++epoch_;
   parked_suspect_ = false;
 }
 
 void TimeKeeper::release_advance() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const dbg::LockGuard lock(mutex_);
   --holds_;
   ++epoch_;
   if (holds_ == 0) maybe_advance_locked();
@@ -218,14 +218,14 @@ void TimeKeeper::maybe_advance_locked() {
 }
 
 void TimeKeeper::watchdog_loop() {
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   while (!watchdog_stop_) {
     if (!parked_suspect_) {
-      watchdog_cv_.wait(lk);
+      watchdog_cv_.wait(lk.inner());
       continue;
     }
     const std::uint64_t epoch_at_park = epoch_;
-    watchdog_cv_.wait_for(lk, grace_);
+    watchdog_cv_.wait_for(lk.inner(), grace_);
     if (watchdog_stop_) break;
     if (!parked_suspect_ || epoch_ != epoch_at_park) continue;  // progress happened
 
@@ -283,7 +283,7 @@ void CondVar::wait(std::unique_lock<std::mutex>& user_lock) {
 
 bool CondVar::wait_until(std::unique_lock<std::mutex>& user_lock, Time deadline) {
   TimeKeeper::ThreadRec& rec = tk_.current_rec();
-  std::unique_lock<std::mutex> lk(tk_.mutex_);
+  dbg::UniqueLock lk(tk_.mutex_);
   waiters_.push_back(&rec);
   user_lock.unlock();
   const bool notified = tk_.wait_locked(lk, rec, deadline);
@@ -302,7 +302,7 @@ bool CondVar::wait_for(std::unique_lock<std::mutex>& user_lock, Duration d) {
 }
 
 void CondVar::notify_one() {
-  const std::lock_guard<std::mutex> lk(tk_.mutex_);
+  const dbg::LockGuard lk(tk_.mutex_);
   while (!waiters_.empty()) {
     auto* rec = waiters_.front();
     waiters_.pop_front();
@@ -315,7 +315,7 @@ void CondVar::notify_one() {
 }
 
 void CondVar::notify_all() {
-  const std::lock_guard<std::mutex> lk(tk_.mutex_);
+  const dbg::LockGuard lk(tk_.mutex_);
   for (auto* rec : waiters_) tk_.notify_locked(*rec);
   waiters_.clear();
 }

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "dbg/mutex.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -139,7 +140,7 @@ class TimeKeeper {
 
   /// Core wait: blocks rec until notified or simulated `deadline` passes.
   /// Requires `lk` to hold mutex_. Returns true iff woken by a notify.
-  bool wait_locked(std::unique_lock<std::mutex>& lk, ThreadRec& rec, Time deadline);
+  bool wait_locked(dbg::UniqueLock& lk, ThreadRec& rec, Time deadline);
 
   /// Wake a blocked record with "notified" semantics. Requires mutex_ held.
   void notify_locked(ThreadRec& rec);
@@ -154,7 +155,10 @@ class TimeKeeper {
   void hold_advance();
   void release_advance();
 
-  mutable std::mutex mutex_;
+  // Lockdep-tracked: the keeper's mutex is the terminal node of the lock
+  // hierarchy — every notify/now() reaches it, so nothing may be acquired
+  // while holding it.
+  mutable dbg::Mutex mutex_{"sim.timekeeper"};
   Mode mode_;
   Time now_ = 0;  // virtual mode only
   std::chrono::steady_clock::time_point real_start_;
