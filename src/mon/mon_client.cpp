@@ -5,7 +5,7 @@
 namespace doceph::mon {
 
 MonClient::MonClient(sim::Env& env, msgr::Messenger& msgr, net::Address mon_addr)
-    : env_(env), msgr_(msgr), mon_addr_(mon_addr), map_cv_(env.keeper()) {}
+    : env_(env), msgr_(msgr), mon_addr_(mon_addr), map_cv_(env.keeper(), "mon.client.map") {}
 
 msgr::ConnectionRef MonClient::mon_con() { return msgr_.get_connection(mon_addr_); }
 
@@ -13,7 +13,7 @@ Status MonClient::init() {
   auto con = mon_con();
   if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
   con->send_message(std::make_shared<msgr::MMonGetMap>());
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   if (!map_cv_.wait_until(lk, env_.now() + sim::Duration{30} * 1'000'000'000,
                           [&] { return have_map_; }))
     return Status(Errc::timed_out, "no initial osdmap");
@@ -25,7 +25,7 @@ Status MonClient::subscribe() {
   if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
   auto sub = std::make_shared<msgr::MMonSubscribe>();
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     sub->start_epoch = have_map_ ? map_.epoch() : 0;
   }
   con->send_message(sub);
@@ -44,19 +44,23 @@ bool MonClient::handle_message(const msgr::MessageRef& m) {
       }
       std::function<void(const crush::OSDMap&)> cb;
       {
-        const std::lock_guard<std::mutex> lk(mutex_);
+        const dbg::LockGuard lk(mutex_);
         if (have_map_ && incoming.epoch() <= map_.epoch()) return true;
         map_ = incoming;
         have_map_ = true;
         cb = map_cb_;
-        map_cv_.notify_all();
       }
+      // Callback before waking epoch waiters: wait_for_epoch(e) returning
+      // must imply the map callback for e already ran, or a waiter can act
+      // on (and tear down around) a map whose side effects are still being
+      // applied on this dispatch thread.
       if (cb) cb(incoming);
+      map_cv_.notify_all();
       return true;
     }
     case msgr::MsgType::mon_command_reply: {
       auto* reply = static_cast<msgr::MMonCommandReply*>(m.get());
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       auto it = pending_cmds_.find(reply->tid);
       if (it != pending_cmds_.end()) {
         it->second->result = reply->result;
@@ -72,17 +76,17 @@ bool MonClient::handle_message(const msgr::MessageRef& m) {
 }
 
 crush::OSDMap MonClient::map() const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return map_;
 }
 
 crush::epoch_t MonClient::epoch() const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return have_map_ ? map_.epoch() : 0;
 }
 
 void MonClient::wait_for_epoch(crush::epoch_t e) {
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   map_cv_.wait(lk, [&] { return have_map_ && map_.epoch() >= e; });
 }
 
@@ -115,12 +119,12 @@ Result<std::string> MonClient::command(std::vector<std::string> args) {
 
   auto pending = std::make_shared<PendingCommand>(env_.keeper());
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     pending_cmds_[cmd->tid] = pending;
   }
   con->send_message(cmd);
 
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   pending->cv.wait(lk, [&] { return pending->done; });
   pending_cmds_.erase(cmd->tid);
   if (pending->result != 0)
@@ -129,7 +133,7 @@ Result<std::string> MonClient::command(std::vector<std::string> args) {
 }
 
 void MonClient::set_map_callback(std::function<void(const crush::OSDMap&)> cb) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   map_cb_ = std::move(cb);
 }
 

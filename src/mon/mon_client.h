@@ -2,9 +2,10 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 
 #include "crush/osd_map.h"
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "msgr/messages.h"
 #include "msgr/messenger.h"
 
@@ -53,19 +54,19 @@ class MonClient {
   msgr::Messenger& msgr_;
   net::Address mon_addr_;
 
-  mutable std::mutex mutex_;
-  sim::CondVar map_cv_;
+  mutable dbg::Mutex mutex_{"mon.client"};
+  dbg::CondVar map_cv_;
   crush::OSDMap map_;
   bool have_map_ = false;
   std::function<void(const crush::OSDMap&)> map_cb_;
 
   std::atomic<std::uint64_t> next_tid_{1};
   struct PendingCommand {
-    sim::CondVar cv;
+    dbg::CondVar cv;
     bool done = false;
     std::int32_t result = 0;
     std::string output;
-    explicit PendingCommand(sim::TimeKeeper& tk) : cv(tk) {}
+    explicit PendingCommand(sim::TimeKeeper& tk) : cv(tk, "mon.client.cmd") {}
   };
   std::map<std::uint64_t, std::shared_ptr<PendingCommand>> pending_cmds_;
 };
