@@ -1,5 +1,7 @@
 #include "doca/comm_channel.h"
 
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "sim/exec_context.h"
 
 namespace doceph::doca {
@@ -13,18 +15,18 @@ struct CommChannel::Core : std::enable_shared_from_this<CommChannel::Core> {
 
   struct Side {
     std::deque<BufferList> inbox;  // delivered, unconsumed
-    event::EventCenter* center = nullptr;
+    event::EventCenter::Handle center;
     std::function<void(BufferList)> handler;
     bool notify_pending = false;
-    std::unique_ptr<sim::CondVar> recv_cv;  // for blocking recv
+    std::unique_ptr<dbg::CondVar> recv_cv;  // for blocking recv
   };
 
-  std::mutex m;
+  dbg::Mutex m{"doca.comch"};
   Side side[2];
   bool closed = false;
 
   void deliver(int to, BufferList msg) {
-    std::unique_lock<std::mutex> lk(m);
+    const dbg::LockGuard lk(m);
     if (closed) return;  // late delivery after teardown: drop
     Side& s = side[to];
     s.inbox.push_back(std::move(msg));
@@ -38,14 +40,14 @@ struct CommChannel::Core : std::enable_shared_from_this<CommChannel::Core> {
     Side& s = side[to];
     if (s.handler != nullptr && !s.notify_pending && !s.inbox.empty()) {
       s.notify_pending = true;
-      s.center->dispatch([self = shared_from_this(), to] {
+      s.center.dispatch([self = shared_from_this(), to] {
         // Drain everything available, invoking the handler per message with
         // the marshalling cost charged to the handler thread's domain.
         while (true) {
           BufferList msg;
           std::function<void(BufferList)> handler;
           {
-            const std::lock_guard<std::mutex> lk2(self->m);
+            const dbg::LockGuard lk2(self->m);
             Side& side = self->side[to];
             side.notify_pending = false;
             if (side.inbox.empty() || side.handler == nullptr) return;
@@ -79,7 +81,7 @@ const CommChannelConfig& CommChannel::config() const noexcept { return core_->cf
 Status CommChannel::send(BufferList msg) {
   Core& c = *core_;
   {
-    const std::lock_guard<std::mutex> lk(c.m);
+    const dbg::LockGuard lk(c.m);
     if (c.closed) return Status(Errc::not_connected, "comm channel closed");
   }
   if (msg.length() > c.cfg.max_msg_size)
@@ -107,17 +109,17 @@ Status CommChannel::send(BufferList msg) {
 void CommChannel::set_recv_handler(event::EventCenter& center,
                                    std::function<void(BufferList)> handler) {
   Core& c = *core_;
-  const std::lock_guard<std::mutex> lk(c.m);
-  c.side[side_].center = &center;
+  const dbg::LockGuard lk(c.m);
+  c.side[side_].center = center.handle();
   c.side[side_].handler = std::move(handler);
   c.arm_locked(side_);  // drain anything queued before the handler existed
 }
 
 std::optional<BufferList> CommChannel::recv(sim::Duration timeout) {
   Core& c = *core_;
-  std::unique_lock<std::mutex> lk(c.m);
+  dbg::UniqueLock lk(c.m);
   Core::Side& s = c.side[side_];
-  if (!s.recv_cv) s.recv_cv = std::make_unique<sim::CondVar>(c.env.keeper());
+  if (!s.recv_cv) s.recv_cv = std::make_unique<dbg::CondVar>(c.env.keeper(), "doca.comch.recv");
   const sim::Time deadline = c.env.now() + timeout;
   while (s.inbox.empty() && !c.closed) {
     if (!s.recv_cv->wait_until(lk, deadline)) break;
@@ -136,19 +138,19 @@ std::optional<BufferList> CommChannel::recv(sim::Duration timeout) {
 
 void CommChannel::close() {
   Core& c = *core_;
-  const std::lock_guard<std::mutex> lk(c.m);
+  const dbg::LockGuard lk(c.m);
   c.closed = true;
   for (auto& s : c.side) {
     // Detach handlers: pending dispatches hold the Core alive, but the
     // registered EventCenters are about to be destroyed by their owners.
-    s.center = nullptr;
+    s.center = {};
     s.handler = nullptr;
     if (s.recv_cv) s.recv_cv->notify_all();
   }
 }
 
 bool CommChannel::closed() const {
-  const std::lock_guard<std::mutex> lk(core_->m);
+  const dbg::LockGuard lk(core_->m);
   return core_->closed;
 }
 

@@ -4,11 +4,36 @@
 
 namespace doceph::event {
 
-EventCenter::EventCenter(sim::Env& env) : env_(env), cv_(env.keeper()) {}
+/// Shared between a center and its handles: `center` is written once (to
+/// null) by the destructor; handles read it under `m` for the duration of
+/// the dispatch, so a center can never die mid-dispatch.
+struct EventCenter::Handle::State {
+  dbg::Mutex m{"event.center.handle"};
+  EventCenter* center = nullptr;
+};
+
+EventCenter::EventCenter(sim::Env& env)
+    : env_(env), cv_(env.keeper(), "event.center.cv") {
+  handle_state_ = std::make_shared<Handle::State>();
+  handle_state_->center = this;
+}
+
+EventCenter::~EventCenter() {
+  const dbg::LockGuard lk(handle_state_->m);
+  handle_state_->center = nullptr;
+}
+
+EventCenter::Handle EventCenter::handle() { return Handle(handle_state_); }
+
+void EventCenter::Handle::dispatch(Handler h) const {
+  if (state_ == nullptr) return;
+  const dbg::LockGuard lk(state_->m);
+  if (state_->center != nullptr) state_->center->dispatch(std::move(h));
+}
 
 void EventCenter::run() {
   loop_tid_.store(std::this_thread::get_id());
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   while (true) {
     // Drain dispatched handlers and due timers together, in order.
     std::vector<Handler> batch;
@@ -37,19 +62,19 @@ void EventCenter::run() {
 }
 
 void EventCenter::stop() {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   stopping_ = true;
   cv_.notify_all();
 }
 
 void EventCenter::dispatch(Handler h) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   pending_.push_back(std::move(h));
   cv_.notify_one();
 }
 
 EventCenter::TimerId EventCenter::add_timer(sim::Duration d, Handler h) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   const TimerId id = next_timer_id_++;
   timers_.emplace(std::make_pair(env_.now() + std::max<sim::Duration>(d, 0), id),
                   std::move(h));
@@ -58,7 +83,7 @@ EventCenter::TimerId EventCenter::add_timer(sim::Duration d, Handler h) {
 }
 
 bool EventCenter::cancel_timer(TimerId id) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   for (auto it = timers_.begin(); it != timers_.end(); ++it) {
     if (it->first.second == id) {
       timers_.erase(it);

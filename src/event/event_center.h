@@ -4,8 +4,11 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <thread>
+
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 
 #include "sim/env.h"
 #include "sim/time_keeper.h"
@@ -23,9 +26,36 @@ class EventCenter {
   using TimerId = std::uint64_t;
 
   explicit EventCenter(sim::Env& env);
+  ~EventCenter();
 
   EventCenter(const EventCenter&) = delete;
   EventCenter& operator=(const EventCenter&) = delete;
+
+  /// A weak dispatch handle. Deliveries booked on the simulation scheduler
+  /// (socket data, accept handshakes) can fire after the center that should
+  /// receive them is destroyed; a raw EventCenter* there is a use-after-free.
+  /// A Handle dispatches while the center is alive and silently drops the
+  /// event afterwards. Copyable, default-constructed handles drop everything.
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// Queue `h` on the center if it is still alive; otherwise drop it.
+    void dispatch(Handler h) const;
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return state_ != nullptr;
+    }
+
+   private:
+    friend class EventCenter;
+    struct State;
+    explicit Handle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  /// A handle that outlives this center safely.
+  [[nodiscard]] Handle handle();
 
   /// Event loop; call from the owning thread. Returns after stop().
   void run();
@@ -54,14 +84,15 @@ class EventCenter {
 
  private:
   sim::Env& env_;
-  std::mutex mutex_;
-  sim::CondVar cv_;
+  dbg::Mutex mutex_{"event.center"};
+  dbg::CondVar cv_;
   std::deque<Handler> pending_;
   std::map<std::pair<sim::Time, TimerId>, Handler> timers_;
   TimerId next_timer_id_ = 1;
   bool stopping_ = false;
   std::atomic<std::thread::id> loop_tid_{};
   std::uint64_t wakeups_ = 0;
+  std::shared_ptr<Handle::State> handle_state_;  // nulled in the destructor
 };
 
 }  // namespace doceph::event

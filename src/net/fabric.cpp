@@ -27,16 +27,16 @@ struct Socket::Core : std::enable_shared_from_this<Socket::Core> {
     std::size_t in_flight = 0;  // accepted by sender, not yet read by receiver
     bool closed = false;
 
-    event::EventCenter* rd_center = nullptr;
+    event::EventCenter::Handle rd_center;
     std::function<void()> on_readable;
     bool rd_pending = false;  // a readable dispatch is queued
 
-    event::EventCenter* wr_center = nullptr;
+    event::EventCenter::Handle wr_center;
     std::function<void()> on_writable;
     bool wr_blocked = false;  // sender saw would-block
   };
 
-  std::mutex m;
+  dbg::Mutex m{"net.socket_core"};
   Half half[2];
 
   /// Queue a readable notification for half[hi] if armed. Requires m held.
@@ -44,10 +44,10 @@ struct Socket::Core : std::enable_shared_from_this<Socket::Core> {
     Half& h = half[hi];
     if (h.on_readable == nullptr || h.rd_pending) return;
     h.rd_pending = true;
-    h.rd_center->dispatch([self = shared_from_this(), hi] {
+    h.rd_center.dispatch([self = shared_from_this(), hi] {
       std::function<void()> handler;
       {
-        const std::lock_guard<std::mutex> lk(self->m);
+        const dbg::LockGuard lk(self->m);
         self->half[hi].rd_pending = false;
         handler = self->half[hi].on_readable;
       }
@@ -60,10 +60,10 @@ struct Socket::Core : std::enable_shared_from_this<Socket::Core> {
     Half& h = half[hi];
     if (!h.wr_blocked || h.on_writable == nullptr) return;
     h.wr_blocked = false;
-    h.wr_center->dispatch([self = shared_from_this(), hi] {
+    h.wr_center.dispatch([self = shared_from_this(), hi] {
       std::function<void()> handler;
       {
-        const std::lock_guard<std::mutex> lk(self->m);
+        const dbg::LockGuard lk(self->m);
         handler = self->half[hi].on_writable;
       }
       if (handler) handler();
@@ -78,7 +78,7 @@ Result<std::size_t> Socket::send(BufferList& bl) {
   std::size_t take = 0;
   BufferList data;
   {
-    const std::lock_guard<std::mutex> lk(c.m);
+    const dbg::LockGuard lk(c.m);
     Core::Half& h = c.half[side_];
     if (h.closed || c.half[1 - side_].closed)
       return Status(Errc::not_connected, "socket closed");
@@ -113,7 +113,7 @@ Result<std::size_t> Socket::send(BufferList& bl) {
   auto core = core_;
   const int side = side_;
   c.env.scheduler().schedule_at(rx_done, [core, side, data = std::move(data)]() mutable {
-    const std::lock_guard<std::mutex> lk(core->m);
+    const dbg::LockGuard lk(core->m);
     Core::Half& h = core->half[side];
     h.q_bytes += data.length();
     h.q.push_back(std::move(data));
@@ -126,7 +126,7 @@ BufferList Socket::recv(std::size_t max) {
   Core& c = *core_;
   BufferList out;
   {
-    const std::lock_guard<std::mutex> lk(c.m);
+    const dbg::LockGuard lk(c.m);
     Core::Half& h = c.half[1 - side_];
     while (!h.q.empty() && out.length() < max) {
       BufferList& front = h.q.front();
@@ -150,19 +150,19 @@ BufferList Socket::recv(std::size_t max) {
 }
 
 std::size_t Socket::readable() const {
-  const std::lock_guard<std::mutex> lk(core_->m);
+  const dbg::LockGuard lk(core_->m);
   return core_->half[1 - side_].q_bytes;
 }
 
 bool Socket::eof() const {
-  const std::lock_guard<std::mutex> lk(core_->m);
+  const dbg::LockGuard lk(core_->m);
   const Socket::Core::Half& h = core_->half[1 - side_];
   return h.closed && h.q.empty();
 }
 
 void Socket::close() {
   Core& c = *core_;
-  const std::lock_guard<std::mutex> lk(c.m);
+  const dbg::LockGuard lk(c.m);
   if (c.half[side_].closed && c.half[1 - side_].closed) return;
   c.half[side_].closed = true;
   c.half[1 - side_].closed = true;
@@ -172,32 +172,32 @@ void Socket::close() {
 }
 
 bool Socket::closed() const {
-  const std::lock_guard<std::mutex> lk(core_->m);
+  const dbg::LockGuard lk(core_->m);
   return core_->half[side_].closed;
 }
 
 void Socket::set_read_handler(event::EventCenter& center, std::function<void()> h) {
-  const std::lock_guard<std::mutex> lk(core_->m);
+  const dbg::LockGuard lk(core_->m);
   Core::Half& half = core_->half[1 - side_];
-  half.rd_center = &center;
+  half.rd_center = center.handle();
   half.on_readable = std::move(h);
   if (half.q_bytes > 0 || half.closed) core_->notify_readable_locked(1 - side_);
 }
 
 void Socket::set_write_handler(event::EventCenter& center, std::function<void()> h) {
-  const std::lock_guard<std::mutex> lk(core_->m);
+  const dbg::LockGuard lk(core_->m);
   Core::Half& half = core_->half[side_];
-  half.wr_center = &center;
+  half.wr_center = center.handle();
   half.on_writable = std::move(h);
 }
 
 void Socket::clear_handlers() {
-  const std::lock_guard<std::mutex> lk(core_->m);
+  const dbg::LockGuard lk(core_->m);
   Core::Half& rd = core_->half[1 - side_];
-  rd.rd_center = nullptr;
+  rd.rd_center = {};
   rd.on_readable = nullptr;
   Core::Half& wr = core_->half[side_];
-  wr.wr_center = nullptr;
+  wr.wr_center = {};
   wr.on_writable = nullptr;
 }
 
@@ -213,22 +213,22 @@ Address Socket::remote_addr() const {
 
 Status NetNode::listen(std::uint16_t port, event::EventCenter& center,
                        AcceptFn on_accept) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (listeners_.contains(port))
     return Status(Errc::exists, name_ + " port " + std::to_string(port) + " in use");
-  listeners_[port] = ListenerEntry{&center, std::move(on_accept)};
+  listeners_[port] = ListenerEntry{center.handle(), std::move(on_accept)};
   return Status::OK();
 }
 
 void NetNode::unlisten(std::uint16_t port) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   listeners_.erase(port);
 }
 
 // ---- Fabric ------------------------------------------------------------------
 
 NetNode& Fabric::add_node(std::string name, NicProfile nic, StackModel stack) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   const auto id = static_cast<std::int32_t>(nodes_.size());
   nodes_.push_back(
       std::unique_ptr<NetNode>(new NetNode(*this, id, std::move(name), nic, stack)));
@@ -236,7 +236,7 @@ NetNode& Fabric::add_node(std::string name, NicProfile nic, StackModel stack) {
 }
 
 NetNode* Fabric::node(std::int32_t id) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (id < 0 || id >= static_cast<std::int32_t>(nodes_.size())) return nullptr;
   return nodes_[static_cast<std::size_t>(id)].get();
 }
@@ -247,7 +247,7 @@ Result<SocketRef> Fabric::connect(NetNode& from, Address to) {
 
   NetNode::ListenerEntry listener;
   {
-    const std::lock_guard<std::mutex> lk(dst->mutex_);
+    const dbg::LockGuard lk(dst->mutex_);
     auto it = dst->listeners_.find(to.port);
     if (it == dst->listeners_.end())
       return Status(Errc::not_connected,
@@ -257,7 +257,7 @@ Result<SocketRef> Fabric::connect(NetNode& from, Address to) {
 
   std::uint16_t src_port = 0;
   {
-    const std::lock_guard<std::mutex> lk(from.mutex_);
+    const dbg::LockGuard lk(from.mutex_);
     src_port = from.next_ephemeral_++;
   }
 
@@ -271,7 +271,7 @@ Result<SocketRef> Fabric::connect(NetNode& from, Address to) {
   // later (SYN). Data sent immediately by the client also rides the wire, so
   // ordering is preserved by delivery timestamps.
   env_.scheduler().schedule_after(from.nic().latency, [listener, server]() mutable {
-    listener.center->dispatch(
+    listener.center.dispatch(
         [on_accept = listener.on_accept, server = std::move(server)]() mutable {
           on_accept(std::move(server));
         });

@@ -5,11 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/buffer.h"
+#include "dbg/mutex.h"
 #include "common/result.h"
 #include "event/event_center.h"
 #include "net/address.h"
@@ -53,7 +53,7 @@ class NetNode {
       : fabric_(fabric), id_(id), name_(std::move(name)), nic_(nic), stack_(stack) {}
 
   struct ListenerEntry {
-    event::EventCenter* center = nullptr;
+    event::EventCenter::Handle center;
     AcceptFn on_accept;
   };
 
@@ -63,7 +63,7 @@ class NetNode {
   NicProfile nic_;
   StackModel stack_;
 
-  std::mutex mutex_;
+  dbg::Mutex mutex_{"net.node"};
   std::map<std::uint16_t, ListenerEntry> listeners_;
   std::uint16_t next_ephemeral_ = 50000;
 
@@ -98,7 +98,7 @@ class Fabric {
  private:
   friend class Socket;
   sim::Env& env_;
-  std::mutex mutex_;
+  dbg::Mutex mutex_{"net.fabric"};
   std::vector<std::unique_ptr<NetNode>> nodes_;
 };
 
@@ -140,9 +140,10 @@ class Socket {
   /// space frees up.
   void set_write_handler(event::EventCenter& center, std::function<void()> h);
 
-  /// Detach this side's handlers. MUST be called before the owning
-  /// EventCenter is destroyed: in-flight deliveries may fire afterwards and
-  /// would otherwise dispatch into freed memory.
+  /// Detach this side's handlers. In-flight deliveries that already fired
+  /// may still invoke the old handler once; deliveries after the owning
+  /// EventCenter dies are dropped (handlers are registered via
+  /// EventCenter::Handle).
   void clear_handlers();
 
   [[nodiscard]] Address local_addr() const;
