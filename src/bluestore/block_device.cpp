@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <cstring>
 
+#include "dbg/cond_var.h"
 #include "sim/time_keeper.h"
 
 namespace doceph::bluestore {
 
 void DeviceBacking::write(std::uint64_t off, const BufferList& data) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   std::uint64_t pos = 0;
   while (pos < data.length()) {
     const std::uint64_t abs = off + pos;
@@ -24,7 +25,7 @@ void DeviceBacking::write(std::uint64_t off, const BufferList& data) {
 }
 
 void DeviceBacking::read(std::uint64_t off, std::uint64_t len, char* out) const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   std::uint64_t pos = 0;
   while (pos < len) {
     const std::uint64_t abs = off + pos;
@@ -47,6 +48,32 @@ BlockDevice::BlockDevice(sim::Env& env, BlockDeviceConfig cfg,
       cfg_(cfg),
       backing_(backing ? std::move(backing) : std::make_shared<DeviceBacking>()) {}
 
+BlockDevice::~BlockDevice() {
+  std::unique_lock<std::mutex> lk(gate_->m);
+  gate_->alive = false;
+  // A wrapper the scheduler thread is already executing holds no reference
+  // into *this once work() returns; wait it out (real time, bounded — the
+  // completion bodies never block).
+  gate_->cv.wait(lk, [&] { return gate_->executing == 0; });
+}
+
+void BlockDevice::schedule_io(sim::Time done, std::function<void()> work) {
+  env_.scheduler().schedule_at(
+      done, [gate = gate_, work = std::move(work)] {
+        {
+          const std::lock_guard<std::mutex> lk(gate->m);
+          if (!gate->alive) return;  // device died with this IO in flight
+          ++gate->executing;
+        }
+        work();
+        {
+          const std::lock_guard<std::mutex> lk(gate->m);
+          --gate->executing;
+        }
+        gate->cv.notify_all();
+      });
+}
+
 void BlockDevice::aio_write(std::uint64_t off, BufferList data, IoCb cb) {
   if (!in_range(off, data.length())) {
     if (cb) cb(Status(Errc::range_error, "write past device end"));
@@ -57,11 +84,10 @@ void BlockDevice::aio_write(std::uint64_t off, BufferList data, IoCb cb) {
       channel_.reserve(env_.now(), sim::transfer_time(data.length(), cfg_.write_bw)) +
       cfg_.write_latency;
   const bool retain = should_retain(off);
-  env_.scheduler().schedule_at(
-      done, [this, off, data = std::move(data), cb = std::move(cb), retain] {
-        if (retain) backing_->write(off, data);
-        if (cb) cb(Status::OK());
-      });
+  schedule_io(done, [this, off, data = std::move(data), cb = std::move(cb), retain] {
+    if (retain) backing_->write(off, data);
+    if (cb) cb(Status::OK());
+  });
 }
 
 void BlockDevice::aio_read(std::uint64_t off, std::uint64_t len, ReadCb cb) {
@@ -73,7 +99,7 @@ void BlockDevice::aio_read(std::uint64_t off, std::uint64_t len, ReadCb cb) {
   const sim::Time done =
       channel_.reserve(env_.now(), sim::transfer_time(len, cfg_.read_bw)) +
       cfg_.read_latency;
-  env_.scheduler().schedule_at(done, [this, off, len, cb = std::move(cb)] {
+  schedule_io(done, [this, off, len, cb = std::move(cb)] {
     Slice s = Slice::allocate(len);
     backing_->read(off, len, s.mutable_data());
     BufferList bl;
@@ -83,33 +109,33 @@ void BlockDevice::aio_read(std::uint64_t off, std::uint64_t len, ReadCb cb) {
 }
 
 Result<BufferList> BlockDevice::read(std::uint64_t off, std::uint64_t len) {
-  std::mutex m;
-  sim::CondVar cv(env_.keeper());
+  dbg::Mutex m{"bluestore.bdev_wait"};
+  dbg::CondVar cv(env_.keeper(), "bluestore.bdev_wait");
   bool done = false;
   Result<BufferList> result = BufferList{};
   aio_read(off, len, [&](Result<BufferList> r) {
-    const std::lock_guard<std::mutex> lk(m);
+    const dbg::LockGuard lk(m);
     result = std::move(r);
     done = true;
     cv.notify_all();
   });
-  std::unique_lock<std::mutex> lk(m);
+  dbg::UniqueLock lk(m);
   cv.wait(lk, [&] { return done; });
   return result;
 }
 
 Status BlockDevice::write(std::uint64_t off, BufferList data) {
-  std::mutex m;
-  sim::CondVar cv(env_.keeper());
+  dbg::Mutex m{"bluestore.bdev_wait"};
+  dbg::CondVar cv(env_.keeper(), "bluestore.bdev_wait");
   bool done = false;
   Status st;
   aio_write(off, std::move(data), [&](Status s) {
-    const std::lock_guard<std::mutex> lk(m);
+    const dbg::LockGuard lk(m);
     st = s;
     done = true;
     cv.notify_all();
   });
-  std::unique_lock<std::mutex> lk(m);
+  dbg::UniqueLock lk(m);
   cv.wait(lk, [&] { return done; });
   return st;
 }
@@ -118,7 +144,7 @@ void BlockDevice::flush(IoCb cb) {
   // Everything already booked on the channel is durable once the channel
   // drains; model flush as a zero-length barrier IO.
   const sim::Time done = channel_.reserve(env_.now(), 0);
-  env_.scheduler().schedule_at(done, [cb = std::move(cb)] {
+  schedule_io(done, [cb = std::move(cb)] {
     if (cb) cb(Status::OK());
   });
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -9,6 +10,7 @@
 
 #include "common/buffer.h"
 #include "common/result.h"
+#include "dbg/mutex.h"
 #include "sim/env.h"
 #include "sim/resource.h"
 
@@ -39,12 +41,12 @@ class DeviceBacking {
   void write(std::uint64_t off, const BufferList& data);
   void read(std::uint64_t off, std::uint64_t len, char* out) const;
   void discard_all() {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     chunks_.clear();
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable dbg::Mutex mutex_{"bluestore.backing"};
   std::map<std::uint64_t, std::vector<char>> chunks_;  // chunk index -> bytes
 };
 
@@ -58,6 +60,12 @@ class BlockDevice {
 
   BlockDevice(sim::Env& env, BlockDeviceConfig cfg,
               std::shared_ptr<DeviceBacking> backing = nullptr);
+
+  /// Disarms completions still queued on the (longer-lived) event scheduler
+  /// and waits out any completion mid-execution: a crash/teardown may destroy
+  /// the device with IO in flight, and a stale completion would otherwise
+  /// touch freed memory.
+  ~BlockDevice();
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
@@ -92,10 +100,25 @@ class BlockDevice {
     return cfg_.retain_data || off < cfg_.retain_below;
   }
 
+  /// Completion gate, shared with every scheduled completion wrapper. Plain
+  /// std primitives (not dbg::): the critical sections are tiny, real-time,
+  /// and must work from unregistered threads (test teardown).
+  struct IoGate {
+    std::mutex m;
+    std::condition_variable cv;
+    bool alive = true;
+    int executing = 0;
+  };
+
+  /// Schedule `work` at simulated time `done`; `work` is dropped if the
+  /// device is destroyed first, and the destructor waits for it otherwise.
+  void schedule_io(sim::Time done, std::function<void()> work);
+
   sim::Env& env_;
   BlockDeviceConfig cfg_;
   std::shared_ptr<DeviceBacking> backing_;
   sim::SerialResource channel_;
+  std::shared_ptr<IoGate> gate_ = std::make_shared<IoGate>();
   std::atomic<std::uint64_t> bytes_written_{0};
   std::atomic<std::uint64_t> bytes_read_{0};
 };
