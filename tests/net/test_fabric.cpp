@@ -41,6 +41,11 @@ struct NetFixture {
   ~NetFixture() {
     ca.stop();
     cb.stop();
+    // Join the loops before the members they touch (server, cv, m — declared
+    // below the threads, so destroyed first) go away: stop() only *asks* the
+    // loops to exit, and a handler may still be mid-flight.
+    la.join();
+    lb.join();
   }
 
   /// Listen on b:port and drain everything into `received`.
