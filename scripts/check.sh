@@ -6,6 +6,7 @@
 #   scripts/check.sh lockdep    # Debug + DOCEPH_LOCKDEP=ON ctest
 #   scripts/check.sh tsan       # ThreadSanitizer ctest
 #   scripts/check.sh asan       # Address+UB sanitizer ctest
+#   scripts/check.sh obs        # observability suites under lockdep + TSan
 #
 # Each configuration gets its own build tree (build-<name>/) so the presets
 # never contaminate each other; trees are reused across runs for speed.
@@ -33,8 +34,10 @@ run_config() { # name cmake-args...
     FAILED+=("$name:build")
     return 1
   }
-  banner "ctest: $name"
-  if ! ctest --test-dir "build-$name" --output-on-failure -j "$JOBS"; then
+  banner "ctest: $name${CTEST_FILTER:+ (-R $CTEST_FILTER)}"
+  # shellcheck disable=SC2086
+  if ! ctest --test-dir "build-$name" --output-on-failure -j "$JOBS" \
+    ${CTEST_FILTER:+-R "$CTEST_FILTER"}; then
     FAILED+=("$name:ctest")
     return 1
   fi
@@ -63,8 +66,17 @@ run_lint() {
 }
 
 MODE=${1:-all}
+CTEST_FILTER=${CTEST_FILTER:-}
 case "$MODE" in
   lint) run_lint ;;
+  obs)
+    # The perf-counter / op-tracker / admin-socket suites (plus the cluster
+    # integration that drives them end-to-end) under lockdep and TSan; both
+    # must come back clean.
+    CTEST_FILTER='test_common|test_osd|test_cluster|test_dbg'
+    run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON
+    run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON
+    ;;
   lockdep) run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON ;;
   tsan) run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON ;;
   asan) run_config asan -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_ASAN_UBSAN=ON ;;
@@ -74,7 +86,7 @@ case "$MODE" in
     run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON
     ;;
   *)
-    echo "usage: $0 [all|lint|lockdep|tsan|asan]" >&2
+    echo "usage: $0 [all|lint|lockdep|tsan|asan|obs]" >&2
     exit 2
     ;;
 esac

@@ -70,7 +70,9 @@ RunResult run_experiment(const RunSpec& spec) {
     client::RadosBench warm(cl.client(), wcfg);
     (void)warm.run(&cl.client_cpu());
 
-    // Reset per-request instrumentation, then sample counters.
+    // Reset per-request instrumentation, then sample counters. Perf blocks
+    // and op history restart here so dumps cover only measured traffic.
+    cl.reset_observability();
     std::uint64_t fb0 = 0, rpcb0 = 0;
     for (int i = 0; i < cl.num_nodes(); ++i) {
       if (auto* p = cl.proxy_store(i)) {
@@ -153,6 +155,41 @@ RunResult run_experiment(const RunSpec& spec) {
     result.dma_fallback_events = fb1 - fb0;
     result.rpc_fallback_bytes = rpcb1 - rpcb0;
 
+    // OpTracker stage decomposition, summed over every OSD's histograms.
+    {
+      std::uint64_t n = 0;
+      std::uint64_t msgr_ns = 0, queue_ns = 0, store_ns = 0, repl_ns = 0,
+                    reply_ns = 0, total_ns = 0;
+      for (int i = 0; i < nodes; ++i) {
+        const auto& c = cl.osd(i).perf_counters();
+        n += c->hist(osd::l_osd_op_lat).count;
+        total_ns += c->hist(osd::l_osd_op_lat).sum;
+        msgr_ns += c->hist(osd::l_osd_op_msgr_lat).sum;
+        queue_ns += c->hist(osd::l_osd_op_queue_lat).sum;
+        store_ns += c->hist(osd::l_osd_op_store_lat).sum;
+        repl_ns += c->hist(osd::l_osd_op_repl_lat).sum;
+        reply_ns += c->hist(osd::l_osd_op_reply_lat).sum;
+      }
+      if (n > 0) {
+        const auto avg_s = [n](std::uint64_t sum) {
+          return static_cast<double>(sum) / static_cast<double>(n) * 1e-9;
+        };
+        result.stage_msgr_s = avg_s(msgr_ns);
+        result.stage_queue_s = avg_s(queue_ns);
+        result.stage_store_s = avg_s(store_ns);
+        result.stage_repl_s = avg_s(repl_ns);
+        result.stage_reply_s = avg_s(reply_ns);
+        result.stage_total_s = avg_s(total_ns);
+      }
+    }
+
+    if (spec.dump_admin) {
+      for (const char* cmd : {"perf dump", "dump_historic_ops"}) {
+        std::fprintf(stderr, "[bench admin] %s: %s\n", cmd,
+                     cl.admin_dump(cmd).c_str());
+      }
+    }
+
     cl.stop();
   });
   return result;
@@ -168,7 +205,8 @@ constexpr const char* kCacheDir = "bench_cache";
   X(iops) X(mbps) X(avg_lat_s) X(p99_lat_s) X(host_cores) X(dpu_cores)            \
   X(share_messenger) X(share_objectstore) X(share_osd) X(total_ceph_cores)        \
   X(window_s) X(bd_host_write_s) X(bd_dma_s) X(bd_dma_wait_s) X(bd_others_s)      \
-  X(bd_total_s)
+  X(bd_total_s) X(stage_msgr_s) X(stage_queue_s) X(stage_store_s)                 \
+  X(stage_repl_s) X(stage_reply_s) X(stage_total_s)
 
 bool load_cached(const std::string& key, RunResult& out) {
   std::ifstream in(std::string(kCacheDir) + "/" + key);

@@ -24,6 +24,10 @@ struct RunSpec {
   /// DMA error injection rate (fallback experiments).
   double dma_failure_rate = 0.0;
 
+  /// Dump the cluster-wide admin surface ("perf dump", historic ops) to
+  /// stderr at the end of the measured window. Diagnostic; not cached.
+  bool dump_admin = false;
+
   /// Stable cache key for this configuration.
   [[nodiscard]] std::string cache_key() const;
 };
@@ -57,6 +61,16 @@ struct RunResult {
   double bd_dma_wait_s = 0;
   double bd_others_s = 0;
   double bd_total_s = 0;
+
+  // OpTracker stage decomposition (Fig. 2 pipeline), averaged per OSD op
+  // over the measured window. The clamped event chain makes the five stages
+  // sum exactly to the OSD-side latency (recv -> reply_sent).
+  double stage_msgr_s = 0;   // recv -> ms_dispatch queue
+  double stage_queue_s = 0;  // op queue wait (tp_osd_tp dequeue)
+  double stage_store_s = 0;  // ObjectStore prep + WAL commit
+  double stage_repl_s = 0;   // waiting on replica acks
+  double stage_reply_s = 0;  // commit/acks -> reply on the wire
+  double stage_total_s = 0;  // recv -> reply_sent, per op
 
   std::uint64_t ops = 0;
   std::uint64_t dma_fallback_events = 0;

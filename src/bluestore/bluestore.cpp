@@ -42,6 +42,10 @@ BlueStore::BlueStore(sim::Env& env, sim::CpuDomain* domain, BlueStoreConfig cfg,
   dev_ = std::make_unique<BlockDevice>(env_, cfg_.device, std::move(backing));
   kv_ = std::make_unique<KvStore>(env_, *dev_, cfg_.wal_off, cfg_.wal_len, domain_,
                                   cfg_.kv_costs);
+  counters_ = perf::Builder("bluestore", l_bstore_first, l_bstore_last)
+                  .add_counter(l_bstore_txns, "txns")
+                  .add_histogram(l_bstore_commit_lat, "commit_lat")
+                  .create();
 }
 
 BlueStore::~BlueStore() {
@@ -215,7 +219,12 @@ void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
     domain_->charge(cfg_.per_op_prep * static_cast<sim::Duration>(txn.num_ops()));
 
   auto txc = std::make_shared<TxContext>();
-  txc->on_commit = std::move(on_commit);
+  txc->on_commit = [this, queued = env_.now(),
+                    cb = std::move(on_commit)](Status st) {
+    counters_->inc(l_bstore_txns);
+    counters_->rec(l_bstore_commit_lat, env_.now() - queued);
+    if (cb) cb(std::move(st));
+  };
   txc->seq_cid = txn.ops().empty() ? os::coll_t{} : txn.ops().front().cid;
 
   // Read-modify-write ops must observe stable device content: wait for the

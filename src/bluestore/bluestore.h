@@ -10,12 +10,21 @@
 #include "bluestore/allocator.h"
 #include "bluestore/block_device.h"
 #include "bluestore/kv.h"
+#include "common/perf_counters.h"
 #include "dbg/cond_var.h"
 #include "dbg/mutex.h"
 #include "os/object_store.h"
 #include "sim/cpu_model.h"
 
 namespace doceph::bluestore {
+
+/// Metric indices of the store's "bluestore" PerfCounters block.
+enum {
+  l_bstore_first = 95000,
+  l_bstore_txns,        ///< transactions committed
+  l_bstore_commit_lat,  ///< queue_transaction -> commit callback, ns histogram
+  l_bstore_last,
+};
 
 struct BlueStoreConfig {
   BlockDeviceConfig device;
@@ -83,6 +92,9 @@ class BlueStore final : public os::ObjectStore {
     return dev_->backing();
   }
   [[nodiscard]] const BlueStoreConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] perf::PerfCountersRef perf_counters() const override {
+    return counters_;
+  }
 
  private:
   struct Onode {
@@ -158,6 +170,7 @@ class BlueStore final : public os::ObjectStore {
   std::unique_ptr<KvStore> kv_;
   std::unique_ptr<ExtentAllocator> alloc_;
   bool mounted_ = false;
+  perf::PerfCountersRef counters_;
 
   dbg::Mutex mutex_{"bluestore.store"};  // onode cache + sequencers
   dbg::CondVar seq_drained_;

@@ -59,7 +59,7 @@ KvStore::~KvStore() {
 Status KvStore::mkfs() {
   assert(!running_);
   {
-    const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+    const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
     map_.clear();
   }
   generation_ = 1;
@@ -70,7 +70,7 @@ Status KvStore::mkfs() {
 Status KvStore::write_checkpoint_locked(int segment, std::uint64_t generation) {
   BufferList snapshot;
   {
-    const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+    const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
     doceph::encode(map_, snapshot);
   }
   BufferList rec = make_record(kKindCheckpoint, generation, 0, snapshot);
@@ -146,7 +146,7 @@ Status KvStore::replay() {
   auto cp = read_record(seg_start, seg_end);
   assert(cp);
   {
-    const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+    const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
     map_.clear();
     BufferList::Cursor cur(cp->payload);
     if (!doceph::decode(map_, cur))
@@ -164,7 +164,7 @@ Status KvStore::replay() {
     BufferList::Cursor cur(rec->payload);
     if (!txn.decode(cur)) break;
     {
-      const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+      const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
       for (auto& [k, v] : txn.sets) map_[k] = std::move(v);
       for (const auto& k : txn.rms) map_.erase(k);
     }
@@ -277,7 +277,7 @@ void KvStore::sync_thread() {
     const Status st = dev_.write(append_off_, wal_bl);  // durable before apply
     if (st.ok()) {
       append_off_ += wal_bl.length();
-      const std::unique_lock<std::shared_mutex> lk(map_mutex_);
+      const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
       for (auto& [txn, cb] : batch) {
         for (auto& [k, v] : txn.sets) map_[k] = v;
         for (const auto& k : txn.rms) map_.erase(k);
@@ -291,21 +291,21 @@ void KvStore::sync_thread() {
 }
 
 std::optional<BufferList> KvStore::get(const std::string& key) const {
-  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
   auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
 }
 
 bool KvStore::contains(const std::string& key) const {
-  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
   return map_.contains(key);
 }
 
 void KvStore::for_each_prefix(
     const std::string& prefix,
     const std::function<void(const std::string&, const BufferList&)>& fn) const {
-  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
   for (auto it = map_.lower_bound(prefix);
        it != map_.end() && it->first.starts_with(prefix); ++it) {
     fn(it->first, it->second);
@@ -313,7 +313,7 @@ void KvStore::for_each_prefix(
 }
 
 std::size_t KvStore::num_keys() const {
-  const std::shared_lock<std::shared_mutex> lk(map_mutex_);
+  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
   return map_.size();
 }
 

@@ -14,6 +14,7 @@
 #include "common/encoding.h"
 #include "dbg/cond_var.h"
 #include "dbg/mutex.h"
+#include "dbg/shared_mutex.h"
 #include "sim/cpu_model.h"
 #include "sim/thread.h"
 
@@ -117,7 +118,7 @@ class KvStore {
   sim::CpuDomain* domain_;
   KvCostModel costs_;
 
-  mutable std::shared_mutex map_mutex_;
+  mutable dbg::SharedMutex map_mutex_{"bluestore.kv_map"};
   std::map<std::string, BufferList> map_;
 
   // Sync-thread state.

@@ -1,8 +1,11 @@
 #include "client/rados_bench.h"
 
 #include <atomic>
+#include <iostream>
 
 #include "common/logger.h"
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 
 namespace doceph::client {
 
@@ -29,8 +32,8 @@ BenchResult RadosBench::run(sim::CpuDomain* domain) {
   // real time (std::thread::join) while the clock thinks it is runnable.
   // Writers therefore announce completion through a sim CondVar; the joins
   // afterwards return immediately.
-  std::mutex done_mutex;
-  sim::CondVar done_cv(env.keeper());
+  dbg::Mutex done_mutex{"bench.done"};
+  dbg::CondVar done_cv(env.keeper(), "bench.done_cv");
   int remaining = cfg_.concurrency;
 
   {
@@ -54,13 +57,13 @@ BenchResult RadosBench::run(sim::CpuDomain* domain) {
               latency.record(static_cast<std::uint64_t>(env.now() - t0));
               total_ops.fetch_add(1, std::memory_order_relaxed);
             }
-            const std::lock_guard<std::mutex> lk(done_mutex);
+            const dbg::LockGuard lk(done_mutex);
             if (--remaining == 0) done_cv.notify_all();
           }));
     }
     hold.release();
     {
-      std::unique_lock<std::mutex> lk(done_mutex);
+      dbg::UniqueLock lk(done_mutex);
       done_cv.wait(lk, [&] { return remaining == 0; });
     }
     writers.clear();  // threads already exited; joins return immediately
@@ -70,6 +73,15 @@ BenchResult RadosBench::run(sim::CpuDomain* domain) {
   result.ops = total_ops.load();
   result.seconds = sim::to_seconds(env.now() - start);
   result.latency = latency.snapshot();
+
+  if (cfg_.dump_admin) {
+    AdminSocket& admin = client_.admin_socket();
+    for (const char* cmd : {"perf dump", "dump_historic_ops"}) {
+      auto r = admin.execute(cmd);
+      std::cerr << "[bench admin] " << cmd << ": "
+                << (r.ok() ? *r : r.status().to_string()) << "\n";
+    }
+  }
   return result;
 }
 

@@ -7,18 +7,18 @@ namespace doceph::client {
 // ---- AioCompletion ----------------------------------------------------------------
 
 Status AioCompletion::wait() {
-  std::unique_lock<std::mutex> lk(m_);
+  dbg::UniqueLock lk(m_);
   cv_.wait(lk, [&] { return done_; });
   return status_;
 }
 
 bool AioCompletion::complete() const {
-  const std::lock_guard<std::mutex> lk(m_);
+  const dbg::LockGuard lk(m_);
   return done_;
 }
 
 Status AioCompletion::status() const {
-  const std::lock_guard<std::mutex> lk(m_);
+  const dbg::LockGuard lk(m_);
   return status_;
 }
 
@@ -30,8 +30,15 @@ RadosClient::RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
     : env_(env),
       client_id_(client_id),
       msgr_(env, fabric, node, domain, "client." + std::to_string(client_id)),
-      monc_(env, msgr_, mon_addr) {
+      monc_(env, msgr_, mon_addr),
+      counters_(perf::Builder("client", l_client_first, l_client_last)
+                    .add_counter(l_client_op, "op")
+                    .add_counter(l_client_op_retry, "op_retry")
+                    .add_histogram(l_client_op_lat, "op_lat")
+                    .create()) {
   msgr_.set_dispatcher(this);
+  perf_.add(counters_);
+  perf_.add(msgr_.counters());
 }
 
 RadosClient::~RadosClient() { shutdown(); }
@@ -44,6 +51,18 @@ Status RadosClient::connect() {
   if (!st.ok()) return st;
   st = monc_.subscribe();
   if (!st.ok()) return st;
+  admin_.register_command("perf dump", "dump all perf-counter blocks as JSON",
+                          [this](const auto&) { return perf_.dump_json(); });
+  admin_.register_command("perf reset", "zero every counter and histogram",
+                          [this](const auto&) {
+                            perf_.reset_all();
+                            return std::string("{}");
+                          });
+  admin_.register_command("dump_ops_in_flight", "list currently tracked ops",
+                          [this](const auto&) { return tracker_.dump_ops_in_flight(); });
+  admin_.register_command(
+      "dump_historic_ops", "list recently completed ops with event timelines",
+      [this](const auto&) { return tracker_.dump_historic_ops(); });
   connected_ = true;
   return Status::OK();
 }
@@ -54,16 +73,21 @@ void RadosClient::shutdown() {
   // Fail any stragglers so waiters unblock.
   std::map<std::uint64_t, InFlight> orphans;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     orphans.swap(in_flight_);
   }
   for (auto& [tid, op] : orphans) {
-    const std::lock_guard<std::mutex> lk(op.completion->m_);
+    if (op.tracked != nullptr) {
+      op.tracked->mark_event("done", env_.now());
+      tracker_.finish_op(op.tracked, env_.now());
+    }
+    const dbg::LockGuard lk(op.completion->m_);
     op.completion->done_ = true;
     op.completion->status_ = Status(Errc::shutting_down, "client shutdown");
     op.completion->cv_.notify_all();
   }
   msgr_.shutdown();
+  admin_.unregister_all();
 }
 
 IoCtx RadosClient::io_ctx(os::pool_t pool) { return IoCtx(this, pool); }
@@ -86,9 +110,15 @@ AioCompletionRef RadosClient::aio_operate(os::pool_t pool, const std::string& ob
   request->data = std::move(data);
 
   auto completion = std::make_shared<AioCompletion>(env_.keeper());
+  std::string desc = "client_op(";
+  desc += msgr::osd_op_type_name(op);
+  desc += ' ';
+  desc += object;
+  desc += ')';
+  auto tracked = tracker_.create_op(std::move(desc), env_.now());
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
-    in_flight_[request->tid] = InFlight{request, completion, -1, 0};
+    const dbg::LockGuard lk(mutex_);
+    in_flight_[request->tid] = InFlight{request, completion, tracked, -1, 0};
   }
   send_op(request->tid);
   return completion;
@@ -97,19 +127,26 @@ AioCompletionRef RadosClient::aio_operate(os::pool_t pool, const std::string& ob
 void RadosClient::send_op(std::uint64_t tid) {
   std::shared_ptr<msgr::MOSDOp> request;
   AioCompletionRef completion;
+  osd::TrackedOpRef tracked;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(tid);
     if (it == in_flight_.end()) return;  // already completed
+    tracked = it->second.tracked;
     if (++it->second.attempts > kMaxAttempts) {
       completion = it->second.completion;
       in_flight_.erase(it);
     } else {
       request = it->second.request;
+      if (it->second.attempts > 1) counters_->inc(l_client_op_retry);
     }
   }
   if (completion != nullptr) {
-    const std::lock_guard<std::mutex> lk(completion->m_);
+    if (tracked != nullptr) {
+      tracked->mark_event("done", env_.now());
+      tracker_.finish_op(tracked, env_.now());
+    }
+    const dbg::LockGuard lk(completion->m_);
     completion->done_ = true;
     completion->status_ = Status(Errc::timed_out, "op exhausted retries");
     completion->cv_.notify_all();
@@ -127,11 +164,12 @@ void RadosClient::send_op(std::uint64_t tid) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(tid);
     if (it == in_flight_.end()) return;
     it->second.target_osd = primary;
   }
+  if (tracked != nullptr) tracked->mark_event("sent", env_.now());
   request->map_epoch = map.epoch();
   con->send_message(request);
 }
@@ -145,14 +183,23 @@ void RadosClient::finish_op(std::uint64_t tid, const msgr::MessageRef& reply) {
     return;
   }
   AioCompletionRef completion;
+  osd::TrackedOpRef tracked;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(tid);
     if (it == in_flight_.end()) return;  // duplicate reply after resend
     completion = it->second.completion;
+    tracked = it->second.tracked;
     in_flight_.erase(it);
   }
-  const std::lock_guard<std::mutex> lk(completion->m_);
+  if (tracked != nullptr) {
+    tracked->mark_event("done", env_.now());
+    counters_->inc(l_client_op);
+    counters_->rec(l_client_op_lat,
+                   static_cast<std::uint64_t>(env_.now() - tracked->initiated_at()));
+    tracker_.finish_op(tracked, env_.now());
+  }
+  const dbg::LockGuard lk(completion->m_);
   completion->done_ = true;
   completion->status_ =
       r->result == 0 ? Status::OK()
@@ -167,7 +214,7 @@ void RadosClient::resend_all_mistargeted() {
   const crush::OSDMap map = monc_.map();
   std::vector<std::uint64_t> stale;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     for (auto& [tid, op] : in_flight_) {
       const auto pg = map.object_to_pg(op.request->pool, op.request->object);
       if (op.target_osd >= 0 && map.pg_primary(pg) != op.target_osd)

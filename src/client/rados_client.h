@@ -3,20 +3,33 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/admin_socket.h"
+#include "common/perf_counters.h"
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "mon/mon_client.h"
 #include "msgr/messages.h"
 #include "msgr/messenger.h"
 #include "os/types.h"
+#include "osd/op_tracker.h"
 
 namespace doceph::client {
+
+/// Metric indices of the per-client "client" PerfCounters block.
+enum {
+  l_client_first = 92000,
+  l_client_op,        ///< ops completed (any status)
+  l_client_op_retry,  ///< resends (busy bounce, retarget, no-primary wait)
+  l_client_op_lat,    ///< client-observed end-to-end latency, ns histogram
+  l_client_last,
+};
 
 /// Completion handle for asynchronous object operations (librados
 /// AioCompletion). wait() blocks the calling sim thread.
 class AioCompletion {
  public:
-  explicit AioCompletion(sim::TimeKeeper& tk) : cv_(tk) {}
+  explicit AioCompletion(sim::TimeKeeper& tk) : cv_(tk, "client.completion_cv") {}
 
   /// Block until the operation completed; returns its status.
   Status wait();
@@ -29,8 +42,8 @@ class AioCompletion {
 
  private:
   friend class RadosClient;
-  mutable std::mutex m_;
-  mutable sim::CondVar cv_;
+  mutable dbg::Mutex m_{"client.completion"};
+  mutable dbg::CondVar cv_;
   bool done_ = false;
   Status status_;
   std::uint64_t version_ = 0;
@@ -75,10 +88,21 @@ class RadosClient final : public msgr::Dispatcher {
 
   [[nodiscard]] sim::Env& env() noexcept { return env_; }
 
+  // ---- observability ----------------------------------------------------------
+  /// Admin command surface; commands are registered by connect() and
+  /// unregistered by shutdown().
+  [[nodiscard]] AdminSocket& admin_socket() noexcept { return admin_; }
+  [[nodiscard]] perf::Collection& perf_collection() noexcept { return perf_; }
+  [[nodiscard]] const perf::PerfCountersRef& perf_counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] osd::OpTracker& op_tracker() noexcept { return tracker_; }
+
  private:
   struct InFlight {
     std::shared_ptr<msgr::MOSDOp> request;
     AioCompletionRef completion;
+    osd::TrackedOpRef tracked;
     int target_osd = -1;
     int attempts = 0;
   };
@@ -93,10 +117,15 @@ class RadosClient final : public msgr::Dispatcher {
   msgr::Messenger msgr_;
   mon::MonClient monc_;
 
-  std::mutex mutex_;
+  dbg::Mutex mutex_{"client.objecter"};
   std::map<std::uint64_t, InFlight> in_flight_;
   std::atomic<std::uint64_t> next_tid_{1};
   bool connected_ = false;
+
+  osd::OpTracker tracker_;
+  perf::PerfCountersRef counters_;
+  perf::Collection perf_;
+  AdminSocket admin_;
 
   static constexpr int kMaxAttempts = 300;
   static constexpr sim::Duration kRetryDelay = 10'000'000;  // 10 ms

@@ -1,5 +1,6 @@
 #include "cluster/cluster.h"
 
+#include "common/json.h"
 #include "common/logger.h"
 
 namespace doceph::cluster {
@@ -153,6 +154,45 @@ double Cluster::host_cores_used(const CpuSample& a, const CpuSample& b) const {
   for (std::size_t i = 0; i < a.host_busy.size(); ++i)
     total += static_cast<double>(b.host_busy[i] - a.host_busy[i]) / window;
   return total / static_cast<double>(a.host_busy.size());
+}
+
+std::string Cluster::admin_dump(const std::string& command) {
+  JsonWriter w;
+  w.begin_object();
+  const auto emit = [&](const std::string& name, AdminSocket& admin) {
+    const auto r = admin.execute(command);
+    if (!r.ok()) return;
+    w.key(name);
+    w.raw_value(*r);
+  };
+  if (mon_) emit("mon.0", mon_->admin_socket());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = *nodes_[i];
+    if (node.osd) emit("osd." + std::to_string(i), node.osd->admin_socket());
+    if (node.pstore) emit("dpu." + std::to_string(i), node.pstore->admin_socket());
+  }
+  if (client_) emit("client", client_->admin_socket());
+  w.end_object();
+  return w.str();
+}
+
+void Cluster::reset_observability() {
+  if (mon_) mon_->perf_collection().reset_all();
+  for (const auto& node : nodes_) {
+    if (node->osd) {
+      node->osd->perf_collection().reset_all();
+      node->osd->op_tracker().clear_history();
+    }
+    if (node->pstore) node->pstore->perf_collection().reset_all();
+    // In DoCeph mode the host BlueStore block belongs to no daemon
+    // collection (the OSD fronts the proxy store); reset it directly.
+    if (node->store)
+      if (auto c = node->store->perf_counters()) c->reset();
+  }
+  if (client_) {
+    client_->perf_collection().reset_all();
+    client_->op_tracker().clear_history();
+  }
 }
 
 double Cluster::dpu_cores_used(const CpuSample& a, const CpuSample& b) const {

@@ -71,6 +71,18 @@ class Cluster {
   [[nodiscard]] double host_cores_used(const CpuSample& a, const CpuSample& b) const;
   [[nodiscard]] double dpu_cores_used(const CpuSample& a, const CpuSample& b) const;
 
+  // ---- observability --------------------------------------------------------
+  /// Run one admin command against every daemon and aggregate the JSON
+  /// replies into an object keyed by daemon name ("mon.0", "osd.N",
+  /// "dpu.N", "client"). Daemons that don't register the command are
+  /// omitted from the result.
+  [[nodiscard]] std::string admin_dump(const std::string& command);
+
+  /// Zero every perf counter and histogram and drop tracked-op history
+  /// across the cluster. Experiments call this between warmup and the
+  /// measured window so dumps cover only measured traffic.
+  void reset_observability();
+
  private:
   struct Node {
     std::unique_ptr<sim::CpuDomain> host_cpu;

@@ -1,0 +1,83 @@
+#include "common/admin_socket.h"
+
+#include <sstream>
+
+#include "common/json.h"
+
+namespace doceph {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(std::move(tok));
+  return out;
+}
+
+}  // namespace
+
+bool AdminSocket::register_command(const std::string& command, std::string help,
+                                   Handler h) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return commands_.try_emplace(command, Entry{std::move(help), std::move(h)}).second;
+}
+
+void AdminSocket::unregister_command(const std::string& command) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  commands_.erase(command);
+}
+
+void AdminSocket::unregister_all() {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  commands_.clear();
+}
+
+bool AdminSocket::has_command(const std::string& command) const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  return commands_.contains(command);
+}
+
+Result<std::string> AdminSocket::execute(const std::string& command_line) const {
+  const std::vector<std::string> tokens = tokenize(command_line);
+  if (tokens.empty()) return Status(Errc::invalid_argument, "empty command");
+
+  // Longest-prefix match so multi-word commands win over their prefixes.
+  Handler handler;
+  std::size_t matched = 0;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    std::string prefix;
+    for (std::size_t n = 1; n <= tokens.size(); ++n) {
+      if (n > 1) prefix += ' ';
+      prefix += tokens[n - 1];
+      auto it = commands_.find(prefix);
+      if (it != commands_.end()) {
+        handler = it->second.handler;
+        matched = n;
+      }
+    }
+  }
+  if (matched == 0)
+    return Status(Errc::not_found, "unknown command: " + tokens.front());
+
+  const std::vector<std::string> args(tokens.begin() + static_cast<long>(matched),
+                                      tokens.end());
+  // Outside the lock: handlers may take daemon locks or re-enter the socket.
+  return handler(args);
+}
+
+std::string AdminSocket::help_json() const {
+  std::map<std::string, std::string> help;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    for (const auto& [cmd, e] : commands_) help[cmd] = e.help;
+  }
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [cmd, text] : help) w.kv(cmd, text);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace doceph

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace doceph {
+
+/// Per-daemon command surface modeled on Ceph's admin socket, minus the
+/// socket: a registry mapping string commands ("perf dump",
+/// "dump_ops_in_flight", ...) to handlers that return JSON. Daemons register
+/// their commands at startup and unregister at shutdown; tests and the
+/// benchmark harness execute commands directly.
+///
+/// Commands are matched by longest token prefix, so "perf dump" and
+/// "perf reset" coexist and surplus tokens become handler arguments.
+/// Handlers run outside the registry lock (they may take daemon locks).
+class AdminSocket {
+ public:
+  /// Returns the command's JSON output; `args` are the tokens after the
+  /// matched command prefix.
+  using Handler = std::function<std::string(const std::vector<std::string>& args)>;
+
+  /// False (and no-op) if `command` is already registered.
+  bool register_command(const std::string& command, std::string help, Handler h);
+  void unregister_command(const std::string& command);
+  void unregister_all();
+
+  /// Tokenize `command_line`, find the longest registered prefix, run its
+  /// handler. Errors: invalid_argument (empty line), not_found (no match).
+  Result<std::string> execute(const std::string& command_line) const;
+
+  [[nodiscard]] bool has_command(const std::string& command) const;
+
+  /// {"command": "help text", ...} for every registered command.
+  [[nodiscard]] std::string help_json() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    Handler handler;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> commands_;
+};
+
+}  // namespace doceph

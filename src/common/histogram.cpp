@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/json.h"
+
 namespace doceph {
 
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
@@ -82,6 +84,35 @@ double Histogram::Snapshot::quantile(double q) const noexcept {
     cum += b;
   }
   return static_cast<double>(max);
+}
+
+void Histogram::Snapshot::to_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("count", count);
+  w.kv("sum", sum);
+  w.kv("min", min);
+  w.kv("max", max);
+  w.kv("mean", mean());
+  w.kv("p50", quantile(0.50));
+  w.kv("p95", quantile(0.95));
+  w.kv("p99", quantile(0.99));
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    w.begin_array();
+    w.value(bucket_upper_bound(static_cast<int>(i)));
+    w.value(buckets[i]);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string Histogram::Snapshot::to_json() const {
+  JsonWriter w;
+  to_json(w);
+  return w.str();
 }
 
 }  // namespace doceph

@@ -6,6 +6,8 @@
 
 namespace doceph {
 
+class JsonWriter;
+
 /// Thread-safe latency/size histogram with logarithmic buckets
 /// (2 sub-buckets per power of two) plus exact running sum/min/max.
 /// Values are arbitrary non-negative integers (typically nanoseconds).
@@ -27,6 +29,12 @@ class Histogram {
     /// Approximate quantile (q in [0,1]) from the log buckets; exact at the
     /// bucket boundaries, interpolated within.
     [[nodiscard]] double quantile(double q) const noexcept;
+
+    /// Emit {count, sum, min, max, mean, p50, p95, p99, buckets:[[ub,n]...]}
+    /// into `w` (only non-empty buckets appear). The shared serialization for
+    /// perf-counter dumps and benchcore latency tables.
+    void to_json(JsonWriter& w) const;
+    [[nodiscard]] std::string to_json() const;
 
     std::vector<std::uint64_t> buckets;  ///< per-bucket counts
   };

@@ -1,0 +1,42 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace doceph {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "0";  // JSON has no inf/nan; counters never legitimately produce them
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out_ += buf;
+}
+
+}  // namespace doceph

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doceph {
+
+/// Escape `s` for embedding inside a JSON string literal (quotes excluded).
+std::string json_escape(std::string_view s);
+
+/// Minimal streaming JSON writer: objects, arrays, scalar values, with
+/// automatic comma placement. No pretty-printing — dumps are meant for
+/// machine diffing and `python -m json.tool`. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("ops"); w.value(42);
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    just_keyed_ = true;
+  }
+
+  void value(std::string_view v) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(double v);
+
+  /// Embed a pre-serialized JSON fragment verbatim (nested daemon dumps).
+  void raw_value(std::string_view json) {
+    comma();
+    out_ += json;
+  }
+
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    need_comma_ = false;
+  }
+  void close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void comma() {
+    if (need_comma_ && !just_keyed_) out_ += ',';
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
+
+}  // namespace doceph

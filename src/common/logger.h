@@ -30,9 +30,22 @@ class Record {
   std::ostringstream os_;
 };
 
+/// Swallows a stream expression so the DLOG ternary has type void in both
+/// arms. `&` binds looser than `<<`, so chained inserters evaluate first.
+struct Voidify {
+  void operator&(std::ostream&) const noexcept {}
+};
+
 }  // namespace doceph::log
 
 /// Usage: DLOG(info, "msgr") << "accepted connection from " << addr;
-#define DLOG(lvl, subsys)                                   \
-  if (::doceph::log::enabled(::doceph::log::Level::lvl))    \
-  ::doceph::log::Record(::doceph::log::Level::lvl, subsys).stream()
+///
+/// Expands to a single expression (glog's ternary/voidify idiom) so an
+/// unbraced `if (x) DLOG(...) << ...; else ...;` cannot dangle-else: there
+/// is no `if` in the macro for the `else` to capture. The Record temporary
+/// still flushes at the end of the full statement.
+#define DLOG(lvl, subsys)                                          \
+  !::doceph::log::enabled(::doceph::log::Level::lvl)               \
+      ? (void)0                                                    \
+      : ::doceph::log::Voidify() &                                 \
+            ::doceph::log::Record(::doceph::log::Level::lvl, subsys).stream()

@@ -1,0 +1,133 @@
+#include "common/perf_counters.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/json.h"
+
+namespace doceph::perf {
+
+PerfCounters::PerfCounters(std::string name, int lower, int upper)
+    : name_(std::move(name)), lower_(lower) {
+  assert(upper > lower + 1 && "empty metric range");
+  entries_.resize(static_cast<std::size_t>(upper - lower - 1) + kSinkSlots);
+  entries_[0].name = "_unclaimed";
+}
+
+std::size_t PerfCounters::index(int idx) const noexcept {
+  // Valid metric indices are (lower_, lower_+size): map them to slots
+  // [1, size]; everything else (including undeclared slots) hits the sink.
+  const long off = static_cast<long>(idx) - lower_ - 1 + kSinkSlots;
+  if (off < kSinkSlots || off >= static_cast<long>(entries_.size())) return 0;
+  if (entries_[static_cast<std::size_t>(off)].name.empty()) return 0;
+  return static_cast<std::size_t>(off);
+}
+
+void PerfCounters::reset() noexcept {
+  for (auto& e : entries_) {
+    e.value.store(0, std::memory_order_relaxed);
+    if (e.hist) e.hist->reset();
+  }
+}
+
+void PerfCounters::dump(JsonWriter& w) const {
+  w.key(name_);
+  w.begin_object();
+  for (std::size_t i = kSinkSlots; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    if (e.name.empty()) continue;
+    w.key(e.name);
+    if (e.type == Type::histogram) {
+      e.hist->snapshot().to_json(w);
+    } else {
+      w.value(e.value.load(std::memory_order_relaxed));
+    }
+  }
+  w.end_object();
+}
+
+// ---- Builder ---------------------------------------------------------------------
+
+Builder::Builder(std::string name, int lower, int upper)
+    : pc_(new PerfCounters(std::move(name), lower, upper)) {}
+
+Builder& Builder::add(int idx, std::string metric_name, Type t) {
+  assert(pc_ && "create() already called");
+  const long off =
+      static_cast<long>(idx) - pc_->lower_ - 1 + PerfCounters::kSinkSlots;
+  assert(off >= PerfCounters::kSinkSlots &&
+         off < static_cast<long>(pc_->entries_.size()) && "index out of range");
+  auto& e = pc_->entries_[static_cast<std::size_t>(off)];
+  assert(e.name.empty() && "index declared twice");
+  e.name = std::move(metric_name);
+  e.type = t;
+  if (t == Type::histogram) e.hist = std::make_unique<Histogram>();
+  return *this;
+}
+
+Builder& Builder::add_counter(int idx, std::string metric_name) {
+  return add(idx, std::move(metric_name), Type::counter);
+}
+Builder& Builder::add_gauge(int idx, std::string metric_name) {
+  return add(idx, std::move(metric_name), Type::gauge);
+}
+Builder& Builder::add_histogram(int idx, std::string metric_name) {
+  return add(idx, std::move(metric_name), Type::histogram);
+}
+
+PerfCountersRef Builder::create() { return PerfCountersRef(std::move(pc_)); }
+
+// ---- Collection ------------------------------------------------------------------
+
+void Collection::add(PerfCountersRef pc) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  std::erase_if(blocks_,
+                [&](const PerfCountersRef& b) { return b->name() == pc->name(); });
+  blocks_.push_back(std::move(pc));
+}
+
+void Collection::remove(const std::string& name) {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  std::erase_if(blocks_, [&](const PerfCountersRef& b) { return b->name() == name; });
+}
+
+void Collection::clear() {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  blocks_.clear();
+}
+
+void Collection::dump(JsonWriter& w) const {
+  std::vector<PerfCountersRef> blocks;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    blocks = blocks_;
+  }
+  w.begin_object();
+  for (const auto& b : blocks) b->dump(w);
+  w.end_object();
+}
+
+std::string Collection::dump_json() const {
+  JsonWriter w;
+  dump(w);
+  return w.str();
+}
+
+void Collection::reset_all() {
+  std::vector<PerfCountersRef> blocks;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    blocks = blocks_;
+  }
+  for (const auto& b : blocks) b->reset();
+}
+
+PerfCountersRef Collection::get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lk(mutex_);
+  for (const auto& b : blocks_) {
+    if (b->name() == name) return b;
+  }
+  return nullptr;
+}
+
+}  // namespace doceph::perf

@@ -1,0 +1,149 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace doceph {
+class JsonWriter;
+}
+
+namespace doceph::perf {
+
+/// Metric kinds, following Ceph's PerfCounters taxonomy.
+enum class Type : std::uint8_t {
+  counter,    ///< monotonically increasing u64 (inc)
+  gauge,      ///< instantaneous value (set/inc/dec)
+  histogram,  ///< Histogram-backed distribution of times or sizes (rec)
+};
+
+/// One daemon subsystem's counters (e.g. "osd", "msgr", "dpu"): a dense
+/// index-addressed block built once by `Builder`, then updated lock-free
+/// from hot paths — counter/gauge updates are single relaxed atomics;
+/// histogram records take the histogram's own mutex (off the per-message
+/// fast path by design, used for per-op latencies only).
+///
+/// Indices come from a caller-owned enum bounded by [lower, upper), Ceph's
+/// l_osd_first/l_osd_last idiom; lookups are bounds-checked subtraction,
+/// never string hashing.
+class PerfCounters {
+ public:
+  void inc(int idx, std::uint64_t by = 1) noexcept {
+    entry(idx).value.fetch_add(by, std::memory_order_relaxed);
+  }
+  void dec(int idx, std::uint64_t by = 1) noexcept {
+    entry(idx).value.fetch_sub(by, std::memory_order_relaxed);
+  }
+  void set(int idx, std::uint64_t v) noexcept {
+    entry(idx).value.store(v, std::memory_order_relaxed);
+  }
+  /// Record one sample into a histogram metric.
+  void rec(int idx, std::uint64_t sample) noexcept {
+    auto& e = entry(idx);
+    if (e.hist) e.hist->record(sample);
+  }
+
+  [[nodiscard]] std::uint64_t get(int idx) const noexcept {
+    return entry(idx).value.load(std::memory_order_relaxed);
+  }
+  /// Snapshot a histogram metric (empty snapshot for scalar metrics).
+  [[nodiscard]] Histogram::Snapshot hist(int idx) const {
+    const auto& e = entry(idx);
+    return e.hist ? e.hist->snapshot() : Histogram::Snapshot{};
+  }
+
+  /// Zero every metric (between benchmark phases).
+  void reset() noexcept;
+
+  /// Emit `"name": { metric: value | histogram-object, ... }` into an open
+  /// JSON object.
+  void dump(JsonWriter& w) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int lower_bound() const noexcept { return lower_; }
+  [[nodiscard]] int upper_bound() const noexcept {
+    return lower_ + static_cast<int>(entries_.size());
+  }
+
+ private:
+  friend class Builder;
+  struct Entry {
+    std::string name;
+    Type type = Type::counter;
+    std::atomic<std::uint64_t> value{0};
+    std::unique_ptr<Histogram> hist;
+
+    Entry() = default;
+    // Movable so std::vector can size the table; only used at build time,
+    // before any concurrent access.
+    Entry(Entry&& o) noexcept
+        : name(std::move(o.name)),
+          type(o.type),
+          value(o.value.load(std::memory_order_relaxed)),
+          hist(std::move(o.hist)) {}
+    Entry& operator=(Entry&&) = delete;
+  };
+
+  PerfCounters(std::string name, int lower, int upper);
+
+  Entry& entry(int idx) noexcept { return entries_[index(idx)]; }
+  [[nodiscard]] const Entry& entry(int idx) const noexcept {
+    return entries_[index(idx)];
+  }
+  [[nodiscard]] std::size_t index(int idx) const noexcept;
+
+  std::string name_;
+  int lower_;
+  std::vector<Entry> entries_;
+  // Slot 0 sinks out-of-range or never-declared indices so a bad index can
+  // never corrupt a neighbor (and shows up as "_unclaimed" in dumps).
+  static constexpr int kSinkSlots = 1;
+};
+using PerfCountersRef = std::shared_ptr<PerfCounters>;
+
+/// Declares the metrics of one PerfCounters block, then materializes it.
+class Builder {
+ public:
+  /// `(lower, upper)` bound the index enum *exclusively*: valid metric
+  /// indices are lower+1 .. upper-1 (the l_xxx_first/l_xxx_last idiom).
+  Builder(std::string name, int lower, int upper);
+
+  Builder& add_counter(int idx, std::string metric_name);
+  Builder& add_gauge(int idx, std::string metric_name);
+  Builder& add_histogram(int idx, std::string metric_name);
+
+  [[nodiscard]] PerfCountersRef create();
+
+ private:
+  Builder& add(int idx, std::string metric_name, Type t);
+  std::unique_ptr<PerfCounters> pc_;
+};
+
+/// A daemon's set of PerfCounters blocks (one per subsystem), the thing a
+/// `perf dump` admin command serializes. Thread-safe add/remove/dump.
+class Collection {
+ public:
+  void add(PerfCountersRef pc);
+  void remove(const std::string& name);
+  void clear();
+
+  /// {"subsys1": {...}, "subsys2": {...}}
+  [[nodiscard]] std::string dump_json() const;
+  void dump(JsonWriter& w) const;
+
+  /// Zero every metric of every block.
+  void reset_all();
+
+  [[nodiscard]] PerfCountersRef get(const std::string& name) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<PerfCountersRef> blocks_;
+};
+
+}  // namespace doceph::perf

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <shared_mutex>
+
+#include "dbg/lockdep.h"
+
+namespace doceph::dbg {
+
+/// A std::shared_mutex with lockdep instrumentation — the reader/writer
+/// counterpart of dbg::Mutex. Both shared and exclusive acquisitions are
+/// tracked in the lock-order graph under one class: an inversion is a
+/// deadlock risk regardless of which side each thread takes (a waiting
+/// writer blocks later readers), so the checker does not distinguish modes.
+///
+/// Satisfies SharedLockable: std::unique_lock<dbg::SharedMutex> and
+/// std::shared_lock<dbg::SharedMutex> work unchanged.
+class SharedMutex {
+ public:
+  explicit SharedMutex(const char* class_name)
+      : cls_(lockdep::register_class(class_name, /*rank_ordered=*/false)) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  // ---- exclusive --------------------------------------------------------------
+  void lock() {
+    lockdep::acquire(this, cls_);
+    try {
+      m_.lock();
+    } catch (...) {
+      lockdep::release(this);
+      throw;
+    }
+  }
+  void unlock() {
+    m_.unlock();
+    lockdep::release(this);
+  }
+  bool try_lock() {
+    if (!m_.try_lock()) return false;
+    lockdep::acquire_trylock(this, cls_);
+    return true;
+  }
+
+  // ---- shared -----------------------------------------------------------------
+  void lock_shared() {
+    lockdep::acquire(this, cls_);
+    try {
+      m_.lock_shared();
+    } catch (...) {
+      lockdep::release(this);
+      throw;
+    }
+  }
+  void unlock_shared() {
+    m_.unlock_shared();
+    lockdep::release(this);
+  }
+  bool try_lock_shared() {
+    if (!m_.try_lock_shared()) return false;
+    lockdep::acquire_trylock(this, cls_);
+    return true;
+  }
+
+  [[nodiscard]] lockdep::ClassId lockdep_class() const noexcept { return cls_; }
+
+ private:
+  std::shared_mutex m_;
+  lockdep::ClassId cls_;
+};
+
+}  // namespace doceph::dbg

@@ -12,6 +12,16 @@ Monitor::Monitor(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
             msgr::MessengerConfig{.num_workers = 1, .costs = {}}),
       map_(crush::OSDMap::build(num_osds)) {
   msgr_.set_dispatcher(this);
+  counters_ = perf::Builder("mon", l_mon_first, l_mon_last)
+                  .add_gauge(l_mon_epoch, "epoch")
+                  .add_counter(l_mon_boots, "boots")
+                  .add_counter(l_mon_failure_reports, "failure_reports")
+                  .add_counter(l_mon_map_publishes, "map_publishes")
+                  .add_counter(l_mon_commands, "commands")
+                  .create();
+  counters_->set(l_mon_epoch, static_cast<std::int64_t>(map_.epoch()));
+  perf_.add(counters_);
+  perf_.add(msgr_.counters());
 }
 
 Monitor::~Monitor() { shutdown(); }
@@ -20,6 +30,13 @@ Status Monitor::start() {
   const Status st = msgr_.bind(cfg_.port);
   if (!st.ok()) return st;
   msgr_.start();
+  admin_.register_command("perf dump", "dump all perf-counter blocks as JSON",
+                          [this](const auto&) { return perf_.dump_json(); });
+  admin_.register_command("perf reset", "zero every counter and histogram",
+                          [this](const auto&) {
+                            perf_.reset_all();
+                            return std::string("{}");
+                          });
   started_ = true;
   return Status::OK();
 }
@@ -28,6 +45,7 @@ void Monitor::shutdown() {
   if (!started_) return;
   started_ = false;
   msgr_.shutdown();
+  admin_.unregister_all();
 }
 
 void Monitor::create_pool(os::pool_t id, crush::PoolInfo info) {
@@ -75,6 +93,8 @@ void Monitor::publish_locked() {
   std::erase_if(subscribers_,
                 [](const msgr::ConnectionRef& c) { return !c->is_connected(); });
   for (const auto& con : subscribers_) send_map_locked(con);
+  counters_->set(l_mon_epoch, static_cast<std::int64_t>(map_.epoch()));
+  counters_->inc(l_mon_map_publishes);
 }
 
 void Monitor::handle_get_map(const msgr::MessageRef& m) {
@@ -98,6 +118,7 @@ void Monitor::handle_boot(const msgr::MessageRef& m) {
   }
   DLOG(info, "mon") << "osd." << boot->osd_id << " booted at "
                     << boot->addr.to_string();
+  counters_->inc(l_mon_boots);
   map_.mark_up(boot->osd_id, boot->addr);
   map_.mark_in(boot->osd_id);
   failure_reports_.erase(boot->osd_id);
@@ -107,6 +128,7 @@ void Monitor::handle_boot(const msgr::MessageRef& m) {
 
 void Monitor::handle_failure(const msgr::MessageRef& m) {
   auto* fail = static_cast<msgr::MOSDFailure*>(m.get());
+  counters_->inc(l_mon_failure_reports);
   const dbg::LockGuard lk(mutex_);
   if (!map_.is_up(fail->failed_osd)) return;  // already down
   auto& reporters = failure_reports_[fail->failed_osd];
@@ -122,6 +144,7 @@ void Monitor::handle_failure(const msgr::MessageRef& m) {
 
 void Monitor::handle_command(const msgr::MessageRef& m) {
   auto* cmd = static_cast<msgr::MMonCommand*>(m.get());
+  counters_->inc(l_mon_commands);
   auto reply = std::make_shared<msgr::MMonCommandReply>();
   reply->tid = m->tid;
 

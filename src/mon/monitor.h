@@ -4,12 +4,25 @@
 #include <set>
 #include <vector>
 
+#include "common/admin_socket.h"
+#include "common/perf_counters.h"
 #include "crush/osd_map.h"
 #include "dbg/mutex.h"
 #include "msgr/messages.h"
 #include "msgr/messenger.h"
 
 namespace doceph::mon {
+
+/// Metric indices of the monitor's "mon" PerfCounters block.
+enum {
+  l_mon_first = 94000,
+  l_mon_epoch,             ///< current OSDMap epoch (gauge)
+  l_mon_boots,             ///< osd_boot messages admitted
+  l_mon_failure_reports,   ///< osd_failure reports received
+  l_mon_map_publishes,     ///< map epochs pushed to subscribers
+  l_mon_commands,          ///< MMonCommand requests handled
+  l_mon_last,
+};
 
 struct MonitorConfig {
   std::uint16_t port = 6789;
@@ -41,6 +54,14 @@ class Monitor final : public msgr::Dispatcher {
   void ms_dispatch(const msgr::MessageRef& m) override;
   void ms_handle_reset(const msgr::ConnectionRef& con) override;
 
+  /// Admin command surface of the monitor daemon ("perf dump", ...).
+  /// Commands are registered by start() and unregistered by shutdown().
+  [[nodiscard]] AdminSocket& admin_socket() noexcept { return admin_; }
+  [[nodiscard]] perf::Collection& perf_collection() noexcept { return perf_; }
+  [[nodiscard]] const perf::PerfCountersRef& perf_counters() const noexcept {
+    return counters_;
+  }
+
  private:
   void handle_get_map(const msgr::MessageRef& m);
   void handle_subscribe(const msgr::MessageRef& m);
@@ -62,6 +83,10 @@ class Monitor final : public msgr::Dispatcher {
   std::vector<msgr::ConnectionRef> subscribers_;
   std::map<int, std::set<int>> failure_reports_;  // failed osd -> reporters
   bool started_ = false;
+
+  perf::PerfCountersRef counters_;
+  perf::Collection perf_;
+  AdminSocket admin_;
 };
 
 }  // namespace doceph::mon

@@ -7,6 +7,7 @@
 #include "common/buffer.h"
 #include "common/encoding.h"
 #include "net/address.h"
+#include "sim/time.h"
 
 namespace doceph::msgr {
 
@@ -62,6 +63,11 @@ class Message {
   net::Address src;
   /// Per-connection sequence number.
   std::uint64_t seq = 0;
+  /// Sim time the receiving messenger saw this message's header (steps ①–②
+  /// of the paper's pipeline); 0 on the send side. This is the anchor for
+  /// OpTracker stage breakdowns, so the messenger stage covers payload
+  /// wait + decode + CRC.
+  sim::Time recv_stamp = 0;
 };
 
 using MessageRef = std::shared_ptr<Message>;

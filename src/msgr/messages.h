@@ -20,6 +20,17 @@ enum class OsdOpType : std::uint8_t {
   remove = 5,
 };
 
+[[nodiscard]] constexpr std::string_view osd_op_type_name(OsdOpType t) noexcept {
+  switch (t) {
+    case OsdOpType::write_full: return "write_full";
+    case OsdOpType::write: return "write";
+    case OsdOpType::read: return "read";
+    case OsdOpType::stat: return "stat";
+    case OsdOpType::remove: return "remove";
+  }
+  return "unknown";
+}
+
 /// Client -> primary OSD I/O request (Ceph's MOSDOp).
 class MOSDOp final : public Message {
  public:

@@ -59,6 +59,8 @@ BufferList Connection::encode_message(const Message& m) {
   msgr_.charge(costs.per_msg_encode +
                static_cast<sim::Duration>(costs.crc_per_byte_ns *
                                           static_cast<double>(bytes)));
+  msgr_.counters_->inc(l_msgr_msg_send);
+  msgr_.counters_->inc(l_msgr_bytes_send, bytes);
 
   BufferList frame;
   encode(static_cast<std::uint16_t>(m.type()), frame);
@@ -134,6 +136,7 @@ bool Connection::parse_one() {
     hdr_.type = static_cast<MsgType>(type_raw);
     rx_buf_ = rx_buf_.substr(kHeaderSize, rx_buf_.length() - kHeaderSize);
     have_header_ = true;
+    hdr_stamp_ = msgr_.env().now();
   }
 
   const std::size_t need = hdr_.front_len + hdr_.data_len + kFooterSize;
@@ -175,7 +178,12 @@ bool Connection::parse_one() {
   m->seq = hdr_.seq;
   m->src = hdr_.src;
   m->connection = shared_from_this();
+  // Anchor at header arrival so the op's messenger stage covers payload
+  // wait + decode + CRC, not just the dispatch instant.
+  m->recv_stamp = hdr_stamp_;
   received_.fetch_add(1, std::memory_order_relaxed);
+  msgr_.counters_->inc(l_msgr_msg_recv);
+  msgr_.counters_->inc(l_msgr_bytes_recv, hdr_.front_len + hdr_.data_len);
   msgr_.dispatch_message(m);
   return true;
 }
@@ -208,7 +216,13 @@ Messenger::Messenger(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
       node_(node),
       domain_(domain),
       entity_(std::move(entity_name)),
-      cfg_(cfg) {
+      cfg_(cfg),
+      counters_(perf::Builder("msgr", l_msgr_first, l_msgr_last)
+                    .add_counter(l_msgr_msg_recv, "msg_recv")
+                    .add_counter(l_msgr_msg_send, "msg_send")
+                    .add_counter(l_msgr_bytes_recv, "bytes_recv")
+                    .add_counter(l_msgr_bytes_send, "bytes_send")
+                    .create()) {
   centers_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (int i = 0; i < cfg_.num_workers; ++i)
     centers_.push_back(std::make_unique<event::EventCenter>(env_));

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/perf_counters.h"
 #include "common/status.h"
 #include "dbg/mutex.h"
 #include "event/event_center.h"
@@ -30,6 +31,16 @@ class Dispatcher {
   virtual void ms_dispatch(const MessageRef& m) = 0;
   /// The connection dropped; queued/unacked messages are gone.
   virtual void ms_handle_reset(const ConnectionRef& con) { (void)con; }
+};
+
+/// Metric indices of the per-messenger "msgr" PerfCounters block.
+enum {
+  l_msgr_first = 90000,
+  l_msgr_msg_recv,    ///< messages fully decoded and dispatched
+  l_msgr_msg_send,    ///< messages encoded for transmission
+  l_msgr_bytes_recv,  ///< payload bytes (front + data) received
+  l_msgr_bytes_send,  ///< payload bytes (front + data) sent
+  l_msgr_last,
 };
 
 /// CPU cost model of messenger work itself (serialization and checksums),
@@ -102,6 +113,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
 
   // Parser state.
   bool have_header_ = false;
+  sim::Time hdr_stamp_ = 0;  // when the current message's header arrived
   struct WireHeader {
     MsgType type = MsgType::none;
     std::uint64_t seq = 0;
@@ -154,6 +166,12 @@ class Messenger {
   [[nodiscard]] const MessengerConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const std::string& entity_name() const noexcept { return entity_; }
 
+  /// The "msgr" perf-counter block (message/byte rates); daemons add it to
+  /// their perf::Collection so `perf dump` covers the messenger too.
+  [[nodiscard]] const perf::PerfCountersRef& counters() const noexcept {
+    return counters_;
+  }
+
  private:
   friend class Connection;
 
@@ -171,6 +189,7 @@ class Messenger {
   sim::CpuDomain* domain_;
   std::string entity_;
   MessengerConfig cfg_;
+  perf::PerfCountersRef counters_;
   Dispatcher* dispatcher_ = nullptr;
 
   std::uint16_t bound_port_ = 0;

@@ -7,7 +7,7 @@ namespace doceph::os {
 void MemStore::queue_transaction(Transaction txn, OnCommit on_commit) {
   Status st;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     st = apply_locked(txn);
   }
   if (on_commit) on_commit(st);
@@ -74,7 +74,7 @@ Status MemStore::apply_locked(const Transaction& txn) {
 
 Result<BufferList> MemStore::read(const coll_t& c, const ghobject_t& o,
                                   std::uint64_t off, std::uint64_t len) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto cit = colls_.find(c);
   if (cit == colls_.end()) return Status(Errc::not_found, "collection");
   auto oit = cit->second.find(o);
@@ -87,7 +87,7 @@ Result<BufferList> MemStore::read(const coll_t& c, const ghobject_t& o,
 }
 
 Result<ObjectInfo> MemStore::stat(const coll_t& c, const ghobject_t& o) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto cit = colls_.find(c);
   if (cit == colls_.end()) return Status(Errc::not_found, "collection");
   auto oit = cit->second.find(o);
@@ -96,14 +96,14 @@ Result<ObjectInfo> MemStore::stat(const coll_t& c, const ghobject_t& o) {
 }
 
 bool MemStore::exists(const coll_t& c, const ghobject_t& o) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto cit = colls_.find(c);
   return cit != colls_.end() && cit->second.contains(o);
 }
 
 Result<std::map<std::string, BufferList>> MemStore::omap_get(const coll_t& c,
                                                              const ghobject_t& o) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto cit = colls_.find(c);
   if (cit == colls_.end()) return Status(Errc::not_found, "collection");
   auto oit = cit->second.find(o);
@@ -112,7 +112,7 @@ Result<std::map<std::string, BufferList>> MemStore::omap_get(const coll_t& c,
 }
 
 Result<std::vector<ghobject_t>> MemStore::list_objects(const coll_t& c) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto cit = colls_.find(c);
   if (cit == colls_.end()) return Status(Errc::not_found, "collection");
   std::vector<ghobject_t> out;
@@ -122,7 +122,7 @@ Result<std::vector<ghobject_t>> MemStore::list_objects(const coll_t& c) {
 }
 
 std::vector<coll_t> MemStore::list_collections() {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   std::vector<coll_t> out;
   out.reserve(colls_.size());
   for (const auto& [cid, coll] : colls_) out.push_back(cid);
@@ -130,7 +130,7 @@ std::vector<coll_t> MemStore::list_collections() {
 }
 
 bool MemStore::collection_exists(const coll_t& c) {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return colls_.contains(c);
 }
 

@@ -1,9 +1,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "dbg/mutex.h"
 #include "os/object_store.h"
 
 namespace doceph::os {
@@ -43,7 +43,7 @@ class MemStore final : public ObjectStore {
  private:
   Status apply_locked(const Transaction& txn);
 
-  std::mutex mutex_;
+  dbg::Mutex mutex_{"os.mem_store"};
   std::map<coll_t, Collection> colls_;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/perf_counters.h"
 #include "common/result.h"
 #include "os/transaction.h"
 
@@ -46,6 +47,12 @@ class ObjectStore {
 
   /// Human-readable backend kind ("memstore", "bluestore", "proxy").
   [[nodiscard]] virtual std::string store_type() const = 0;
+
+  /// The store's PerfCounters block, if it exports one (may be null). The
+  /// owning daemon folds it into its perf collection for "perf dump".
+  [[nodiscard]] virtual perf::PerfCountersRef perf_counters() const {
+    return nullptr;
+  }
 };
 
 using ObjectStoreRef = std::unique_ptr<ObjectStore>;

@@ -1,0 +1,192 @@
+#include "osd/op_tracker.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/json.h"
+
+namespace doceph::osd {
+
+void TrackedOp::mark_event(const char* event, sim::Time at) {
+  const dbg::LockGuard lk(mutex_);
+  events_.emplace_back(event, at);
+}
+
+sim::Time TrackedOp::event_time(const char* event) const {
+  const dbg::LockGuard lk(mutex_);
+  for (const auto& [name, at] : events_) {
+    if (std::strcmp(name, event) == 0) return at;
+  }
+  return -1;
+}
+
+sim::Time TrackedOp::last_event_time(const char* event) const {
+  const dbg::LockGuard lk(mutex_);
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (std::strcmp(it->first, event) == 0) return it->second;
+  }
+  return -1;
+}
+
+TrackedOp::StageBreakdown TrackedOp::stage_breakdown() const {
+  std::vector<std::pair<const char*, sim::Time>> events;
+  {
+    const dbg::LockGuard lk(mutex_);
+    events = events_;
+  }
+  auto first_of = [&](const char* name) -> sim::Time {
+    for (const auto& [n, at] : events)
+      if (std::strcmp(n, name) == 0) return at;
+    return -1;
+  };
+  auto last_of = [&](const char* name) -> sim::Time {
+    for (auto it = events.rbegin(); it != events.rend(); ++it)
+      if (std::strcmp(it->first, name) == 0) return it->second;
+    return -1;
+  };
+
+  StageBreakdown bd;
+  const sim::Time recv = initiated_;
+  sim::Time queued = first_of("queued");
+  if (queued < recv) queued = recv;
+  sim::Time dequeued = first_of("dequeued");
+  if (dequeued < queued) dequeued = queued;
+  sim::Time commit = first_of("commit");
+  if (commit < dequeued) commit = dequeued;  // reads / missing commit
+  sim::Time repl = last_of("repl_ack");
+  if (repl < commit) repl = commit;  // no replicas, or acks beat the commit
+  sim::Time reply = last_of("reply_sent");
+  if (reply < repl) reply = repl;
+
+  bd.messenger_ns = static_cast<std::uint64_t>(queued - recv);
+  bd.queue_ns = static_cast<std::uint64_t>(dequeued - queued);
+  bd.objectstore_ns = static_cast<std::uint64_t>(commit - dequeued);
+  bd.replication_ns = static_cast<std::uint64_t>(repl - commit);
+  bd.reply_ns = static_cast<std::uint64_t>(reply - repl);
+  bd.total_ns = static_cast<std::uint64_t>(reply - recv);
+  return bd;
+}
+
+void TrackedOp::dump(JsonWriter& w) const {
+  std::vector<std::pair<const char*, sim::Time>> events;
+  {
+    const dbg::LockGuard lk(mutex_);
+    events = events_;
+  }
+  w.begin_object();
+  w.kv("description", desc_);
+  w.kv("initiated_at_ns", initiated_);
+  if (!events.empty()) {
+    const sim::Time last = events.back().second;
+    w.kv("age_ns", last - initiated_);
+  }
+  w.key("events");
+  w.begin_array();
+  for (const auto& [name, at] : events) {
+    w.begin_object();
+    w.kv("event", name);
+    w.kv("at_ns", at);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+// ---- OpTracker -------------------------------------------------------------------
+
+TrackedOpRef OpTracker::create_op(std::string desc, sim::Time initiated) {
+  auto op = std::make_shared<TrackedOp>(std::move(desc), initiated);
+  const dbg::LockGuard lk(mutex_);
+  op->seq_ = next_seq_++;
+  in_flight_.emplace(op->seq_, op);
+  return op;
+}
+
+void OpTracker::finish_op(const TrackedOpRef& op, sim::Time now) {
+  if (!op) return;
+  const dbg::LockGuard lk(mutex_);
+  if (in_flight_.erase(op->seq_) == 0) return;  // already retired
+  if (cfg_.history_size == 0) return;
+  if (cfg_.slow_threshold > 0 && now - op->initiated_at() < cfg_.slow_threshold)
+    return;
+  history_.push_back(op);
+  while (history_.size() > cfg_.history_size) history_.pop_front();
+}
+
+std::size_t OpTracker::ops_in_flight() const {
+  const dbg::LockGuard lk(mutex_);
+  return in_flight_.size();
+}
+
+std::size_t OpTracker::history_count() const {
+  const dbg::LockGuard lk(mutex_);
+  return history_.size();
+}
+
+void OpTracker::for_each_historic(
+    const std::function<void(const TrackedOp&)>& fn) const {
+  std::deque<TrackedOpRef> snap;
+  {
+    const dbg::LockGuard lk(mutex_);
+    snap = history_;
+  }
+  for (const auto& op : snap) fn(*op);
+}
+
+std::string OpTracker::dump_ops_in_flight() const {
+  std::vector<TrackedOpRef> snap;
+  {
+    const dbg::LockGuard lk(mutex_);
+    snap.reserve(in_flight_.size());
+    for (const auto& [seq, op] : in_flight_) snap.push_back(op);
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.kv("ops_in_flight", static_cast<std::uint64_t>(snap.size()));
+  w.key("ops");
+  w.begin_array();
+  for (const auto& op : snap) op->dump(w);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string OpTracker::dump_historic_ops() const {
+  std::deque<TrackedOpRef> snap;
+  {
+    const dbg::LockGuard lk(mutex_);
+    snap = history_;
+  }
+  JsonWriter w;
+  w.begin_object();
+  w.kv("history_size", static_cast<std::uint64_t>(snap.size()));
+  w.key("ops");
+  w.begin_array();
+  for (const auto& op : snap) {
+    w.begin_object();
+    w.kv("description", op->description());
+    const auto bd = op->stage_breakdown();
+    w.kv("duration_ns", bd.total_ns);
+    w.key("stages");
+    w.begin_object();
+    w.kv("messenger_ns", bd.messenger_ns);
+    w.kv("queue_ns", bd.queue_ns);
+    w.kv("objectstore_ns", bd.objectstore_ns);
+    w.kv("replication_ns", bd.replication_ns);
+    w.kv("reply_ns", bd.reply_ns);
+    w.end_object();
+    w.key("op");
+    op->dump(w);  // full event list follows the summary
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void OpTracker::clear_history() {
+  const dbg::LockGuard lk(mutex_);
+  history_.clear();
+}
+
+}  // namespace doceph::osd

@@ -1,12 +1,27 @@
 #include "osd/osd.h"
 
 #include "common/crc32c.h"
+#include "common/json.h"
 #include "common/logger.h"
+#include "sim/stats.h"
 
 namespace doceph::osd {
 
 using crush::pg_t;
 using msgr::MessageRef;
+
+namespace {
+
+std::string osd_op_desc(const msgr::MOSDOp& op) {
+  std::string desc = "osd_op(";
+  desc += msgr::osd_op_type_name(op.op);
+  desc += ' ';
+  desc += op.object;
+  desc += ')';
+  return desc;
+}
+
+}  // namespace
 
 OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
          sim::CpuDomain* domain, os::ObjectStore& store, net::Address mon_addr,
@@ -18,8 +33,24 @@ OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
       msgr_(env, fabric, node, domain, "osd." + std::to_string(cfg.id)),
       monc_(env, msgr_, mon_addr),
       queue_cv_(env.keeper(), "osd.queue_cv"),
-      tick_cv_(env.keeper(), "osd.tick_cv") {
+      tick_cv_(env.keeper(), "osd.tick_cv"),
+      counters_(perf::Builder("osd", l_osd_first, l_osd_last)
+                    .add_counter(l_osd_op, "op")
+                    .add_counter(l_osd_op_w, "op_w")
+                    .add_counter(l_osd_op_r, "op_r")
+                    .add_counter(l_osd_op_in_bytes, "op_in_bytes")
+                    .add_counter(l_osd_op_out_bytes, "op_out_bytes")
+                    .add_histogram(l_osd_op_lat, "op_lat")
+                    .add_histogram(l_osd_op_msgr_lat, "op_msgr_lat")
+                    .add_histogram(l_osd_op_queue_lat, "op_queue_lat")
+                    .add_histogram(l_osd_op_store_lat, "op_store_lat")
+                    .add_histogram(l_osd_op_repl_lat, "op_repl_lat")
+                    .add_histogram(l_osd_op_reply_lat, "op_reply_lat")
+                    .create()) {
   msgr_.set_dispatcher(this);
+  perf_.add(counters_);
+  perf_.add(msgr_.counters());
+  if (auto store_counters = store_.perf_counters()) perf_.add(store_counters);
 }
 
 OSD::~OSD() { shutdown(); }
@@ -81,8 +112,44 @@ Status OSD::init() {
   ticker_ = sim::Thread(env_.keeper(), env_.stats(),
                         "osd-tick." + std::to_string(cfg_.id), domain_,
                         [this] { tick_thread(); }, /*daemon=*/true);
+  register_admin_commands();
   started_ = true;
   return Status::OK();
+}
+
+void OSD::register_admin_commands() {
+  admin_.register_command("perf dump", "dump all perf-counter blocks as JSON",
+                          [this](const auto&) { return perf_.dump_json(); });
+  admin_.register_command("perf reset", "zero every counter and histogram",
+                          [this](const auto&) {
+                            perf_.reset_all();
+                            return std::string("{}");
+                          });
+  admin_.register_command("dump_ops_in_flight", "list currently tracked ops",
+                          [this](const auto&) { return tracker_.dump_ops_in_flight(); });
+  admin_.register_command(
+      "dump_historic_ops", "list recently completed ops with stage breakdowns",
+      [this](const auto&) { return tracker_.dump_historic_ops(); });
+  admin_.register_command(
+      "dump_thread_stats", "per-thread modeled CPU time and context switches",
+      [this](const auto&) {
+        JsonWriter w;
+        w.begin_object();
+        w.key("threads");
+        w.begin_array();
+        env_.stats().for_each([&](const sim::ThreadStats& ts) {
+          w.begin_object();
+          w.kv("name", ts.name);
+          w.kv("group", ts.group);
+          w.kv("class", sim::thread_class_name(ts.cls));
+          w.kv("cpu_ns", ts.cpu_ns.load(std::memory_order_relaxed));
+          w.kv("ctx_switches", ts.ctx_switches.load(std::memory_order_relaxed));
+          w.end_object();
+        });
+        w.end_array();
+        w.end_object();
+        return w.str();
+      });
 }
 
 void OSD::shutdown() {
@@ -105,6 +172,7 @@ void OSD::shutdown() {
   op_workers_.clear();  // joins
   ticker_.join();
   msgr_.shutdown();
+  admin_.unregister_all();
 }
 
 // ---- dispatch -------------------------------------------------------------------
@@ -112,9 +180,15 @@ void OSD::shutdown() {
 void OSD::ms_dispatch(const MessageRef& m) {
   if (monc_.handle_message(m)) return;
   switch (m->type()) {
-    case msgr::MsgType::osd_op:
-      enqueue_op([this, m] { handle_client_op(m); });
+    case msgr::MsgType::osd_op: {
+      auto* op = static_cast<msgr::MOSDOp*>(m.get());
+      const sim::Time recv = m->recv_stamp != 0 ? m->recv_stamp : env_.now();
+      TrackedOpRef tracked = tracker_.create_op(osd_op_desc(*op), recv);
+      tracked->mark_event("queued", env_.now());
+      counters_->inc(l_osd_op_in_bytes, m->data.length());
+      enqueue_op([this, m, tracked] { handle_client_op(m, tracked); });
       break;
+    }
     case msgr::MsgType::osd_repop:
       enqueue_op([this, m] { handle_repop(m); });
       break;
@@ -163,7 +237,8 @@ void OSD::op_worker() {
 // ---- client ops ------------------------------------------------------------------
 
 void OSD::reply_client(const MessageRef& req, std::int32_t result,
-                       std::uint64_t version, std::uint64_t size, BufferList data) {
+                       std::uint64_t version, std::uint64_t size, BufferList data,
+                       const TrackedOpRef& op) {
   auto reply = std::make_shared<msgr::MOSDOpReply>();
   reply->tid = req->tid;
   reply->result = result;
@@ -172,6 +247,22 @@ void OSD::reply_client(const MessageRef& req, std::int32_t result,
   reply->map_epoch = monc_.epoch();
   reply->data = std::move(data);
   req->connection->send_message(reply);
+  if (op != nullptr) {
+    op->mark_event("reply_sent", env_.now());
+    account_op(op);
+  }
+}
+
+void OSD::account_op(const TrackedOpRef& op) {
+  const TrackedOp::StageBreakdown bd = op->stage_breakdown();
+  counters_->inc(l_osd_op);
+  counters_->rec(l_osd_op_lat, bd.total_ns);
+  counters_->rec(l_osd_op_msgr_lat, bd.messenger_ns);
+  counters_->rec(l_osd_op_queue_lat, bd.queue_ns);
+  counters_->rec(l_osd_op_store_lat, bd.objectstore_ns);
+  counters_->rec(l_osd_op_repl_lat, bd.replication_ns);
+  counters_->rec(l_osd_op_reply_lat, bd.reply_ns);
+  tracker_.finish_op(op, env_.now());
 }
 
 void OSD::ensure_pg_collection(const pg_t& pg, os::Transaction& txn) {
@@ -184,14 +275,15 @@ void OSD::ensure_pg_collection(const pg_t& pg, os::Transaction& txn) {
   created_colls_.insert(pg.to_coll());
 }
 
-void OSD::handle_client_op(const MessageRef& m) {
+void OSD::handle_client_op(const MessageRef& m, const TrackedOpRef& tracked) {
+  tracked->mark_event("dequeued", env_.now());
   auto* op = static_cast<msgr::MOSDOp*>(m.get());
   const crush::OSDMap map = monc_.map();
   const pg_t pg = map.object_to_pg(op->pool, op->object);
   const auto acting = map.pg_to_acting(pg);
   if (acting.empty() || acting.front() != cfg_.id) {
     // Not the primary (stale client map, or mid-failover).
-    reply_client(m, -static_cast<std::int32_t>(Errc::busy));
+    reply_client(m, -static_cast<std::int32_t>(Errc::busy), 0, 0, {}, tracked);
     return;
   }
 
@@ -200,34 +292,42 @@ void OSD::handle_client_op(const MessageRef& m) {
     case msgr::OsdOpType::write_full:
     case msgr::OsdOpType::write:
     case msgr::OsdOpType::remove:
-      start_write(m, pg, acting);
+      counters_->inc(l_osd_op_w);
+      start_write(m, pg, acting, tracked);
       return;
     case msgr::OsdOpType::read: {
+      counters_->inc(l_osd_op_r);
       auto r = store_.read(pg.to_coll(), oid, op->offset, op->length);
+      tracked->mark_event("commit", env_.now());  // read served by the store
       if (!r.ok()) {
-        reply_client(m, -static_cast<std::int32_t>(r.status().code()));
+        reply_client(m, -static_cast<std::int32_t>(r.status().code()), 0, 0, {},
+                     tracked);
         return;
       }
       ops_served_.fetch_add(1, std::memory_order_relaxed);
-      reply_client(m, 0, 0, r->length(), std::move(*r));
+      counters_->inc(l_osd_op_out_bytes, r->length());
+      reply_client(m, 0, 0, r->length(), std::move(*r), tracked);
       return;
     }
     case msgr::OsdOpType::stat: {
+      counters_->inc(l_osd_op_r);
       auto r = store_.stat(pg.to_coll(), oid);
+      tracked->mark_event("commit", env_.now());
       if (!r.ok()) {
-        reply_client(m, -static_cast<std::int32_t>(r.status().code()));
+        reply_client(m, -static_cast<std::int32_t>(r.status().code()), 0, 0, {},
+                     tracked);
         return;
       }
       ops_served_.fetch_add(1, std::memory_order_relaxed);
-      reply_client(m, 0, r->version, r->size);
+      reply_client(m, 0, r->version, r->size, {}, tracked);
       return;
     }
   }
-  reply_client(m, -static_cast<std::int32_t>(Errc::not_supported));
+  reply_client(m, -static_cast<std::int32_t>(Errc::not_supported), 0, 0, {}, tracked);
 }
 
 void OSD::start_write(const MessageRef& m, const pg_t& pg,
-                      const std::vector<int>& acting) {
+                      const std::vector<int>& acting, const TrackedOpRef& tracked) {
   auto* op = static_cast<msgr::MOSDOp*>(m.get());
   const os::ghobject_t oid{op->pool, op->object};
 
@@ -243,7 +343,8 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
       txn.remove(pg.to_coll(), oid);
       break;
     default:
-      reply_client(m, -static_cast<std::int32_t>(Errc::not_supported));
+      reply_client(m, -static_cast<std::int32_t>(Errc::not_supported), 0, 0, {},
+                   tracked);
       return;
   }
 
@@ -253,6 +354,7 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
     last_pg_write_[pg] = env_.now();
     InFlightOp inflight;
     inflight.client_msg = m;
+    inflight.tracked = tracked;
     inflight.waiting_on.insert(-1);  // local commit
     for (const int r : acting) {
       if (r != cfg_.id) inflight.waiting_on.insert(r);
@@ -281,10 +383,13 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
     repop->txn = txn_bl;
     con->send_message(repop);
   }
+  tracked->mark_event("sub_op_sent", env_.now());
 
   // Local apply (may prepend create_collection for this OSD only).
   ensure_pg_collection(pg, txn);
-  store_.queue_transaction(std::move(txn), [this, tid](Status st) {
+  tracked->mark_event("store_submit", env_.now());
+  store_.queue_transaction(std::move(txn), [this, tid, tracked](Status st) {
+    tracked->mark_event("commit", env_.now());
     {
       const dbg::LockGuard lk(mutex_);
       auto it = in_flight_.find(tid);
@@ -298,18 +403,20 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
 
 void OSD::complete_if_done(std::uint64_t tid) {
   MessageRef client_msg;
+  TrackedOpRef tracked;
   std::int32_t result = 0;
   {
     const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(tid);
     if (it == in_flight_.end() || !it->second.waiting_on.empty()) return;
     client_msg = it->second.client_msg;
+    tracked = it->second.tracked;
     result = it->second.result;
     in_flight_.erase(it);
   }
   if (client_msg != nullptr) {
     ops_served_.fetch_add(1, std::memory_order_relaxed);
-    reply_client(client_msg, result);
+    reply_client(client_msg, result, 0, 0, {}, tracked);
   }
 }
 
@@ -342,13 +449,16 @@ void OSD::handle_repop(const MessageRef& m) {
 
 void OSD::handle_repop_reply(const MessageRef& m) {
   auto* reply = static_cast<msgr::MOSDRepOpReply*>(m.get());
+  TrackedOpRef tracked;
   {
     const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(m->tid);
     if (it == in_flight_.end()) return;  // recovery push ack, or late reply
     if (reply->result != 0) it->second.result = reply->result;
     it->second.waiting_on.erase(reply->from_osd);
+    tracked = it->second.tracked;
   }
+  if (tracked != nullptr) tracked->mark_event("repl_ack", env_.now());
   complete_if_done(m->tid);
 }
 

@@ -5,14 +5,34 @@
 #include <map>
 #include <set>
 
+#include "common/admin_socket.h"
+#include "common/perf_counters.h"
 #include "dbg/cond_var.h"
 #include "dbg/mutex.h"
 #include "mon/mon_client.h"
 #include "msgr/messages.h"
 #include "msgr/messenger.h"
 #include "os/object_store.h"
+#include "osd/op_tracker.h"
 
 namespace doceph::osd {
+
+/// Metric indices of the per-OSD "osd" PerfCounters block.
+enum {
+  l_osd_first = 91000,
+  l_osd_op,            ///< client ops completed (replies sent)
+  l_osd_op_w,          ///< writes (write/write_full/remove)
+  l_osd_op_r,          ///< reads + stats
+  l_osd_op_in_bytes,   ///< client payload bytes received
+  l_osd_op_out_bytes,  ///< read payload bytes returned
+  l_osd_op_lat,        ///< end-to-end op latency (recv -> reply), ns histogram
+  l_osd_op_msgr_lat,   ///< stage: messenger rx + dispatch
+  l_osd_op_queue_lat,  ///< stage: op-queue wait
+  l_osd_op_store_lat,  ///< stage: ObjectStore prep + WAL commit
+  l_osd_op_repl_lat,   ///< stage: replica-ack tail beyond the local commit
+  l_osd_op_reply_lat,  ///< stage: reply encode + tx hand-off
+  l_osd_last,
+};
 
 struct OsdConfig {
   int id = 0;
@@ -62,6 +82,17 @@ class OSD final : public msgr::Dispatcher {
   /// Ops fully processed as primary (diagnostics).
   [[nodiscard]] std::uint64_t ops_served() const noexcept { return ops_served_.load(); }
 
+  // ---- observability ----------------------------------------------------------
+  /// Admin command surface ("perf dump", "dump_ops_in_flight", ...). Commands
+  /// are registered by init() and unregistered by shutdown().
+  [[nodiscard]] AdminSocket& admin_socket() noexcept { return admin_; }
+  /// All perf-counter blocks of this daemon ("osd" + its messenger's "msgr").
+  [[nodiscard]] perf::Collection& perf_collection() noexcept { return perf_; }
+  [[nodiscard]] const perf::PerfCountersRef& perf_counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] OpTracker& op_tracker() noexcept { return tracker_; }
+
   /// True when every PG this OSD leads has verified replica parity since the
   /// last map change (i.e. recovery is complete).
   [[nodiscard]] bool all_clean();
@@ -75,7 +106,7 @@ class OSD final : public msgr::Dispatcher {
   void enqueue_op(std::function<void()> fn);
   void op_worker();
 
-  void handle_client_op(const msgr::MessageRef& m);
+  void handle_client_op(const msgr::MessageRef& m, const TrackedOpRef& op);
   void handle_repop(const msgr::MessageRef& m);
   void handle_repop_reply(const msgr::MessageRef& m);
   void handle_ping(const msgr::MessageRef& m);
@@ -84,7 +115,11 @@ class OSD final : public msgr::Dispatcher {
 
   void reply_client(const msgr::MessageRef& req, std::int32_t result,
                     std::uint64_t version = 0, std::uint64_t size = 0,
-                    BufferList data = {});
+                    BufferList data = {}, const TrackedOpRef& op = nullptr);
+
+  /// Stamp "reply_sent", feed the stage histograms, retire the tracked op.
+  void account_op(const TrackedOpRef& op);
+  void register_admin_commands();
 
   /// Prepend create_collection if this OSD has not materialized the PG yet.
   void ensure_pg_collection(const crush::pg_t& pg, os::Transaction& txn);
@@ -92,12 +127,13 @@ class OSD final : public msgr::Dispatcher {
   // ---- replication ------------------------------------------------------------
   struct InFlightOp {
     msgr::MessageRef client_msg;
+    TrackedOpRef tracked;
     std::set<int> waiting_on;  ///< replica osds + (-1) for the local commit
     std::int32_t result = 0;
     std::uint64_t version = 0;
   };
   void start_write(const msgr::MessageRef& m, const crush::pg_t& pg,
-                   const std::vector<int>& acting);
+                   const std::vector<int>& acting, const TrackedOpRef& op);
   void complete_if_done(std::uint64_t tid);
 
   // ---- heartbeats / recovery ---------------------------------------------------
@@ -151,6 +187,12 @@ class OSD final : public msgr::Dispatcher {
 
   std::atomic<std::uint64_t> ops_served_{0};
   bool started_ = false;
+
+  // ---- observability ----------------------------------------------------------
+  OpTracker tracker_;
+  perf::PerfCountersRef counters_;
+  perf::Collection perf_;
+  AdminSocket admin_;
 };
 
 }  // namespace doceph::osd

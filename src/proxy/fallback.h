@@ -2,8 +2,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
+#include "dbg/mutex.h"
 #include "sim/time.h"
 
 namespace doceph::proxy {
@@ -24,7 +24,7 @@ class FallbackManager {
 
   /// Pick the path for the next segment.
   Path choose(sim::Time now) {
-    const std::lock_guard<std::mutex> lk(m_);
+    const dbg::LockGuard lk(m_);
     if (!disabled_) return Path::dma;
     if (now >= expiry_ && !probe_outstanding_) {
       probe_outstanding_ = true;
@@ -34,13 +34,13 @@ class FallbackManager {
   }
 
   void on_dma_success() {
-    const std::lock_guard<std::mutex> lk(m_);
+    const dbg::LockGuard lk(m_);
     disabled_ = false;
     probe_outstanding_ = false;
   }
 
   void on_dma_failure(sim::Time now) {
-    const std::lock_guard<std::mutex> lk(m_);
+    const dbg::LockGuard lk(m_);
     disabled_ = true;
     expiry_ = now + cooldown_;
     probe_outstanding_ = false;
@@ -48,16 +48,16 @@ class FallbackManager {
   }
 
   [[nodiscard]] bool dma_enabled() const {
-    const std::lock_guard<std::mutex> lk(m_);
+    const dbg::LockGuard lk(m_);
     return !disabled_;
   }
   [[nodiscard]] std::uint64_t failures() const {
-    const std::lock_guard<std::mutex> lk(m_);
+    const dbg::LockGuard lk(m_);
     return failures_;
   }
 
  private:
-  mutable std::mutex m_;
+  mutable dbg::Mutex m_{"proxy.fallback"};
   sim::Duration cooldown_;
   bool disabled_ = false;
   bool probe_outstanding_ = false;

@@ -14,13 +14,21 @@ ProxyObjectStore::ProxyObjectStore(sim::Env& env, dpu::DpuDevice& dpu, ProxyConf
       rpc_(env, dpu.dpu_comch()),
       center_(env),
       slots_(env, cfg.slots, cfg.segment_size),
-      fallback_(cfg.cooldown) {
+      fallback_(cfg.cooldown),
+      counters_(perf::Builder("dpu", l_dpu_first, l_dpu_last)
+                    .add_counter(l_dpu_writes, "writes")
+                    .add_counter(l_dpu_dma_bytes, "dma_bytes")
+                    .add_counter(l_dpu_rpc_fallback_bytes, "rpc_fallback_bytes")
+                    .add_histogram(l_dpu_write_lat, "write_lat")
+                    .add_histogram(l_dpu_dma_wait, "dma_wait")
+                    .create()) {
   queues_.reserve(static_cast<std::size_t>(cfg_.write_workers));
   for (int i = 0; i < cfg_.write_workers; ++i) {
     auto q = std::make_unique<WorkerQueue>();
-    q->cv = std::make_unique<sim::CondVar>(env.keeper());
+    q->cv = std::make_unique<dbg::CondVar>(env.keeper(), "proxy.queue_cv");
     queues_.push_back(std::move(q));
   }
+  perf_.add(counters_);
 }
 
 ProxyObjectStore::~ProxyObjectStore() {
@@ -45,6 +53,13 @@ Status ProxyObjectStore::mount() {
     (void)umount();
     return r.status();
   }
+  admin_.register_command("perf dump", "dump all perf-counter blocks as JSON",
+                          [this](const auto&) { return perf_.dump_json(); });
+  admin_.register_command("perf reset", "zero every counter and histogram",
+                          [this](const auto&) {
+                            perf_.reset_all();
+                            return std::string("{}");
+                          });
   return Status::OK();
 }
 
@@ -53,13 +68,13 @@ Status ProxyObjectStore::umount() {
   mounted_ = false;
   std::vector<WriteReq> orphans;
   for (auto& q : queues_) {
-    const std::lock_guard<std::mutex> lk(q->m);
+    const dbg::LockGuard lk(q->m);
     for (auto& req : q->q) orphans.push_back(std::move(req));
     q->q.clear();
   }
   stopping_ = true;
   for (auto& q : queues_) {
-    const std::lock_guard<std::mutex> lk(q->m);
+    const dbg::LockGuard lk(q->m);
     q->cv->notify_all();
   }
   workers_.clear();
@@ -69,6 +84,7 @@ Status ProxyObjectStore::umount() {
   for (auto& req : orphans) {
     if (req.on_commit) req.on_commit(Status(Errc::shutting_down, "proxy umount"));
   }
+  admin_.unregister_all();
   return Status::OK();
 }
 
@@ -85,7 +101,7 @@ void ProxyObjectStore::queue_transaction(os::Transaction txn, OnCommit on_commit
       (static_cast<std::size_t>(cid.pool) * 1315423911u + cid.pg_seed) %
       queues_.size();
   auto& q = *queues_[idx];
-  const std::lock_guard<std::mutex> lk(q.m);
+  const dbg::LockGuard lk(q.m);
   q.q.push_back(WriteReq{std::move(txn), std::move(on_commit), env_.now()});
   q.cv->notify_one();
 }
@@ -95,7 +111,7 @@ void ProxyObjectStore::write_worker(int idx) {
   while (true) {
     WriteReq req;
     {
-      std::unique_lock<std::mutex> lk(q.m);
+      dbg::UniqueLock lk(q.m);
       q.cv->wait(lk, [&] { return stopping_ || !q.q.empty(); });
       if (stopping_) return;
       req = std::move(q.q.front());
@@ -110,6 +126,7 @@ DataRef ProxyObjectStore::move_segment(BufferList seg,
   const auto path = fallback_.choose(env_.now());
   if (path == FallbackManager::Path::rpc) {
     rpc_fallback_bytes_.fetch_add(seg.length(), std::memory_order_relaxed);
+    counters_->inc(l_dpu_rpc_fallback_bytes, seg.length());
     DataRef ref;
     ref.kind = DataRef::Kind::inline_;
     ref.len = static_cast<std::uint32_t>(seg.length());
@@ -139,14 +156,14 @@ DataRef ProxyObjectStore::move_segment(BufferList seg,
   const bool probing = path == FallbackManager::Path::probe;
   const auto seg_len = static_cast<std::uint32_t>(seg.length());
   {
-    const std::lock_guard<std::mutex> lk(ctx->m);
+    const dbg::LockGuard lk(ctx->m);
     ++ctx->outstanding;
     if (ctx->first_submit < 0) ctx->first_submit = env_.now();
   }
 
   auto finish_segment = [this, ctx, slot](bool failed) {
     slots_.release(slot);
-    const std::lock_guard<std::mutex> lk(ctx->m);
+    const dbg::LockGuard lk(ctx->m);
     if (failed) ctx->any_failed = true;
     --ctx->outstanding;
     ctx->cv.notify_all();
@@ -188,10 +205,11 @@ DataRef ProxyObjectStore::move_segment(BufferList seg,
     finish_segment(true);
   } else {
     dma_bytes_.fetch_add(seg.length(), std::memory_order_relaxed);
+    counters_->inc(l_dpu_dma_bytes, seg.length());
     if (!cfg_.pipelining) {
       // Ablation: strictly serial -- wait out this transfer (and its staging
       // handoff) before touching the next segment.
-      std::unique_lock<std::mutex> lk(ctx->m);
+      dbg::UniqueLock lk(ctx->m);
       ctx->cv.wait(lk, [&] { return ctx->outstanding == 0; });
     }
   }
@@ -249,7 +267,7 @@ void ProxyObjectStore::process_write(WriteReq req) {
 
   // Drain in-flight segments (DMA + staging handoff).
   {
-    std::unique_lock<std::mutex> lk(ctx->m);
+    dbg::UniqueLock lk(ctx->m);
     ctx->cv.wait(lk, [&] { return ctx->outstanding == 0; });
   }
 
@@ -264,6 +282,7 @@ void ProxyObjectStore::process_write(WriteReq req) {
           ref.kind = DataRef::Kind::inline_;
           ref.data = payloads[i].substr(off, ref.len);
           rpc_fallback_bytes_.fetch_add(ref.len, std::memory_order_relaxed);
+          counters_->inc(l_dpu_rpc_fallback_bytes, ref.len);
         }
         off += ref.len;
       }
@@ -309,7 +328,12 @@ void ProxyObjectStore::process_write(WriteReq req) {
     const std::uint64_t serialization =
         phase_wall > dma_transfer ? phase_wall - dma_transfer : 0;
 
-    const std::lock_guard<std::mutex> lk(bd_mutex_);
+    counters_->inc(l_dpu_writes);
+    counters_->rec(l_dpu_write_lat, static_cast<std::uint64_t>(env_.now() - t_start));
+    counters_->rec(l_dpu_dma_wait,
+                   static_cast<std::uint64_t>(ctx->dma_wait) + serialization);
+
+    const dbg::LockGuard lk(bd_mutex_);
     bd_.count++;
     bd_.total_ns += static_cast<std::uint64_t>(env_.now() - t_start);
     bd_.dma_ns += dma_transfer;
@@ -394,15 +418,15 @@ Result<BufferList> ProxyObjectStore::read(const os::coll_t& c, const os::ghobjec
       out.append(ref.data);
       continue;
     }
-    std::mutex m;
-    sim::CondVar cv(env_.keeper());
+    dbg::Mutex m{"proxy.read_wait"};
+    dbg::CondVar cv(env_.keeper(), "proxy.read_cv");
     bool done = false;
     Status st;
     doca::Buf src = slots_.host_buf(static_cast<int>(ref.index), ref.len);
     doca::Buf dst = slots_.dpu_buf(static_cast<int>(ref.index), ref.len);
     const Status submitted =
         dpu_.dma().submit(src, dst, doca::DmaDir::host_to_dpu, [&](Status s) {
-          const std::lock_guard<std::mutex> lk(m);
+          const dbg::LockGuard lk(m);
           st = s;
           done = true;
           cv.notify_all();
@@ -412,7 +436,7 @@ Result<BufferList> ProxyObjectStore::read(const os::coll_t& c, const os::ghobjec
       return submitted;
     }
     {
-      std::unique_lock<std::mutex> lk(m);
+      dbg::UniqueLock lk(m);
       cv.wait(lk, [&] { return done; });
     }
     if (!st.ok()) {
@@ -496,12 +520,12 @@ bool ProxyObjectStore::collection_exists(const os::coll_t& c) {
 }
 
 BreakdownSnapshot ProxyObjectStore::breakdown() const {
-  const std::lock_guard<std::mutex> lk(bd_mutex_);
+  const dbg::LockGuard lk(bd_mutex_);
   return bd_;
 }
 
 void ProxyObjectStore::reset_breakdown() {
-  const std::lock_guard<std::mutex> lk(bd_mutex_);
+  const dbg::LockGuard lk(bd_mutex_);
   bd_ = BreakdownSnapshot{};
 }
 

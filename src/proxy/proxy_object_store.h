@@ -3,6 +3,10 @@
 #include <atomic>
 #include <deque>
 
+#include "common/admin_socket.h"
+#include "common/perf_counters.h"
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "dpu/dpu_device.h"
 #include "os/object_store.h"
 #include "proxy/fallback.h"
@@ -12,6 +16,17 @@
 #include "sim/thread.h"
 
 namespace doceph::proxy {
+
+/// Metric indices of the proxy's "dpu" PerfCounters block.
+enum {
+  l_dpu_first = 93000,
+  l_dpu_writes,              ///< write transactions shipped to the host
+  l_dpu_dma_bytes,           ///< payload bytes moved by the DMA engine
+  l_dpu_rpc_fallback_bytes,  ///< payload bytes that rode the RPC channel
+  l_dpu_write_lat,           ///< enqueue -> host commit, ns histogram
+  l_dpu_dma_wait,            ///< per-request DMA wait (slots + serialization)
+  l_dpu_last,
+};
 
 struct ProxyConfig {
   /// DMA segment size; must not exceed the engine's hardware cap (2 MB).
@@ -98,6 +113,14 @@ class ProxyObjectStore final : public os::ObjectStore {
     return rpc_fallback_bytes_.load();
   }
 
+  /// Admin command surface of the DPU proxy daemon ("perf dump", ...).
+  /// Commands are registered by mount() and unregistered by umount().
+  [[nodiscard]] AdminSocket& admin_socket() noexcept { return admin_; }
+  [[nodiscard]] perf::Collection& perf_collection() noexcept { return perf_; }
+  [[nodiscard]] perf::PerfCountersRef perf_counters() const override {
+    return counters_;
+  }
+
  private:
   struct WriteReq {
     os::Transaction txn;
@@ -110,9 +133,9 @@ class ProxyObjectStore final : public os::ObjectStore {
 
   /// Per-request segment pipeline state shared with DMA/stage callbacks.
   struct SegCtx {
-    explicit SegCtx(sim::TimeKeeper& tk) : cv(tk) {}
-    std::mutex m;
-    sim::CondVar cv;
+    explicit SegCtx(sim::TimeKeeper& tk) : cv(tk, "proxy.seg_cv") {}
+    dbg::Mutex m{"proxy.seg_ctx"};
+    dbg::CondVar cv;
     int outstanding = 0;
     bool any_failed = false;
     sim::Time first_submit = -1;
@@ -137,8 +160,8 @@ class ProxyObjectStore final : public os::ObjectStore {
   FallbackManager fallback_;
 
   struct WorkerQueue {
-    std::mutex m;
-    std::unique_ptr<sim::CondVar> cv;
+    dbg::Mutex m{"proxy.worker_queue"};
+    std::unique_ptr<dbg::CondVar> cv;
     std::deque<WriteReq> q;
   };
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
@@ -148,12 +171,16 @@ class ProxyObjectStore final : public os::ObjectStore {
   bool mounted_ = false;
 
   // Table 3 accumulators.
-  mutable std::mutex bd_mutex_;
+  mutable dbg::Mutex bd_mutex_{"proxy.breakdown"};
   BreakdownSnapshot bd_;
 
   std::atomic<std::uint64_t> dma_bytes_{0};
   std::atomic<std::uint64_t> rpc_fallback_bytes_{0};
   std::atomic<std::uint64_t> next_token_{1};
+
+  perf::PerfCountersRef counters_;
+  perf::Collection perf_;
+  AdminSocket admin_;
 };
 
 }  // namespace doceph::proxy

@@ -1,6 +1,7 @@
 #include "proxy/rpc_channel.h"
 
 #include "common/encoding.h"
+#include "dbg/cond_var.h"
 #include "common/logger.h"
 
 namespace doceph::proxy {
@@ -39,14 +40,14 @@ Status RpcChannel::send_fragmented(std::uint64_t req_id, std::uint8_t flags,
 void RpcChannel::call_async(BufferList request, ResponseCb cb) {
   const std::uint64_t id = next_id_.fetch_add(1);
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     pending_[id] = std::move(cb);
   }
   const Status st = send_fragmented(id, 0, std::move(request));
   if (!st.ok()) {
     ResponseCb pending;
     {
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       auto it = pending_.find(id);
       if (it == pending_.end()) return;
       pending = std::move(it->second);
@@ -57,17 +58,17 @@ void RpcChannel::call_async(BufferList request, ResponseCb cb) {
 }
 
 Result<BufferList> RpcChannel::call(BufferList request, sim::Duration timeout) {
-  std::mutex m;
-  sim::CondVar cv(env_.keeper());
+  dbg::Mutex m{"proxy.rpc_call"};
+  dbg::CondVar cv(env_.keeper(), "proxy.rpc_call_cv");
   bool done = false;
   Result<BufferList> result = BufferList{};
   call_async(std::move(request), [&](Result<BufferList> r) {
-    const std::lock_guard<std::mutex> lk(m);
+    const dbg::LockGuard lk(m);
     result = std::move(r);
     done = true;
     cv.notify_all();
   });
-  std::unique_lock<std::mutex> lk(m);
+  dbg::UniqueLock lk(m);
   if (!cv.wait_until(lk, env_.now() + timeout, [&] { return done; }))
     return Status(Errc::timed_out, "rpc call");
   return result;
@@ -91,7 +92,7 @@ void RpcChannel::on_message(BufferList msg) {
   const bool is_response = (flags & kResponse) != 0;
   BufferList full;
   {
-    const std::lock_guard<std::mutex> lk(mutex_);
+    const dbg::LockGuard lk(mutex_);
     const auto key = std::make_pair(req_id, is_response);
     auto it = partial_.find(key);
     if (it != partial_.end()) {
@@ -110,7 +111,7 @@ void RpcChannel::on_message(BufferList msg) {
   if (is_response) {
     ResponseCb cb;
     {
-      const std::lock_guard<std::mutex> lk(mutex_);
+      const dbg::LockGuard lk(mutex_);
       auto it = pending_.find(req_id);
       if (it == pending_.end()) return;  // late/duplicate
       cb = std::move(it->second);

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <functional>
 #include <map>
-#include <mutex>
+
+#include "dbg/mutex.h"
 
 #include "doca/comm_channel.h"
 #include "sim/env.h"
@@ -55,7 +56,7 @@ class RpcChannel {
   doca::CommChannelRef ch_;
   RequestHandler handler_;
 
-  std::mutex mutex_;
+  dbg::Mutex mutex_{"proxy.rpc"};
   std::atomic<std::uint64_t> next_id_{1};
   std::map<std::uint64_t, ResponseCb> pending_;
   // Reassembly buffers keyed by (req_id, is_response).

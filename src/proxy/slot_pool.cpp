@@ -10,13 +10,13 @@ SlotPool::SlotPool(sim::Env& env, int slots, std::size_t slot_size)
       slot_size_(slot_size),
       dpu_mmap_(std::make_shared<doca::Mmap>(static_cast<std::size_t>(slots) * slot_size)),
       host_mmap_(std::make_shared<doca::Mmap>(static_cast<std::size_t>(slots) * slot_size)),
-      cv_(env.keeper()) {
+      cv_(env.keeper(), "proxy.slot_cv") {
   for (int i = 0; i < slots; ++i) free_.push_back(i);
 }
 
 int SlotPool::acquire() {
   const sim::Time t0 = env_.now();
-  std::unique_lock<std::mutex> lk(mutex_);
+  dbg::UniqueLock lk(mutex_);
   cv_.wait(lk, [&] { return !free_.empty(); });
   const int slot = free_.front();
   free_.pop_front();
@@ -25,7 +25,7 @@ int SlotPool::acquire() {
 }
 
 std::optional<int> SlotPool::try_acquire() {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   if (free_.empty()) return std::nullopt;
   const int slot = free_.front();
   free_.pop_front();
@@ -34,13 +34,13 @@ std::optional<int> SlotPool::try_acquire() {
 
 void SlotPool::release(int slot) {
   assert(slot >= 0 && slot < capacity_);
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   free_.push_back(slot);
   cv_.notify_one();
 }
 
 sim::Duration SlotPool::total_wait_ns() const {
-  const std::lock_guard<std::mutex> lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return total_wait_;
 }
 

@@ -3,6 +3,8 @@
 #include <deque>
 #include <optional>
 
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "doca/mmap.h"
 #include "sim/env.h"
 #include "sim/time_keeper.h"
@@ -45,8 +47,8 @@ class SlotPool {
   doca::MmapRef dpu_mmap_;
   doca::MmapRef host_mmap_;
 
-  mutable std::mutex mutex_;
-  sim::CondVar cv_;
+  mutable dbg::Mutex mutex_{"proxy.slot_pool"};
+  dbg::CondVar cv_;
   std::deque<int> free_;
   sim::Duration total_wait_ = 0;
 };

@@ -1,0 +1,56 @@
+#include "common/logger.h"
+
+#include <gtest/gtest.h>
+
+namespace doceph {
+namespace {
+
+// The point of the ternary/voidify expansion: DLOG inside an unbraced
+// `if` must not capture the following `else`. With the old
+// `if (enabled) Record(...)` expansion this function would bind the
+// `else` to the macro's hidden `if` and return the wrong branch.
+int classify(bool important) {
+  if (important)
+    DLOG(info, "test") << "important path";
+  else
+    return 1;
+  return 2;
+}
+
+TEST(DLog, DangleElseBindsToOuterIf) {
+  log::set_level(log::Level::off);
+  EXPECT_EQ(classify(true), 2);
+  EXPECT_EQ(classify(false), 1);
+}
+
+TEST(DLog, DisabledLevelSkipsFormatting) {
+  log::set_level(log::Level::off);
+  int evaluations = 0;
+  const auto touch = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  DLOG(debug, "test") << touch();
+  EXPECT_EQ(evaluations, 0);
+
+  log::set_level(log::Level::trace);
+  testing::internal::CaptureStderr();
+  DLOG(debug, "test") << touch();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(err.find("x"), std::string::npos);
+  log::set_level(log::Level::warn);
+}
+
+TEST(DLog, UsableAsSoleStatementOfLoop) {
+  log::set_level(log::Level::off);
+  // Compiles as a single statement in every statement position.
+  for (int i = 0; i < 3; ++i) DLOG(info, "test") << i;
+  int n = 0;
+  while (n++ < 2) DLOG(info, "test") << n;
+  if (n > 0) DLOG(info, "test") << n;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace doceph

@@ -1,0 +1,137 @@
+#include "common/perf_counters.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace doceph::perf {
+namespace {
+
+enum {
+  l_test_first = 1000,
+  l_test_ops,
+  l_test_gauge,
+  l_test_lat,
+  l_test_last,
+};
+
+PerfCountersRef make_block(const char* name = "testblock") {
+  return Builder(name, l_test_first, l_test_last)
+      .add_counter(l_test_ops, "ops")
+      .add_gauge(l_test_gauge, "depth")
+      .add_histogram(l_test_lat, "lat")
+      .create();
+}
+
+TEST(PerfCounters, RegistrationAndBasicOps) {
+  auto c = make_block();
+  EXPECT_EQ(c->name(), "testblock");
+  EXPECT_EQ(c->get(l_test_ops), 0u);
+
+  c->inc(l_test_ops);
+  c->inc(l_test_ops, 4);
+  EXPECT_EQ(c->get(l_test_ops), 5u);
+
+  c->set(l_test_gauge, 17);
+  EXPECT_EQ(c->get(l_test_gauge), 17u);
+  c->dec(l_test_gauge, 2);
+  EXPECT_EQ(c->get(l_test_gauge), 15u);
+}
+
+TEST(PerfCounters, HistogramMetric) {
+  auto c = make_block();
+  for (std::uint64_t v : {100u, 200u, 300u}) c->rec(l_test_lat, v);
+  const auto s = c->hist(l_test_lat);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.sum, 600u);
+  EXPECT_EQ(s.min, 100u);
+  EXPECT_EQ(s.max, 300u);
+  // rec() on a scalar metric is a no-op, not a crash.
+  c->rec(l_test_ops, 42);
+  EXPECT_EQ(c->hist(l_test_ops).count, 0u);
+}
+
+TEST(PerfCounters, OutOfRangeIndexHitsSink) {
+  auto c = make_block();
+  c->inc(l_test_last + 100);
+  c->inc(l_test_first - 5);
+  // Declared metrics are unaffected by stray indices.
+  EXPECT_EQ(c->get(l_test_ops), 0u);
+}
+
+TEST(PerfCounters, ResetZeroesEverything) {
+  auto c = make_block();
+  c->inc(l_test_ops, 9);
+  c->set(l_test_gauge, 3);
+  c->rec(l_test_lat, 50);
+  c->reset();
+  EXPECT_EQ(c->get(l_test_ops), 0u);
+  EXPECT_EQ(c->get(l_test_gauge), 0u);
+  EXPECT_EQ(c->hist(l_test_lat).count, 0u);
+}
+
+TEST(PerfCounters, ConcurrentIncrements) {
+  auto c = make_block();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> ts;
+  ts.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    ts.emplace_back([&] {
+      for (int j = 0; j < kIters; ++j) c->inc(l_test_ops);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c->get(l_test_ops), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(PerfCounters, DumpEmitsValidBlock) {
+  auto c = make_block();
+  c->inc(l_test_ops, 2);
+  c->rec(l_test_lat, 10);
+  JsonWriter w;
+  w.begin_object();
+  c->dump(w);
+  w.end_object();
+  const std::string& out = w.str();
+  EXPECT_NE(out.find("\"testblock\""), std::string::npos);
+  EXPECT_NE(out.find("\"ops\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"lat\""), std::string::npos);
+}
+
+TEST(Collection, AddRemoveDump) {
+  Collection coll;
+  auto a = make_block("block_a");
+  auto b = make_block("block_b");
+  coll.add(a);
+  coll.add(b);
+  a->inc(l_test_ops, 7);
+
+  std::string out = coll.dump_json();
+  EXPECT_NE(out.find("\"block_a\""), std::string::npos);
+  EXPECT_NE(out.find("\"block_b\""), std::string::npos);
+  EXPECT_NE(out.find("\"ops\":7"), std::string::npos);
+
+  coll.remove("block_a");
+  out = coll.dump_json();
+  EXPECT_EQ(out.find("\"block_a\""), std::string::npos);
+  EXPECT_NE(out.find("\"block_b\""), std::string::npos);
+}
+
+TEST(Collection, ResetAllSpansBlocks) {
+  Collection coll;
+  auto a = make_block("block_a");
+  auto b = make_block("block_b");
+  coll.add(a);
+  coll.add(b);
+  a->inc(l_test_ops, 3);
+  b->rec(l_test_lat, 99);
+  coll.reset_all();
+  EXPECT_EQ(a->get(l_test_ops), 0u);
+  EXPECT_EQ(b->hist(l_test_lat).count, 0u);
+}
+
+}  // namespace
+}  // namespace doceph::perf

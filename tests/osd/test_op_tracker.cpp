@@ -1,0 +1,149 @@
+#include "osd/op_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace doceph::osd {
+namespace {
+
+TEST(TrackedOp, EventTimesFirstAndLast) {
+  TrackedOp op("osd_op(write obj)", 100);
+  EXPECT_EQ(op.event_time("queued"), -1);
+  EXPECT_EQ(op.last_event_time("queued"), -1);
+
+  op.mark_event("queued", 150);
+  op.mark_event("repl_ack", 400);
+  op.mark_event("repl_ack", 700);
+
+  EXPECT_EQ(op.event_time("queued"), 150);
+  EXPECT_EQ(op.event_time("repl_ack"), 400);
+  EXPECT_EQ(op.last_event_time("repl_ack"), 700);
+  EXPECT_EQ(op.description(), "osd_op(write obj)");
+  EXPECT_EQ(op.initiated_at(), 100);
+}
+
+TEST(TrackedOp, StageBreakdownOrderedWrite) {
+  TrackedOp op("osd_op(write_full obj)", 1000);
+  op.mark_event("queued", 1200);        // messenger: 200
+  op.mark_event("dequeued", 1500);      // queue: 300
+  op.mark_event("sub_op_sent", 1600);
+  op.mark_event("store_submit", 1700);
+  op.mark_event("commit", 2500);        // objectstore: 1000
+  op.mark_event("repl_ack", 2400);      // before commit: no repl credit
+  op.mark_event("repl_ack", 3100);      // replication: 600
+  op.mark_event("reply_sent", 3300);    // reply: 200
+
+  const auto bd = op.stage_breakdown();
+  EXPECT_EQ(bd.messenger_ns, 200u);
+  EXPECT_EQ(bd.queue_ns, 300u);
+  EXPECT_EQ(bd.objectstore_ns, 1000u);
+  EXPECT_EQ(bd.replication_ns, 600u);
+  EXPECT_EQ(bd.reply_ns, 200u);
+  EXPECT_EQ(bd.total_ns, 2300u);
+  EXPECT_EQ(bd.sum(), bd.total_ns);
+}
+
+TEST(TrackedOp, StageSumEqualsTotalEvenWithMissingEvents) {
+  // Reads never mark sub_op_sent/repl_ack; partially-tracked ops may lack
+  // more. The clamped chain must keep sum(stages) == total regardless.
+  TrackedOp read_op("osd_op(read obj)", 500);
+  read_op.mark_event("queued", 600);
+  read_op.mark_event("dequeued", 650);
+  read_op.mark_event("commit", 900);
+  read_op.mark_event("reply_sent", 950);
+  auto bd = read_op.stage_breakdown();
+  EXPECT_EQ(bd.replication_ns, 0u);
+  EXPECT_EQ(bd.sum(), bd.total_ns);
+  EXPECT_EQ(bd.total_ns, 450u);
+
+  TrackedOp bare("osd_op(stat obj)", 10);
+  bare.mark_event("reply_sent", 35);
+  bd = bare.stage_breakdown();
+  EXPECT_EQ(bd.sum(), bd.total_ns);
+  EXPECT_EQ(bd.total_ns, 25u);
+
+  TrackedOp nothing("osd_op(unknown obj)", 10);
+  bd = nothing.stage_breakdown();
+  EXPECT_EQ(bd.sum(), bd.total_ns);
+  EXPECT_EQ(bd.total_ns, 0u);
+}
+
+TEST(OpTracker, InFlightAccounting) {
+  OpTracker tracker;
+  EXPECT_EQ(tracker.ops_in_flight(), 0u);
+
+  auto a = tracker.create_op("op_a", 10);
+  auto b = tracker.create_op("op_b", 20);
+  EXPECT_EQ(tracker.ops_in_flight(), 2u);
+
+  tracker.finish_op(a, 100);
+  EXPECT_EQ(tracker.ops_in_flight(), 1u);
+  EXPECT_EQ(tracker.history_count(), 1u);
+
+  tracker.finish_op(b, 200);
+  EXPECT_EQ(tracker.ops_in_flight(), 0u);
+  EXPECT_EQ(tracker.history_count(), 2u);
+}
+
+TEST(OpTracker, HistoricRingEvictsOldest) {
+  OpTracker tracker(OpTracker::Config{.history_size = 3, .slow_threshold = 0});
+  for (int i = 0; i < 5; ++i) {
+    auto op = tracker.create_op("op_" + std::to_string(i), i * 10);
+    tracker.finish_op(op, i * 10 + 5);
+  }
+  EXPECT_EQ(tracker.history_count(), 3u);
+
+  std::vector<std::string> names;
+  tracker.for_each_historic(
+      [&](const TrackedOp& op) { names.push_back(op.description()); });
+  ASSERT_EQ(names.size(), 3u);
+  // Oldest first, and the two oldest completions were evicted.
+  EXPECT_EQ(names[0], "op_2");
+  EXPECT_EQ(names[1], "op_3");
+  EXPECT_EQ(names[2], "op_4");
+}
+
+TEST(OpTracker, SlowThresholdFiltersHistory) {
+  OpTracker tracker(
+      OpTracker::Config{.history_size = 10, .slow_threshold = 100});
+  auto fast = tracker.create_op("fast", 0);
+  tracker.finish_op(fast, 50);  // below threshold: dropped
+  auto slow = tracker.create_op("slow", 0);
+  tracker.finish_op(slow, 500);  // kept
+  EXPECT_EQ(tracker.history_count(), 1u);
+  tracker.for_each_historic(
+      [](const TrackedOp& op) { EXPECT_EQ(op.description(), "slow"); });
+}
+
+TEST(OpTracker, DumpsAreWellFormed) {
+  OpTracker tracker;
+  auto live = tracker.create_op("live_op", 100);
+  live->mark_event("queued", 120);
+
+  const std::string in_flight = tracker.dump_ops_in_flight();
+  EXPECT_NE(in_flight.find("\"ops_in_flight\":1"), std::string::npos);
+  EXPECT_NE(in_flight.find("live_op"), std::string::npos);
+  EXPECT_NE(in_flight.find("\"queued\""), std::string::npos);
+
+  live->mark_event("reply_sent", 300);
+  tracker.finish_op(live, 300);
+  const std::string historic = tracker.dump_historic_ops();
+  EXPECT_NE(historic.find("live_op"), std::string::npos);
+  EXPECT_NE(historic.find("\"stages\""), std::string::npos);
+  EXPECT_NE(historic.find("\"duration_ns\":200"), std::string::npos);
+
+  tracker.clear_history();
+  EXPECT_EQ(tracker.history_count(), 0u);
+}
+
+TEST(OpTracker, FinishIsIdempotentForUnknownOp) {
+  OpTracker tracker;
+  auto op = tracker.create_op("op", 0);
+  tracker.finish_op(op, 10);
+  tracker.finish_op(op, 20);  // already retired: must not duplicate history
+  EXPECT_EQ(tracker.history_count(), 1u);
+}
+
+}  // namespace
+}  // namespace doceph::osd
