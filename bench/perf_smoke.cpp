@@ -1,0 +1,137 @@
+// CI perf smoke: one short rados-bench lap per deploy mode, emitted as
+// JSON (ops/s, p50/p99, per-stage latencies) and optionally compared
+// against a committed baseline. Exits non-zero when DoCeph throughput
+// regresses past the threshold, so the perf-smoke CI job fails the PR.
+//
+//   perf_smoke --out BENCH_pr.json [--baseline BENCH_baseline.json]
+//              [--threshold 0.20] [--measure-ms 1500]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "benchcore/experiment.h"
+#include "common/json.h"
+
+namespace {
+
+using doceph::benchcore::RunResult;
+using doceph::benchcore::RunSpec;
+
+void emit_result(doceph::JsonWriter& w, const char* name, const RunResult& r) {
+  w.key(name);
+  w.begin_object();
+  w.kv("ops_per_sec", r.iops);
+  w.kv("mbps", r.mbps);
+  w.kv("avg_lat_s", r.avg_lat_s);
+  w.kv("p50_lat_s", r.p50_lat_s);
+  w.kv("p99_lat_s", r.p99_lat_s);
+  w.kv("host_cores", r.host_cores);
+  w.kv("dpu_cores", r.dpu_cores);
+  w.key("stages_s");
+  w.begin_object();
+  w.kv("messenger", r.stage_msgr_s);
+  w.kv("queue", r.stage_queue_s);
+  w.kv("store", r.stage_store_s);
+  w.kv("replication", r.stage_repl_s);
+  w.kv("reply", r.stage_reply_s);
+  w.kv("total", r.stage_total_s);
+  w.end_object();
+  w.end_object();
+}
+
+/// Pull `"key": <number>` out of a flat JSON dump. Good enough for the
+/// files this tool writes itself; no general JSON parser needed.
+bool extract_number(const std::string& json, const std::string& object,
+                    const std::string& key, double& out) {
+  const auto obj_pos = json.find("\"" + object + "\"");
+  if (obj_pos == std::string::npos) return false;
+  const auto key_pos = json.find("\"" + key + "\"", obj_pos);
+  if (key_pos == std::string::npos) return false;
+  const auto colon = json.find(':', key_pos);
+  if (colon == std::string::npos) return false;
+  out = std::strtod(json.c_str() + colon + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_pr.json";
+  std::string baseline_path;
+  double threshold = 0.20;
+  long measure_ms = 1500;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--out") out_path = next();
+    else if (arg == "--baseline") baseline_path = next();
+    else if (arg == "--threshold") threshold = std::strtod(next(), nullptr);
+    else if (arg == "--measure-ms") measure_ms = std::strtol(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  RunSpec spec;
+  spec.object_size = 1 << 20;  // 1 MB: exercises the DMA path, stays quick
+  spec.concurrency = 8;
+  spec.warmup = 500'000'000;
+  spec.measure = measure_ms * 1'000'000;
+  spec.pg_num = 32;
+
+  doceph::JsonWriter w;
+  w.begin_object();
+  RunResult doceph_result;
+  for (const auto mode :
+       {doceph::cluster::DeployMode::baseline, doceph::cluster::DeployMode::doceph}) {
+    spec.mode = mode;
+    const RunResult r = doceph::benchcore::run_experiment(spec);
+    const bool is_doceph = mode == doceph::cluster::DeployMode::doceph;
+    if (is_doceph) doceph_result = r;
+    emit_result(w, is_doceph ? "doceph" : "baseline", r);
+    std::fprintf(stderr, "[perf-smoke] %s: %.0f ops/s, p50 %.2f ms, p99 %.2f ms\n",
+                 is_doceph ? "doceph" : "baseline", r.iops, r.p50_lat_s * 1e3,
+                 r.p99_lat_s * 1e3);
+  }
+  w.end_object();
+
+  {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << w.str() << "\n";
+  }
+  std::fprintf(stderr, "[perf-smoke] wrote %s\n", out_path.c_str());
+
+  if (baseline_path.empty()) return 0;
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "baseline %s missing; skipping regression gate\n",
+                 baseline_path.c_str());
+    return 0;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  double base_iops = 0;
+  if (!extract_number(ss.str(), "doceph", "ops_per_sec", base_iops) ||
+      base_iops <= 0) {
+    std::fprintf(stderr, "baseline %s has no doceph ops_per_sec; skipping gate\n",
+                 baseline_path.c_str());
+    return 0;
+  }
+  const double drop = (base_iops - doceph_result.iops) / base_iops;
+  std::fprintf(stderr,
+               "[perf-smoke] doceph ops/s: baseline %.0f, this run %.0f "
+               "(%+.1f%%; gate: -%.0f%%)\n",
+               base_iops, doceph_result.iops, -drop * 100, threshold * 100);
+  if (drop > threshold) {
+    std::fprintf(stderr, "[perf-smoke] FAIL: throughput regression beyond gate\n");
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh            # full matrix: lint, Debug+lockdep, TSan
 #   scripts/check.sh lint       # clang-tidy only
+#   scripts/check.sh default    # stock configure + ctest (the tier-1 gate)
 #   scripts/check.sh lockdep    # Debug + DOCEPH_LOCKDEP=ON ctest
 #   scripts/check.sh tsan       # ThreadSanitizer ctest
 #   scripts/check.sh asan       # Address+UB sanitizer ctest
@@ -11,11 +12,21 @@
 # Each configuration gets its own build tree (build-<name>/) so the presets
 # never contaminate each other; trees are reused across runs for speed.
 # Also invocable as `cmake --build build --target check`.
+#
+# Knobs: JOBS (parallelism), CTEST_FILTER (-R regex; a filter matching no
+# tests is an error, not a silent pass), CTEST_TIMEOUT (per-test seconds).
 set -u -o pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 JOBS=${JOBS:-$(nproc)}
+CTEST_TIMEOUT=${CTEST_TIMEOUT:-1200}
 FAILED=()
+
+# Compiler cache when available (CI restores ~/.cache/ccache across runs).
+LAUNCHER=()
+if command -v ccache > /dev/null 2>&1; then
+  LAUNCHER=(-DCMAKE_C_COMPILER_LAUNCHER=ccache -DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
 banner() { printf '\n=== %s ===\n' "$*"; }
 
@@ -23,7 +34,8 @@ run_config() { # name cmake-args...
   local name=$1
   shift
   banner "configure+build: $name ($*)"
-  cmake -B "build-$name" -S . "$@" > "build-$name.configure.log" 2>&1 || {
+  cmake -B "build-$name" -S . "${LAUNCHER[@]}" "$@" \
+    > "build-$name.configure.log" 2>&1 || {
     echo "configure failed (build-$name.configure.log)"
     FAILED+=("$name:configure")
     return 1
@@ -35,8 +47,10 @@ run_config() { # name cmake-args...
     return 1
   }
   banner "ctest: $name${CTEST_FILTER:+ (-R $CTEST_FILTER)}"
+  # --no-tests=error: a mistyped filter must fail loudly, not pass silently.
   # shellcheck disable=SC2086
   if ! ctest --test-dir "build-$name" --output-on-failure -j "$JOBS" \
+    --timeout "$CTEST_TIMEOUT" --no-tests=error \
     ${CTEST_FILTER:+-R "$CTEST_FILTER"}; then
     FAILED+=("$name:ctest")
     return 1
@@ -77,6 +91,7 @@ case "$MODE" in
     run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON
     run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON
     ;;
+  default) run_config default ;;
   lockdep) run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON ;;
   tsan) run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON ;;
   asan) run_config asan -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_ASAN_UBSAN=ON ;;
@@ -86,7 +101,7 @@ case "$MODE" in
     run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON
     ;;
   *)
-    echo "usage: $0 [all|lint|lockdep|tsan|asan|obs]" >&2
+    echo "usage: $0 [all|lint|default|lockdep|tsan|asan|obs]" >&2
     exit 2
     ;;
 esac

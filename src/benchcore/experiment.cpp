@@ -102,6 +102,7 @@ RunResult run_experiment(const RunSpec& spec) {
     result.iops = bres.iops();
     result.mbps = bres.bandwidth_bytes_per_sec(spec.object_size) / 1e6;
     result.avg_lat_s = bres.avg_latency_s();
+    result.p50_lat_s = bres.latency.quantile(0.5) * 1e-9;
     result.p99_lat_s = bres.p99_latency_s();
     result.ops = bres.ops;
     result.window_s = bres.seconds;
@@ -202,7 +203,8 @@ namespace {
 constexpr const char* kCacheDir = "bench_cache";
 
 #define DOCEPH_RESULT_FIELDS(X)                                                   \
-  X(iops) X(mbps) X(avg_lat_s) X(p99_lat_s) X(host_cores) X(dpu_cores)            \
+  X(iops) X(mbps) X(avg_lat_s) X(p50_lat_s) X(p99_lat_s) X(host_cores)            \
+  X(dpu_cores)                                                                    \
   X(share_messenger) X(share_objectstore) X(share_osd) X(total_ceph_cores)        \
   X(window_s) X(bd_host_write_s) X(bd_dma_s) X(bd_dma_wait_s) X(bd_others_s)      \
   X(bd_total_s) X(stage_msgr_s) X(stage_queue_s) X(stage_store_s)                 \

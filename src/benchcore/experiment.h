@@ -38,6 +38,7 @@ struct RunResult {
   double iops = 0;
   double mbps = 0;
   double avg_lat_s = 0;
+  double p50_lat_s = 0;
   double p99_lat_s = 0;
 
   // CPU (Figs. 5, 7): average cores busy over the measurement window.

@@ -57,6 +57,17 @@ BlockDevice::~BlockDevice() {
   gate_->cv.wait(lk, [&] { return gate_->executing == 0; });
 }
 
+void BlockDevice::fault_adjust(sim::Time& done, bool& fail) {
+  auto& faults = env_.faults();
+  if (!faults.any_armed()) return;
+  const sim::Time now = env_.now();
+  fail = faults.should_fire("bdev.io_error", now, cfg_.name);
+  const fault::FaultHit spike = faults.hit("bdev.latency_spike", now, cfg_.name);
+  if (spike.fired)
+    done += static_cast<sim::Duration>(spike.delay_ns != 0 ? spike.delay_ns
+                                                           : 10'000'000);
+}
+
 void BlockDevice::schedule_io(sim::Time done, std::function<void()> work) {
   env_.scheduler().schedule_at(
       done, [gate = gate_, work = std::move(work)] {
@@ -80,13 +91,18 @@ void BlockDevice::aio_write(std::uint64_t off, BufferList data, IoCb cb) {
     return;
   }
   bytes_written_.fetch_add(data.length(), std::memory_order_relaxed);
-  const sim::Time done =
+  sim::Time done =
       channel_.reserve(env_.now(), sim::transfer_time(data.length(), cfg_.write_bw)) +
       cfg_.write_latency;
-  const bool retain = should_retain(off);
-  schedule_io(done, [this, off, data = std::move(data), cb = std::move(cb), retain] {
+  bool fail = false;
+  fault_adjust(done, fail);
+  const bool retain = should_retain(off) && !fail;
+  schedule_io(done, [this, off, data = std::move(data), cb = std::move(cb), retain,
+                     fail] {
+    // A failed IO spends the device time but leaves the media untouched.
     if (retain) backing_->write(off, data);
-    if (cb) cb(Status::OK());
+    if (cb) cb(fail ? Status(Errc::io_error, "fault injected: bdev.io_error")
+                    : Status::OK());
   });
 }
 
@@ -96,10 +112,16 @@ void BlockDevice::aio_read(std::uint64_t off, std::uint64_t len, ReadCb cb) {
     return;
   }
   bytes_read_.fetch_add(len, std::memory_order_relaxed);
-  const sim::Time done =
+  sim::Time done =
       channel_.reserve(env_.now(), sim::transfer_time(len, cfg_.read_bw)) +
       cfg_.read_latency;
-  schedule_io(done, [this, off, len, cb = std::move(cb)] {
+  bool fail = false;
+  fault_adjust(done, fail);
+  schedule_io(done, [this, off, len, cb = std::move(cb), fail] {
+    if (fail) {
+      cb(Status(Errc::io_error, "fault injected: bdev.io_error"));
+      return;
+    }
     Slice s = Slice::allocate(len);
     backing_->read(off, len, s.mutable_data());
     BufferList bl;

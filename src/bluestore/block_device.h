@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/buffer.h"
@@ -30,6 +31,8 @@ struct BlockDeviceConfig {
   /// hold multi-GB of host RAM, while the timing model is unaffected.
   std::uint64_t retain_below = 1ull << 30;
   bool retain_data = true;
+  /// Fault scope: "bdev.io_error"/"bdev.latency_spike" specs match this name.
+  std::string name;
 };
 
 /// Memory backing that survives BlueStore remount/crash within a process.
@@ -113,6 +116,9 @@ class BlockDevice {
   /// Schedule `work` at simulated time `done`; `work` is dropped if the
   /// device is destroyed first, and the destructor waits for it otherwise.
   void schedule_io(sim::Time done, std::function<void()> work);
+
+  /// Consult "bdev.io_error" / "bdev.latency_spike" fault points for one IO.
+  void fault_adjust(sim::Time& done, bool& fail);
 
   sim::Env& env_;
   BlockDeviceConfig cfg_;

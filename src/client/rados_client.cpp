@@ -1,5 +1,7 @@
 #include "client/rados_client.h"
 
+#include <algorithm>
+
 #include "common/logger.h"
 
 namespace doceph::client {
@@ -26,14 +28,17 @@ Status AioCompletion::status() const {
 
 RadosClient::RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
                          sim::CpuDomain* domain, net::Address mon_addr,
-                         std::uint64_t client_id)
+                         std::uint64_t client_id, ClientConfig cfg)
     : env_(env),
       client_id_(client_id),
+      cfg_(cfg),
       msgr_(env, fabric, node, domain, "client." + std::to_string(client_id)),
       monc_(env, msgr_, mon_addr),
+      rng_(env.make_rng(0xC11E17 + client_id)),
       counters_(perf::Builder("client", l_client_first, l_client_last)
                     .add_counter(l_client_op, "op")
                     .add_counter(l_client_op_retry, "op_retry")
+                    .add_counter(l_client_op_timeout, "op_timeout")
                     .add_histogram(l_client_op_lat, "op_lat")
                     .create()) {
   msgr_.set_dispatcher(this);
@@ -41,7 +46,39 @@ RadosClient::RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
   perf_.add(msgr_.counters());
 }
 
-RadosClient::~RadosClient() { shutdown(); }
+RadosClient::~RadosClient() {
+  shutdown();
+  // Disarm pending timers (they outlive us on the scheduler) and wait out
+  // any timer body already executing.
+  std::unique_lock<std::mutex> lk(timer_gate_->m);
+  timer_gate_->alive = false;
+  timer_gate_->cv.wait(lk, [&] { return timer_gate_->executing == 0; });
+}
+
+void RadosClient::schedule_guarded(sim::Duration delay, std::function<void()> fn) {
+  env_.scheduler().schedule_after(delay, [gate = timer_gate_, fn = std::move(fn)] {
+    {
+      const std::lock_guard<std::mutex> lk(gate->m);
+      if (!gate->alive) return;  // client destroyed with the timer pending
+      ++gate->executing;
+    }
+    fn();
+    {
+      const std::lock_guard<std::mutex> lk(gate->m);
+      --gate->executing;
+    }
+    gate->cv.notify_all();
+  });
+}
+
+sim::Duration RadosClient::retry_delay(int attempt) {
+  sim::Duration d = cfg_.retry_delay_base;
+  for (int i = 1; i < attempt && d < cfg_.retry_delay_max; ++i) d *= 2;
+  d = std::min(d, cfg_.retry_delay_max);
+  const dbg::LockGuard lk(mutex_);
+  return d / 2 + static_cast<sim::Duration>(
+                     rng_.uniform(0, static_cast<std::uint64_t>(d / 2)));
+}
 
 Status RadosClient::connect() {
   msgr_.start();
@@ -58,6 +95,9 @@ Status RadosClient::connect() {
                             perf_.reset_all();
                             return std::string("{}");
                           });
+  admin_.register_command(
+      "fault", "fault set <point> [k=v ...] | fault list | fault clear [point]",
+      [this](const auto& args) { return env_.faults().admin_command(args); });
   admin_.register_command("dump_ops_in_flight", "list currently tracked ops",
                           [this](const auto&) { return tracker_.dump_ops_in_flight(); });
   admin_.register_command(
@@ -120,36 +160,68 @@ AioCompletionRef RadosClient::aio_operate(os::pool_t pool, const std::string& ob
     const dbg::LockGuard lk(mutex_);
     in_flight_[request->tid] = InFlight{request, completion, tracked, -1, 0};
   }
-  send_op(request->tid);
+  const std::uint64_t tid = request->tid;
+  send_op(tid);
+  // Hard lifetime bound: whatever faults the cluster is under, the op
+  // completes (possibly with timed_out) rather than hanging a caller.
+  schedule_guarded(cfg_.op_deadline, [this, tid] {
+    fail_op(tid, Status(Errc::timed_out, "op deadline exceeded"));
+  });
   return completion;
 }
 
-void RadosClient::send_op(std::uint64_t tid) {
-  std::shared_ptr<msgr::MOSDOp> request;
+void RadosClient::fail_op(std::uint64_t tid, Status st) {
   AioCompletionRef completion;
   osd::TrackedOpRef tracked;
   {
     const dbg::LockGuard lk(mutex_);
     auto it = in_flight_.find(tid);
+    if (it == in_flight_.end()) return;  // completed in time
+    completion = it->second.completion;
+    tracked = it->second.tracked;
+    in_flight_.erase(it);
+  }
+  counters_->inc(l_client_op_timeout);
+  DLOG(warn, "client") << "op tid=" << tid << " failed: " << st.to_string();
+  if (tracked != nullptr) {
+    tracked->mark_event("done", env_.now());
+    tracker_.finish_op(tracked, env_.now());
+  }
+  const dbg::LockGuard lk(completion->m_);
+  completion->done_ = true;
+  completion->status_ = std::move(st);
+  completion->cv_.notify_all();
+}
+
+void RadosClient::on_resend_silence(std::uint64_t tid, int attempt) {
+  {
+    const dbg::LockGuard lk(mutex_);
+    auto it = in_flight_.find(tid);
+    if (it == in_flight_.end()) return;     // completed
+    if (it->second.attempts != attempt) return;  // already resent elsewhere
+  }
+  DLOG(info, "client") << "op tid=" << tid << " silent for "
+                       << cfg_.resend_timeout / 1'000'000 << " ms; resending";
+  send_op(tid);
+}
+
+void RadosClient::send_op(std::uint64_t tid) {
+  std::shared_ptr<msgr::MOSDOp> request;
+  osd::TrackedOpRef tracked;
+  int attempt = 0;
+  {
+    const dbg::LockGuard lk(mutex_);
+    auto it = in_flight_.find(tid);
     if (it == in_flight_.end()) return;  // already completed
     tracked = it->second.tracked;
-    if (++it->second.attempts > kMaxAttempts) {
-      completion = it->second.completion;
-      in_flight_.erase(it);
-    } else {
+    attempt = ++it->second.attempts;
+    if (attempt <= cfg_.max_attempts) {
       request = it->second.request;
-      if (it->second.attempts > 1) counters_->inc(l_client_op_retry);
+      if (attempt > 1) counters_->inc(l_client_op_retry);
     }
   }
-  if (completion != nullptr) {
-    if (tracked != nullptr) {
-      tracked->mark_event("done", env_.now());
-      tracker_.finish_op(tracked, env_.now());
-    }
-    const dbg::LockGuard lk(completion->m_);
-    completion->done_ = true;
-    completion->status_ = Status(Errc::timed_out, "op exhausted retries");
-    completion->cv_.notify_all();
+  if (request == nullptr) {
+    fail_op(tid, Status(Errc::timed_out, "op exhausted retries"));
     return;
   }
 
@@ -159,8 +231,9 @@ void RadosClient::send_op(std::uint64_t tid) {
   msgr::ConnectionRef con;
   if (primary >= 0) con = msgr_.get_connection(map.osd(primary).addr);
   if (con == nullptr) {
-    // No primary yet (PG degraded to zero, or connect refused): retry later.
-    env_.scheduler().schedule_after(kRetryDelay, [this, tid] { send_op(tid); });
+    // No primary yet (PG degraded to zero, or connect refused): back off
+    // exponentially with jitter so recovering OSDs aren't hammered in sync.
+    schedule_guarded(retry_delay(attempt), [this, tid] { send_op(tid); });
     return;
   }
   {
@@ -172,14 +245,25 @@ void RadosClient::send_op(std::uint64_t tid) {
   if (tracked != nullptr) tracked->mark_event("sent", env_.now());
   request->map_epoch = map.epoch();
   con->send_message(request);
+  // A partitioned or crashed-but-not-yet-marked-down primary never replies;
+  // turn that silence into a resend instead of an op that hangs until the
+  // OSD map catches up.
+  schedule_guarded(cfg_.resend_timeout,
+                   [this, tid, attempt] { on_resend_silence(tid, attempt); });
 }
 
 void RadosClient::finish_op(std::uint64_t tid, const msgr::MessageRef& reply) {
   auto* r = static_cast<msgr::MOSDOpReply*>(reply.get());
   if (r->result == -static_cast<std::int32_t>(Errc::busy)) {
-    // Wrong primary: our map is stale (or failover mid-flight). Retry after
-    // a short delay; the subscription will deliver the fresher map.
-    env_.scheduler().schedule_after(kRetryDelay, [this, tid] { send_op(tid); });
+    // Wrong primary: our map is stale (or failover mid-flight). Retry with
+    // backoff; the subscription will deliver the fresher map.
+    int attempt = 1;
+    {
+      const dbg::LockGuard lk(mutex_);
+      auto it = in_flight_.find(tid);
+      if (it != in_flight_.end()) attempt = it->second.attempts;
+    }
+    schedule_guarded(retry_delay(attempt), [this, tid] { send_op(tid); });
     return;
   }
   AioCompletionRef completion;

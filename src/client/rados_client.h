@@ -1,8 +1,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/admin_socket.h"
 #include "common/perf_counters.h"
@@ -13,16 +16,32 @@
 #include "msgr/messenger.h"
 #include "os/types.h"
 #include "osd/op_tracker.h"
+#include "sim/rng.h"
 
 namespace doceph::client {
 
 /// Metric indices of the per-client "client" PerfCounters block.
 enum {
   l_client_first = 92000,
-  l_client_op,        ///< ops completed (any status)
-  l_client_op_retry,  ///< resends (busy bounce, retarget, no-primary wait)
-  l_client_op_lat,    ///< client-observed end-to-end latency, ns histogram
+  l_client_op,          ///< ops completed (any status)
+  l_client_op_retry,    ///< resends (busy bounce, retarget, no-primary, silence)
+  l_client_op_timeout,  ///< ops failed by deadline or retry exhaustion
+  l_client_op_lat,      ///< client-observed end-to-end latency, ns histogram
   l_client_last,
+};
+
+/// Retry/timeout policy. The backoff is exponential with "equal jitter"
+/// (delay in [d/2, d], d doubling per attempt up to the cap) so a thundering
+/// herd of retries against a recovering OSD spreads out; the jitter stream
+/// is seeded from the env, so runs stay deterministic. `resend_timeout`
+/// turns a silent primary (partition, crash before reply) into a resend
+/// instead of a hang; `op_deadline` bounds the op's total lifetime.
+struct ClientConfig {
+  int max_attempts = 300;
+  sim::Duration retry_delay_base = 10'000'000;    // 10 ms
+  sim::Duration retry_delay_max = 1'000'000'000;  // 1 s
+  sim::Duration resend_timeout = 5'000'000'000;   // 5 s of reply silence
+  sim::Duration op_deadline = 120'000'000'000;    // 120 s hard limit
 };
 
 /// Completion handle for asynchronous object operations (librados
@@ -61,7 +80,7 @@ class RadosClient final : public msgr::Dispatcher {
  public:
   RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
               sim::CpuDomain* domain, net::Address mon_addr,
-              std::uint64_t client_id = 1);
+              std::uint64_t client_id = 1, ClientConfig cfg = {});
   ~RadosClient() override;
 
   /// Start messenger, fetch the map, subscribe. Call from a sim thread.
@@ -112,8 +131,31 @@ class RadosClient final : public msgr::Dispatcher {
   void finish_op(std::uint64_t tid, const msgr::MessageRef& reply);
   void resend_all_mistargeted();
 
+  /// Complete `tid` with a failure (deadline, retry exhaustion) and bump
+  /// l_client_op_timeout. No-op if the op already finished.
+  void fail_op(std::uint64_t tid, Status st);
+  /// Fires after cfg_.resend_timeout of silence: if the op is still on the
+  /// same attempt, the primary went dark — resend (with backoff targeting).
+  void on_resend_silence(std::uint64_t tid, int attempt);
+
+  /// Exponential backoff with equal jitter for retry number `attempt`.
+  [[nodiscard]] sim::Duration retry_delay(int attempt);
+
+  /// Timer lifecycle gate (BlockDevice::IoGate pattern): scheduled retry /
+  /// timeout lambdas capture `this`, and the scheduler outlives the client.
+  /// Plain std primitives — must work from unregistered teardown threads.
+  struct TimerGate {
+    std::mutex m;
+    std::condition_variable cv;
+    bool alive = true;
+    int executing = 0;
+  };
+  /// Run `fn` after `delay` unless the client has been destroyed.
+  void schedule_guarded(sim::Duration delay, std::function<void()> fn);
+
   sim::Env& env_;
   std::uint64_t client_id_;
+  ClientConfig cfg_;
   msgr::Messenger msgr_;
   mon::MonClient monc_;
 
@@ -121,14 +163,14 @@ class RadosClient final : public msgr::Dispatcher {
   std::map<std::uint64_t, InFlight> in_flight_;
   std::atomic<std::uint64_t> next_tid_{1};
   bool connected_ = false;
+  sim::Rng rng_;  // jitter stream; guarded by mutex_
+
+  std::shared_ptr<TimerGate> timer_gate_ = std::make_shared<TimerGate>();
 
   osd::OpTracker tracker_;
   perf::PerfCountersRef counters_;
   perf::Collection perf_;
   AdminSocket admin_;
-
-  static constexpr int kMaxAttempts = 300;
-  static constexpr sim::Duration kRetryDelay = 10'000'000;  // 10 ms
 };
 
 /// Pool-scoped synchronous + asynchronous object API (librados IoCtx).

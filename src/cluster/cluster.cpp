@@ -30,8 +30,10 @@ Status Cluster::start() {
     node->host_cpu = std::make_unique<sim::CpuDomain>(
         env_.keeper(), "host-" + std::to_string(i), cfg_.host_cores, cfg_.host_speed);
     node->backing = std::make_shared<bluestore::DeviceBacking>();
+    auto store_cfg = cfg_.store_config();
+    store_cfg.device.name = "bdev-" + std::to_string(i);
     node->store = std::make_unique<bluestore::BlueStore>(
-        env_, node->host_cpu.get(), cfg_.store_config(), node->backing);
+        env_, node->host_cpu.get(), store_cfg, node->backing);
     st = node->store->mkfs();
     if (!st.ok()) return st;
     st = node->store->mount();
@@ -84,18 +86,59 @@ Status Cluster::start() {
   client_net_ = &fabric_.add_node("client-host", nic_for(cfg_.network), default_stack());
   client_cpu_ = std::make_unique<sim::CpuDomain>(env_.keeper(), "client",
                                                  cfg_.client_cores, cfg_.host_speed);
-  client_ = std::make_unique<client::RadosClient>(env_, fabric_, *client_net_,
-                                                  client_cpu_.get(), mon_addr);
+  client_ = std::make_unique<client::RadosClient>(
+      env_, fabric_, *client_net_, client_cpu_.get(), mon_addr, 1, cfg_.client);
   st = client_->connect();
   if (!st.ok()) return st;
+
+  // Arm configured faults, then start the chaos monitor that executes
+  // daemon-level fires (osd.crash / osd.restart).
+  for (const auto& [point, spec] : cfg_.initial_faults) env_.faults().set(point, spec);
+  chaos_stop_.store(false);
+  chaos_.emplace(env_.spawn("cluster-chaos", nullptr, [this] { chaos_loop(); }));
 
   started_ = true;
   return Status::OK();
 }
 
+void Cluster::chaos_loop() {
+  while (!chaos_stop_.load(std::memory_order_acquire)) {
+    auto& faults = env_.faults();
+    if (faults.any_armed()) {
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        Node& node = *nodes_[i];
+        const std::string scope = "osd." + std::to_string(i);
+        if (node.osd && !node.osd_down &&
+            faults.should_fire("osd.crash", env_.now(), scope)) {
+          DLOG(info, "cluster") << "chaos: crashing " << scope;
+          node.osd->shutdown();
+          node.osd_down = true;
+        } else if (node.osd_down &&
+                   faults.should_fire("osd.restart", env_.now(), scope)) {
+          DLOG(info, "cluster") << "chaos: restarting " << scope;
+          node.osd_down = false;
+          const Status st = restart_osd(static_cast<int>(i));
+          if (!st.ok())
+            DLOG(warn, "cluster") << "chaos: restart of " << scope << " failed: "
+                                  << st.to_string();
+        }
+      }
+    }
+    env_.keeper().sleep_for(cfg_.chaos_poll);
+  }
+}
+
 void Cluster::stop() {
   if (!started_) return;
   started_ = false;
+  // Quiesce the chaos monitor before tearing daemons down (it may be
+  // mid-restart; join waits that out). Wakes within one poll interval.
+  chaos_stop_.store(true, std::memory_order_release);
+  if (chaos_) {
+    chaos_->join();
+    chaos_.reset();
+  }
+  env_.faults().clear_all();
   if (client_) client_->shutdown();
   for (auto& node : nodes_) {
     if (node->osd) node->osd->shutdown();
@@ -112,6 +155,7 @@ Status Cluster::restart_osd(int i) {
   auto& node = *nodes_.at(static_cast<std::size_t>(i));
   node.osd->shutdown();
   node.osd.reset();
+  node.osd_down = false;
 
   os::ObjectStore* osd_store = node.store.get();
   net::NetNode* osd_net = node.host_net;
@@ -131,7 +175,8 @@ Status Cluster::restart_osd(int i) {
 void Cluster::wait_all_clean() {
   while (true) {
     bool clean = true;
-    for (auto& node : nodes_) clean &= node->osd->all_clean();
+    for (auto& node : nodes_)
+      if (node->osd && !node->osd_down) clean &= node->osd->all_clean();
     if (clean) return;
     env_.keeper().sleep_for(sim::Duration{100} * 1'000'000);  // 100 ms
   }

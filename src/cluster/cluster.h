@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "client/rados_client.h"
@@ -93,7 +95,13 @@ class Cluster {
     std::unique_ptr<proxy::HostBackendService> backend;  // doceph only
     std::unique_ptr<proxy::ProxyObjectStore> pstore;     // doceph only
     std::unique_ptr<osd::OSD> osd;
+    bool osd_down = false;  // taken down by the chaos monitor
   };
+
+  /// Body of the chaos monitor thread: polls "osd.crash" / "osd.restart"
+  /// fault points at cfg_.chaos_poll cadence and executes the fires (a
+  /// daemon cannot kill itself from its own tick thread).
+  void chaos_loop();
 
   sim::Env& env_;
   ClusterConfig cfg_;
@@ -105,6 +113,8 @@ class Cluster {
   std::unique_ptr<mon::Monitor> mon_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<client::RadosClient> client_;
+  std::atomic<bool> chaos_stop_{false};
+  std::optional<sim::Thread> chaos_;
   bool started_ = false;
 };
 

@@ -1,8 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bluestore/bluestore.h"
+#include "client/rados_client.h"
+#include "common/fault.h"
 #include "dpu/dpu_device.h"
 #include "msgr/messenger.h"
 #include "net/fabric.h"
@@ -107,7 +112,10 @@ inline dpu::DpuProfile default_dpu(NetworkKind net) {
            .bw_bytes_per_sec = 2.6e9,
            .setup_latency = 2'400'000,
            .queue_depth = 64};
-  p.comch = {.max_msg_size = 4080, .per_msg_overhead = 6'000, .cpu_ns_per_byte = 0.15};
+  p.comch = {.max_msg_size = 4080,
+             .per_msg_overhead = 6'000,
+             .cpu_ns_per_byte = 0.15,
+             .name = {}};
   return p;
 }
 
@@ -156,6 +164,18 @@ struct ClusterConfig {
   osd::OsdConfig osd_template = default_osd(0);
   proxy::ProxyConfig proxy = default_proxy();
   proxy::HostBackendConfig backend = default_backend();
+  client::ClientConfig client;
+
+  /// Fault specs armed into the env registry during start() — the config
+  /// half of fault injection (the admin socket's `fault set` is the runtime
+  /// half). Scoping convention: net faults match "src>dst" node names,
+  /// devices match "dpu-<i>" / "bdev-<i>", daemon crashes match "osd.<i>".
+  std::vector<std::pair<std::string, fault::FaultSpec>> initial_faults;
+
+  /// Poll cadence of the chaos monitor thread that executes "osd.crash" /
+  /// "osd.restart" fault fires (daemon kill/revive cannot run inline in a
+  /// daemon's own thread).
+  sim::Duration chaos_poll = 250'000'000;  // 250 ms
 
   [[nodiscard]] bluestore::BlueStoreConfig store_config() const {
     return default_store(retain_data);

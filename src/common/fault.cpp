@@ -1,0 +1,271 @@
+#include "common/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/json.h"
+
+namespace doceph::fault {
+
+namespace {
+
+constexpr std::size_t kMaxLog = 1u << 16;
+
+// Local splitmix64 finalizer (same mixing as sim::Rng::derive_seed, kept
+// here so common/ stays independent of sim/).
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 0xCBF29CE484222325ull) noexcept {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+bool scope_matches(const std::string& match, std::string_view scope) noexcept {
+  return match.empty() || scope.find(match) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::uint64_t FaultRegistry::entry_seed(std::uint64_t seed, std::string_view point,
+                                        std::string_view match) noexcept {
+  std::uint64_t salt = fnv1a(match, fnv1a(point));
+  return mix64(seed + 0x9E3779B97F4A7C15ull * (salt | 1));
+}
+
+FaultRegistry::Entry FaultRegistry::make_entry(std::string_view point,
+                                               FaultSpec spec) const {
+  Entry e;
+  e.rng.seed(entry_seed(seed_, point, spec.match));
+  e.spec = std::move(spec);
+  return e;
+}
+
+void FaultRegistry::refresh_armed_locked() {
+  std::uint64_t n = 0;
+  for (const auto& [point, entries] : points_) n += entries.size();
+  armed_entries_.store(n, std::memory_order_relaxed);
+}
+
+void FaultRegistry::set(const std::string& point, FaultSpec spec) {
+  // A spec with no trigger can never fire; treat it as a disarm so call
+  // sites like set_failure_rate(0.0) don't leave dead entries pinning the
+  // any_armed() fast path off.
+  const bool armable = spec.probability > 0.0 || spec.fire_at_hit >= 0 ||
+                       spec.fire_at_time >= 0 || spec.force_next > 0;
+  std::lock_guard lk(mutex_);
+  auto& entries = points_[point];
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const Entry& e) { return e.spec.match == spec.match; });
+  if (!armable) {
+    if (it != entries.end()) entries.erase(it);
+    if (entries.empty()) points_.erase(point);
+  } else if (it != entries.end()) {
+    *it = make_entry(point, std::move(spec));
+  } else {
+    entries.push_back(make_entry(point, std::move(spec)));
+  }
+  refresh_armed_locked();
+}
+
+void FaultRegistry::fire_next(const std::string& point, std::int64_t n,
+                              const std::string& match) {
+  std::lock_guard lk(mutex_);
+  auto& entries = points_[point];
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const Entry& e) { return e.spec.match == match; });
+  if (it != entries.end()) {
+    it->spec.force_next += n;
+  } else {
+    FaultSpec spec;
+    spec.force_next = n;
+    spec.match = match;
+    entries.push_back(make_entry(point, std::move(spec)));
+  }
+  refresh_armed_locked();
+}
+
+bool FaultRegistry::clear(const std::string& point) {
+  std::lock_guard lk(mutex_);
+  bool removed = points_.erase(point) != 0;
+  refresh_armed_locked();
+  return removed;
+}
+
+void FaultRegistry::clear_all() {
+  std::lock_guard lk(mutex_);
+  points_.clear();
+  refresh_armed_locked();
+}
+
+FaultHit FaultRegistry::hit(std::string_view point, std::int64_t now,
+                            std::string_view scope) {
+  FaultHit result;
+  if (!any_armed()) return result;
+  std::lock_guard lk(mutex_);
+  auto pit = points_.find(point);
+  if (pit == points_.end()) return result;
+  for (Entry& e : pit->second) {
+    if (!scope_matches(e.spec.match, scope)) continue;
+    ++e.hit_count;
+    if (e.spec.count >= 0 &&
+        e.fire_count >= static_cast<std::uint64_t>(e.spec.count)) {
+      continue;
+    }
+    bool fired = false;
+    if (e.spec.force_next > 0) {
+      fired = true;
+      --e.spec.force_next;
+    } else if (e.spec.fire_at_hit >= 0) {
+      fired = e.hit_count == static_cast<std::uint64_t>(e.spec.fire_at_hit);
+    } else if (e.spec.fire_at_time >= 0) {
+      fired = now >= e.spec.fire_at_time;
+    } else if (e.spec.probability > 0.0) {
+      // Exactly one draw per evaluated hit: fire-or-not for hit #k is a
+      // pure function of (seed, k), never of thread timing.
+      fired = std::uniform_real_distribution<double>(0.0, 1.0)(e.rng) < e.spec.probability;
+    }
+    if (!fired) continue;
+    ++e.fire_count;
+    result.fired = true;
+    result.delay_ns = std::max(result.delay_ns, e.spec.delay_ns);
+    // Always-on time-window specs (fire_at_time with unlimited budget) model
+    // standing state — a partition, a stalled link — whose per-hit fire count
+    // tracks retry cadence, not injected events. Keep those out of the log so
+    // same-seed log comparison stays exact. Bound the log as a backstop.
+    const bool state_like = e.spec.fire_at_time >= 0 && e.spec.count < 0;
+    if (state_like || log_.size() >= kMaxLog) continue;
+    std::string rec(point);
+    if (!e.spec.match.empty()) {
+      rec += '@';
+      rec += e.spec.match;
+    }
+    rec += '#';
+    rec += std::to_string(e.hit_count);
+    log_.push_back(std::move(rec));
+  }
+  return result;
+}
+
+std::uint64_t FaultRegistry::hits(std::string_view point) const {
+  std::lock_guard lk(mutex_);
+  auto pit = points_.find(point);
+  if (pit == points_.end()) return 0;
+  std::uint64_t n = 0;
+  for (const Entry& e : pit->second) n += e.hit_count;
+  return n;
+}
+
+std::uint64_t FaultRegistry::fires(std::string_view point) const {
+  std::lock_guard lk(mutex_);
+  auto pit = points_.find(point);
+  if (pit == points_.end()) return 0;
+  std::uint64_t n = 0;
+  for (const Entry& e : pit->second) n += e.fire_count;
+  return n;
+}
+
+std::vector<std::string> FaultRegistry::firing_log() const {
+  std::lock_guard lk(mutex_);
+  return log_;
+}
+
+std::string FaultRegistry::list_json() const {
+  std::lock_guard lk(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("seed");
+  w.value(static_cast<std::uint64_t>(seed_));
+  w.key("points");
+  w.begin_array();
+  for (const auto& [point, entries] : points_) {
+    for (const Entry& e : entries) {
+      w.begin_object();
+      w.kv("point", point);
+      if (!e.spec.match.empty()) w.kv("match", e.spec.match);
+      if (e.spec.probability > 0.0) w.kv("probability", e.spec.probability);
+      if (e.spec.fire_at_hit >= 0) w.kv("fire_at_hit", e.spec.fire_at_hit);
+      if (e.spec.fire_at_time >= 0) w.kv("fire_at_time", e.spec.fire_at_time);
+      if (e.spec.count >= 0) w.kv("count", e.spec.count);
+      if (e.spec.force_next > 0) w.kv("force_next", e.spec.force_next);
+      if (e.spec.delay_ns > 0) w.kv("delay_ns", e.spec.delay_ns);
+      w.kv("hits", e.hit_count);
+      w.kv("fires", e.fire_count);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("fired");
+  w.begin_array();
+  for (const std::string& rec : log_) w.value(rec);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string FaultRegistry::admin_command(const std::vector<std::string>& args) {
+  auto error = [](const std::string& msg) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("error", msg);
+    w.end_object();
+    return w.str();
+  };
+  auto ack = [](const std::string& msg) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("status", msg);
+    w.end_object();
+    return w.str();
+  };
+  if (args.empty()) return error("usage: fault set|list|clear ...");
+  const std::string& verb = args[0];
+  if (verb == "list") return list_json();
+  if (verb == "clear") {
+    if (args.size() > 1) {
+      return ack(clear(args[1]) ? "cleared " + args[1] : "nothing armed at " + args[1]);
+    }
+    clear_all();
+    return ack("cleared all");
+  }
+  if (verb == "set") {
+    if (args.size() < 2) return error("usage: fault set <point> [k=v ...]");
+    const std::string& point = args[1];
+    FaultSpec spec;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      const std::string& kv = args[i];
+      auto eq = kv.find('=');
+      if (eq == std::string::npos) return error("expected k=v, got '" + kv + "'");
+      std::string k = kv.substr(0, eq);
+      std::string v = kv.substr(eq + 1);
+      if (k == "match") {
+        spec.match = v;
+      } else if (k == "p" || k == "probability") {
+        spec.probability = std::strtod(v.c_str(), nullptr);
+      } else if (k == "at_hit") {
+        spec.fire_at_hit = std::strtoll(v.c_str(), nullptr, 10);
+      } else if (k == "at_time") {
+        spec.fire_at_time = std::strtoll(v.c_str(), nullptr, 10);
+      } else if (k == "count") {
+        spec.count = std::strtoll(v.c_str(), nullptr, 10);
+      } else if (k == "force") {
+        spec.force_next = std::strtoll(v.c_str(), nullptr, 10);
+      } else if (k == "delay_ns") {
+        spec.delay_ns = std::strtoull(v.c_str(), nullptr, 10);
+      } else {
+        return error("unknown key '" + k + "'");
+      }
+    }
+    set(point, std::move(spec));
+    return ack("armed " + point);
+  }
+  return error("unknown verb '" + verb + "'");
+}
+
+}  // namespace doceph::fault

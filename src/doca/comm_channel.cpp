@@ -1,5 +1,8 @@
 #include "doca/comm_channel.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "dbg/cond_var.h"
 #include "dbg/mutex.h"
 #include "sim/exec_context.h"
@@ -24,6 +27,10 @@ struct CommChannel::Core : std::enable_shared_from_this<CommChannel::Core> {
   dbg::Mutex m{"doca.comch"};
   Side side[2];
   bool closed = false;
+
+  // Earliest permitted delivery per direction after a comch_stall fault;
+  // keeps fragmented RPC messages in order (index = receiving side).
+  std::atomic<std::int64_t> min_deliver[2] = {{0}, {0}};
 
   void deliver(int to, BufferList msg) {
     const dbg::LockGuard lk(m);
@@ -96,9 +103,29 @@ Status CommChannel::send(BufferList msg) {
 
   const int to = 1 - side_;
   const sim::Time now = c.env.now();
-  const sim::Time arrival = side_ == 0 ? c.link.reserve_h2d(now, msg.length())
-                                       : c.link.reserve_d2h(now, msg.length());
+  sim::Time arrival = side_ == 0 ? c.link.reserve_h2d(now, msg.length())
+                                 : c.link.reserve_d2h(now, msg.length());
   ++sent_;
+
+  // Fault hooks: a dropped message silently never arrives (the peer sees a
+  // stalled channel — this is how chaos tests partition DPU from host); a
+  // stall adds delivery latency. Scope is "<name>/h2d" or "<name>/d2h".
+  auto& faults = c.env.faults();
+  if (faults.any_armed()) {
+    const std::string scope = c.cfg.name + (side_ == 0 ? "/h2d" : "/d2h");
+    if (faults.should_fire("doca.comch_drop", now, scope)) return Status::OK();
+    const fault::FaultHit stall = faults.hit("doca.comch_stall", now, scope);
+    if (stall.fired) {
+      arrival += static_cast<sim::Duration>(stall.delay_ns != 0 ? stall.delay_ns
+                                                                : 1'000'000);
+      std::int64_t cur = c.min_deliver[to].load(std::memory_order_relaxed);
+      while (cur < arrival && !c.min_deliver[to].compare_exchange_weak(
+                                  cur, arrival, std::memory_order_relaxed)) {
+      }
+    }
+    arrival = std::max(arrival,
+                       sim::Time{c.min_deliver[to].load(std::memory_order_relaxed)});
+  }
   c.env.scheduler().schedule_at(
       arrival, [core = core_, to, msg = std::move(msg)]() mutable {
         core->deliver(to, std::move(msg));

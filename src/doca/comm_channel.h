@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 
 #include "common/buffer.h"
 #include "common/result.h"
@@ -23,6 +24,9 @@ struct CommChannelConfig {
   std::size_t max_msg_size = 4080;       ///< DOCA comch default-ish cap
   sim::Duration per_msg_overhead = 6'000;  ///< driver/doorbell ns per message
   double cpu_ns_per_byte = 0.15;           ///< send/recv marshalling cost
+  /// Fault scope: "doca.comch_stall"/"doca.comch_drop" specs match against
+  /// "<name>/h2d" or "<name>/d2h" per message direction.
+  std::string name;
 };
 
 class CommChannel;

@@ -4,22 +4,17 @@
 
 namespace doceph::doca {
 
-DmaEngine::DmaEngine(sim::Env& env, PcieLink& link, DmaConfig cfg,
-                     std::uint64_t rng_salt)
-    : env_(env),
-      link_(link),
-      cfg_(cfg),
-      rng_(sim::Rng::derive_seed(env.seed(), rng_salt)) {}
+DmaEngine::DmaEngine(sim::Env& env, PcieLink& link, DmaConfig cfg, std::string name)
+    : env_(env), link_(link), cfg_(cfg), name_(std::move(name)) {}
 
 void DmaEngine::set_failure_rate(double rate) {
-  const dbg::LockGuard lk(mutex_);
-  failure_rate_ = rate;
+  fault::FaultSpec spec;
+  spec.probability = rate;
+  spec.match = name_;
+  env_.faults().set("doca.dma_error", std::move(spec));
 }
 
-void DmaEngine::fail_next(int n) {
-  const dbg::LockGuard lk(mutex_);
-  forced_failures_ += n;
-}
+void DmaEngine::fail_next(int n) { env_.faults().fire_next("doca.dma_error", n, name_); }
 
 Status DmaEngine::submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb) {
   if (!src.valid() || !dst.valid() || src.len != dst.len || src.len == 0)
@@ -31,19 +26,9 @@ Status DmaEngine::submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb) {
   if (inflight_.load(std::memory_order_relaxed) >= cfg_.queue_depth)
     return Status(Errc::busy, "dma queue full");
 
-  bool fail = false;
-  {
-    const dbg::LockGuard lk(mutex_);
-    if (forced_failures_ > 0) {
-      --forced_failures_;
-      fail = true;
-    } else if (failure_rate_ > 0.0 && rng_.chance(failure_rate_)) {
-      fail = true;
-    }
-  }
-
   inflight_.fetch_add(1);
   const sim::Time now = env_.now();
+  const bool fail = env_.faults().should_fire("doca.dma_error", now, name_);
   // The engine serializes jobs at its own (lower) bandwidth; the PCIe link
   // is booked too so DMA and CommChannel traffic contend realistically.
   // Setup is latency, not occupancy: pipelined segments hide it (§3.3).

@@ -2,13 +2,12 @@
 
 #include <atomic>
 #include <functional>
+#include <string>
 
 #include "common/result.h"
-#include "dbg/mutex.h"
 #include "doca/mmap.h"
 #include "doca/pcie_link.h"
 #include "sim/env.h"
-#include "sim/rng.h"
 
 namespace doceph::doca {
 
@@ -32,7 +31,9 @@ class DmaEngine {
  public:
   using JobCb = std::function<void(Status)>;
 
-  DmaEngine(sim::Env& env, PcieLink& link, DmaConfig cfg, std::uint64_t rng_salt = 0xD3A);
+  /// `name` scopes this engine's faults: a "doca.dma_error" spec with
+  /// match=<name> hits only this engine.
+  DmaEngine(sim::Env& env, PcieLink& link, DmaConfig cfg, std::string name = "");
 
   DmaEngine(const DmaEngine&) = delete;
   DmaEngine& operator=(const DmaEngine&) = delete;
@@ -48,8 +49,11 @@ class DmaEngine {
   [[nodiscard]] std::uint64_t jobs_failed() const noexcept { return failed_; }
   [[nodiscard]] int inflight() const noexcept { return inflight_.load(); }
 
-  /// Error injection: every job fails with probability `rate` (benches and
-  /// fallback tests); `fail_next(n)` deterministically fails the next n jobs.
+  /// Error injection, backed by the env's FaultRegistry "doca.dma_error"
+  /// point scoped to this engine's name: every job fails with probability
+  /// `rate`; `fail_next(n)` deterministically fails the next n jobs.
+  /// Equivalent to `fault set doca.dma_error p=<rate> match=<name>` on the
+  /// admin socket.
   void set_failure_rate(double rate);
   void fail_next(int n);
 
@@ -57,13 +61,9 @@ class DmaEngine {
   sim::Env& env_;
   PcieLink& link_;
   DmaConfig cfg_;
+  std::string name_;
 
   sim::SerialResource engine_;
-
-  dbg::Mutex mutex_{"doca.dma"};
-  sim::Rng rng_;
-  double failure_rate_ = 0.0;
-  int forced_failures_ = 0;
 
   std::atomic<int> inflight_{0};
   std::atomic<std::uint64_t> jobs_done_{0};

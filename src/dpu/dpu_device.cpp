@@ -8,8 +8,10 @@ DpuDevice::DpuDevice(sim::Env& env, net::Fabric& fabric, const std::string& name
       cpu_(env.keeper(), name, profile.cores, profile.core_speed),
       net_(fabric.add_node(name, profile.nic, profile.stack)),
       pcie_(profile.pcie),
-      dma_(env, pcie_, profile.dma) {
-  auto [host_end, dpu_end] = doca::CommChannel::create_pair(env, pcie_, profile.comch);
+      dma_(env, pcie_, profile.dma, name) {
+  doca::CommChannelConfig comch_cfg = profile.comch;
+  comch_cfg.name = name;  // scope comch fault specs to this device
+  auto [host_end, dpu_end] = doca::CommChannel::create_pair(env, pcie_, comch_cfg);
   host_ch_ = std::move(host_end);
   dpu_ch_ = std::move(dpu_end);
 }

@@ -37,6 +37,9 @@ Status Monitor::start() {
                             perf_.reset_all();
                             return std::string("{}");
                           });
+  admin_.register_command(
+      "fault", "fault set <point> [k=v ...] | fault list | fault clear [point]",
+      [this](const auto& args) { return env_.faults().admin_command(args); });
   started_ = true;
   return Status::OK();
 }

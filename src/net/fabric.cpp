@@ -1,6 +1,7 @@
 #include "net/fabric.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace doceph::net {
@@ -34,6 +35,10 @@ struct Socket::Core : std::enable_shared_from_this<Socket::Core> {
     event::EventCenter::Handle wr_center;
     std::function<void()> on_writable;
     bool wr_blocked = false;  // sender saw would-block
+
+    // Earliest permitted delivery time after a net.delay fault; keeps the
+    // stream in order. Atomic so send() can clamp without taking m.
+    std::atomic<std::int64_t> min_deliver{0};
   };
 
   dbg::Mutex m{"net.socket_core"};
@@ -75,6 +80,28 @@ struct Socket::Core : std::enable_shared_from_this<Socket::Core> {
 
 Result<std::size_t> Socket::send(BufferList& bl) {
   Core& c = *core_;
+
+  // Fault hooks (free when nothing is armed). Scope is "src>dst" so a spec
+  // can target one direction of one link; `match=nodename` hits both
+  // directions. Drops and partitions black-hole the chunk after the sender
+  // has accepted it — the peer just sees silence, like a real blackhole.
+  bool blackhole = false;
+  std::uint64_t extra_delay = 0;
+  auto& faults = c.env.faults();
+  if (faults.any_armed()) {
+    const sim::Time fnow = c.env.now();
+    const std::string scope = c.node[side_]->name() + ">" + c.node[1 - side_]->name();
+    if (faults.should_fire("net.disconnect", fnow, scope)) {
+      close();
+      return Status(Errc::not_connected, "fault injected: net.disconnect");
+    }
+    blackhole = faults.should_fire("net.partition", fnow, scope);
+    blackhole = faults.should_fire("net.drop", fnow, scope) || blackhole;
+    const fault::FaultHit delay_hit = faults.hit("net.delay", fnow, scope);
+    if (delay_hit.fired)
+      extra_delay = delay_hit.delay_ns != 0 ? delay_hit.delay_ns : 1'000'000;
+  }
+
   std::size_t take = 0;
   BufferList data;
   {
@@ -108,7 +135,23 @@ Result<std::size_t> Socket::send(BufferList& bl) {
   const sim::Time tx_done = src->tx_.reserve(now, occ_tx);
   const sim::Time tx_start = tx_done - occ_tx;
   const sim::Time rx_end = dst->rx_.reserve(tx_start + src->nic().latency, occ_rx);
-  const sim::Time rx_done = std::max(rx_end, tx_done + src->nic().latency);
+  sim::Time rx_done = std::max(rx_end, tx_done + src->nic().latency);
+
+  // A black-holed chunk stays charged against the window: the pipe wedges
+  // exactly like a real one-way partition until the peer resets it.
+  if (blackhole) return take;
+
+  // Delay faults must not reorder the byte stream: remember the latest
+  // faulted delivery time per direction and clamp later chunks past it.
+  if (extra_delay > 0) {
+    sim::Time target = rx_done + static_cast<sim::Duration>(extra_delay);
+    std::int64_t cur = c.half[side_].min_deliver.load(std::memory_order_relaxed);
+    while (cur < target && !c.half[side_].min_deliver.compare_exchange_weak(
+                               cur, target, std::memory_order_relaxed)) {
+    }
+  }
+  rx_done = std::max(
+      rx_done, sim::Time{c.half[side_].min_deliver.load(std::memory_order_relaxed)});
 
   auto core = core_;
   const int side = side_;
@@ -266,6 +309,14 @@ Result<SocketRef> Fabric::connect(NetNode& from, Address to) {
                                              kDefaultWindow);
   SocketRef client(new Socket(core, 0));
   SocketRef server(new Socket(core, 1));
+
+  // A partition swallows the SYN: the caller gets its socket and hears
+  // nothing back, exactly like connecting into a blackhole.
+  if (env_.faults().any_armed() &&
+      env_.faults().should_fire("net.partition", env_.now(),
+                                from.name() + ">" + dst->name())) {
+    return client;
+  }
 
   // Handshake: the acceptor learns about the connection one wire latency
   // later (SYN). Data sent immediately by the client also rides the wire, so

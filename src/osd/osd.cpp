@@ -125,6 +125,9 @@ void OSD::register_admin_commands() {
                             perf_.reset_all();
                             return std::string("{}");
                           });
+  admin_.register_command(
+      "fault", "fault set <point> [k=v ...] | fault list | fault clear [point]",
+      [this](const auto& args) { return env_.faults().admin_command(args); });
   admin_.register_command("dump_ops_in_flight", "list currently tracked ops",
                           [this](const auto&) { return tracker_.dump_ops_in_flight(); });
   admin_.register_command(

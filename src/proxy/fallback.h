@@ -28,6 +28,7 @@ class FallbackManager {
     if (!disabled_) return Path::dma;
     if (now >= expiry_ && !probe_outstanding_) {
       probe_outstanding_ = true;
+      ++probes_;
       return Path::probe;
     }
     return Path::rpc;
@@ -35,6 +36,7 @@ class FallbackManager {
 
   void on_dma_success() {
     const dbg::LockGuard lk(m_);
+    if (disabled_) ++recoveries_;
     disabled_ = false;
     probe_outstanding_ = false;
   }
@@ -55,6 +57,16 @@ class FallbackManager {
     const dbg::LockGuard lk(m_);
     return failures_;
   }
+  /// Probe transfers handed out by choose() (each cooldown expiry yields one).
+  [[nodiscard]] std::uint64_t probes() const {
+    const dbg::LockGuard lk(m_);
+    return probes_;
+  }
+  /// disabled -> enabled transitions (successful probes).
+  [[nodiscard]] std::uint64_t recoveries() const {
+    const dbg::LockGuard lk(m_);
+    return recoveries_;
+  }
 
  private:
   mutable dbg::Mutex m_{"proxy.fallback"};
@@ -63,6 +75,8 @@ class FallbackManager {
   bool probe_outstanding_ = false;
   sim::Time expiry_ = 0;
   std::uint64_t failures_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t recoveries_ = 0;
 };
 
 }  // namespace doceph::proxy

@@ -19,6 +19,7 @@ ProxyObjectStore::ProxyObjectStore(sim::Env& env, dpu::DpuDevice& dpu, ProxyConf
                     .add_counter(l_dpu_writes, "writes")
                     .add_counter(l_dpu_dma_bytes, "dma_bytes")
                     .add_counter(l_dpu_rpc_fallback_bytes, "rpc_fallback_bytes")
+                    .add_counter(l_dpu_rpc_timeout, "rpc_timeout")
                     .add_histogram(l_dpu_write_lat, "write_lat")
                     .add_histogram(l_dpu_dma_wait, "dma_wait")
                     .create()) {
@@ -60,6 +61,9 @@ Status ProxyObjectStore::mount() {
                             perf_.reset_all();
                             return std::string("{}");
                           });
+  admin_.register_command(
+      "fault", "fault set <point> [k=v ...] | fault list | fault clear [point]",
+      [this](const auto& args) { return env_.faults().admin_command(args); });
   return Status::OK();
 }
 
@@ -293,7 +297,7 @@ void ProxyObjectStore::process_write(WriteReq req) {
   BufferList request;
   encode(ProxyOp::submit_txn, request);
   wire.encode(request);
-  auto response = rpc_.call(std::move(request), cfg_.rpc_timeout);
+  auto response = timed_call(std::move(request));
 
   Status st;
   TxnReply reply;
@@ -347,11 +351,18 @@ void ProxyObjectStore::process_write(WriteReq req) {
 
 // ---- control plane / reads ---------------------------------------------------------
 
+Result<BufferList> ProxyObjectStore::timed_call(BufferList request) {
+  auto r = rpc_.call(std::move(request), cfg_.rpc_timeout);
+  if (!r.ok() && r.status().code() == Errc::timed_out)
+    counters_->inc(l_dpu_rpc_timeout);
+  return r;
+}
+
 Result<BufferList> ProxyObjectStore::control_call(ProxyOp op, const BufferList& body) {
   BufferList request;
   encode(op, request);
   request.append(body);
-  auto r = rpc_.call(std::move(request), cfg_.rpc_timeout);
+  auto r = timed_call(std::move(request));
   if (!r.ok()) return r.status();
   BufferList::Cursor cur(*r);
   std::int32_t result = 0;
@@ -391,7 +402,7 @@ Result<BufferList> ProxyObjectStore::read(const os::coll_t& c, const os::ghobjec
   BufferList request;
   encode(ProxyOp::read_obj, request);
   request.claim_append(body);
-  auto response = rpc_.call(std::move(request), cfg_.rpc_timeout);
+  auto response = timed_call(std::move(request));
   if (!response.ok()) {
     release_all();
     return response.status();

@@ -23,6 +23,7 @@ enum {
   l_dpu_writes,              ///< write transactions shipped to the host
   l_dpu_dma_bytes,           ///< payload bytes moved by the DMA engine
   l_dpu_rpc_fallback_bytes,  ///< payload bytes that rode the RPC channel
+  l_dpu_rpc_timeout,         ///< blocking RPCs that timed out (slot reclaimed)
   l_dpu_write_lat,           ///< enqueue -> host commit, ns histogram
   l_dpu_dma_wait,            ///< per-request DMA wait (slots + serialization)
   l_dpu_last,
@@ -150,6 +151,10 @@ class ProxyObjectStore final : public os::ObjectStore {
   DataRef move_segment(BufferList seg, const std::shared_ptr<SegCtx>& ctx);
 
   Result<BufferList> control_call(ProxyOp op, const BufferList& body);
+
+  /// Blocking RPC with the configured timeout; accounts timed-out calls in
+  /// l_dpu_rpc_timeout (the channel slot itself is reclaimed by RpcChannel).
+  Result<BufferList> timed_call(BufferList request);
 
   sim::Env& env_;
   dpu::DpuDevice& dpu_;

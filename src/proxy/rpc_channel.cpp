@@ -37,7 +37,7 @@ Status RpcChannel::send_fragmented(std::uint64_t req_id, std::uint8_t flags,
   return Status::OK();
 }
 
-void RpcChannel::call_async(BufferList request, ResponseCb cb) {
+std::uint64_t RpcChannel::call_async(BufferList request, ResponseCb cb) {
   const std::uint64_t id = next_id_.fetch_add(1);
   {
     const dbg::LockGuard lk(mutex_);
@@ -49,29 +49,52 @@ void RpcChannel::call_async(BufferList request, ResponseCb cb) {
     {
       const dbg::LockGuard lk(mutex_);
       auto it = pending_.find(id);
-      if (it == pending_.end()) return;
+      if (it == pending_.end()) return id;
       pending = std::move(it->second);
       pending_.erase(it);
     }
     pending(st);
   }
+  return id;
+}
+
+bool RpcChannel::cancel(std::uint64_t id) {
+  const dbg::LockGuard lk(mutex_);
+  return pending_.erase(id) != 0;
 }
 
 Result<BufferList> RpcChannel::call(BufferList request, sim::Duration timeout) {
-  dbg::Mutex m{"proxy.rpc_call"};
-  dbg::CondVar cv(env_.keeper(), "proxy.rpc_call_cv");
-  bool done = false;
-  Result<BufferList> result = BufferList{};
-  call_async(std::move(request), [&](Result<BufferList> r) {
-    const dbg::LockGuard lk(m);
-    result = std::move(r);
-    done = true;
-    cv.notify_all();
-  });
-  dbg::UniqueLock lk(m);
-  if (!cv.wait_until(lk, env_.now() + timeout, [&] { return done; }))
-    return Status(Errc::timed_out, "rpc call");
-  return result;
+  // Heap-shared wait state: on timeout the pending_ callback may still fire
+  // later (or be firing right now on the pump thread); it must never touch
+  // this frame's stack. The callback keeps the state alive via shared_ptr.
+  struct CallState {
+    explicit CallState(sim::TimeKeeper& tk) : cv(tk, "proxy.rpc_call_cv") {}
+    dbg::Mutex m{"proxy.rpc_call"};
+    dbg::CondVar cv;
+    bool done = false;
+    Result<BufferList> result = BufferList{};
+  };
+  auto state = std::make_shared<CallState>(env_.keeper());
+  const std::uint64_t id =
+      call_async(std::move(request), [state](Result<BufferList> r) {
+        const dbg::LockGuard lk(state->m);
+        state->result = std::move(r);
+        state->done = true;
+        state->cv.notify_all();
+      });
+  dbg::UniqueLock lk(state->m);
+  if (!state->cv.wait_until(lk, env_.now() + timeout, [&] { return state->done; })) {
+    lk.unlock();
+    if (cancel(id)) {
+      // Slot reclaimed: a late response will be dropped as unknown.
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      return Status(Errc::timed_out, "rpc call");
+    }
+    // The response won the race and claimed the callback; take its result.
+    lk.lock();
+    state->cv.wait(lk, [&] { return state->done; });
+  }
+  return state->result;
 }
 
 Status RpcChannel::notify(BufferList request) {

@@ -30,12 +30,21 @@ class RpcChannel {
   // ---- client role -----------------------------------------------------------
   using ResponseCb = std::function<void(Result<BufferList>)>;
   /// Fire a request; `cb` runs in the channel's EventCenter thread when the
-  /// response arrives (or with a status on channel failure).
-  void call_async(BufferList request, ResponseCb cb);
-  /// Blocking call (sim time) with timeout.
+  /// response arrives (or with a status on channel failure). Returns the
+  /// request id, usable with cancel().
+  std::uint64_t call_async(BufferList request, ResponseCb cb);
+  /// Drop the pending callback for `id`; a late response is then ignored.
+  /// Returns false if the response already claimed the callback (it has run
+  /// or is about to).
+  bool cancel(std::uint64_t id);
+  /// Blocking call (sim time) with timeout. On timeout the pending slot is
+  /// reclaimed — a late response cannot touch freed state.
   Result<BufferList> call(BufferList request, sim::Duration timeout);
   /// One-way request (no response expected).
   Status notify(BufferList request);
+
+  /// Blocking calls that ended in timed_out (diagnostics).
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_.load(); }
 
   // ---- server role -----------------------------------------------------------
   /// `respond` may be invoked from any thread, exactly once (skip for oneway).
@@ -62,6 +71,7 @@ class RpcChannel {
   // Reassembly buffers keyed by (req_id, is_response).
   std::map<std::pair<std::uint64_t, bool>, BufferList> partial_;
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
 };
 
 }  // namespace doceph::proxy

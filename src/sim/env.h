@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/fault.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
@@ -18,12 +19,16 @@ class Env {
  public:
   explicit Env(TimeKeeper::Mode mode = TimeKeeper::Mode::virtual_time,
                std::uint64_t seed = 42)
-      : keeper_(mode), scheduler_(keeper_, stats_), seed_(seed) {}
+      : keeper_(mode), scheduler_(keeper_, stats_), seed_(seed), faults_(seed) {}
 
   [[nodiscard]] TimeKeeper& keeper() noexcept { return keeper_; }
   [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
   [[nodiscard]] EventScheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Deterministic fault-injection registry shared by every component in
+  /// this universe (see common/fault.h for the determinism contract).
+  [[nodiscard]] fault::FaultRegistry& faults() noexcept { return faults_; }
 
   [[nodiscard]] Time now() const { return keeper_.now(); }
 
@@ -57,6 +62,7 @@ class Env {
   StatsRegistry stats_;
   EventScheduler scheduler_;
   std::uint64_t seed_;
+  fault::FaultRegistry faults_;
 };
 
 }  // namespace doceph::sim

@@ -1,0 +1,101 @@
+// Chaos: the primary OSD of a DoCeph cluster is killed mid-bench by a
+// scripted fault (and later revived the same way). The hardened client
+// rides through the failover with retries, the revived OSD recovers to
+// clean, and every object lands intact on both replicas. The scripted
+// kill/revive schedule is reproducible from the universe seed.
+#include <gtest/gtest.h>
+
+#include "chaos_util.h"
+#include "cluster/cluster.h"
+
+namespace doceph::cluster {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::pattern;
+using doceph::testing::run_sim;
+
+constexpr Time kCrashAt = 3'000'000'000;    // 3 s into the bench
+constexpr Time kRestartAt = 8'000'000'000;  // revive 5 s later
+constexpr int kObjects = 16;
+constexpr std::size_t kObjBytes = 64 << 10;
+
+ClusterConfig crash_cfg() {
+  auto cfg = ClusterConfig::paper_testbed(DeployMode::doceph, NetworkKind::gbe_100,
+                                          /*retain_data=*/true);
+  cfg.pg_num = 8;
+  cfg.osd_template.heartbeat_grace = 2'000'000'000;
+  cfg.osd_template.recovery_quiesce = 500'000'000;
+  cfg.osd_template.tick_interval = 250'000'000;
+  cfg.client.resend_timeout = 1'000'000'000;  // re-drive silent ops quickly
+
+  // The chaos script: kill osd.1 at t=3s, revive it at t=8s. Both specs are
+  // one-shot (count=1), so each run fires exactly two faults.
+  fault::FaultSpec crash;
+  crash.fire_at_time = kCrashAt;
+  crash.count = 1;
+  crash.match = "osd.1";
+  fault::FaultSpec restart;
+  restart.fire_at_time = kRestartAt;
+  restart.count = 1;
+  restart.match = "osd.1";
+  cfg.initial_faults = {{"osd.crash", crash}, {"osd.restart", restart}};
+  return cfg;
+}
+
+void crash_scenario(Env& env) {
+  Cluster cl(env, crash_cfg());
+  ASSERT_TRUE(cl.start().ok());
+  auto io = cl.client().io_ctx(1);
+
+  // A slow sequential bench spanning the crash (t=3s) and revival (t=8s):
+  // ~600 ms per lap keeps writes in flight across both transitions.
+  for (int i = 0; i < kObjects; ++i) {
+    const Status st = io.write_full(
+        "obj" + std::to_string(i),
+        BufferList::copy_of(pattern(kObjBytes, static_cast<unsigned>(i))));
+    ASSERT_TRUE(st.ok()) << "obj" << i << ": " << st.to_string();
+    env.keeper().sleep_for(600'000'000);
+  }
+
+  // The kill actually happened mid-bench and the MON saw it.
+  EXPECT_GT(env.now(), kRestartAt);
+  EXPECT_GE(cl.client().perf_counters()->get(client::l_client_op_retry), 1u);
+
+  // The revived OSD rejoins the map and recovers to clean.
+  while (!cl.monitor().current_map().is_up(1))
+    env.keeper().sleep_for(200'000'000);
+  cl.wait_all_clean();
+
+  // Every object is byte-identical on BOTH hosts' stores, including those
+  // written while osd.1 was dead.
+  const auto map = cl.monitor().current_map();
+  for (int i = 0; i < kObjects; ++i) {
+    const std::string name = "obj" + std::to_string(i);
+    const auto pg = map.object_to_pg(1, name);
+    for (int n = 0; n < cl.num_nodes(); ++n) {
+      auto r = cl.blue_store(n).read(pg.to_coll(), {1, name}, 0, 0);
+      ASSERT_TRUE(r.ok()) << "node " << n << " " << name << ": "
+                          << r.status().to_string();
+      EXPECT_EQ(r->to_string(), pattern(kObjBytes, static_cast<unsigned>(i)))
+          << "node " << n << " " << name;
+    }
+  }
+  cl.stop();
+}
+
+TEST(ChaosOsdCrash, PrimaryKilledMidBenchRecovers) {
+  const auto log = doceph::testing::chaos_run(/*seed=*/2024, crash_scenario);
+  // Exactly one kill and one revival, at deterministic hit indices of the
+  // fixed-cadence chaos monitor poll.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log[0].rfind("osd.crash@osd.1#", 0) == 0) << log[0];
+  EXPECT_TRUE(log[1].rfind("osd.restart@osd.1#", 0) == 0) << log[1];
+}
+
+TEST(ChaosOsdCrash, KillScheduleIsSeedReproducible) {
+  doceph::testing::expect_reproducible(/*seed=*/2024, crash_scenario);
+}
+
+}  // namespace
+}  // namespace doceph::cluster

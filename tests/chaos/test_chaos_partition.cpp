@@ -1,0 +1,113 @@
+// Chaos: partitions. (1) The DPU proxy loses its CommChannel to the host —
+// blocking RPCs must time out (bumping l_dpu_rpc_timeout and reclaiming the
+// slot) instead of hanging, and traffic must flow again once the partition
+// heals. (2) A client is partitioned from one storage node — the hardened
+// client fails the op at its deadline instead of hanging, while ops whose
+// primary is unaffected still succeed.
+#include <gtest/gtest.h>
+
+#include "chaos_util.h"
+#include "cluster/cluster.h"
+
+namespace doceph::proxy {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::ChaosProxyNode;
+using doceph::testing::pattern;
+using doceph::testing::run_sim;
+
+TEST(ChaosPartition, DpuHostPartitionTimesOutThenHeals) {
+  Env env(TimeKeeper::Mode::virtual_time, /*seed=*/5);
+  run_sim(env, [&] {
+    ProxyConfig pcfg;
+    pcfg.rpc_timeout = 200'000'000;  // 200 ms: fail fast under partition
+    ChaosProxyNode node(env, pcfg);
+    ASSERT_TRUE(node.up().ok());
+    ASSERT_TRUE(node.write("pre", 2048, 1).ok());  // inline-sized, healthy
+
+    // Drop every CommChannel message in both directions ("dpu-0" matches
+    // "dpu-0/h2d" and "dpu-0/d2h"): the host is unreachable. A state-like
+    // spec (always-on while armed) models the partition.
+    fault::FaultSpec part;
+    part.fire_at_time = 0;
+    part.match = "dpu-0";
+    env.faults().set("doca.comch_drop", part);
+
+    const Time t0 = env.now();
+    const Status st = node.write("lost", 2048, 2);
+    EXPECT_EQ(st.code(), Errc::timed_out) << st.to_string();
+    const Time elapsed = env.now() - t0;
+    EXPECT_GE(elapsed, pcfg.rpc_timeout);
+    EXPECT_LT(elapsed, pcfg.rpc_timeout + 100'000'000);
+    EXPECT_GE(node.proxy->perf_counters()->get(l_dpu_rpc_timeout), 1u);
+
+    // Heal: the channel slot was reclaimed on timeout, so the very next
+    // call reuses the path cleanly.
+    env.faults().clear("doca.comch_drop");
+    ASSERT_TRUE(node.write("lost", 2048, 2).ok());
+    ASSERT_TRUE(node.write("post", 2048, 3).ok());
+
+    for (const auto& [name, seed] :
+         {std::pair<std::string, unsigned>{"pre", 1}, {"lost", 2}, {"post", 3}}) {
+      auto r = node.store->read(ChaosProxyNode::kColl, {1, name}, 0, 0);
+      ASSERT_TRUE(r.ok()) << name;
+      EXPECT_EQ(r->to_string(), pattern(2048, seed)) << name;
+    }
+    node.down();
+  });
+}
+
+TEST(ChaosPartition, ClientDeadlineBoundsPartitionedOp) {
+  Env env(TimeKeeper::Mode::virtual_time, /*seed=*/6);
+  auto cfg = cluster::ClusterConfig::paper_testbed(cluster::DeployMode::baseline,
+                                                   cluster::NetworkKind::gbe_100,
+                                                   /*retain_data=*/true);
+  cfg.pg_num = 8;
+  cfg.client.resend_timeout = 500'000'000;   // resend every 0.5 s of silence
+  cfg.client.op_deadline = 3'000'000'000;    // give up after 3 s
+  cluster::Cluster cl(env, cfg);
+  run_sim(env, [&] {
+    ASSERT_TRUE(cl.start().ok());
+    auto io = cl.client().io_ctx(1);
+
+    // Pick one object homed on each OSD so the partition's blast radius is
+    // observable: osd.0 is unreachable, osd.1 is fine.
+    const auto map = cl.monitor().current_map();
+    std::string on_osd0;
+    std::string on_osd1;
+    for (int i = 0; on_osd0.empty() || on_osd1.empty(); ++i) {
+      const std::string name = "part" + std::to_string(i);
+      const int primary = map.pg_primary(map.object_to_pg(1, name));
+      if (primary == 0 && on_osd0.empty()) on_osd0 = name;
+      if (primary == 1 && on_osd1.empty()) on_osd1 = name;
+    }
+
+    // One-way blackhole client -> storage-0: requests (and resends) vanish
+    // in flight. The MON and inter-OSD paths are untouched, so the map
+    // keeps osd.0 up and the client cannot fail over — the op must die at
+    // its own deadline.
+    fault::FaultSpec part;
+    part.fire_at_time = 0;
+    part.match = "client-host>storage-0";
+    env.faults().set("net.partition", part);
+
+    const Time t0 = env.now();
+    const Status st = io.write_full(on_osd0, BufferList::copy_of(pattern(64 << 10)));
+    EXPECT_EQ(st.code(), Errc::timed_out) << st.to_string();
+    const Time elapsed = env.now() - t0;
+    EXPECT_GE(elapsed, cfg.client.op_deadline);
+    EXPECT_LT(elapsed, cfg.client.op_deadline + 2'000'000'000);
+    EXPECT_GE(cl.client().perf_counters()->get(client::l_client_op_timeout), 1u);
+
+    // The unpartitioned path keeps working throughout.
+    EXPECT_TRUE(
+        io.write_full(on_osd1, BufferList::copy_of(pattern(64 << 10, 2))).ok());
+
+    env.faults().clear("net.partition");
+    cl.stop();
+  });
+}
+
+}  // namespace
+}  // namespace doceph::proxy

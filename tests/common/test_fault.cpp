@@ -1,0 +1,159 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace doceph::fault {
+namespace {
+
+TEST(FaultRegistry, UnarmedIsFree) {
+  FaultRegistry reg(1);
+  EXPECT_FALSE(reg.any_armed());
+  EXPECT_FALSE(reg.should_fire("net.drop", 0));
+  EXPECT_EQ(reg.hits("net.drop"), 0u);  // unarmed points don't even count
+  EXPECT_TRUE(reg.firing_log().empty());
+}
+
+TEST(FaultRegistry, OneShotAtHit) {
+  FaultRegistry reg(1);
+  FaultSpec spec;
+  spec.fire_at_hit = 3;
+  spec.count = 1;
+  reg.set("bdev.io_error", spec);
+  EXPECT_TRUE(reg.any_armed());
+  EXPECT_FALSE(reg.should_fire("bdev.io_error", 0));
+  EXPECT_FALSE(reg.should_fire("bdev.io_error", 0));
+  EXPECT_TRUE(reg.should_fire("bdev.io_error", 0));
+  EXPECT_FALSE(reg.should_fire("bdev.io_error", 0));
+  EXPECT_EQ(reg.hits("bdev.io_error"), 4u);
+  EXPECT_EQ(reg.fires("bdev.io_error"), 1u);
+  ASSERT_EQ(reg.firing_log().size(), 1u);
+  EXPECT_EQ(reg.firing_log()[0], "bdev.io_error#3");
+}
+
+TEST(FaultRegistry, FireAtTimeRespectsBudget) {
+  FaultRegistry reg(1);
+  FaultSpec spec;
+  spec.fire_at_time = 1000;
+  spec.count = 2;
+  reg.set("osd.crash", spec);
+  EXPECT_FALSE(reg.should_fire("osd.crash", 999));
+  EXPECT_TRUE(reg.should_fire("osd.crash", 1000));
+  EXPECT_TRUE(reg.should_fire("osd.crash", 2000));
+  EXPECT_FALSE(reg.should_fire("osd.crash", 3000));  // budget exhausted
+}
+
+TEST(FaultRegistry, ForceNextMergesIntoExistingEntry) {
+  FaultRegistry reg(1);
+  FaultSpec spec;
+  spec.probability = 0.0;
+  reg.set("doca.dma_error", spec);
+  reg.fire_next("doca.dma_error", 2);
+  EXPECT_TRUE(reg.should_fire("doca.dma_error", 0));
+  EXPECT_TRUE(reg.should_fire("doca.dma_error", 0));
+  EXPECT_FALSE(reg.should_fire("doca.dma_error", 0));
+}
+
+TEST(FaultRegistry, MatchScopesToSubstring) {
+  FaultRegistry reg(1);
+  FaultSpec spec;
+  spec.force_next = 100;
+  spec.match = "osd.1";
+  reg.set("osd.crash", spec);
+  EXPECT_FALSE(reg.should_fire("osd.crash", 0, "osd.0"));
+  EXPECT_TRUE(reg.should_fire("osd.crash", 0, "osd.1"));
+  EXPECT_FALSE(reg.should_fire("osd.crash", 0, "osd.2"));
+  auto log = reg.firing_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "osd.crash@osd.1#1");
+}
+
+TEST(FaultRegistry, DelayPropagates) {
+  FaultRegistry reg(1);
+  FaultSpec spec;
+  spec.force_next = 1;
+  spec.delay_ns = 5'000'000;
+  reg.set("bdev.latency_spike", spec);
+  FaultHit h = reg.hit("bdev.latency_spike", 0);
+  EXPECT_TRUE(h.fired);
+  EXPECT_EQ(h.delay_ns, 5'000'000u);
+}
+
+// The heart of the determinism contract: same seed, same hit count =>
+// identical firing decisions and identical log, regardless of timing.
+TEST(FaultRegistry, ProbabilisticStreamIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    FaultRegistry reg(seed);
+    FaultSpec spec;
+    spec.probability = 0.3;
+    reg.set("net.drop", spec);
+    std::vector<bool> fired;
+    fired.reserve(200);
+    for (int i = 0; i < 200; ++i) fired.push_back(reg.should_fire("net.drop", i * 7));
+    return std::make_pair(fired, reg.firing_log());
+  };
+  auto [a_fired, a_log] = run(42);
+  auto [b_fired, b_log] = run(42);
+  auto [c_fired, c_log] = run(43);
+  EXPECT_EQ(a_fired, b_fired);
+  EXPECT_EQ(a_log, b_log);
+  EXPECT_NE(a_fired, c_fired);  // different seed perturbs the stream
+  // ~30% of 200 hits should fire; allow a generous band.
+  auto fires = static_cast<int>(a_log.size());
+  EXPECT_GT(fires, 30);
+  EXPECT_LT(fires, 90);
+}
+
+// Concurrent hits from many threads must neither race nor change the
+// total number of fires (the per-hit decisions are serialized).
+TEST(FaultRegistry, ConcurrentHitsAreSerialized) {
+  FaultRegistry reg(7);
+  FaultSpec spec;
+  spec.probability = 0.5;
+  reg.set("net.drop", spec);
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kHitsPerThread; ++i) (void)reg.should_fire("net.drop", 0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.hits("net.drop"), static_cast<std::uint64_t>(kThreads * kHitsPerThread));
+  EXPECT_EQ(reg.fires("net.drop"), reg.firing_log().size());
+}
+
+TEST(FaultRegistry, AdminSetListClear) {
+  FaultRegistry reg(1);
+  std::string r = reg.admin_command({"set", "net.drop", "p=0.25", "count=10", "match=a>b"});
+  EXPECT_NE(r.find("armed net.drop"), std::string::npos);
+  std::string listed = reg.admin_command({"list"});
+  EXPECT_NE(listed.find("\"point\":\"net.drop\""), std::string::npos);
+  EXPECT_NE(listed.find("\"probability\":0.25"), std::string::npos);
+  EXPECT_NE(listed.find("\"match\":\"a>b\""), std::string::npos);
+  r = reg.admin_command({"clear", "net.drop"});
+  EXPECT_NE(r.find("cleared net.drop"), std::string::npos);
+  EXPECT_FALSE(reg.any_armed());
+  // Malformed input is an error reply, not a crash.
+  EXPECT_NE(reg.admin_command({"set"}).find("error"), std::string::npos);
+  EXPECT_NE(reg.admin_command({"set", "x", "nonsense"}).find("error"), std::string::npos);
+  EXPECT_NE(reg.admin_command({"bogus"}).find("error"), std::string::npos);
+  EXPECT_NE(reg.admin_command({}).find("error"), std::string::npos);
+}
+
+TEST(FaultRegistry, SetReplacesEntryWithSameMatch) {
+  FaultRegistry reg(1);
+  FaultSpec a;
+  a.force_next = 5;
+  reg.set("net.drop", a);
+  FaultSpec b;  // replace: no triggers at all
+  reg.set("net.drop", b);
+  EXPECT_FALSE(reg.should_fire("net.drop", 0));
+}
+
+}  // namespace
+}  // namespace doceph::fault

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "proxy/fallback.h"
+
+namespace doceph::proxy {
+namespace {
+
+using Path = FallbackManager::Path;
+
+TEST(FallbackProbe, CooldownExpiryBoundary) {
+  FallbackManager fb(/*cooldown=*/50);
+  EXPECT_EQ(fb.choose(0), Path::dma);
+
+  fb.on_dma_failure(100);
+  EXPECT_FALSE(fb.dma_enabled());
+  // Strictly inside the cooldown window: RPC only.
+  EXPECT_EQ(fb.choose(100), Path::rpc);
+  EXPECT_EQ(fb.choose(149), Path::rpc);
+  EXPECT_EQ(fb.probes(), 0u);
+  // The expiry instant itself is probe-eligible (now >= expiry).
+  EXPECT_EQ(fb.choose(150), Path::probe);
+  EXPECT_EQ(fb.probes(), 1u);
+  // With the probe outstanding, everyone else stays on RPC.
+  EXPECT_EQ(fb.choose(151), Path::rpc);
+  EXPECT_EQ(fb.choose(10'000), Path::rpc);
+  EXPECT_EQ(fb.probes(), 1u);
+}
+
+TEST(FallbackProbe, ConcurrentChooseHandsOutExactlyOneProbe) {
+  FallbackManager fb(/*cooldown=*/10);
+  fb.on_dma_failure(0);
+
+  constexpr int kThreads = 16;
+  std::vector<Path> picked(kThreads, Path::dma);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] { picked[static_cast<std::size_t>(i)] = fb.choose(10); });
+  for (auto& t : threads) t.join();
+
+  int probes = 0;
+  int rpcs = 0;
+  for (const Path p : picked) {
+    if (p == Path::probe) ++probes;
+    if (p == Path::rpc) ++rpcs;
+  }
+  EXPECT_EQ(probes, 1);
+  EXPECT_EQ(rpcs, kThreads - 1);
+  EXPECT_EQ(fb.probes(), 1u);
+}
+
+TEST(FallbackProbe, ProbeFailureReArmsCooldown) {
+  FallbackManager fb(/*cooldown=*/100);
+  fb.on_dma_failure(0);
+  EXPECT_EQ(fb.choose(100), Path::probe);
+
+  // The probe transfer fails: the cooldown restarts from the failure time
+  // and the probe token is returned (a later expiry yields a fresh probe).
+  fb.on_dma_failure(120);
+  EXPECT_FALSE(fb.dma_enabled());
+  EXPECT_EQ(fb.choose(150), Path::rpc);
+  EXPECT_EQ(fb.choose(219), Path::rpc);
+  EXPECT_EQ(fb.choose(220), Path::probe);
+  EXPECT_EQ(fb.failures(), 2u);
+  EXPECT_EQ(fb.probes(), 2u);
+  EXPECT_EQ(fb.recoveries(), 0u);
+}
+
+TEST(FallbackProbe, FullCycleCountsOneRecovery) {
+  FallbackManager fb(/*cooldown=*/100);
+
+  // Steady-state successes are not recoveries.
+  EXPECT_EQ(fb.choose(0), Path::dma);
+  fb.on_dma_success();
+  EXPECT_EQ(fb.recoveries(), 0u);
+
+  fb.on_dma_failure(10);
+  EXPECT_EQ(fb.choose(50), Path::rpc);
+  EXPECT_EQ(fb.choose(110), Path::probe);
+  fb.on_dma_success();  // probe came back clean: DMA re-enabled
+
+  EXPECT_TRUE(fb.dma_enabled());
+  EXPECT_EQ(fb.choose(111), Path::dma);
+  EXPECT_EQ(fb.failures(), 1u);
+  EXPECT_EQ(fb.probes(), 1u);
+  EXPECT_EQ(fb.recoveries(), 1u);
+}
+
+}  // namespace
+}  // namespace doceph::proxy
