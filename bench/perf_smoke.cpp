@@ -3,13 +3,20 @@
 // against a committed baseline. Exits non-zero when DoCeph throughput
 // regresses past the threshold, so the perf-smoke CI job fails the PR.
 //
+// With --repeats N > 1 the DoCeph lap is re-run under N distinct universe
+// seeds and the per-repeat p99 latency and host-CPU cores are RECORDED
+// (not gated) in a "doceph_variance" block — the characterization the
+// roadmap asks for before those metrics can join the regression gate.
+//
 //   perf_smoke --out BENCH_pr.json [--baseline BENCH_baseline.json]
-//              [--threshold 0.20] [--measure-ms 1500]
+//              [--threshold 0.20] [--measure-ms 1500] [--repeats N]
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "benchcore/experiment.h"
 #include "common/json.h"
@@ -41,6 +48,26 @@ void emit_result(doceph::JsonWriter& w, const char* name, const RunResult& r) {
   w.end_object();
 }
 
+/// Record (not gate) the run-to-run spread of a metric across repeats.
+void emit_spread(doceph::JsonWriter& w, const char* name,
+                 const std::vector<double>& samples) {
+  double sum = 0;
+  for (const double s : samples) sum += s;
+  const double mean = sum / static_cast<double>(samples.size());
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  w.key(name);
+  w.begin_object();
+  w.key("samples");
+  w.begin_array();
+  for (const double s : samples) w.value(s);
+  w.end_array();
+  w.kv("mean", mean);
+  w.kv("min", *lo);
+  w.kv("max", *hi);
+  w.kv("rel_spread", mean > 0 ? (*hi - *lo) / mean : 0.0);
+  w.end_object();
+}
+
 /// Pull `"key": <number>` out of a flat JSON dump. Good enough for the
 /// files this tool writes itself; no general JSON parser needed.
 bool extract_number(const std::string& json, const std::string& object,
@@ -62,6 +89,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   double threshold = 0.20;
   long measure_ms = 1500;
+  long repeats = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -69,6 +97,7 @@ int main(int argc, char** argv) {
     else if (arg == "--baseline") baseline_path = next();
     else if (arg == "--threshold") threshold = std::strtod(next(), nullptr);
     else if (arg == "--measure-ms") measure_ms = std::strtol(next(), nullptr, 10);
+    else if (arg == "--repeats") repeats = std::max(1l, std::strtol(next(), nullptr, 10));
     else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return 2;
@@ -95,6 +124,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[perf-smoke] %s: %.0f ops/s, p50 %.2f ms, p99 %.2f ms\n",
                  is_doceph ? "doceph" : "baseline", r.iops, r.p50_lat_s * 1e3,
                  r.p99_lat_s * 1e3);
+  }
+
+  if (repeats > 1) {
+    // Re-run the DoCeph lap under distinct seeds to characterize run-to-run
+    // variance of the metrics the gate does NOT yet cover (p99, host CPU).
+    std::vector<double> p99s{doceph_result.p99_lat_s};
+    std::vector<double> cores{doceph_result.host_cores};
+    spec.mode = doceph::cluster::DeployMode::doceph;
+    for (long rep = 1; rep < repeats; ++rep) {
+      spec.seed = 42 + static_cast<std::uint64_t>(rep);
+      const RunResult r = doceph::benchcore::run_experiment(spec);
+      p99s.push_back(r.p99_lat_s);
+      cores.push_back(r.host_cores);
+      std::fprintf(stderr,
+                   "[perf-smoke] doceph repeat %ld (seed %llu): p99 %.2f ms, "
+                   "host %.3f cores\n",
+                   rep, static_cast<unsigned long long>(spec.seed),
+                   r.p99_lat_s * 1e3, r.host_cores);
+    }
+    w.key("doceph_variance");
+    w.begin_object();
+    w.kv("repeats", static_cast<std::int64_t>(repeats));
+    emit_spread(w, "p99_lat_s", p99s);
+    emit_spread(w, "host_cores", cores);
+    w.end_object();
   }
   w.end_object();
 

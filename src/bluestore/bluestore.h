@@ -71,6 +71,10 @@ class BlueStore final : public os::ObjectStore {
   /// gone; remounting replays the WAL. The DeviceBacking survives.
   void simulate_crash();
 
+  /// False after simulate_crash()/umount(); restart paths use this to tell
+  /// a hard-killed store (needs a remount + WAL replay) from a live one.
+  [[nodiscard]] bool is_mounted() const noexcept { return mounted_; }
+
   void queue_transaction(os::Transaction txn, OnCommit on_commit) override;
 
   Result<BufferList> read(const os::coll_t& c, const os::ghobject_t& o,

@@ -153,7 +153,12 @@ Status KvStore::replay() {
       return Status(Errc::corrupt, "bad KV checkpoint payload");
   }
 
-  // Replay txn records after the checkpoint.
+  // Replay txn records after the checkpoint. Valid records carry strictly
+  // increasing seq under the checkpoint's generation; replay stops at the
+  // first hole — a torn/corrupt record (bad CRC), a stale-generation
+  // record, or a non-increasing seq. Gaps in seq are tolerated (historical
+  // logs could skip numbers when a mid-roll write failed; since the chunked
+  // sync_thread stamps seqs only on durable writes, new logs are gapless).
   std::uint64_t off = seg_start + cp->total_len;
   std::uint64_t seq = 0;
   while (true) {
@@ -239,53 +244,91 @@ void KvStore::sync_thread() {
       batch.swap(queue_);
     }
 
-    // Group commit: serialize the whole batch into consecutive WAL records.
-    BufferList wal_bl;
+    // Serialize every txn once; records are stamped per chunk below, so a
+    // failed write never consumes sequence numbers (no replay-visible gaps).
+    std::vector<BufferList> payloads;
+    payloads.reserve(batch.size());
+    std::uint64_t bytes = 0;
     for (const auto& [txn, cb] : batch) {
       BufferList payload;
       txn.encode(payload);
-      BufferList rec = make_record(kKindTxn, generation_, next_seq_++, payload);
-      wal_bl.claim_append(rec);
+      bytes += payload.length() + kRecHeader + kRecTrailer;
+      payloads.push_back(std::move(payload));
     }
 
     if (domain_ != nullptr) {
       domain_->charge(costs_.per_txn * static_cast<sim::Duration>(batch.size()) +
                       static_cast<sim::Duration>(costs_.per_byte_ns *
-                                                 static_cast<double>(wal_bl.length())));
+                                                 static_cast<double>(bytes)));
     }
 
-    // Segment roll if the batch does not fit.
-    const std::uint64_t seg_end = segment_off(active_segment_) + segment_len();
-    if (append_off_ + wal_bl.length() > seg_end) {
-      const Status st = write_checkpoint_locked(1 - active_segment_, generation_ + 1);
-      if (!st.ok()) {
-        for (auto& [txn, cb] : batch)
-          if (cb) cb(st);
+    // Group commit in segment-sized chunks: pack consecutive records while
+    // they fit the active segment, make the chunk durable, apply + ack it,
+    // then roll to the other segment and continue with the remainder. Each
+    // chunk is applied to the map BEFORE any roll so the roll's checkpoint
+    // (a map snapshot) covers every record already acknowledged.
+    std::size_t idx = 0;
+    bool at_fresh_checkpoint = false;  // nothing appended since the last roll
+    while (idx < batch.size()) {
+      const std::uint64_t seg_end = segment_off(active_segment_) + segment_len();
+      BufferList wal_bl;
+      std::size_t end = idx;
+      while (end < batch.size()) {
+        BufferList rec = make_record(kKindTxn, generation_,
+                                     next_seq_ + (end - idx), payloads[end]);
+        if (append_off_ + wal_bl.length() + rec.length() > seg_end) break;
+        wal_bl.claim_append(rec);
+        ++end;
+      }
+
+      if (end == idx) {
+        // The next record does not fit the active segment's tail.
+        if (at_fresh_checkpoint) {
+          // ... not even at the head of a freshly checkpointed segment: the
+          // record can never be stored. Reject it; writing it anyway would
+          // overflow into the other segment's checkpoint and the record
+          // would silently vanish at the next replay.
+          if (auto& cb = batch[idx].second)
+            cb(Status(Errc::no_space, "KV txn record exceeds WAL segment"));
+          ++idx;
+          continue;
+        }
+        const Status st = write_checkpoint_locked(1 - active_segment_, generation_ + 1);
+        if (!st.ok()) {
+          // The roll failed before anything was stamped under the new
+          // generation: generation_/next_seq_ are untouched, so no sequence
+          // numbers leak. Fail the remainder of the batch — committing a
+          // later chunk after dropping an earlier one would reorder writes.
+          for (std::size_t i = idx; i < batch.size(); ++i)
+            if (auto& cb = batch[i].second) cb(st);
+          break;
+        }
+        at_fresh_checkpoint = true;
         continue;
       }
-      // Re-stamp the batch under the new generation.
-      wal_bl.clear();
-      next_seq_ = 1;
-      for (const auto& [txn, cb] : batch) {
-        BufferList payload;
-        txn.encode(payload);
-        BufferList rec = make_record(kKindTxn, generation_, next_seq_++, payload);
-      wal_bl.claim_append(rec);
-      }
-    }
 
-    const Status st = dev_.write(append_off_, wal_bl);  // durable before apply
-    if (st.ok()) {
-      append_off_ += wal_bl.length();
-      const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
-      for (auto& [txn, cb] : batch) {
-        for (auto& [k, v] : txn.sets) map_[k] = v;
-        for (const auto& k : txn.rms) map_.erase(k);
+      const Status st = dev_.write(append_off_, wal_bl);  // durable before apply
+      if (!st.ok()) {
+        // The media is untouched and this chunk's sequence numbers were
+        // never consumed; fail the remainder (ordering, as above).
+        for (std::size_t i = idx; i < batch.size(); ++i)
+          if (auto& cb = batch[i].second) cb(st);
+        break;
       }
-      committed_.fetch_add(batch.size(), std::memory_order_relaxed);
-    }
-    for (auto& [txn, cb] : batch) {
-      if (cb) cb(st);
+      append_off_ += wal_bl.length();
+      next_seq_ += end - idx;
+      at_fresh_checkpoint = false;
+      {
+        const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
+        for (std::size_t i = idx; i < end; ++i) {
+          for (auto& [k, v] : batch[i].first.sets) map_[k] = v;
+          for (const auto& k : batch[i].first.rms) map_.erase(k);
+        }
+      }
+      committed_.fetch_add(end - idx, std::memory_order_relaxed);
+      for (std::size_t i = idx; i < end; ++i)
+        if (auto& cb = batch[i].second) cb(Status::OK());
+      idx = end;
     }
   }
 }

@@ -80,7 +80,11 @@ class KvStore {
   /// uncommitted transactions are lost; committed ones replay on mount.
   void crash();
 
-  /// Queue a transaction; `cb` fires after the WAL record is durable.
+  /// Queue a transaction; `cb` fires after the WAL record is durable. A
+  /// transaction whose serialized record does not fit a WAL segment even
+  /// right after a fresh checkpoint (the map snapshot shares the segment)
+  /// fails with `no_space` — it is never written partially or past the
+  /// segment end.
   void queue(KvTxn txn, OnCommit cb);
 
   /// Synchronous commit helper.
@@ -99,6 +103,11 @@ class KvStore {
 
   /// Committed transaction count (diagnostics).
   [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
+
+  /// WAL append cursor: absolute device offset where the next record lands.
+  /// Diagnostics/tests only — racy against a concurrently committing sync
+  /// thread; read it while the store is quiesced (or crashed).
+  [[nodiscard]] std::uint64_t append_offset() const noexcept { return append_off_; }
 
  private:
   struct Record;  // wire format helpers in kv.cpp

@@ -104,28 +104,66 @@ Status Cluster::start() {
 void Cluster::chaos_loop() {
   while (!chaos_stop_.load(std::memory_order_acquire)) {
     auto& faults = env_.faults();
-    if (faults.any_armed()) {
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        Node& node = *nodes_[i];
-        const std::string scope = "osd." + std::to_string(i);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Node& node = *nodes_[i];
+      const std::string scope = "osd." + std::to_string(i);
+      if (faults.any_armed()) {
         if (node.osd && !node.osd_down &&
             faults.should_fire("osd.crash", env_.now(), scope)) {
           DLOG(info, "cluster") << "chaos: crashing " << scope;
           node.osd->shutdown();
           node.osd_down = true;
+        } else if (node.osd && !node.osd_down &&
+                   faults.should_fire("osd.hard_crash", env_.now(), scope)) {
+          DLOG(info, "cluster") << "chaos: hard-killing " << scope;
+          (void)hard_kill_osd(static_cast<int>(i));
         } else if (node.osd_down &&
                    faults.should_fire("osd.restart", env_.now(), scope)) {
-          DLOG(info, "cluster") << "chaos: restarting " << scope;
-          node.osd_down = false;
-          const Status st = restart_osd(static_cast<int>(i));
-          if (!st.ok())
-            DLOG(warn, "cluster") << "chaos: restart of " << scope << " failed: "
-                                  << st.to_string();
+          node.restart_pending = true;
+        }
+      }
+      // The node stays marked down until a restart actually succeeds; a
+      // failed attempt (say, WAL replay tripping an armed bdev fault) is
+      // retried on every poll.
+      if (node.osd_down && node.restart_pending) {
+        DLOG(info, "cluster") << "chaos: restarting " << scope;
+        const Status st = restart_osd(static_cast<int>(i));
+        if (st.ok()) {
+          node.restart_pending = false;
+        } else {
+          DLOG(warn, "cluster") << "chaos: restart of " << scope
+                                << " failed (will retry): " << st.to_string();
         }
       }
     }
     env_.keeper().sleep_for(cfg_.chaos_poll);
   }
+}
+
+Status Cluster::hard_kill_osd(int i) {
+  Node& node = *nodes_.at(static_cast<std::size_t>(i));
+  if (!node.osd || node.osd_down)
+    return Status(Errc::invalid_argument, "osd." + std::to_string(i) + " not up");
+  node.osd_down = true;
+  // Power-loss ordering: the NIC dies first (hard_kill downs the messenger
+  // before anything else, so no error replies escape the dead node), then
+  // the host store crashes — in-flight transactions and queued KV txns drop
+  // with errors into the dying daemons, whose replies land on closed
+  // connections. Nothing is drained or checkpointed. The OSD object stays
+  // alive until the proxy/backend have failed their outstanding ops into
+  // it.
+  node.osd->hard_kill();
+  node.store->simulate_crash();
+  if (cfg_.mode == DeployMode::doceph) {
+    if (node.pstore) (void)node.pstore->umount();
+    if (node.backend) node.backend->shutdown();
+  }
+  node.osd.reset();
+  if (cfg_.mode == DeployMode::doceph) {
+    node.pstore.reset();
+    node.backend.reset();
+  }
+  return Status::OK();
 }
 
 void Cluster::stop() {
@@ -153,9 +191,36 @@ void Cluster::stop() {
 
 Status Cluster::restart_osd(int i) {
   auto& node = *nodes_.at(static_cast<std::size_t>(i));
-  node.osd->shutdown();
-  node.osd.reset();
-  node.osd_down = false;
+  if (node.osd) {
+    node.osd->shutdown();
+    node.osd.reset();
+  }
+
+  // Hard-killed node: bring the host store back through the real recovery
+  // path (checkpoint locate + WAL replay). This can fail — an armed bdev
+  // fault during replay, say — in which case the node stays down and the
+  // chaos monitor retries.
+  if (!node.store->is_mounted()) {
+    const Status st = node.store->mount();
+    if (!st.ok()) return st;
+  }
+  if (cfg_.mode == DeployMode::doceph && !node.pstore) {
+    // Re-create the DPU-side daemons over the surviving DpuDevice so the
+    // proxy re-attaches to the remounted host store (fresh slot pool, fresh
+    // RPC channel; the backend maps the new pool's host-side segments).
+    // The old comm channel was closed by the teardown; renegotiate it first.
+    node.dpu->reset_comch();
+    node.pstore =
+        std::make_unique<proxy::ProxyObjectStore>(env_, *node.dpu, cfg_.proxy);
+    node.backend = std::make_unique<proxy::HostBackendService>(
+        env_, *node.host_cpu, *node.store, node.dpu->host_comch(),
+        node.pstore->slots().host_mmap(), node.pstore->slots().slot_size(),
+        cfg_.backend);
+    Status st = node.backend->start();
+    if (!st.ok()) return st;
+    st = node.pstore->mount();
+    if (!st.ok()) return st;
+  }
 
   os::ObjectStore* osd_store = node.store.get();
   net::NetNode* osd_net = node.host_net;
@@ -169,7 +234,9 @@ Status Cluster::restart_osd(int i) {
   osd_cfg.id = i;
   node.osd = std::make_unique<osd::OSD>(env_, fabric_, *osd_net, osd_domain,
                                         *osd_store, mon_->addr(), osd_cfg);
-  return node.osd->init();
+  const Status st = node.osd->init();
+  if (st.ok()) node.osd_down = false;  // only a live OSD counts as up
+  return st;
 }
 
 void Cluster::wait_all_clean() {
@@ -180,6 +247,70 @@ void Cluster::wait_all_clean() {
     if (clean) return;
     env_.keeper().sleep_for(sim::Duration{100} * 1'000'000);  // 100 ms
   }
+}
+
+Cluster::ScrubReport Cluster::scrub_replicas() {
+  ScrubReport rep;
+  const auto map = mon_->current_map();
+  for (const auto& [pool_id, pool] : map.pools()) {
+    for (std::uint32_t seed = 0; seed < pool.pg_num; ++seed) {
+      const crush::pg_t pg{pool_id, seed};
+      const os::coll_t coll = pg.to_coll();
+
+      // Per-object digest on every up acting member's host store.
+      struct Digest {
+        std::uint64_t size = 0;
+        std::uint32_t crc = 0;
+      };
+      std::map<std::string, std::map<int, Digest>> objects;
+      std::vector<int> scanned;
+      for (const int osd_id : map.pg_to_acting(pg)) {
+        Node& node = *nodes_.at(static_cast<std::size_t>(osd_id));
+        if (node.osd_down || !node.store->is_mounted()) continue;
+        scanned.push_back(osd_id);
+        if (!node.store->collection_exists(coll)) continue;
+        auto listed = node.store->list_objects(coll);
+        if (!listed.ok()) {
+          rep.errors.push_back("pg " + pg.to_string() + " osd." +
+                               std::to_string(osd_id) + " list: " +
+                               listed.status().to_string());
+          continue;
+        }
+        for (const auto& oid : *listed) {
+          auto content = node.store->read(coll, oid, 0, 0);
+          if (!content.ok()) {
+            rep.errors.push_back("pg " + pg.to_string() + " osd." +
+                                 std::to_string(osd_id) + " " + oid.name +
+                                 ": " + content.status().to_string());
+            continue;
+          }
+          objects[oid.name][osd_id] =
+              Digest{content->length(), content->crc32c()};
+        }
+      }
+
+      for (const auto& [name, per_osd] : objects) {
+        ++rep.objects;
+        bool diverged = false;
+        const Digest& want = per_osd.begin()->second;
+        for (const int osd_id : scanned) {
+          auto it = per_osd.find(osd_id);
+          if (it == per_osd.end()) {
+            diverged = true;
+            rep.errors.push_back("pg " + pg.to_string() + " " + name +
+                                 " missing on osd." + std::to_string(osd_id));
+          } else if (it->second.size != want.size || it->second.crc != want.crc) {
+            diverged = true;
+            rep.errors.push_back("pg " + pg.to_string() + " " + name +
+                                 " digest mismatch on osd." +
+                                 std::to_string(osd_id));
+          }
+        }
+        if (diverged) ++rep.divergent;
+      }
+    }
+  }
+  return rep;
 }
 
 Cluster::CpuSample Cluster::cpu_sample() const {

@@ -55,10 +55,36 @@ class Cluster {
   /// Wait (sim time) until every OSD reports recovery-clean.
   void wait_all_clean();
 
-  /// Restart a (previously shut down) OSD on the same store and network
-  /// identity — the "node comes back" half of a failure drill. Call from a
-  /// sim thread.
+  /// Restart a (previously shut down or hard-killed) OSD on the same store
+  /// and network identity — the "node comes back" half of a failure drill.
+  /// If the node was hard-killed, the host store is remounted first
+  /// (checkpoint locate + WAL replay) and, in doceph mode, the DPU-side
+  /// proxy + host backend are re-created so the proxy re-attaches to the
+  /// remounted store. Call from a sim thread.
   Status restart_osd(int i);
+
+  /// Power-loss kill of one storage node, as the "osd.hard_crash" fault
+  /// executes it: the host BlueStore crashes first (in-flight transactions
+  /// and queued KV txns drop with errors, nothing is drained), then the OSD
+  /// — and in doceph mode the proxy store and host backend — are torn down
+  /// and discarded. restart_osd() brings the node back through a real
+  /// remount. Call from a sim thread.
+  Status hard_kill_osd(int i);
+
+  /// Post-recovery consistency scrub: walk every PG's acting set and
+  /// compare per-object digests (size + crc32c of the full content) across
+  /// the replicas' host stores.
+  struct ScrubReport {
+    std::uint64_t objects = 0;    ///< distinct (pg, object) pairs compared
+    std::uint64_t divergent = 0;  ///< objects whose replica digests disagree
+    std::vector<std::string> errors;  ///< one line per divergence/read error
+    [[nodiscard]] bool clean() const noexcept {
+      return divergent == 0 && errors.empty();
+    }
+  };
+  /// Call from a sim thread, after wait_all_clean(); nodes currently down
+  /// are skipped (they have no authoritative data to compare).
+  ScrubReport scrub_replicas();
 
   // ---- metrics --------------------------------------------------------------
   struct CpuSample {
@@ -95,12 +121,16 @@ class Cluster {
     std::unique_ptr<proxy::HostBackendService> backend;  // doceph only
     std::unique_ptr<proxy::ProxyObjectStore> pstore;     // doceph only
     std::unique_ptr<osd::OSD> osd;
-    bool osd_down = false;  // taken down by the chaos monitor
+    bool osd_down = false;        // taken down by the chaos monitor
+    bool restart_pending = false; // "osd.restart" fired; retried until it works
   };
 
-  /// Body of the chaos monitor thread: polls "osd.crash" / "osd.restart"
-  /// fault points at cfg_.chaos_poll cadence and executes the fires (a
-  /// daemon cannot kill itself from its own tick thread).
+  /// Body of the chaos monitor thread: polls "osd.crash" / "osd.hard_crash"
+  /// / "osd.restart" fault points at cfg_.chaos_poll cadence and executes
+  /// the fires (a daemon cannot kill itself from its own tick thread). A
+  /// node is marked up again only after a restart actually succeeds; failed
+  /// restarts (e.g. a replay hitting an armed bdev fault) are retried every
+  /// poll.
   void chaos_loop();
 
   sim::Env& env_;

@@ -172,9 +172,10 @@ struct ClusterConfig {
   /// devices match "dpu-<i>" / "bdev-<i>", daemon crashes match "osd.<i>".
   std::vector<std::pair<std::string, fault::FaultSpec>> initial_faults;
 
-  /// Poll cadence of the chaos monitor thread that executes "osd.crash" /
-  /// "osd.restart" fault fires (daemon kill/revive cannot run inline in a
-  /// daemon's own thread).
+  /// Poll cadence of the chaos monitor thread that executes "osd.crash"
+  /// (graceful shutdown) / "osd.hard_crash" (power-loss kill through
+  /// BlueStore::simulate_crash) / "osd.restart" fault fires (daemon
+  /// kill/revive cannot run inline in a daemon's own thread).
   sim::Duration chaos_poll = 250'000'000;  // 250 ms
 
   [[nodiscard]] bluestore::BlueStoreConfig store_config() const {

@@ -4,14 +4,20 @@ namespace doceph::dpu {
 
 DpuDevice::DpuDevice(sim::Env& env, net::Fabric& fabric, const std::string& name,
                      DpuProfile profile)
-    : profile_(profile),
+    : env_(env),
+      profile_(profile),
       cpu_(env.keeper(), name, profile.cores, profile.core_speed),
       net_(fabric.add_node(name, profile.nic, profile.stack)),
       pcie_(profile.pcie),
       dma_(env, pcie_, profile.dma, name) {
-  doca::CommChannelConfig comch_cfg = profile.comch;
-  comch_cfg.name = name;  // scope comch fault specs to this device
-  auto [host_end, dpu_end] = doca::CommChannel::create_pair(env, pcie_, comch_cfg);
+  comch_name_ = name;  // scope comch fault specs to this device
+  reset_comch();
+}
+
+void DpuDevice::reset_comch() {
+  doca::CommChannelConfig comch_cfg = profile_.comch;
+  comch_cfg.name = comch_name_;
+  auto [host_end, dpu_end] = doca::CommChannel::create_pair(env_, pcie_, comch_cfg);
   host_ch_ = std::move(host_end);
   dpu_ch_ = std::move(dpu_end);
 }

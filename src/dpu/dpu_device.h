@@ -46,14 +46,22 @@ class DpuDevice {
   [[nodiscard]] doca::CommChannelRef host_comch() noexcept { return host_ch_; }
   [[nodiscard]] doca::CommChannelRef dpu_comch() noexcept { return dpu_ch_; }
 
+  /// Re-establish the control channel after a teardown closed it (the
+  /// CommChannel negotiation a restarted host service performs in real
+  /// DOCA). The old endpoints stay closed; callers must fetch the new ones
+  /// via host_comch()/dpu_comch().
+  void reset_comch();
+
   [[nodiscard]] const DpuProfile& profile() const noexcept { return profile_; }
 
  private:
+  sim::Env& env_;
   DpuProfile profile_;
   sim::CpuDomain cpu_;
   net::NetNode& net_;
   doca::PcieLink pcie_;
   doca::DmaEngine dma_;
+  std::string comch_name_;
   doca::CommChannelRef host_ch_;
   doca::CommChannelRef dpu_ch_;
 };

@@ -158,6 +158,23 @@ void OSD::register_admin_commands() {
 void OSD::shutdown() {
   if (!started_) return;
   started_ = false;
+  stop_threads();
+  msgr_.shutdown();
+  admin_.unregister_all();
+}
+
+void OSD::hard_kill() {
+  if (!started_) return;
+  started_ = false;
+  // Power loss: the NIC goes down with everything else, so peers see
+  // silence — replies queued by still-draining threads land on closed
+  // connections and vanish instead of escaping as error responses.
+  msgr_.shutdown();
+  stop_threads();
+  admin_.unregister_all();
+}
+
+void OSD::stop_threads() {
   {
     const dbg::LockGuard lk(queue_mutex_);
     stopping_ = true;
@@ -174,8 +191,6 @@ void OSD::shutdown() {
   }
   op_workers_.clear();  // joins
   ticker_.join();
-  msgr_.shutdown();
-  admin_.unregister_all();
 }
 
 // ---- dispatch -------------------------------------------------------------------

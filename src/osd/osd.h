@@ -75,6 +75,13 @@ class OSD final : public msgr::Dispatcher {
 
   void shutdown();
 
+  /// Power-loss variant of shutdown(): the messenger dies FIRST, so nothing
+  /// the dying daemon does afterwards is externally visible — no error
+  /// replies or repops escape the dead node (peers just see silence, as
+  /// with a real power cut). Store completion callbacks arriving after this
+  /// land on closed connections and are dropped. Call from a sim thread.
+  void hard_kill();
+
   [[nodiscard]] int id() const noexcept { return cfg_.id; }
   [[nodiscard]] net::Address addr() const { return msgr_.addr(); }
   [[nodiscard]] crush::epoch_t map_epoch() const { return monc_.epoch(); }
@@ -102,6 +109,9 @@ class OSD final : public msgr::Dispatcher {
   void ms_handle_reset(const msgr::ConnectionRef& con) override;
 
  private:
+  /// Shared teardown tail: stop and join op workers and the ticker.
+  void stop_threads();
+
   // ---- op pipeline -----------------------------------------------------------
   void enqueue_op(std::function<void()> fn);
   void op_worker();

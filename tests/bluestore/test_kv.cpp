@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "../test_util.h"
+#include "common/fault.h"
 
 namespace doceph::bluestore {
 namespace {
@@ -160,6 +163,166 @@ TEST(KvStore, SegmentRollCheckpointsAndSurvives) {
     EXPECT_EQ(f.kv->get("big3")->to_string(), pattern(100 << 10, 59));
     EXPECT_TRUE(f.kv->umount().ok());
   });
+}
+
+TEST(KvStore, OversizedRecordFailsWithNoSpace) {
+  // 2 MiB WAL => 1 MiB segments. A single ~1.5 MiB record can never fit a
+  // segment, not even right after a checkpoint roll; committing it must
+  // fail with no_space. (Regression: the roll path used to write the
+  // re-stamped batch anyway, overflowing the segment — the record silently
+  // vanished at the next replay, i.e. an acknowledged commit was lost.)
+  KvFixture f(2 << 20);
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mkfs().ok());
+    ASSERT_TRUE(f.kv->mount().ok());
+    ASSERT_TRUE(f.kv->submit(KvFixture::set("keep", "safe")).ok());
+    const Status st = f.kv->submit(KvFixture::set("huge", pattern(1536 << 10, 1)));
+    EXPECT_EQ(st.code(), Errc::no_space) << st.to_string();
+    EXPECT_FALSE(f.kv->contains("huge"));
+    // The store stays usable and crash-consistent after the rejection.
+    ASSERT_TRUE(f.kv->submit(KvFixture::set("after", "ok")).ok());
+    f.kv->crash();
+  });
+  f.reopen(2 << 20);
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mount().ok());
+    EXPECT_TRUE(f.kv->contains("keep"));
+    EXPECT_TRUE(f.kv->contains("after"));
+    EXPECT_FALSE(f.kv->contains("huge"));
+    EXPECT_TRUE(f.kv->umount().ok());
+  });
+}
+
+TEST(KvStore, OversizedBatchSplitsAcrossSegments) {
+  // A group-commit burst whose combined record size (~3 MiB) exceeds a
+  // whole 1 MiB segment (keys cycle over a small set so the checkpoint's
+  // map snapshot still fits a segment). The sync thread must split the
+  // batch into segment-sized chunks (rolling a checkpoint in between)
+  // rather than writing it past the segment end; every txn commits and
+  // survives a crash.
+  KvFixture f(2 << 20);
+  constexpr int kN = 30;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mkfs().ok());
+    ASSERT_TRUE(f.kv->mount().ok());
+    std::mutex m;
+    CondVar cv(f.env.keeper());
+    int done = 0;
+    for (int i = 0; i < kN; ++i) {
+      f.kv->queue(KvFixture::set("k" + std::to_string(i % 7),
+                                 pattern(100 << 10, static_cast<unsigned>(i))),
+                  [&](Status st) {
+                    EXPECT_TRUE(st.ok()) << st.to_string();
+                    const std::lock_guard<std::mutex> lk(m);
+                    ++done;
+                    cv.notify_all();
+                  });
+    }
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done == kN; });
+    lk.unlock();
+    f.kv->crash();
+  });
+  f.reopen(2 << 20);
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mount().ok());
+    EXPECT_EQ(f.kv->num_keys(), 7u);
+    // Last writes win: key k(29 % 7 = 1) carries the payload from i = 29.
+    EXPECT_EQ(f.kv->get("k1")->to_string(), pattern(100 << 10, 29));
+    EXPECT_TRUE(f.kv->umount().ok());
+  });
+}
+
+TEST(KvStore, CheckpointRollIoErrorLeaksNoSequenceNumbers) {
+  // Fill segment 0 so the next fat txn forces a roll, then fail exactly the
+  // roll's checkpoint write (the next device IO) with bdev.io_error. The
+  // batch must fail with the device error, consume no WAL sequence numbers,
+  // and the store must keep committing — both into the old segment's
+  // remaining tail and through a later (successful) roll — with everything
+  // replaying intact after a crash.
+  KvFixture f(2 << 20);
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mkfs().ok());
+    ASSERT_TRUE(f.kv->mount().ok());
+    for (int i = 0; i < 10; ++i)
+      ASSERT_TRUE(f.kv
+                      ->submit(KvFixture::set("fill" + std::to_string(i % 5),
+                                              pattern(100 << 10, static_cast<unsigned>(i))))
+                      .ok());
+    fault::FaultSpec once;
+    once.force_next = 1;
+    f.env.faults().set("bdev.io_error", once);
+    const Status st = f.kv->submit(KvFixture::set("boom", pattern(100 << 10, 99)));
+    EXPECT_EQ(st.code(), Errc::io_error) << st.to_string();
+    EXPECT_FALSE(f.kv->contains("boom"));
+    EXPECT_EQ(f.env.faults().fires("bdev.io_error"), 1u);
+    // Small record: fits the old segment's tail (no roll needed).
+    ASSERT_TRUE(f.kv->submit(KvFixture::set("small", "fits")).ok());
+    // Fat records: force the roll again, which now succeeds.
+    for (int i = 0; i < 4; ++i)
+      ASSERT_TRUE(f.kv
+                      ->submit(KvFixture::set("post" + std::to_string(i),
+                                              pattern(100 << 10, static_cast<unsigned>(50 + i))))
+                      .ok());
+    f.kv->crash();
+  });
+  f.reopen(2 << 20);
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mount().ok());
+    EXPECT_FALSE(f.kv->contains("boom"));
+    EXPECT_TRUE(f.kv->contains("small"));
+    for (int i = 0; i < 5; ++i)
+      EXPECT_TRUE(f.kv->contains("fill" + std::to_string(i))) << i;
+    for (int i = 0; i < 4; ++i)
+      EXPECT_TRUE(f.kv->contains("post" + std::to_string(i))) << i;
+    EXPECT_TRUE(f.kv->umount().ok());
+  });
+}
+
+TEST(KvStore, TornTrailingRecordsReplayCommittedPrefix) {
+  // Property: tear the WAL tail at an arbitrary point (simulating a write
+  // that was cut mid-record by power loss) and replay must stop cleanly at
+  // the first bad CRC, restoring exactly a prefix of the committed txns.
+  // Each txn i writes both "seq"=i and "k<i>", so the surviving "seq" value
+  // identifies the prefix and every k<j> must exist iff j <= prefix.
+  constexpr int kTxns = 12;
+  for (const std::uint64_t tear_seed : {11u, 22u, 33u, 44u, 55u, 66u}) {
+    KvFixture f(2 << 20);
+    std::uint64_t wal_begin = 0;
+    std::uint64_t wal_end = 0;
+    run_sim(f.env, [&] {
+      ASSERT_TRUE(f.kv->mkfs().ok());
+      ASSERT_TRUE(f.kv->mount().ok());
+      wal_begin = f.kv->append_offset();  // end of the mkfs checkpoint
+      for (int i = 0; i < kTxns; ++i) {
+        KvTxn t;
+        t.sets["seq"] = BufferList::copy_of(std::to_string(i));
+        t.sets["k" + std::to_string(i)] =
+            BufferList::copy_of(pattern(4 << 10, static_cast<unsigned>(i)));
+        ASSERT_TRUE(f.kv->submit(std::move(t)).ok());
+      }
+      wal_end = f.kv->append_offset();
+      f.kv->crash();
+    });
+    ASSERT_GT(wal_end, wal_begin);
+    std::mt19937_64 rng(tear_seed);
+    const std::uint64_t tear = wal_begin + rng() % (wal_end - wal_begin);
+    f.backing->write(tear, BufferList::copy_of(std::string(
+                               static_cast<std::size_t>(wal_end - tear), '\xa5')));
+    f.reopen(2 << 20);
+    run_sim(f.env, [&] {
+      ASSERT_TRUE(f.kv->mount().ok()) << "tear_seed " << tear_seed;
+      int prefix = -1;
+      if (const auto s = f.kv->get("seq")) prefix = std::stoi(s->to_string());
+      // The tear landed inside some record, so at least one txn is gone.
+      EXPECT_LT(prefix, kTxns - 1) << "tear_seed " << tear_seed;
+      for (int i = 0; i < kTxns; ++i) {
+        EXPECT_EQ(f.kv->contains("k" + std::to_string(i)), i <= prefix)
+            << "tear_seed " << tear_seed << " txn " << i << " prefix " << prefix;
+      }
+      EXPECT_TRUE(f.kv->umount().ok());
+    });
+  }
 }
 
 TEST(KvStore, GroupCommitBatchesConcurrentWriters) {

@@ -1,0 +1,142 @@
+// Chaos: power-loss kill of the primary OSD mid-bench. Unlike the graceful
+// "osd.crash" drill, "osd.hard_crash" rips the host BlueStore out from
+// under the daemons (in-flight transactions and queued KV txns drop with
+// errors, nothing is drained), so the revival at t=8s has to go through the
+// real recovery path: checkpoint locate + WAL replay on remount — with the
+// victim's block device running slow (standing latency spikes) the whole
+// time, replay included. In doceph mode the DPU-side proxy and host backend
+// are re-created and re-attach to the remounted store. The baseline variant
+// additionally fires a one-shot bdev.io_error on the first replay read, so
+// the first restart attempt fails and the chaos monitor's retry brings the
+// node back. Both end with the replica-consistency scrub finding zero
+// divergence, reproducibly from one seed.
+#include <gtest/gtest.h>
+
+#include "chaos_util.h"
+#include "cluster/cluster.h"
+
+namespace doceph::cluster {
+namespace {
+
+using namespace doceph::sim;
+using doceph::testing::pattern;
+using doceph::testing::run_sim;
+
+constexpr Time kKillAt = 3'000'000'000;     // 3 s into the bench
+constexpr Time kRestartAt = 8'000'000'000;  // revive 5 s later
+constexpr int kObjects = 16;
+constexpr std::size_t kObjBytes = 64 << 10;
+
+ClusterConfig hard_cfg(DeployMode mode, bool replay_io_error) {
+  auto cfg = ClusterConfig::paper_testbed(mode, NetworkKind::gbe_100,
+                                          /*retain_data=*/true);
+  cfg.pg_num = 8;
+  cfg.osd_template.heartbeat_grace = 2'000'000'000;
+  cfg.osd_template.recovery_quiesce = 500'000'000;
+  cfg.osd_template.tick_interval = 250'000'000;
+  cfg.client.resend_timeout = 1'000'000'000;  // re-drive silent ops quickly
+
+  // The chaos script: power-loss osd.1 at t=3s, revive it at t=8s. One-shot
+  // specs (count=1), so each run logs exactly these fires.
+  fault::FaultSpec kill;
+  kill.fire_at_time = kKillAt;
+  kill.count = 1;
+  kill.match = "osd.1";
+  fault::FaultSpec restart;
+  restart.fire_at_time = kRestartAt;
+  restart.count = 1;
+  restart.match = "osd.1";
+  // Standing latency spikes on the victim's device: every IO — including
+  // the remount's checkpoint-locate and WAL-replay reads — runs 2 ms slow.
+  // State-like (unlimited count), so it stays out of the firing log.
+  fault::FaultSpec spike;
+  spike.fire_at_time = 0;
+  spike.delay_ns = 2'000'000;
+  spike.match = "bdev-1";
+  cfg.initial_faults = {{"osd.hard_crash", kill},
+                        {"osd.restart", restart},
+                        {"bdev.latency_spike", spike}};
+  if (replay_io_error) {
+    // One-shot io_error armed to hit the first bdev-1 IO at/after the
+    // restart time. The store is dead between kill and revival, so that IO
+    // is the remount's first checkpoint read: mount fails, the node stays
+    // down, and the chaos monitor retries the restart on its next poll.
+    fault::FaultSpec replay_err;
+    replay_err.fire_at_time = kRestartAt;
+    replay_err.count = 1;
+    replay_err.match = "bdev-1";
+    cfg.initial_faults.emplace_back("bdev.io_error", replay_err);
+  }
+  return cfg;
+}
+
+void hard_kill_scenario(Env& env, DeployMode mode, bool replay_io_error) {
+  Cluster cl(env, hard_cfg(mode, replay_io_error));
+  ASSERT_TRUE(cl.start().ok());
+  auto io = cl.client().io_ctx(1);
+
+  // A slow sequential bench spanning the kill (t=3s) and revival (t=8s):
+  // ~600 ms per lap keeps writes in flight across both transitions.
+  for (int i = 0; i < kObjects; ++i) {
+    const Status st = io.write_full(
+        "obj" + std::to_string(i),
+        BufferList::copy_of(pattern(kObjBytes, static_cast<unsigned>(i))));
+    ASSERT_TRUE(st.ok()) << "obj" << i << ": " << st.to_string();
+    env.keeper().sleep_for(600'000'000);
+  }
+
+  // The kill actually happened mid-bench and cost the client at least one
+  // in-flight op (dropped by the dying store, re-driven by resend).
+  EXPECT_GT(env.now(), kRestartAt);
+  EXPECT_GE(cl.client().perf_counters()->get(client::l_client_op_retry), 1u);
+
+  // The revived OSD rejoins the map over a genuinely remounted store.
+  while (!cl.monitor().current_map().is_up(1))
+    env.keeper().sleep_for(200'000'000);
+  EXPECT_TRUE(cl.blue_store(1).is_mounted());
+  cl.wait_all_clean();
+
+  // Post-recovery consistency scrub: every PG's acting set agrees on every
+  // object's digest, including objects written while osd.1 was dead.
+  const auto rep = cl.scrub_replicas();
+  EXPECT_EQ(rep.objects, static_cast<std::uint64_t>(kObjects));
+  EXPECT_TRUE(rep.clean()) << [&] {
+    std::string all;
+    for (const auto& e : rep.errors) all += e + "\n";
+    return all;
+  }();
+  cl.stop();
+}
+
+TEST(ChaosHardKill, DocephPrimaryHardKilledRecoversClean) {
+  const auto log = doceph::testing::chaos_run(/*seed=*/4242, [](Env& env) {
+    hard_kill_scenario(env, DeployMode::doceph, /*replay_io_error=*/false);
+  });
+  // Exactly one power-loss and one revival; the standing latency spikes are
+  // state-like and never appear in the log.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_TRUE(log[0].rfind("osd.hard_crash@osd.1#", 0) == 0) << log[0];
+  EXPECT_TRUE(log[1].rfind("osd.restart@osd.1#", 0) == 0) << log[1];
+}
+
+TEST(ChaosHardKill, BaselineReplayIoErrorIsRetriedUntilMountSucceeds) {
+  const auto log = doceph::testing::chaos_run(/*seed=*/4343, [](Env& env) {
+    hard_kill_scenario(env, DeployMode::baseline, /*replay_io_error=*/true);
+  });
+  // Kill, revival fire, then the replay read trips the one-shot io_error
+  // (first restart attempt fails); the retry that succeeds consumes no
+  // further faults.
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_TRUE(log[0].rfind("osd.hard_crash@osd.1#", 0) == 0) << log[0];
+  EXPECT_TRUE(log[1].rfind("osd.restart@osd.1#", 0) == 0) << log[1];
+  EXPECT_TRUE(log[2].rfind("bdev.io_error@bdev-1#", 0) == 0) << log[2];
+}
+
+TEST(ChaosHardKill, KillScheduleIsSeedReproducible) {
+  doceph::testing::expect_reproducible(/*seed=*/4242, [](Env& env) {
+    hard_kill_scenario(env, DeployMode::doceph, /*replay_io_error=*/false);
+  });
+}
+
+}  // namespace
+}  // namespace doceph::cluster
