@@ -1,15 +1,23 @@
 // CI perf smoke: one short rados-bench lap per deploy mode, emitted as
 // JSON (ops/s, p50/p99, per-stage latencies) and optionally compared
 // against a committed baseline. Exits non-zero when DoCeph throughput
-// regresses past the threshold, so the perf-smoke CI job fails the PR.
+// regresses, p99 latency inflates, or host-CPU cores climb past their
+// thresholds, so the perf-smoke CI job fails the PR.
 //
 // With --repeats N > 1 the DoCeph lap is re-run under N distinct universe
-// seeds and the per-repeat p99 latency and host-CPU cores are RECORDED
-// (not gated) in a "doceph_variance" block — the characterization the
-// roadmap asks for before those metrics can join the regression gate.
+// seeds and the per-repeat p99 latency and host-CPU cores are recorded in
+// a "doceph_variance" block. Measured characterization: the virtual-clock
+// sim is fully deterministic and this workload consumes no seed-dependent
+// randomness, so seed-to-seed rel_spread is exactly 0 — any gate trip is
+// a real code-induced regression, never noise. The default margins are
+// therefore pure headroom for intentional perf-relevant changes (a
+// baseline refresh is the answer when one lands, not a wider gate).
 //
 //   perf_smoke --out BENCH_pr.json [--baseline BENCH_baseline.json]
-//              [--threshold 0.20] [--measure-ms 1500] [--repeats N]
+//              [--threshold 0.20] [--p99-threshold 0.30]
+//              [--cores-threshold 0.25] [--measure-ms 1500] [--repeats N]
+//
+// A threshold of 0 disables that gate (iops/p99/cores each independently).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -88,6 +96,8 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_pr.json";
   std::string baseline_path;
   double threshold = 0.20;
+  double p99_threshold = 0.30;
+  double cores_threshold = 0.25;
   long measure_ms = 1500;
   long repeats = 1;
   for (int i = 1; i < argc; ++i) {
@@ -96,6 +106,8 @@ int main(int argc, char** argv) {
     if (arg == "--out") out_path = next();
     else if (arg == "--baseline") baseline_path = next();
     else if (arg == "--threshold") threshold = std::strtod(next(), nullptr);
+    else if (arg == "--p99-threshold") p99_threshold = std::strtod(next(), nullptr);
+    else if (arg == "--cores-threshold") cores_threshold = std::strtod(next(), nullptr);
     else if (arg == "--measure-ms") measure_ms = std::strtol(next(), nullptr, 10);
     else if (arg == "--repeats") repeats = std::max(1l, std::strtol(next(), nullptr, 10));
     else {
@@ -171,21 +183,57 @@ int main(int argc, char** argv) {
   }
   std::stringstream ss;
   ss << in.rdbuf();
+  const std::string baseline_json = ss.str();
+  bool failed = false;
+
+  // Gate 1: DoCeph throughput may not DROP past `threshold`.
   double base_iops = 0;
-  if (!extract_number(ss.str(), "doceph", "ops_per_sec", base_iops) ||
-      base_iops <= 0) {
-    std::fprintf(stderr, "baseline %s has no doceph ops_per_sec; skipping gate\n",
+  if (threshold > 0 &&
+      extract_number(baseline_json, "doceph", "ops_per_sec", base_iops) &&
+      base_iops > 0) {
+    const double drop = (base_iops - doceph_result.iops) / base_iops;
+    std::fprintf(stderr,
+                 "[perf-smoke] doceph ops/s: baseline %.0f, this run %.0f "
+                 "(%+.1f%%; gate: -%.0f%%)\n",
+                 base_iops, doceph_result.iops, -drop * 100, threshold * 100);
+    if (drop > threshold) {
+      std::fprintf(stderr, "[perf-smoke] FAIL: throughput regression beyond gate\n");
+      failed = true;
+    }
+  } else if (threshold > 0) {
+    std::fprintf(stderr, "baseline %s has no doceph ops_per_sec; skipping iops gate\n",
                  baseline_path.c_str());
-    return 0;
   }
-  const double drop = (base_iops - doceph_result.iops) / base_iops;
-  std::fprintf(stderr,
-               "[perf-smoke] doceph ops/s: baseline %.0f, this run %.0f "
-               "(%+.1f%%; gate: -%.0f%%)\n",
-               base_iops, doceph_result.iops, -drop * 100, threshold * 100);
-  if (drop > threshold) {
-    std::fprintf(stderr, "[perf-smoke] FAIL: throughput regression beyond gate\n");
-    return 1;
+
+  // Gates 2+3: p99 latency and host-CPU cores may not GROW past their
+  // thresholds. Host cores is the paper's headline metric — DoCeph exists
+  // to shrink it — so a silent climb is as much a regression as lost iops.
+  const struct {
+    const char* key;
+    const char* label;
+    double current;
+    double limit;
+  } growth_gates[] = {
+      {"p99_lat_s", "p99 latency", doceph_result.p99_lat_s, p99_threshold},
+      {"host_cores", "host-CPU cores", doceph_result.host_cores, cores_threshold},
+  };
+  for (const auto& g : growth_gates) {
+    if (g.limit <= 0) continue;
+    double base = 0;
+    if (!extract_number(baseline_json, "doceph", g.key, base) || base <= 0) {
+      std::fprintf(stderr, "baseline %s has no doceph %s; skipping %s gate\n",
+                   baseline_path.c_str(), g.key, g.label);
+      continue;
+    }
+    const double growth = (g.current - base) / base;
+    std::fprintf(stderr,
+                 "[perf-smoke] doceph %s: baseline %.4g, this run %.4g "
+                 "(%+.1f%%; gate: +%.0f%%)\n",
+                 g.label, base, g.current, growth * 100, g.limit * 100);
+    if (growth > g.limit) {
+      std::fprintf(stderr, "[perf-smoke] FAIL: %s regression beyond gate\n", g.label);
+      failed = true;
+    }
   }
-  return 0;
+  return failed ? 1 : 0;
 }

@@ -2,12 +2,13 @@
 # doceph verification matrix: lint + lockdep + sanitizer test runs.
 #
 #   scripts/check.sh            # full matrix: lint, Debug+lockdep, TSan
-#   scripts/check.sh lint       # clang-tidy only
+#   scripts/check.sh lint       # doceph_lint.py + clang-tidy
 #   scripts/check.sh default    # stock configure + ctest (the tier-1 gate)
 #   scripts/check.sh lockdep    # Debug + DOCEPH_LOCKDEP=ON ctest
 #   scripts/check.sh tsan       # ThreadSanitizer ctest
 #   scripts/check.sh asan       # Address+UB sanitizer ctest
 #   scripts/check.sh obs        # observability suites under lockdep + TSan
+#   scripts/check.sh thread-safety  # Clang -Wthread-safety build (errors)
 #
 # Each configuration gets its own build tree (build-<name>/) so the presets
 # never contaminate each other; trees are reused across runs for speed.
@@ -58,6 +59,12 @@ run_config() { # name cmake-args...
 }
 
 run_lint() {
+  banner "doceph_lint"
+  # Repo invariants (bare std primitives, stray native(), fault-point
+  # registry, perf-counter ranges). Pure python; always available.
+  if ! python3 scripts/doceph_lint.py; then
+    FAILED+=("lint:doceph_lint")
+  fi
   banner "clang-tidy"
   if ! command -v clang-tidy > /dev/null 2>&1; then
     echo "clang-tidy not installed; skipping lint (install clang-tidy to enable)"
@@ -95,13 +102,36 @@ case "$MODE" in
   lockdep) run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON ;;
   tsan) run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON ;;
   asan) run_config asan -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_ASAN_UBSAN=ON ;;
+  thread-safety)
+    # Static lock checking: build only (the annotations are compile-time; the
+    # binaries are the same ones `default` already tests).
+    if ! command -v clang++ > /dev/null 2>&1; then
+      echo "clang++ not installed; skipping thread-safety build (install clang to enable)"
+    else
+      banner "configure+build: thread-safety (Clang -Wthread-safety)"
+      cmake -B build-thread-safety -S . "${LAUNCHER[@]}" \
+        -DCMAKE_CXX_COMPILER=clang++ -DDOCEPH_THREAD_SAFETY=ON \
+        > build-thread-safety.configure.log 2>&1 || {
+        echo "configure failed (build-thread-safety.configure.log)"
+        FAILED+=("thread-safety:configure")
+      }
+      if [ ${#FAILED[@]} -eq 0 ]; then
+        cmake --build build-thread-safety -j "$JOBS" \
+          > build-thread-safety.build.log 2>&1 || {
+          echo "build failed (build-thread-safety.build.log)"
+          grep -E 'thread-safety|error:' build-thread-safety.build.log | head -40
+          FAILED+=("thread-safety:build")
+        }
+      fi
+    fi
+    ;;
   all)
     run_lint
     run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON
     run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON
     ;;
   *)
-    echo "usage: $0 [all|lint|default|lockdep|tsan|asan|obs]" >&2
+    echo "usage: $0 [all|lint|default|lockdep|tsan|asan|obs|thread-safety]" >&2
     exit 2
     ;;
 esac

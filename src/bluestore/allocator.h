@@ -55,7 +55,7 @@ class ExtentAllocator {
   std::uint64_t size_;
   std::uint64_t alloc_unit_;
   mutable dbg::Mutex mutex_{"bluestore.alloc"};
-  IntervalSet<std::uint64_t> free_;
+  IntervalSet<std::uint64_t> free_ DOCEPH_GUARDED_BY(mutex_);
 };
 
 }  // namespace doceph::bluestore

@@ -48,7 +48,7 @@ BlockDevice::BlockDevice(sim::Env& env, BlockDeviceConfig cfg,
       cfg_(cfg),
       backing_(backing ? std::move(backing) : std::make_shared<DeviceBacking>()) {}
 
-BlockDevice::~BlockDevice() {
+BlockDevice::~BlockDevice() {  // NOLINT(bugprone-exception-escape): teardown drains in-flight IO; a throw terminates, by design
   std::unique_lock<std::mutex> lk(gate_->m);
   gate_->alive = false;
   // A wrapper the scheduler thread is already executing holds no reference

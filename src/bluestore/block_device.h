@@ -50,7 +50,8 @@ class DeviceBacking {
 
  private:
   mutable dbg::Mutex mutex_{"bluestore.backing"};
-  std::map<std::uint64_t, std::vector<char>> chunks_;  // chunk index -> bytes
+  // chunk index -> bytes
+  std::map<std::uint64_t, std::vector<char>> chunks_ DOCEPH_GUARDED_BY(mutex_);
 };
 
 /// The simulated block device: serializes IO through one channel at the
@@ -107,8 +108,8 @@ class BlockDevice {
   /// std primitives (not dbg::): the critical sections are tiny, real-time,
   /// and must work from unregistered threads (test teardown).
   struct IoGate {
-    std::mutex m;
-    std::condition_variable cv;
+    std::mutex m;                 // doceph-lint: allow(bare-mutex) teardown gate runs on unregistered threads
+    std::condition_variable cv;   // doceph-lint: allow(bare-mutex) paired with the gate mutex above
     bool alive = true;
     int executing = 0;
   };

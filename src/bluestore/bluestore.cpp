@@ -48,7 +48,7 @@ BlueStore::BlueStore(sim::Env& env, sim::CpuDomain* domain, BlueStoreConfig cfg,
                   .create();
 }
 
-BlueStore::~BlueStore() {
+BlueStore::~BlueStore() {  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
   if (mounted_) simulate_crash();
 }
 
@@ -90,7 +90,10 @@ Status BlueStore::umount() {
   // Drain all in-flight transactions.
   {
     dbg::UniqueLock lk(mutex_);
-    seq_drained_.wait(lk, [&] { return sequencers_.empty(); });
+    seq_drained_.wait(lk, [&] {
+      mutex_.assert_held();  // predicate runs as a separate function
+      return sequencers_.empty();
+    });
     onode_cache_.clear();
     lru_.clear();
     coll_cache_.clear();
@@ -297,7 +300,10 @@ void BlueStore::aio_thread_loop() {
     std::function<void()> task;
     {
       dbg::UniqueLock lk(aio_mutex_);
-      aio_cv_.wait(lk, [&] { return aio_stop_ || !aio_queue_.empty(); });
+      aio_cv_.wait(lk, [&] {
+        aio_mutex_.assert_held();
+        return aio_stop_ || !aio_queue_.empty();
+      });
       if (aio_queue_.empty() && aio_stop_) return;
       task = std::move(aio_queue_.front());
       aio_queue_.pop_front();
@@ -472,7 +478,10 @@ void BlueStore::finish_txc(const TxRef& txc, Status st) {
 
 void BlueStore::flush_collection(const os::coll_t& cid) {
   dbg::UniqueLock lk(mutex_);
-  seq_drained_.wait(lk, [&] { return !sequencers_.contains(cid); });
+  seq_drained_.wait(lk, [&] {
+    mutex_.assert_held();
+    return !sequencers_.contains(cid);
+  });
 }
 
 // ---- reads ----------------------------------------------------------------------

@@ -119,6 +119,9 @@ class BlueStore final : public os::ObjectStore {
     std::vector<std::vector<Extent>> release_after_commit;
     OnCommit on_commit;
     Status build_status;
+    // pending_ios/ios_done/submitted are guarded by the owning store's
+    // mutex_ while the txc sits in a sequencer — a cross-object guard the
+    // static analysis cannot express per instance.
     int pending_ios = 0;
     bool ios_done = false;
     bool submitted = false;
@@ -131,9 +134,11 @@ class BlueStore final : public os::ObjectStore {
   static std::string coll_prefix(const os::coll_t& c);
 
   /// Fetch an onode into the cache (nullopt if absent). Requires mutex_.
-  std::optional<Onode> get_onode_locked(const os::coll_t& c, const os::ghobject_t& o);
-  void put_onode_locked(const std::string& key, const Onode& onode);
-  void erase_onode_locked(const std::string& key);
+  std::optional<Onode> get_onode_locked(const os::coll_t& c, const os::ghobject_t& o)
+      DOCEPH_REQUIRES(mutex_);
+  void put_onode_locked(const std::string& key, const Onode& onode)
+      DOCEPH_REQUIRES(mutex_);
+  void erase_onode_locked(const std::string& key) DOCEPH_REQUIRES(mutex_);
 
   /// Read the full logical content of an onode (inline or from the device).
   /// Called WITHOUT mutex_ held (device reads block).
@@ -153,7 +158,7 @@ class BlueStore final : public os::ObjectStore {
                                     std::vector<std::pair<std::uint64_t, BufferList>>& writes);
 
   void on_ios_complete(const TxRef& txc);
-  void submit_ready_locked(const os::coll_t& cid);
+  void submit_ready_locked(const os::coll_t& cid) DOCEPH_REQUIRES(mutex_);
   void finish_txc(const TxRef& txc, Status st);
 
   /// Hand a completion task to the "bstore_aio" thread (device callbacks run
@@ -184,20 +189,21 @@ class BlueStore final : public os::ObjectStore {
     Onode onode;
     std::list<std::string>::iterator lru_it;
   };
-  std::unordered_map<std::string, CacheEntry> onode_cache_;
-  std::list<std::string> lru_;
+  std::unordered_map<std::string, CacheEntry> onode_cache_
+      DOCEPH_GUARDED_BY(mutex_);
+  std::list<std::string> lru_ DOCEPH_GUARDED_BY(mutex_);
   /// Collections whose create has been *built* (possibly not yet committed):
   /// concurrent transactions against a brand-new PG must see it. Guarded by
   /// mutex_; cleared on unmount.
-  std::set<std::string> coll_cache_;
+  std::set<std::string> coll_cache_ DOCEPH_GUARDED_BY(mutex_);
 
-  std::map<os::coll_t, std::deque<TxRef>> sequencers_;
+  std::map<os::coll_t, std::deque<TxRef>> sequencers_ DOCEPH_GUARDED_BY(mutex_);
 
   // "bstore_aio" completion thread.
   dbg::Mutex aio_mutex_{"bluestore.aio"};
   dbg::CondVar aio_cv_;
-  std::deque<std::function<void()>> aio_queue_;
-  bool aio_stop_ = true;
+  std::deque<std::function<void()>> aio_queue_ DOCEPH_GUARDED_BY(aio_mutex_);
+  bool aio_stop_ DOCEPH_GUARDED_BY(aio_mutex_) = true;
   sim::Thread aio_thread_;
 };
 

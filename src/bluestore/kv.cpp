@@ -52,14 +52,14 @@ KvStore::KvStore(sim::Env& env, BlockDevice& dev, std::uint64_t wal_off,
   assert(wal_len_ >= 2 << 20 && "WAL region too small");
 }
 
-KvStore::~KvStore() {
+KvStore::~KvStore() {  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
   if (running_) crash();
 }
 
 Status KvStore::mkfs() {
   assert(!running_);
   {
-    const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
+    const dbg::WriteLockGuard lk(map_mutex_);
     map_.clear();
   }
   generation_ = 1;
@@ -70,7 +70,7 @@ Status KvStore::mkfs() {
 Status KvStore::write_checkpoint_locked(int segment, std::uint64_t generation) {
   BufferList snapshot;
   {
-    const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
+    const dbg::ReadLockGuard lk(map_mutex_);
     doceph::encode(map_, snapshot);
   }
   BufferList rec = make_record(kKindCheckpoint, generation, 0, snapshot);
@@ -146,7 +146,7 @@ Status KvStore::replay() {
   auto cp = read_record(seg_start, seg_end);
   assert(cp);
   {
-    const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
+    const dbg::WriteLockGuard lk(map_mutex_);
     map_.clear();
     BufferList::Cursor cur(cp->payload);
     if (!doceph::decode(map_, cur))
@@ -169,7 +169,7 @@ Status KvStore::replay() {
     BufferList::Cursor cur(rec->payload);
     if (!txn.decode(cur)) break;
     {
-      const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
+      const dbg::WriteLockGuard lk(map_mutex_);
       for (auto& [k, v] : txn.sets) map_[k] = std::move(v);
       for (const auto& k : txn.rms) map_.erase(k);
     }
@@ -239,7 +239,10 @@ void KvStore::sync_thread() {
     std::deque<std::pair<KvTxn, OnCommit>> batch;
     {
       dbg::UniqueLock lk(queue_mutex_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lk, [&] {
+        queue_mutex_.assert_held();  // predicate runs as a separate function
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty() && stopping_) return;
       batch.swap(queue_);
     }
@@ -319,7 +322,7 @@ void KvStore::sync_thread() {
       next_seq_ += end - idx;
       at_fresh_checkpoint = false;
       {
-        const std::unique_lock<dbg::SharedMutex> lk(map_mutex_);
+        const dbg::WriteLockGuard lk(map_mutex_);
         for (std::size_t i = idx; i < end; ++i) {
           for (auto& [k, v] : batch[i].first.sets) map_[k] = v;
           for (const auto& k : batch[i].first.rms) map_.erase(k);
@@ -334,21 +337,21 @@ void KvStore::sync_thread() {
 }
 
 std::optional<BufferList> KvStore::get(const std::string& key) const {
-  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
+  const dbg::ReadLockGuard lk(map_mutex_);
   auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second;
 }
 
 bool KvStore::contains(const std::string& key) const {
-  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
+  const dbg::ReadLockGuard lk(map_mutex_);
   return map_.contains(key);
 }
 
 void KvStore::for_each_prefix(
     const std::string& prefix,
     const std::function<void(const std::string&, const BufferList&)>& fn) const {
-  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
+  const dbg::ReadLockGuard lk(map_mutex_);
   for (auto it = map_.lower_bound(prefix);
        it != map_.end() && it->first.starts_with(prefix); ++it) {
     fn(it->first, it->second);
@@ -356,7 +359,7 @@ void KvStore::for_each_prefix(
 }
 
 std::size_t KvStore::num_keys() const {
-  const std::shared_lock<dbg::SharedMutex> lk(map_mutex_);
+  const dbg::ReadLockGuard lk(map_mutex_);
   return map_.size();
 }
 

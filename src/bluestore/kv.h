@@ -4,9 +4,7 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -128,14 +126,14 @@ class KvStore {
   KvCostModel costs_;
 
   mutable dbg::SharedMutex map_mutex_{"bluestore.kv_map"};
-  std::map<std::string, BufferList> map_;
+  std::map<std::string, BufferList> map_ DOCEPH_GUARDED_BY(map_mutex_);
 
   // Sync-thread state.
   dbg::Mutex queue_mutex_{"bluestore.kv_queue"};
   dbg::CondVar queue_cv_;
-  std::deque<std::pair<KvTxn, OnCommit>> queue_;
-  bool stopping_ = false;
-  bool running_ = false;
+  std::deque<std::pair<KvTxn, OnCommit>> queue_ DOCEPH_GUARDED_BY(queue_mutex_);
+  bool stopping_ DOCEPH_GUARDED_BY(queue_mutex_) = false;
+  bool running_ = false;  // mount/umount/crash caller thread only
   sim::Thread thread_;
 
   // WAL positions (sync thread only, except at mount).

@@ -64,7 +64,10 @@ BenchResult RadosBench::run(sim::CpuDomain* domain) {
     hold.release();
     {
       dbg::UniqueLock lk(done_mutex);
-      done_cv.wait(lk, [&] { return remaining == 0; });
+      done_cv.wait(lk, [&] {
+        done_mutex.assert_held();  // predicate runs as a separate function
+        return remaining == 0;
+      });
     }
     writers.clear();  // threads already exited; joins return immediately
   }

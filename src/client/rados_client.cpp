@@ -10,7 +10,10 @@ namespace doceph::client {
 
 Status AioCompletion::wait() {
   dbg::UniqueLock lk(m_);
-  cv_.wait(lk, [&] { return done_; });
+  cv_.wait(lk, [&] {
+    m_.assert_held();  // predicate runs as a separate function
+    return done_;
+  });
   return status_;
 }
 
@@ -46,7 +49,7 @@ RadosClient::RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
   perf_.add(msgr_.counters());
 }
 
-RadosClient::~RadosClient() {
+RadosClient::~RadosClient() {  // NOLINT(bugprone-exception-escape): teardown disarms timers; a throw terminates, by design
   shutdown();
   // Disarm pending timers (they outlive us on the scheduler) and wait out
   // any timer body already executing.

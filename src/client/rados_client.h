@@ -63,8 +63,11 @@ class AioCompletion {
   friend class RadosClient;
   mutable dbg::Mutex m_{"client.completion"};
   mutable dbg::CondVar cv_;
-  bool done_ = false;
-  Status status_;
+  bool done_ DOCEPH_GUARDED_BY(m_) = false;
+  Status status_ DOCEPH_GUARDED_BY(m_);
+  // version_/size_/data_ are written under m_ strictly before done_ is
+  // published; the lock-free accessors above are only valid once wait()
+  // (or complete()) has observed done_, so they stay unannotated.
   std::uint64_t version_ = 0;
   std::uint64_t size_ = 0;
   BufferList data_;
@@ -145,8 +148,8 @@ class RadosClient final : public msgr::Dispatcher {
   /// timeout lambdas capture `this`, and the scheduler outlives the client.
   /// Plain std primitives — must work from unregistered teardown threads.
   struct TimerGate {
-    std::mutex m;
-    std::condition_variable cv;
+    std::mutex m;                 // doceph-lint: allow(bare-mutex) teardown gate runs on unregistered threads
+    std::condition_variable cv;   // doceph-lint: allow(bare-mutex) paired with the gate mutex above
     bool alive = true;
     int executing = 0;
   };
@@ -160,10 +163,10 @@ class RadosClient final : public msgr::Dispatcher {
   mon::MonClient monc_;
 
   dbg::Mutex mutex_{"client.objecter"};
-  std::map<std::uint64_t, InFlight> in_flight_;
+  std::map<std::uint64_t, InFlight> in_flight_ DOCEPH_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> next_tid_{1};
-  bool connected_ = false;
-  sim::Rng rng_;  // jitter stream; guarded by mutex_
+  bool connected_ = false;  // connect/shutdown caller thread only
+  sim::Rng rng_ DOCEPH_GUARDED_BY(mutex_);  // jitter stream
 
   std::shared_ptr<TimerGate> timer_gate_ = std::make_shared<TimerGate>();
 

@@ -8,7 +8,7 @@ namespace doceph::cluster {
 Cluster::Cluster(sim::Env& env, ClusterConfig cfg)
     : env_(env), cfg_(std::move(cfg)), fabric_(env) {}
 
-Cluster::~Cluster() { stop(); }
+Cluster::~Cluster() { stop(); }  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
 
 Status Cluster::start() {
   // Runs on a registered sim thread: while we are RUNNABLE constructing

@@ -112,6 +112,12 @@ class Cluster {
   void reset_observability();
 
  private:
+  /// Concurrency contract: the Cluster itself holds no mutex. start()/stop()/
+  /// restart_osd()/hard_kill_osd() and the chaos monitor are the only writers
+  /// of Node lifecycle state, and the chaos monitor executes restarts/kills
+  /// itself (a daemon cannot die from its own tick thread); callers running
+  /// drills alongside an armed chaos monitor must target disjoint nodes.
+  /// chaos_stop_ is the one cross-thread flag and is atomic.
   struct Node {
     std::unique_ptr<sim::CpuDomain> host_cpu;
     net::NetNode* host_net = nullptr;              // baseline: the public NIC

@@ -59,7 +59,7 @@ void FaultRegistry::set(const std::string& point, FaultSpec spec) {
   // any_armed() fast path off.
   const bool armable = spec.probability > 0.0 || spec.fire_at_hit >= 0 ||
                        spec.fire_at_time >= 0 || spec.force_next > 0;
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto& entries = points_[point];
   auto it = std::find_if(entries.begin(), entries.end(),
                          [&](const Entry& e) { return e.spec.match == spec.match; });
@@ -76,7 +76,7 @@ void FaultRegistry::set(const std::string& point, FaultSpec spec) {
 
 void FaultRegistry::fire_next(const std::string& point, std::int64_t n,
                               const std::string& match) {
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto& entries = points_[point];
   auto it = std::find_if(entries.begin(), entries.end(),
                          [&](const Entry& e) { return e.spec.match == match; });
@@ -92,14 +92,14 @@ void FaultRegistry::fire_next(const std::string& point, std::int64_t n,
 }
 
 bool FaultRegistry::clear(const std::string& point) {
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   bool removed = points_.erase(point) != 0;
   refresh_armed_locked();
   return removed;
 }
 
 void FaultRegistry::clear_all() {
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   points_.clear();
   refresh_armed_locked();
 }
@@ -108,7 +108,7 @@ FaultHit FaultRegistry::hit(std::string_view point, std::int64_t now,
                             std::string_view scope) {
   FaultHit result;
   if (!any_armed()) return result;
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto pit = points_.find(point);
   if (pit == points_.end()) return result;
   for (Entry& e : pit->second) {
@@ -154,7 +154,7 @@ FaultHit FaultRegistry::hit(std::string_view point, std::int64_t now,
 }
 
 std::uint64_t FaultRegistry::hits(std::string_view point) const {
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto pit = points_.find(point);
   if (pit == points_.end()) return 0;
   std::uint64_t n = 0;
@@ -163,7 +163,7 @@ std::uint64_t FaultRegistry::hits(std::string_view point) const {
 }
 
 std::uint64_t FaultRegistry::fires(std::string_view point) const {
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   auto pit = points_.find(point);
   if (pit == points_.end()) return 0;
   std::uint64_t n = 0;
@@ -172,12 +172,12 @@ std::uint64_t FaultRegistry::fires(std::string_view point) const {
 }
 
 std::vector<std::string> FaultRegistry::firing_log() const {
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   return log_;
 }
 
 std::string FaultRegistry::list_json() const {
-  std::lock_guard lk(mutex_);
+  const dbg::LockGuard lk(mutex_);
   JsonWriter w;
   w.begin_object();
   w.key("seed");

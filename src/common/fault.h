@@ -3,11 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <random>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "dbg/mutex.h"
 
 namespace doceph::fault {
 
@@ -122,17 +123,18 @@ class FaultRegistry {
   static std::uint64_t entry_seed(std::uint64_t seed, std::string_view point,
                                   std::string_view match) noexcept;
   Entry make_entry(std::string_view point, FaultSpec spec) const;
-  void refresh_armed_locked();
+  void refresh_armed_locked() DOCEPH_REQUIRES(mutex_);
 
-  // Plain std::mutex (not dbg::Mutex): hit() is called from arbitrary hot
-  // paths, some while component locks are held; keeping the registry a
-  // lockdep leaf with trivially small critical sections avoids entangling
-  // it in every component's lock order.
-  mutable std::mutex mutex_;
-  std::uint64_t seed_;
+  // hit() is called from arbitrary hot paths, some while component locks
+  // are held, so this mutex must stay a leaf: no FaultRegistry method may
+  // acquire anything else while holding it. lockdep now verifies that
+  // instead of the old plain-std::mutex code merely promising it.
+  mutable dbg::Mutex mutex_{"common.fault_registry"};
+  std::uint64_t seed_;  // set at construction, immutable afterwards
   std::atomic<std::uint64_t> armed_entries_{0};
-  std::map<std::string, std::vector<Entry>, std::less<>> points_;
-  std::vector<std::string> log_;
+  std::map<std::string, std::vector<Entry>, std::less<>> points_
+      DOCEPH_GUARDED_BY(mutex_);
+  std::vector<std::string> log_ DOCEPH_GUARDED_BY(mutex_);
 };
 
 }  // namespace doceph::fault

@@ -54,7 +54,7 @@ class Histogram {
  private:
   static int bucket_index(std::uint64_t v) noexcept;
 
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // doceph-lint: allow(bare-mutex) leaf observability primitive, recorded from hot paths under component locks
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;

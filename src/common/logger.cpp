@@ -10,7 +10,7 @@ namespace doceph::log {
 namespace {
 
 std::atomic<Level> g_level{Level::warn};
-std::mutex g_out_mutex;
+std::mutex g_out_mutex;  // doceph-lint: allow(bare-mutex) logging must work during lockdep/mutex failure reporting itself
 
 constexpr std::string_view level_name(Level l) {
   switch (l) {
@@ -33,7 +33,7 @@ Record::Record(Level lvl, std::string_view subsys) : lvl_(lvl) {
   os_ << '[' << level_name(lvl) << "][" << subsys << "][" << current_thread_name() << "] ";
 }
 
-Record::~Record() {
+Record::~Record() {  // NOLINT(bugprone-exception-escape): log emission at scope exit; a throw terminates, by design
   os_ << '\n';
   const std::string line = os_.str();
   const std::lock_guard<std::mutex> lock(g_out_mutex);

@@ -142,7 +142,7 @@ class Collection {
   [[nodiscard]] PerfCountersRef get(const std::string& name) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::mutex mutex_;  // doceph-lint: allow(bare-mutex) leaf observability primitive, bumped from hot paths under component locks
   std::vector<PerfCountersRef> blocks_;
 };
 

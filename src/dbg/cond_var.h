@@ -15,6 +15,11 @@ namespace doceph::dbg {
 ///
 /// Header-only by design: dbg's compiled core stays free of sim so the
 /// dependency arrow runs sim -> dbg only.
+///
+/// Thread-safety analysis: wait() atomically releases and reacquires the
+/// lock inside the substrate, invisible to the analysis — which matches the
+/// caller-visible contract (the lock is held before and after), so no
+/// annotation is needed or possible (the mutex identity lives inside `lk`).
 class CondVar {
  public:
   /// `name` appears in lockdep reports (e.g. "bluestore.aio_cv").

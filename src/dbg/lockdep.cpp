@@ -259,6 +259,12 @@ void cond_wait_check(const void* wait_mutex, bool in_sim_thread, const char* wha
 
 std::size_t held_count() noexcept { return t_held.size(); }
 
+bool is_held(const void* instance) noexcept {
+  for (const Held& h : t_held)
+    if (h.instance == instance) return true;
+  return false;
+}
+
 void reset_graph_for_testing() {
   Engine& e = engine();
   const std::lock_guard<std::mutex> lk(e.m);

@@ -97,6 +97,13 @@ void cond_wait_check(const void* wait_mutex, bool in_sim_thread, const char* wha
 /// Number of tracked locks the calling thread currently holds.
 [[nodiscard]] std::size_t held_count() noexcept;
 
+/// Does the calling thread currently hold `instance`? Backed by the
+/// thread-local held stack, which is maintained even with checking disabled,
+/// so this is always accurate for locks taken through dbg wrappers. Powers
+/// dbg::Mutex::assert_held() (the runtime side of the static
+/// ASSERT_CAPABILITY annotation used in condvar predicates).
+[[nodiscard]] bool is_held(const void* instance) noexcept;
+
 /// Test hook: forget all recorded order edges (class registrations persist).
 /// Lets independent test cases seed contradictory orders without tripping
 /// over each other. Not for production code.

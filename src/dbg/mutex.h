@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 #include "dbg/lockdep.h"
+#include "dbg/thread_safety.h"
 
 namespace doceph::dbg {
 
@@ -11,13 +14,17 @@ namespace doceph::dbg {
 /// lock-order graph. With checking disabled the overhead is one relaxed
 /// atomic load and a thread-local vector push/pop per lock/unlock.
 ///
+/// Also a Clang thread-safety *capability* (dbg/thread_safety.h): members
+/// declared DOCEPH_GUARDED_BY(a dbg::Mutex) are statically checked to be
+/// touched only under it when built with -DDOCEPH_THREAD_SAFETY=ON.
+///
 /// `rank_ordered` permits holding several instances of the class at once
 /// (the caller guarantees a consistent instance order); default forbids it.
 ///
 /// Checks fire *before* blocking on the underlying mutex, so an about-to-
 /// deadlock acquisition is reported instead of hanging. A violation handler
 /// may throw to abort the acquisition (the lock is then not taken).
-class Mutex {
+class DOCEPH_CAPABILITY("mutex") Mutex {
  public:
   explicit Mutex(const char* class_name, bool rank_ordered = false)
       : cls_(lockdep::register_class(class_name, rank_ordered)) {}
@@ -25,7 +32,7 @@ class Mutex {
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() {
+  void lock() DOCEPH_ACQUIRE() {
     lockdep::acquire(this, cls_);
     try {
       m_.lock();
@@ -35,21 +42,40 @@ class Mutex {
     }
   }
 
-  void unlock() {
+  void unlock() DOCEPH_RELEASE() {
     m_.unlock();
     lockdep::release(this);
   }
 
   /// Deadlock-free probe: held-set bookkeeping happens on success, but no
   /// violation can fire — reverse-order trylock is a legitimate idiom.
-  bool try_lock() {
+  bool try_lock() DOCEPH_TRY_ACQUIRE(true) {
     if (!m_.try_lock()) return false;
     lockdep::acquire_trylock(this, cls_);
     return true;
   }
 
+  /// Runtime + static assertion that the calling thread holds this mutex.
+  /// Statically this re-establishes the capability in contexts the analysis
+  /// cannot follow — chiefly condvar predicate lambdas, which Clang analyzes
+  /// as separate functions with no knowledge of the wait()'s lock. The
+  /// runtime side is a real check against the thread-local held stack (kept
+  /// even with lockdep checking off), so the annotation can never be used to
+  /// paper over an actually-unlocked access.
+  void assert_held() const DOCEPH_ASSERT_CAPABILITY(this) {
+    if (!lockdep::is_held(this)) {
+      std::fprintf(stderr,
+                   "doceph dbg::Mutex::assert_held: mutex (class %u) not held "
+                   "by this thread\n",
+                   cls_);
+      std::abort();
+    }
+  }
+
   /// The raw mutex, for the TimeKeeper/CondVar substrate only. Locking it
-  /// directly bypasses all checking.
+  /// directly bypasses all checking (lockdep AND the static analysis);
+  /// doceph_lint.py rejects calls outside src/sim/time_keeper.* and
+  /// src/dbg/.
   [[nodiscard]] std::mutex& native() noexcept { return m_; }
   [[nodiscard]] lockdep::ClassId lockdep_class() const noexcept { return cls_; }
 
@@ -59,28 +85,51 @@ class Mutex {
 };
 
 /// Scoped lock over dbg::Mutex (drop-in for std::lock_guard<std::mutex>).
-using LockGuard = std::lock_guard<Mutex>;
+/// A real class rather than a std::lock_guard alias so Clang's analysis
+/// sees it as a scoped capability (libstdc++'s lock_guard carries no
+/// annotations).
+class DOCEPH_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) DOCEPH_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() DOCEPH_RELEASE() { m_.unlock(); }  // NOLINT(bugprone-exception-escape): lockdep bookkeeping in unlock; a throw terminates, by design
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
 
 /// Movable lock over dbg::Mutex (drop-in for std::unique_lock<std::mutex>).
 /// `inner()` exposes the underlying std::unique_lock so sim::CondVar (the
 /// unchecked substrate) can park on it; use dbg::CondVar instead of reaching
 /// for it directly.
-class UniqueLock {
+///
+/// Thread-safety analysis: a scoped capability supporting defer/manual
+/// lock/unlock. Moving a UniqueLock is NOT modelled by the analysis — a
+/// function that receives or returns one by move must carry
+/// DOCEPH_NO_THREAD_SAFETY_ANALYSIS with a reason.
+class DOCEPH_SCOPED_CAPABILITY UniqueLock {
  public:
   UniqueLock() noexcept = default;
-  explicit UniqueLock(Mutex& m) : mx_(&m), inner_(m.native(), std::defer_lock) {
-    lock();
+  explicit UniqueLock(Mutex& m) DOCEPH_ACQUIRE(m)
+      : mx_(&m), inner_(m.native(), std::defer_lock) {
+    lock_impl();
   }
-  UniqueLock(Mutex& m, std::defer_lock_t) noexcept
+  UniqueLock(Mutex& m, std::defer_lock_t) noexcept DOCEPH_EXCLUDES(m)
       : mx_(&m), inner_(m.native(), std::defer_lock) {}
 
-  UniqueLock(UniqueLock&& o) noexcept
-      : mx_(o.mx_), inner_(std::move(o.inner_)) {
+  UniqueLock(UniqueLock&& o) noexcept DOCEPH_NO_THREAD_SAFETY_ANALYSIS
+      // waiver: capability transfer by move is outside the analysis model.
+      : mx_(o.mx_),
+        inner_(std::move(o.inner_)) {
     o.mx_ = nullptr;
   }
-  UniqueLock& operator=(UniqueLock&& o) noexcept {
+  UniqueLock& operator=(UniqueLock&& o) noexcept
+      DOCEPH_NO_THREAD_SAFETY_ANALYSIS {
+    // waiver: capability transfer by move is outside the analysis model.
     if (this == &o) return *this;
-    if (owns_lock()) unlock();
+    if (owns_lock()) unlock_impl();
     mx_ = o.mx_;
     inner_ = std::move(o.inner_);
     o.mx_ = nullptr;
@@ -89,11 +138,29 @@ class UniqueLock {
   UniqueLock(const UniqueLock&) = delete;
   UniqueLock& operator=(const UniqueLock&) = delete;
 
-  ~UniqueLock() {
-    if (owns_lock()) unlock();
+  ~UniqueLock() DOCEPH_RELEASE() {  // NOLINT(bugprone-exception-escape): lockdep bookkeeping in unlock; a throw terminates, by design
+    if (owns_lock()) unlock_impl();
   }
 
-  void lock() {
+  void lock() DOCEPH_ACQUIRE() { lock_impl(); }
+
+  bool try_lock() DOCEPH_TRY_ACQUIRE(true) {
+    if (!inner_.try_lock()) return false;
+    lockdep::acquire_trylock(mx_, mx_->lockdep_class());
+    return true;
+  }
+
+  void unlock() DOCEPH_RELEASE() { unlock_impl(); }
+
+  [[nodiscard]] bool owns_lock() const noexcept { return inner_.owns_lock(); }
+  [[nodiscard]] Mutex* mutex() const noexcept { return mx_; }
+  [[nodiscard]] std::unique_lock<std::mutex>& inner() noexcept { return inner_; }
+
+ private:
+  // Unannotated bodies shared by the annotated entry points above (the
+  // constructor may not call the ACQUIRE()-annotated lock(): the analysis
+  // would see a double-acquire of the capability being established).
+  void lock_impl() {
     lockdep::acquire(mx_, mx_->lockdep_class());
     try {
       inner_.lock();
@@ -103,22 +170,11 @@ class UniqueLock {
     }
   }
 
-  bool try_lock() {
-    if (!inner_.try_lock()) return false;
-    lockdep::acquire_trylock(mx_, mx_->lockdep_class());
-    return true;
-  }
-
-  void unlock() {
+  void unlock_impl() {
     inner_.unlock();
     lockdep::release(mx_);
   }
 
-  [[nodiscard]] bool owns_lock() const noexcept { return inner_.owns_lock(); }
-  [[nodiscard]] Mutex* mutex() const noexcept { return mx_; }
-  [[nodiscard]] std::unique_lock<std::mutex>& inner() noexcept { return inner_; }
-
- private:
   Mutex* mx_ = nullptr;
   std::unique_lock<std::mutex> inner_;
 };

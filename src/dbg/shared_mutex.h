@@ -3,6 +3,7 @@
 #include <shared_mutex>
 
 #include "dbg/lockdep.h"
+#include "dbg/thread_safety.h"
 
 namespace doceph::dbg {
 
@@ -12,9 +13,13 @@ namespace doceph::dbg {
 /// deadlock risk regardless of which side each thread takes (a waiting
 /// writer blocks later readers), so the checker does not distinguish modes.
 ///
-/// Satisfies SharedLockable: std::unique_lock<dbg::SharedMutex> and
-/// std::shared_lock<dbg::SharedMutex> work unchanged.
-class SharedMutex {
+/// As a Clang thread-safety capability the two modes ARE distinguished:
+/// DOCEPH_GUARDED_BY members need exclusive hold to write, shared to read.
+///
+/// Satisfies SharedLockable, but prefer the annotated dbg::ReadLockGuard /
+/// dbg::WriteLockGuard below — std::shared_lock / std::unique_lock carry no
+/// annotations in libstdc++, so the analysis cannot see them.
+class DOCEPH_CAPABILITY("shared_mutex") SharedMutex {
  public:
   explicit SharedMutex(const char* class_name)
       : cls_(lockdep::register_class(class_name, /*rank_ordered=*/false)) {}
@@ -23,7 +28,7 @@ class SharedMutex {
   SharedMutex& operator=(const SharedMutex&) = delete;
 
   // ---- exclusive --------------------------------------------------------------
-  void lock() {
+  void lock() DOCEPH_ACQUIRE() {
     lockdep::acquire(this, cls_);
     try {
       m_.lock();
@@ -32,18 +37,18 @@ class SharedMutex {
       throw;
     }
   }
-  void unlock() {
+  void unlock() DOCEPH_RELEASE() {
     m_.unlock();
     lockdep::release(this);
   }
-  bool try_lock() {
+  bool try_lock() DOCEPH_TRY_ACQUIRE(true) {
     if (!m_.try_lock()) return false;
     lockdep::acquire_trylock(this, cls_);
     return true;
   }
 
   // ---- shared -----------------------------------------------------------------
-  void lock_shared() {
+  void lock_shared() DOCEPH_ACQUIRE_SHARED() {
     lockdep::acquire(this, cls_);
     try {
       m_.lock_shared();
@@ -52,11 +57,11 @@ class SharedMutex {
       throw;
     }
   }
-  void unlock_shared() {
+  void unlock_shared() DOCEPH_RELEASE_SHARED() {
     m_.unlock_shared();
     lockdep::release(this);
   }
-  bool try_lock_shared() {
+  bool try_lock_shared() DOCEPH_TRY_ACQUIRE_SHARED(true) {
     if (!m_.try_lock_shared()) return false;
     lockdep::acquire_trylock(this, cls_);
     return true;
@@ -67,6 +72,36 @@ class SharedMutex {
  private:
   std::shared_mutex m_;
   lockdep::ClassId cls_;
+};
+
+/// Scoped exclusive (writer) lock over dbg::SharedMutex.
+class DOCEPH_SCOPED_CAPABILITY WriteLockGuard {
+ public:
+  explicit WriteLockGuard(SharedMutex& m) DOCEPH_ACQUIRE(m) : m_(m) {
+    m_.lock();
+  }
+  ~WriteLockGuard() DOCEPH_RELEASE() { m_.unlock(); }  // NOLINT(bugprone-exception-escape): lockdep bookkeeping in unlock; a throw terminates, by design
+
+  WriteLockGuard(const WriteLockGuard&) = delete;
+  WriteLockGuard& operator=(const WriteLockGuard&) = delete;
+
+ private:
+  SharedMutex& m_;
+};
+
+/// Scoped shared (reader) lock over dbg::SharedMutex.
+class DOCEPH_SCOPED_CAPABILITY ReadLockGuard {
+ public:
+  explicit ReadLockGuard(SharedMutex& m) DOCEPH_ACQUIRE_SHARED(m) : m_(m) {
+    m_.lock_shared();
+  }
+  ~ReadLockGuard() DOCEPH_RELEASE_GENERIC() { m_.unlock_shared(); }  // NOLINT(bugprone-exception-escape): lockdep bookkeeping in unlock; a throw terminates, by design
+
+  ReadLockGuard(const ReadLockGuard&) = delete;
+  ReadLockGuard& operator=(const ReadLockGuard&) = delete;
+
+ private:
+  SharedMutex& m_;
 };
 
 }  // namespace doceph::dbg

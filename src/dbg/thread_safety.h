@@ -1,0 +1,76 @@
+#pragma once
+
+// Clang Thread Safety Analysis macros — the compile-time half of the dbg::
+// concurrency contract (DESIGN.md §11). dbg::Mutex / dbg::SharedMutex are
+// declared as capabilities, guarded state carries DOCEPH_GUARDED_BY, and
+// the `*_locked()` helper convention becomes DOCEPH_REQUIRES. Built with
+// `-DDOCEPH_THREAD_SAFETY=ON` (Clang: -Wthread-safety -Wthread-safety-beta
+// -Werror=thread-safety) every lock-contract violation is a compile error;
+// under GCC every macro expands to nothing, so annotations are free.
+//
+// Waiver policy: DOCEPH_NO_THREAD_SAFETY_ANALYSIS is a last resort and MUST
+// carry a comment explaining why the analysis cannot see the invariant
+// (e.g. lock identity only known at runtime, intentionally unlocked
+// teardown). A bare waiver is a review error.
+
+#if defined(__clang__) && !defined(SWIG)
+#define DOCEPH_TS_ATTR(x) __attribute__((x))
+#else
+#define DOCEPH_TS_ATTR(x)  // no-op: GCC/MSVC have no thread-safety analysis
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define DOCEPH_CAPABILITY(x) DOCEPH_TS_ATTR(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define DOCEPH_SCOPED_CAPABILITY DOCEPH_TS_ATTR(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define DOCEPH_GUARDED_BY(x) DOCEPH_TS_ATTR(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define DOCEPH_PT_GUARDED_BY(x) DOCEPH_TS_ATTR(pt_guarded_by(x))
+
+/// Function callable only while holding the given capabilities exclusively.
+#define DOCEPH_REQUIRES(...) \
+  DOCEPH_TS_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function callable only while holding the given capabilities (shared OK).
+#define DOCEPH_REQUIRES_SHARED(...) \
+  DOCEPH_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/// Function that must NOT be called with the given capabilities held
+/// (it acquires them itself — deadlock otherwise).
+#define DOCEPH_EXCLUDES(...) DOCEPH_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability exclusively / shared and holds it on
+/// return. On a scoped type's member, no-arg form refers to the managed lock.
+#define DOCEPH_ACQUIRE(...) DOCEPH_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define DOCEPH_ACQUIRE_SHARED(...) \
+  DOCEPH_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (generic form releases either mode).
+#define DOCEPH_RELEASE(...) DOCEPH_TS_ATTR(release_capability(__VA_ARGS__))
+#define DOCEPH_RELEASE_SHARED(...) \
+  DOCEPH_TS_ATTR(release_shared_capability(__VA_ARGS__))
+#define DOCEPH_RELEASE_GENERIC(...) \
+  DOCEPH_TS_ATTR(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define DOCEPH_TRY_ACQUIRE(...) \
+  DOCEPH_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define DOCEPH_TRY_ACQUIRE_SHARED(...) \
+  DOCEPH_TS_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define DOCEPH_ASSERT_CAPABILITY(x) DOCEPH_TS_ATTR(assert_capability(x))
+#define DOCEPH_ASSERT_SHARED_CAPABILITY(x) \
+  DOCEPH_TS_ATTR(assert_shared_capability(x))
+
+/// Function returning a reference to the capability guarding it.
+#define DOCEPH_RETURN_CAPABILITY(x) DOCEPH_TS_ATTR(lock_returned(x))
+
+/// Waiver: the analysis is wrong or cannot model this function. ALWAYS pair
+/// with a comment stating the reason (see DESIGN.md §11 waiver policy).
+#define DOCEPH_NO_THREAD_SAFETY_ANALYSIS \
+  DOCEPH_TS_ATTR(no_thread_safety_analysis)

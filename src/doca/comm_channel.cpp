@@ -25,8 +25,8 @@ struct CommChannel::Core : std::enable_shared_from_this<CommChannel::Core> {
   };
 
   dbg::Mutex m{"doca.comch"};
-  Side side[2];
-  bool closed = false;
+  Side side[2] DOCEPH_GUARDED_BY(m);
+  bool closed DOCEPH_GUARDED_BY(m) = false;
 
   // Earliest permitted delivery per direction after a comch_stall fault;
   // keeps fragmented RPC messages in order (index = receiving side).
@@ -43,7 +43,7 @@ struct CommChannel::Core : std::enable_shared_from_this<CommChannel::Core> {
 
   /// Queue a handler drain for side `to` if one is registered and not
   /// already pending. Requires m held.
-  void arm_locked(int to) {
+  void arm_locked(int to) DOCEPH_REQUIRES(m) {
     Side& s = side[to];
     if (s.handler != nullptr && !s.notify_pending && !s.inbox.empty()) {
       s.notify_pending = true;

@@ -9,16 +9,17 @@ namespace doceph::event {
 /// the dispatch, so a center can never die mid-dispatch.
 struct EventCenter::Handle::State {
   dbg::Mutex m{"event.center.handle"};
-  EventCenter* center = nullptr;
+  EventCenter* center DOCEPH_GUARDED_BY(m) = nullptr;
 };
 
 EventCenter::EventCenter(sim::Env& env)
     : env_(env), cv_(env.keeper(), "event.center.cv") {
   handle_state_ = std::make_shared<Handle::State>();
+  const dbg::LockGuard lk(handle_state_->m);
   handle_state_->center = this;
 }
 
-EventCenter::~EventCenter() {
+EventCenter::~EventCenter() {  // NOLINT(bugprone-exception-escape): teardown joins the loop thread; a throw terminates, by design
   const dbg::LockGuard lk(handle_state_->m);
   handle_state_->center = nullptr;
 }
@@ -47,7 +48,7 @@ void EventCenter::run() {
       timers_.erase(timers_.begin());
     }
     if (!batch.empty()) {
-      ++wakeups_;
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
       lk.unlock();
       for (auto& h : batch) h();
       lk.lock();

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -80,18 +81,22 @@ class EventCenter {
   [[nodiscard]] sim::Env& env() noexcept { return env_; }
 
   /// Number of loop wakeups that found work (diagnostics).
-  [[nodiscard]] std::uint64_t wakeups() const noexcept { return wakeups_; }
+  [[nodiscard]] std::uint64_t wakeups() const noexcept {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
 
  private:
   sim::Env& env_;
   dbg::Mutex mutex_{"event.center"};
   dbg::CondVar cv_;
-  std::deque<Handler> pending_;
-  std::map<std::pair<sim::Time, TimerId>, Handler> timers_;
-  TimerId next_timer_id_ = 1;
-  bool stopping_ = false;
+  std::deque<Handler> pending_ DOCEPH_GUARDED_BY(mutex_);
+  std::map<std::pair<sim::Time, TimerId>, Handler> timers_
+      DOCEPH_GUARDED_BY(mutex_);
+  TimerId next_timer_id_ DOCEPH_GUARDED_BY(mutex_) = 1;
+  bool stopping_ DOCEPH_GUARDED_BY(mutex_) = false;
   std::atomic<std::thread::id> loop_tid_{};
-  std::uint64_t wakeups_ = 0;
+  // Atomic, not guarded: wakeups() is a diagnostics read from any thread.
+  std::atomic<std::uint64_t> wakeups_{0};
   std::shared_ptr<Handle::State> handle_state_;  // nulled in the destructor
 };
 

@@ -14,8 +14,13 @@ Status MonClient::init() {
   if (con == nullptr) return Status(Errc::not_connected, "monitor unreachable");
   con->send_message(std::make_shared<msgr::MMonGetMap>());
   dbg::UniqueLock lk(mutex_);
+  // Predicate lambdas are analyzed as separate functions; assert_held()
+  // re-establishes the capability (and really checks it at runtime).
   if (!map_cv_.wait_until(lk, env_.now() + sim::Duration{30} * 1'000'000'000,
-                          [&] { return have_map_; }))
+                          [&] {
+                            mutex_.assert_held();
+                            return have_map_;
+                          }))
     return Status(Errc::timed_out, "no initial osdmap");
   return Status::OK();
 }
@@ -87,7 +92,10 @@ crush::epoch_t MonClient::epoch() const {
 
 void MonClient::wait_for_epoch(crush::epoch_t e) {
   dbg::UniqueLock lk(mutex_);
-  map_cv_.wait(lk, [&] { return have_map_ && map_.epoch() >= e; });
+  map_cv_.wait(lk, [&] {
+    mutex_.assert_held();
+    return have_map_ && map_.epoch() >= e;
+  });
 }
 
 Status MonClient::send_boot(int osd_id, const net::Address& addr) {

@@ -56,19 +56,22 @@ class MonClient {
 
   mutable dbg::Mutex mutex_{"mon.client"};
   dbg::CondVar map_cv_;
-  crush::OSDMap map_;
-  bool have_map_ = false;
-  std::function<void(const crush::OSDMap&)> map_cb_;
+  crush::OSDMap map_ DOCEPH_GUARDED_BY(mutex_);
+  bool have_map_ DOCEPH_GUARDED_BY(mutex_) = false;
+  std::function<void(const crush::OSDMap&)> map_cb_ DOCEPH_GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> next_tid_{1};
   struct PendingCommand {
     dbg::CondVar cv;
+    // done/result/output are guarded by the owning MonClient's mutex_ — a
+    // cross-object guard the static analysis cannot express per instance.
     bool done = false;
     std::int32_t result = 0;
     std::string output;
     explicit PendingCommand(sim::TimeKeeper& tk) : cv(tk, "mon.client.cmd") {}
   };
-  std::map<std::uint64_t, std::shared_ptr<PendingCommand>> pending_cmds_;
+  std::map<std::uint64_t, std::shared_ptr<PendingCommand>> pending_cmds_
+      DOCEPH_GUARDED_BY(mutex_);
 };
 
 }  // namespace doceph::mon

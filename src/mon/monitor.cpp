@@ -24,7 +24,7 @@ Monitor::Monitor(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
   perf_.add(msgr_.counters());
 }
 
-Monitor::~Monitor() { shutdown(); }
+Monitor::~Monitor() { shutdown(); }  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
 
 Status Monitor::start() {
   const Status st = msgr_.bind(cfg_.port);
@@ -40,13 +40,19 @@ Status Monitor::start() {
   admin_.register_command(
       "fault", "fault set <point> [k=v ...] | fault list | fault clear [point]",
       [this](const auto& args) { return env_.faults().admin_command(args); });
-  started_ = true;
+  {
+    const dbg::LockGuard lk(mutex_);
+    started_ = true;
+  }
   return Status::OK();
 }
 
 void Monitor::shutdown() {
-  if (!started_) return;
-  started_ = false;
+  {
+    const dbg::LockGuard lk(mutex_);
+    if (!started_) return;
+    started_ = false;
+  }
   msgr_.shutdown();
   admin_.unregister_all();
 }

@@ -70,19 +70,20 @@ class Monitor final : public msgr::Dispatcher {
   void handle_command(const msgr::MessageRef& m);
 
   /// Send the current map over one connection. Requires mutex_ held.
-  void send_map_locked(const msgr::ConnectionRef& con);
+  void send_map_locked(const msgr::ConnectionRef& con) DOCEPH_REQUIRES(mutex_);
   /// Publish the current map to every subscriber. Requires mutex_ held.
-  void publish_locked();
+  void publish_locked() DOCEPH_REQUIRES(mutex_);
 
   sim::Env& env_;
   MonitorConfig cfg_;
   msgr::Messenger msgr_;
 
   mutable dbg::Mutex mutex_{"mon.monitor"};
-  crush::OSDMap map_;
-  std::vector<msgr::ConnectionRef> subscribers_;
-  std::map<int, std::set<int>> failure_reports_;  // failed osd -> reporters
-  bool started_ = false;
+  crush::OSDMap map_ DOCEPH_GUARDED_BY(mutex_);
+  std::vector<msgr::ConnectionRef> subscribers_ DOCEPH_GUARDED_BY(mutex_);
+  // failed osd -> reporters
+  std::map<int, std::set<int>> failure_reports_ DOCEPH_GUARDED_BY(mutex_);
+  bool started_ DOCEPH_GUARDED_BY(mutex_) = false;
 
   perf::PerfCountersRef counters_;
   perf::Collection perf_;

@@ -228,7 +228,7 @@ Messenger::Messenger(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
     centers_.push_back(std::make_unique<event::EventCenter>(env_));
 }
 
-Messenger::~Messenger() { shutdown(); }
+Messenger::~Messenger() { shutdown(); }  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
 
 Status Messenger::bind(std::uint16_t port) {
   const Status st =

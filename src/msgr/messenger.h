@@ -199,8 +199,10 @@ class Messenger {
   bool started_ = false;
 
   dbg::Mutex mutex_{"msgr.messenger"};
-  std::map<net::Address, ConnectionRef> outgoing_;   // by peer bound addr
-  std::vector<ConnectionRef> accepted_;              // inbound connections
+  // by peer bound addr
+  std::map<net::Address, ConnectionRef> outgoing_ DOCEPH_GUARDED_BY(mutex_);
+  // inbound connections
+  std::vector<ConnectionRef> accepted_ DOCEPH_GUARDED_BY(mutex_);
 };
 
 }  // namespace doceph::msgr

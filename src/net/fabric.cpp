@@ -35,17 +35,18 @@ struct Socket::Core : std::enable_shared_from_this<Socket::Core> {
     event::EventCenter::Handle wr_center;
     std::function<void()> on_writable;
     bool wr_blocked = false;  // sender saw would-block
-
-    // Earliest permitted delivery time after a net.delay fault; keeps the
-    // stream in order. Atomic so send() can clamp without taking m.
-    std::atomic<std::int64_t> min_deliver{0};
   };
 
   dbg::Mutex m{"net.socket_core"};
-  Half half[2];
+  Half half[2] DOCEPH_GUARDED_BY(m);
 
-  /// Queue a readable notification for half[hi] if armed. Requires m held.
-  void notify_readable_locked(int hi) {
+  // Earliest permitted delivery time per direction after a net.delay fault;
+  // keeps the stream in order. Atomic (not under m) so send() can clamp
+  // without taking the core lock on the NIC booking path.
+  std::atomic<std::int64_t> min_deliver[2]{};
+
+  /// Queue a readable notification for half[hi] if armed.
+  void notify_readable_locked(int hi) DOCEPH_REQUIRES(m) {
     Half& h = half[hi];
     if (h.on_readable == nullptr || h.rd_pending) return;
     h.rd_pending = true;
@@ -60,8 +61,8 @@ struct Socket::Core : std::enable_shared_from_this<Socket::Core> {
     });
   }
 
-  /// Wake a blocked writer on half[hi]. Requires m held.
-  void notify_writable_locked(int hi) {
+  /// Wake a blocked writer on half[hi].
+  void notify_writable_locked(int hi) DOCEPH_REQUIRES(m) {
     Half& h = half[hi];
     if (!h.wr_blocked || h.on_writable == nullptr) return;
     h.wr_blocked = false;
@@ -145,13 +146,13 @@ Result<std::size_t> Socket::send(BufferList& bl) {
   // faulted delivery time per direction and clamp later chunks past it.
   if (extra_delay > 0) {
     sim::Time target = rx_done + static_cast<sim::Duration>(extra_delay);
-    std::int64_t cur = c.half[side_].min_deliver.load(std::memory_order_relaxed);
-    while (cur < target && !c.half[side_].min_deliver.compare_exchange_weak(
+    std::int64_t cur = c.min_deliver[side_].load(std::memory_order_relaxed);
+    while (cur < target && !c.min_deliver[side_].compare_exchange_weak(
                                cur, target, std::memory_order_relaxed)) {
     }
   }
   rx_done = std::max(
-      rx_done, sim::Time{c.half[side_].min_deliver.load(std::memory_order_relaxed)});
+      rx_done, sim::Time{c.min_deliver[side_].load(std::memory_order_relaxed)});
 
   auto core = core_;
   const int side = side_;

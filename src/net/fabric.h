@@ -64,8 +64,8 @@ class NetNode {
   StackModel stack_;
 
   dbg::Mutex mutex_{"net.node"};
-  std::map<std::uint16_t, ListenerEntry> listeners_;
-  std::uint16_t next_ephemeral_ = 50000;
+  std::map<std::uint16_t, ListenerEntry> listeners_ DOCEPH_GUARDED_BY(mutex_);
+  std::uint16_t next_ephemeral_ DOCEPH_GUARDED_BY(mutex_) = 50000;
 
   // Full-duplex NIC occupancy.
   sim::SerialResource tx_;
@@ -99,7 +99,7 @@ class Fabric {
   friend class Socket;
   sim::Env& env_;
   dbg::Mutex mutex_{"net.fabric"};
-  std::vector<std::unique_ptr<NetNode>> nodes_;
+  std::vector<std::unique_ptr<NetNode>> nodes_ DOCEPH_GUARDED_BY(mutex_);
 };
 
 /// A full-duplex stream socket (the sim analogue of a connected TCP socket).

@@ -81,10 +81,13 @@ class TrackedOp {
 
   std::string desc_;
   sim::Time initiated_;
+  // Guarded by the owning OpTracker's mutex_, not mutex_ below (set once at
+  // registration, read at retirement) — not expressible as a static guard.
   std::uint64_t seq_ = 0;  // tracker registration id
 
   mutable dbg::Mutex mutex_{"osd.tracked_op"};
-  std::vector<std::pair<const char*, sim::Time>> events_;
+  std::vector<std::pair<const char*, sim::Time>> events_
+      DOCEPH_GUARDED_BY(mutex_);
 };
 using TrackedOpRef = std::shared_ptr<TrackedOp>;
 
@@ -125,9 +128,9 @@ class OpTracker {
  private:
   Config cfg_;
   mutable dbg::Mutex mutex_{"osd.op_tracker"};
-  std::uint64_t next_seq_ = 1;
-  std::map<std::uint64_t, TrackedOpRef> in_flight_;
-  std::deque<TrackedOpRef> history_;
+  std::uint64_t next_seq_ DOCEPH_GUARDED_BY(mutex_) = 1;
+  std::map<std::uint64_t, TrackedOpRef> in_flight_ DOCEPH_GUARDED_BY(mutex_);
+  std::deque<TrackedOpRef> history_ DOCEPH_GUARDED_BY(mutex_);
 };
 
 }  // namespace doceph::osd

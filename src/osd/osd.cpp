@@ -53,7 +53,7 @@ OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
   if (auto store_counters = store_.perf_counters()) perf_.add(store_counters);
 }
 
-OSD::~OSD() { shutdown(); }
+OSD::~OSD() { shutdown(); }  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
 
 Status OSD::init() {
   Status st = msgr_.bind(cfg_.public_port);
@@ -99,7 +99,14 @@ Status OSD::init() {
   if (!st.ok()) return st;
   while (!monc_.map().is_up(cfg_.id)) monc_.wait_for_epoch(monc_.epoch() + 1);
 
-  for (const auto& c : store_.list_collections()) created_colls_.insert(c);
+  {
+    // Snapshot before locking: in DoCeph mode list_collections() is an RPC
+    // that parks on the proxy call condvar, and osd.state must not be held
+    // across that wait.
+    const auto colls = store_.list_collections();
+    const dbg::LockGuard lk(mutex_);
+    for (const auto& c : colls) created_colls_.insert(c);
+  }
 
   {
     const dbg::LockGuard lk(queue_mutex_);
@@ -242,7 +249,10 @@ void OSD::op_worker() {
     std::function<void()> fn;
     {
       dbg::UniqueLock lk(queue_mutex_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !op_queue_.empty(); });
+      queue_cv_.wait(lk, [&] {
+        queue_mutex_.assert_held();  // predicate runs as a separate function
+        return stopping_ || !op_queue_.empty();
+      });
       if (stopping_) return;
       fn = std::move(op_queue_.front());
       op_queue_.pop_front();

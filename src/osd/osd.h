@@ -166,25 +166,25 @@ class OSD final : public msgr::Dispatcher {
   // Op queue feeding tp_osd_tp workers.
   dbg::Mutex queue_mutex_{"osd.queue"};
   dbg::CondVar queue_cv_;
-  std::deque<std::function<void()>> op_queue_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> op_queue_ DOCEPH_GUARDED_BY(queue_mutex_);
+  bool stopping_ DOCEPH_GUARDED_BY(queue_mutex_) = false;
   std::vector<sim::Thread> op_workers_;
   dbg::CondVar tick_cv_;
   sim::Thread ticker_;
 
   dbg::Mutex mutex_{"osd.state"};  // in-flight ops, pg state, heartbeat state
   std::atomic<std::uint64_t> next_tid_{1};
-  std::map<std::uint64_t, InFlightOp> in_flight_;
-  std::set<os::coll_t> created_colls_;
+  std::map<std::uint64_t, InFlightOp> in_flight_ DOCEPH_GUARDED_BY(mutex_);
+  std::set<os::coll_t> created_colls_ DOCEPH_GUARDED_BY(mutex_);
 
   // Heartbeat bookkeeping: peer -> last reply time.
-  std::map<int, sim::Time> last_heard_;
-  std::set<int> reported_;
+  std::map<int, sim::Time> last_heard_ DOCEPH_GUARDED_BY(mutex_);
+  std::set<int> reported_ DOCEPH_GUARDED_BY(mutex_);
 
   // Recovery bookkeeping: PGs whose acting set changed since last clean scan.
-  std::set<crush::pg_t> dirty_pgs_;
-  std::map<crush::pg_t, sim::Time> last_pg_write_;
-  crush::epoch_t last_seen_epoch_ = 0;
+  std::set<crush::pg_t> dirty_pgs_ DOCEPH_GUARDED_BY(mutex_);
+  std::map<crush::pg_t, sim::Time> last_pg_write_ DOCEPH_GUARDED_BY(mutex_);
+  crush::epoch_t last_seen_epoch_ DOCEPH_GUARDED_BY(mutex_) = 0;
 
   // Pending remote scans (tick thread blocks on the reply).
   struct PendingScan {
@@ -193,7 +193,8 @@ class OSD final : public msgr::Dispatcher {
     std::vector<msgr::ObjectSummary> objects;
     explicit PendingScan(sim::TimeKeeper& tk) : cv(tk, "osd.scan") {}
   };
-  std::map<std::uint64_t, std::shared_ptr<PendingScan>> pending_scans_;
+  std::map<std::uint64_t, std::shared_ptr<PendingScan>> pending_scans_
+      DOCEPH_GUARDED_BY(mutex_);
 
   std::atomic<std::uint64_t> ops_served_{0};
   bool started_ = false;

@@ -71,12 +71,12 @@ class FallbackManager {
  private:
   mutable dbg::Mutex m_{"proxy.fallback"};
   sim::Duration cooldown_;
-  bool disabled_ = false;
-  bool probe_outstanding_ = false;
-  sim::Time expiry_ = 0;
-  std::uint64_t failures_ = 0;
-  std::uint64_t probes_ = 0;
-  std::uint64_t recoveries_ = 0;
+  bool disabled_ DOCEPH_GUARDED_BY(m_) = false;
+  bool probe_outstanding_ DOCEPH_GUARDED_BY(m_) = false;
+  sim::Time expiry_ DOCEPH_GUARDED_BY(m_) = 0;
+  std::uint64_t failures_ DOCEPH_GUARDED_BY(m_) = 0;
+  std::uint64_t probes_ DOCEPH_GUARDED_BY(m_) = 0;
+  std::uint64_t recoveries_ DOCEPH_GUARDED_BY(m_) = 0;
 };
 
 }  // namespace doceph::proxy

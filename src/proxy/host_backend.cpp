@@ -17,9 +17,9 @@ HostBackendService::HostBackendService(sim::Env& env, sim::CpuDomain& domain,
       host_mmap_(std::move(host_mmap)),
       slot_size_(slot_size),
       cfg_(cfg),
-      queue_cv_(env.keeper()) {}
+      queue_cv_(env.keeper(), "proxy.host_backend.cv") {}
 
-HostBackendService::~HostBackendService() { shutdown(); }
+HostBackendService::~HostBackendService() { shutdown(); }  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
 
 Status HostBackendService::start() {
   rpc_.set_request_handler(
@@ -28,7 +28,7 @@ Status HostBackendService::start() {
       });
   rpc_.start(center_);
   {
-    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    const dbg::LockGuard lk(queue_mutex_);
     stopping_ = false;
   }
   pump_thread_ = sim::Thread(env_.keeper(), env_.stats(), "host-proxy-ch", &domain_,
@@ -46,7 +46,7 @@ void HostBackendService::shutdown() {
   if (!started_) return;
   started_ = false;
   {
-    const std::lock_guard<std::mutex> lk(queue_mutex_);
+    const dbg::LockGuard lk(queue_mutex_);
     stopping_ = true;
     queue_cv_.notify_all();
   }
@@ -60,8 +60,11 @@ void HostBackendService::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(queue_mutex_);
-      queue_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      dbg::UniqueLock lk(queue_mutex_);
+      queue_cv_.wait(lk, [&] {
+        queue_mutex_.assert_held();  // predicate runs as a separate function
+        return stopping_ || !queue_.empty();
+      });
       if (stopping_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -84,7 +87,7 @@ void HostBackendService::handle_request(BufferList req, bool oneway,
   (void)cur.get_buffer_list(cur.remaining(), body);
   (void)oneway;
 
-  const std::lock_guard<std::mutex> lk(queue_mutex_);
+  const dbg::LockGuard lk(queue_mutex_);
   if (stopping_) return;
   queue_.push_back([this, op, body = std::move(body), respond = std::move(respond)] {
     switch (op) {
@@ -125,17 +128,20 @@ void HostBackendService::do_stage_segment(BufferList body,
                                             static_cast<double>(seg.len)));
   dma_bytes_.fetch_add(seg.len, std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lk(staged_mutex_);
+    const dbg::LockGuard lk(staged_mutex_);
     staged_[seg.token][seg.seg_index] = std::move(copy);
   }
   if (respond) respond(encode_to_bl(std::int32_t{0}));
 }
 
 BufferList HostBackendService::assemble_payload(std::uint64_t token,
-                                                const std::vector<DataRef>& refs) {
+                                                const std::vector<DataRef>& refs)
+    DOCEPH_NO_THREAD_SAFETY_ANALYSIS {
+  // waiver: staged_mutex_ is acquired lazily (first staged ref) and held to
+  // scope end — conditional acquisition is outside the analysis model.
   BufferList out;
   std::map<std::uint32_t, BufferList>* segs = nullptr;
-  std::unique_lock<std::mutex> lk(staged_mutex_, std::defer_lock);
+  dbg::UniqueLock lk(staged_mutex_, std::defer_lock);
   for (const auto& ref : refs) {
     switch (ref.kind) {
       case DataRef::Kind::inline_:
@@ -183,7 +189,7 @@ void HostBackendService::do_submit_txn(BufferList body,
       wire.meta.ops()[i].data = assemble_payload(wire.token, wire.parts[i]);
   }
   {
-    const std::lock_guard<std::mutex> lk(staged_mutex_);
+    const dbg::LockGuard lk(staged_mutex_);
     staged_.erase(wire.token);
   }
   txns_.fetch_add(1, std::memory_order_relaxed);

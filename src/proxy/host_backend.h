@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "dbg/cond_var.h"
+#include "dbg/mutex.h"
 #include "doca/mmap.h"
 #include "event/event_center.h"
 #include "os/object_store.h"
@@ -67,15 +69,16 @@ class HostBackendService {
 
   // Work queue: handlers run on worker threads so blocking store calls never
   // stall the channel pump.
-  std::mutex queue_mutex_;
-  sim::CondVar queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  dbg::Mutex queue_mutex_{"proxy.host_backend.queue"};
+  dbg::CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ DOCEPH_GUARDED_BY(queue_mutex_);
+  bool stopping_ DOCEPH_GUARDED_BY(queue_mutex_) = false;
 
   // Per-request write buffers (Fig. 4): segments copied out of the DMA
   // slots, keyed by (request token, segment index) until submit_txn.
-  std::mutex staged_mutex_;
-  std::map<std::uint64_t, std::map<std::uint32_t, BufferList>> staged_;
+  dbg::Mutex staged_mutex_{"proxy.host_backend.staged"};
+  std::map<std::uint64_t, std::map<std::uint32_t, BufferList>> staged_
+      DOCEPH_GUARDED_BY(staged_mutex_);
 
   sim::Thread pump_thread_;
   std::vector<sim::Thread> workers_;

@@ -32,7 +32,7 @@ ProxyObjectStore::ProxyObjectStore(sim::Env& env, dpu::DpuDevice& dpu, ProxyConf
   perf_.add(counters_);
 }
 
-ProxyObjectStore::~ProxyObjectStore() {
+ProxyObjectStore::~ProxyObjectStore() {  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
   if (mounted_) (void)umount();
 }
 
@@ -116,8 +116,11 @@ void ProxyObjectStore::write_worker(int idx) {
     WriteReq req;
     {
       dbg::UniqueLock lk(q.m);
-      q.cv->wait(lk, [&] { return stopping_ || !q.q.empty(); });
-      if (stopping_) return;
+      q.cv->wait(lk, [&] {
+        q.m.assert_held();  // predicate runs as a separate function
+        return stopping_.load() || !q.q.empty();
+      });
+      if (stopping_.load()) return;
       req = std::move(q.q.front());
       q.q.pop_front();
     }
@@ -214,7 +217,10 @@ DataRef ProxyObjectStore::move_segment(BufferList seg,
       // Ablation: strictly serial -- wait out this transfer (and its staging
       // handoff) before touching the next segment.
       dbg::UniqueLock lk(ctx->m);
-      ctx->cv.wait(lk, [&] { return ctx->outstanding == 0; });
+      ctx->cv.wait(lk, [&] {
+        ctx->m.assert_held();
+        return ctx->outstanding == 0;
+      });
     }
   }
 
@@ -269,13 +275,21 @@ void ProxyObjectStore::process_write(WriteReq req) {
     }
   }
 
-  // Drain in-flight segments (DMA + staging handoff).
+  // Drain in-flight segments (DMA + staging handoff), then snapshot the
+  // callback-shared state — nothing mutates it once outstanding hits zero.
+  bool any_failed = false;
+  sim::Time first_submit = -1;
   {
     dbg::UniqueLock lk(ctx->m);
-    ctx->cv.wait(lk, [&] { return ctx->outstanding == 0; });
+    ctx->cv.wait(lk, [&] {
+      ctx->m.assert_held();
+      return ctx->outstanding == 0;
+    });
+    any_failed = ctx->any_failed;
+    first_submit = ctx->first_submit;
   }
 
-  if (ctx->any_failed) {
+  if (any_failed) {
     // Fallback (paper §4): staged segments whose transfer or handoff
     // failed are unusable; conservatively re-send every staged chunk inline
     // over RPC (the cooldown routes subsequent traffic there anyway).
@@ -320,15 +334,15 @@ void ProxyObjectStore::process_write(WriteReq req) {
   if (total_bytes > 0) {
     const auto& dma_cfg = dpu_.dma().config();
     std::uint64_t dma_transfer = 0;
-    if (ctx->first_submit >= 0) {
+    if (first_submit >= 0) {
       dma_transfer = static_cast<std::uint64_t>(dma_cfg.setup_latency) +
                      static_cast<std::uint64_t>(sim::transfer_time(
                          dma_bytes_this_request, dma_cfg.bw_bytes_per_sec));
     }
     std::uint64_t phase_wall = 0;
-    if (ctx->first_submit >= 0 && ctx->last_complete.load() > ctx->first_submit)
+    if (first_submit >= 0 && ctx->last_complete.load() > first_submit)
       phase_wall =
-          static_cast<std::uint64_t>(ctx->last_complete.load() - ctx->first_submit);
+          static_cast<std::uint64_t>(ctx->last_complete.load() - first_submit);
     const std::uint64_t serialization =
         phase_wall > dma_transfer ? phase_wall - dma_transfer : 0;
 

@@ -137,10 +137,11 @@ class ProxyObjectStore final : public os::ObjectStore {
     explicit SegCtx(sim::TimeKeeper& tk) : cv(tk, "proxy.seg_cv") {}
     dbg::Mutex m{"proxy.seg_ctx"};
     dbg::CondVar cv;
-    int outstanding = 0;
-    bool any_failed = false;
-    sim::Time first_submit = -1;
+    int outstanding DOCEPH_GUARDED_BY(m) = 0;
+    bool any_failed DOCEPH_GUARDED_BY(m) = false;
+    sim::Time first_submit DOCEPH_GUARDED_BY(m) = -1;
     std::atomic<sim::Time> last_complete{-1};
+    // token/next_seg/dma_wait are touched only by the owning write worker.
     std::uint64_t token = 0;
     std::uint32_t next_seg = 0;
     sim::Duration dma_wait = 0;
@@ -167,17 +168,19 @@ class ProxyObjectStore final : public os::ObjectStore {
   struct WorkerQueue {
     dbg::Mutex m{"proxy.worker_queue"};
     std::unique_ptr<dbg::CondVar> cv;
-    std::deque<WriteReq> q;
+    std::deque<WriteReq> q DOCEPH_GUARDED_BY(m);
   };
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<sim::Thread> workers_;
   sim::Thread pump_thread_;
-  bool stopping_ = true;
-  bool mounted_ = false;
+  // Atomic, not guarded: written by mount/umount, read by every write
+  // worker under its own per-queue mutex (no single guarding capability).
+  std::atomic<bool> stopping_{true};
+  bool mounted_ = false;  // lifecycle thread only
 
   // Table 3 accumulators.
   mutable dbg::Mutex bd_mutex_{"proxy.breakdown"};
-  BreakdownSnapshot bd_;
+  BreakdownSnapshot bd_ DOCEPH_GUARDED_BY(bd_mutex_);
 
   std::atomic<std::uint64_t> dma_bytes_{0};
   std::atomic<std::uint64_t> rpc_fallback_bytes_{0};

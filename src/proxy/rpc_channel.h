@@ -67,9 +67,10 @@ class RpcChannel {
 
   dbg::Mutex mutex_{"proxy.rpc"};
   std::atomic<std::uint64_t> next_id_{1};
-  std::map<std::uint64_t, ResponseCb> pending_;
+  std::map<std::uint64_t, ResponseCb> pending_ DOCEPH_GUARDED_BY(mutex_);
   // Reassembly buffers keyed by (req_id, is_response).
-  std::map<std::pair<std::uint64_t, bool>, BufferList> partial_;
+  std::map<std::pair<std::uint64_t, bool>, BufferList> partial_
+      DOCEPH_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> timeouts_{0};
 };

@@ -17,7 +17,10 @@ SlotPool::SlotPool(sim::Env& env, int slots, std::size_t slot_size)
 int SlotPool::acquire() {
   const sim::Time t0 = env_.now();
   dbg::UniqueLock lk(mutex_);
-  cv_.wait(lk, [&] { return !free_.empty(); });
+  cv_.wait(lk, [&] {
+    mutex_.assert_held();  // predicate runs as a separate function
+    return !free_.empty();
+  });
   const int slot = free_.front();
   free_.pop_front();
   total_wait_ += env_.now() - t0;

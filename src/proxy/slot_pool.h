@@ -49,8 +49,8 @@ class SlotPool {
 
   mutable dbg::Mutex mutex_{"proxy.slot_pool"};
   dbg::CondVar cv_;
-  std::deque<int> free_;
-  sim::Duration total_wait_ = 0;
+  std::deque<int> free_ DOCEPH_GUARDED_BY(mutex_);
+  sim::Duration total_wait_ DOCEPH_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace doceph::proxy

@@ -30,7 +30,7 @@ class ScopedExecContext {
     prev_ = ExecContext::current();
     ExecContext::current() = ExecContext{keeper, domain, std::move(stats)};
   }
-  ~ScopedExecContext() { ExecContext::current() = std::move(prev_); }
+  ~ScopedExecContext() { ExecContext::current() = std::move(prev_); }  // NOLINT(bugprone-exception-escape): restores thread-local context; a throw terminates, by design
   ScopedExecContext(const ScopedExecContext&) = delete;
   ScopedExecContext& operator=(const ScopedExecContext&) = delete;
 

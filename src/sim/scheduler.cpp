@@ -10,7 +10,7 @@ EventScheduler::EventScheduler(TimeKeeper& tk, StatsRegistry& stats)
       thread_(tk, stats, "sim-scheduler", /*domain=*/nullptr, [this] { run(); },
               /*daemon=*/true) {}
 
-EventScheduler::~EventScheduler() {
+EventScheduler::~EventScheduler() {  // NOLINT(bugprone-exception-escape): teardown joins the dispatch thread; a throw terminates, by design
   stop();
   thread_.join();
 }

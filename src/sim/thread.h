@@ -46,7 +46,7 @@ class Thread {
   Thread(const Thread&) = delete;
   Thread& operator=(const Thread&) = delete;
 
-  ~Thread() { join(); }
+  ~Thread() { join(); }  // NOLINT(bugprone-exception-escape): join at scope exit; a throw terminates, by design
 
   void join();
   [[nodiscard]] bool joinable() const noexcept { return impl_.joinable(); }

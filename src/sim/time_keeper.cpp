@@ -25,7 +25,7 @@ TimeKeeper::TimeKeeper(Mode mode)
   }
 }
 
-TimeKeeper::~TimeKeeper() {
+TimeKeeper::~TimeKeeper() {  // NOLINT(bugprone-exception-escape): teardown stops the watchdog; a throw terminates, by design
   {
     const dbg::LockGuard lock(mutex_);
     watchdog_stop_ = true;

@@ -70,7 +70,7 @@ class TimeKeeper {
         : tk_(tk) {
       tk_.register_current_thread(std::move(stats), daemon);
     }
-    ~ThreadGuard() { tk_.unregister_current_thread(); }
+    ~ThreadGuard() { tk_.unregister_current_thread(); }  // NOLINT(bugprone-exception-escape): unregister takes the keeper lock; a throw terminates, by design
     ThreadGuard(const ThreadGuard&) = delete;
     ThreadGuard& operator=(const ThreadGuard&) = delete;
 
@@ -104,7 +104,7 @@ class TimeKeeper {
   class AdvanceHold {
    public:
     explicit AdvanceHold(TimeKeeper& tk) : tk_(&tk) { tk_->hold_advance(); }
-    ~AdvanceHold() { release(); }
+    ~AdvanceHold() { release(); }  // NOLINT(bugprone-exception-escape): release takes the keeper lock; a throw terminates, by design
     AdvanceHold(AdvanceHold&& o) noexcept : tk_(o.tk_) { o.tk_ = nullptr; }
     AdvanceHold& operator=(AdvanceHold&&) = delete;
     AdvanceHold(const AdvanceHold&) = delete;

@@ -19,7 +19,7 @@ class Recorder {
   Recorder() {
     prev_ = ld::set_handler([this](const ld::Violation& v) { seen.push_back(v); });
   }
-  ~Recorder() { ld::set_handler(std::move(prev_)); }
+  ~Recorder() { ld::set_handler(std::move(prev_)); }  // NOLINT(bugprone-exception-escape): test teardown; a throw fails the binary loudly, which is fine
   std::vector<ld::Violation> seen;
 
  private:

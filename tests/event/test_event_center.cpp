@@ -20,7 +20,7 @@ struct LoopFixture {
   LoopFixture()
       : loop(env.keeper(), env.stats(), "loop", nullptr, [this] { center.run(); },
              /*daemon=*/true) {}
-  ~LoopFixture() {
+  ~LoopFixture() {  // NOLINT(bugprone-exception-escape): test teardown; a throw fails the binary loudly, which is fine
     center.stop();
     loop.join();
   }

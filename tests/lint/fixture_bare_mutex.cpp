@@ -1,0 +1,29 @@
+// doceph_lint negative fixture: a bare std::mutex (and friends) declared in
+// product code without a waiver. Never compiled — consumed by
+// `scripts/doceph_lint.py --self-test tests/lint`, which fails if the linter
+// stops flagging it.
+//
+// doceph-lint-expect: bare-mutex
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace doceph::fixture {
+
+class SneakyComponent {
+ public:
+  void poke() {
+    const std::lock_guard<std::mutex> lk(mutex_);  // usage alone is fine
+    ++state_;
+  }
+
+ private:
+  std::mutex mutex_;                 // flagged: bare primitive state
+  std::condition_variable cv_;       // flagged
+  std::shared_mutex rw_;             // flagged
+  std::mutex waived_;  // doceph-lint: allow(bare-mutex) fixture: waived line must NOT be the only finding
+  int state_ = 0;
+};
+
+}  // namespace doceph::fixture

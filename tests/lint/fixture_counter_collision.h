@@ -1,0 +1,25 @@
+// doceph_lint negative fixture: two perf-counter enum blocks whose index
+// ranges overlap — merged `perf dump`s would alias slots. Never compiled —
+// consumed by `scripts/doceph_lint.py --self-test tests/lint`.
+//
+// doceph-lint-expect: counter-range
+
+#pragma once
+
+namespace doceph::fixture {
+
+enum {
+  l_widget_first = 97000,
+  l_widget_ops,
+  l_widget_errors,
+  l_widget_lat,
+  l_widget_last,
+};
+
+enum {
+  l_gadget_first = 97002,  // flagged: lands inside the widget block
+  l_gadget_ops,
+  l_gadget_last,
+};
+
+}  // namespace doceph::fixture

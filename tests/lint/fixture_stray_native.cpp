@@ -1,0 +1,19 @@
+// doceph_lint negative fixture: dbg::Mutex::native() used outside the
+// condvar substrate (src/dbg/, src/sim/time_keeper.*). Never compiled —
+// consumed by `scripts/doceph_lint.py --self-test tests/lint`.
+//
+// doceph-lint-expect: native
+
+#include <mutex>  // doceph-lint: allow(bare-mutex) fixture include
+
+#include "dbg/mutex.h"
+
+namespace doceph::fixture {
+
+inline void bypass_lockdep(dbg::Mutex& m) {
+  // flagged: this lock acquisition is invisible to lockdep and to the
+  // thread-safety analysis.
+  const std::lock_guard<std::mutex> lk(m.native());
+}
+
+}  // namespace doceph::fixture

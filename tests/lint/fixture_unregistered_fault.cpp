@@ -1,0 +1,20 @@
+// doceph_lint negative fixture: arming/consulting a fault point whose name
+// is not declared in src/common/fault_points.h — the typo class the
+// registry exists to catch. Never compiled — consumed by
+// `scripts/doceph_lint.py --self-test tests/lint`.
+//
+// doceph-lint-expect: fault-point
+
+#include "common/fault.h"
+
+namespace doceph::fixture {
+
+inline void typo_fault(fault::FaultRegistry& reg) {
+  // flagged: "osd.hardcrash" (missing underscore) is not in the registry;
+  // arming it would silently never fire.
+  reg.fire_next("osd.hardcrash", 1);
+  // flagged: consulting a never-registered point.
+  (void)reg.should_fire("net.jitterr", 0);
+}
+
+}  // namespace doceph::fixture

@@ -89,7 +89,7 @@ struct MsgrFixture {
     ma.start();
     mb.start();
   }
-  ~MsgrFixture() {
+  ~MsgrFixture() {  // NOLINT(bugprone-exception-escape): test teardown; a throw fails the binary loudly, which is fine
     ma.shutdown();
     mb.shutdown();
   }

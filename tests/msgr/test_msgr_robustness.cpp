@@ -47,7 +47,7 @@ struct Fixture {
     EXPECT_TRUE(server.bind(6800).ok());
     server.start();
   }
-  ~Fixture() { server.shutdown(); }
+  ~Fixture() { server.shutdown(); }  // NOLINT(bugprone-exception-escape): test teardown; a throw fails the binary loudly, which is fine
 };
 
 TEST(MsgrRobustness, GarbageBannerResetsConnection) {

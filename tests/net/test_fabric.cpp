@@ -38,7 +38,7 @@ struct NetFixture {
         la(env.keeper(), env.stats(), "loop-a", nullptr, [this] { ca.run(); }, true),
         lb(env.keeper(), env.stats(), "loop-b", nullptr, [this] { cb.run(); }, true) {}
 
-  ~NetFixture() {
+  ~NetFixture() {  // NOLINT(bugprone-exception-escape): test teardown; a throw fails the binary loudly, which is fine
     ca.stop();
     cb.stop();
     // Join the loops before the members they touch (server, cv, m — declared

@@ -31,7 +31,7 @@ struct RpcFixture {
     ct = Thread(env.keeper(), env.stats(), "rpc-client", nullptr, [this] { cc.run(); },
                 true);
   }
-  ~RpcFixture() {
+  ~RpcFixture() {  // NOLINT(bugprone-exception-escape): test teardown; a throw fails the binary loudly, which is fine
     sc.stop();
     cc.stop();
   }
