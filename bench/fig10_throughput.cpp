@@ -7,7 +7,7 @@
 using namespace doceph;
 using namespace doceph::benchcore;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Figure 10", "Throughput (IOPS): Baseline vs DoCeph");
 
   Table t({"size", "Baseline IOPS", "DoCeph IOPS", "gap", "paper: base",
@@ -17,6 +17,8 @@ int main() {
     base.mode = cluster::DeployMode::baseline;
     dpu.mode = cluster::DeployMode::doceph;
     base.object_size = dpu.object_size = paper::kSizes[i];
+    apply_trace_flags(base, argc, argv);
+    apply_trace_flags(dpu, argc, argv);
     const auto rb = run_cached(base);
     const auto rd = run_cached(dpu);
     const double gap = rb.iops > 0 ? 1.0 - rd.iops / rb.iops : 0;

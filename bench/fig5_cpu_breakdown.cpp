@@ -8,7 +8,7 @@
 using namespace doceph;
 using namespace doceph::benchcore;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Figure 5", "CPU breakdown: Messenger / ObjectStore / OSD");
 
   Table t({"network", "Messenger", "ObjectStore", "OSD threads", "total Ceph CPU",
@@ -18,6 +18,7 @@ int main() {
     spec.mode = cluster::DeployMode::baseline;
     spec.net = net;
     spec.object_size = 4 << 20;
+    apply_trace_flags(spec, argc, argv);
     const auto r = run_cached(spec);
     const bool g100 = net == cluster::NetworkKind::gbe_100;
     t.row({g100 ? "100Gbps" : "1Gbps", Table::pct(r.share_messenger),

@@ -8,7 +8,7 @@
 using namespace doceph;
 using namespace doceph::benchcore;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Figure 6", "Throughput under 1Gbps vs 100Gbps (Baseline, 4MB)");
 
   Table t({"network", "throughput MB/s", "IOPS", "link limit MB/s", "bottleneck"});
@@ -17,6 +17,7 @@ int main() {
     spec.mode = cluster::DeployMode::baseline;
     spec.net = net;
     spec.object_size = 4 << 20;
+    apply_trace_flags(spec, argc, argv);
     const auto r = run_cached(spec);
     const bool g100 = net == cluster::NetworkKind::gbe_100;
     t.row({g100 ? "100Gbps" : "1Gbps", Table::num(r.mbps, 1), Table::num(r.iops, 1),

@@ -8,7 +8,7 @@
 using namespace doceph;
 using namespace doceph::benchcore;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Figure 8", "Average write latency: Baseline vs DoCeph");
 
   Table t({"size", "Baseline (s)", "DoCeph (s)", "overhead", "paper: base",
@@ -18,6 +18,8 @@ int main() {
     base.mode = cluster::DeployMode::baseline;
     dpu.mode = cluster::DeployMode::doceph;
     base.object_size = dpu.object_size = paper::kSizes[i];
+    apply_trace_flags(base, argc, argv);
+    apply_trace_flags(dpu, argc, argv);
     const auto rb = run_cached(base);
     const auto rd = run_cached(dpu);
     const double over = rb.avg_lat_s > 0 ? rd.avg_lat_s / rb.avg_lat_s - 1.0 : 0;

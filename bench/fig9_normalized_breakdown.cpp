@@ -8,7 +8,7 @@
 using namespace doceph;
 using namespace doceph::benchcore;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Figure 9", "Normalized latency breakdown (share of total)");
 
   Table t({"size", "Host write", "DMA", "DMA-wait", "Others",
@@ -17,6 +17,7 @@ int main() {
     RunSpec spec;
     spec.mode = cluster::DeployMode::doceph;
     spec.object_size = paper::kSizes[i];
+    apply_trace_flags(spec, argc, argv);
     const auto r = run_cached(spec);
     const double total = r.bd_total_s > 0 ? r.bd_total_s : 1;
     t.row({paper::kSizeNames[i], Table::pct(r.bd_host_write_s / total),

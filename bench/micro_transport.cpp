@@ -29,10 +29,11 @@ double comch_rpc_rtt_us() {
   event::EventCenter sc(env), cc(env);
   sim::Thread st(env.keeper(), env.stats(), "server", nullptr, [&] { sc.run(); }, true);
   sim::Thread ct(env.keeper(), env.stats(), "client", nullptr, [&] { cc.run(); }, true);
-  server.set_request_handler(
-      [](BufferList, bool, proxy::RpcChannel::Responder respond) {
-        respond(BufferList::copy_of("pong"));
-      });
+  server.set_request_handler([](BufferList, bool,
+                                proxy::RpcChannel::Responder respond,
+                                const trace::TraceContext&) {
+    respond(BufferList::copy_of("pong"));
+  });
   server.start(sc);
   client.start(cc);
 

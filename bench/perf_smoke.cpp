@@ -16,8 +16,12 @@
 //   perf_smoke --out BENCH_pr.json [--baseline BENCH_baseline.json]
 //              [--threshold 0.20] [--p99-threshold 0.30]
 //              [--cores-threshold 0.25] [--measure-ms 1500] [--repeats N]
+//              [--trace-out TRACE.json] [--trace-sample N]
 //
 // A threshold of 0 disables that gate (iops/p99/cores each independently).
+// --trace-out makes the DoCeph lap sample 1-in-N client ops (default 64)
+// through the distributed tracer and writes the merged Chrome trace_event
+// JSON there (open with chrome://tracing or Perfetto).
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -100,6 +104,8 @@ int main(int argc, char** argv) {
   double cores_threshold = 0.25;
   long measure_ms = 1500;
   long repeats = 1;
+  std::string trace_out;
+  long trace_sample = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -110,6 +116,9 @@ int main(int argc, char** argv) {
     else if (arg == "--cores-threshold") cores_threshold = std::strtod(next(), nullptr);
     else if (arg == "--measure-ms") measure_ms = std::strtol(next(), nullptr, 10);
     else if (arg == "--repeats") repeats = std::max(1l, std::strtol(next(), nullptr, 10));
+    else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--trace-sample")
+      trace_sample = std::max(1l, std::strtol(next(), nullptr, 10));
     else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return 2;
@@ -129,8 +138,13 @@ int main(int argc, char** argv) {
   for (const auto mode :
        {doceph::cluster::DeployMode::baseline, doceph::cluster::DeployMode::doceph}) {
     spec.mode = mode;
-    const RunResult r = doceph::benchcore::run_experiment(spec);
     const bool is_doceph = mode == doceph::cluster::DeployMode::doceph;
+    // Trace only the DoCeph lap: that is the path (client -> msgr -> DPU
+    // comch/DMA -> host BlueStore) the artifact is meant to show.
+    spec.trace_out = is_doceph ? trace_out : "";
+    spec.trace_sample_every =
+        is_doceph && !trace_out.empty() ? static_cast<std::uint32_t>(trace_sample) : 0;
+    const RunResult r = doceph::benchcore::run_experiment(spec);
     if (is_doceph) doceph_result = r;
     emit_result(w, is_doceph ? "doceph" : "baseline", r);
     std::fprintf(stderr, "[perf-smoke] %s: %.0f ops/s, p50 %.2f ms, p99 %.2f ms\n",
@@ -144,6 +158,8 @@ int main(int argc, char** argv) {
     std::vector<double> p99s{doceph_result.p99_lat_s};
     std::vector<double> cores{doceph_result.host_cores};
     spec.mode = doceph::cluster::DeployMode::doceph;
+    spec.trace_out.clear();  // one trace artifact; repeats run untraced
+    spec.trace_sample_every = 0;
     for (long rep = 1; rep < repeats; ++rep) {
       spec.seed = 42 + static_cast<std::uint64_t>(rep);
       const RunResult r = doceph::benchcore::run_experiment(spec);

@@ -9,12 +9,13 @@
 using namespace doceph;
 using namespace doceph::benchcore;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Table 2", "Context switches: Messenger vs ObjectStore");
 
   RunSpec spec;
   spec.mode = cluster::DeployMode::baseline;
   spec.object_size = 4 << 20;
+  apply_trace_flags(spec, argc, argv);
   const auto r = run_cached(spec);
 
   const double per_s_m = static_cast<double>(r.ctx_messenger) / r.window_s;

@@ -9,7 +9,7 @@
 using namespace doceph;
 using namespace doceph::benchcore;
 
-int main() {
+int main(int argc, char** argv) {
   print_banner("Table 3", "DoCeph latency breakdown (seconds)");
 
   Table t({"row", "1MB", "4MB", "8MB", "16MB"});
@@ -18,6 +18,7 @@ int main() {
     RunSpec spec;
     spec.mode = cluster::DeployMode::doceph;
     spec.object_size = paper::kSizes[i];
+    apply_trace_flags(spec, argc, argv);
     r[i] = run_cached(spec);
   }
   auto row = [&](const char* name, double RunResult::* f, const double* ref) {

@@ -25,6 +25,11 @@ Rules (each finding prints as `path:line: [rule] message`):
                   arms or probes a point nothing ever consults — it fails
                   lint instead of silently never firing.
 
+  trace-point     A span-name literal passed to Tracer::span()/record_span()
+                  that is not declared in src/common/trace_points.h. A typo
+                  here produces an orphan span that silently fractures the
+                  op's span tree — it fails lint instead.
+
   counter-range   Two perf-counter enum blocks (`l_X_first = N ... l_X_last`)
                   whose index ranges overlap. Blocks are spaced in 1000-wide
                   decades (msgr 90000, osd 91000, ...); an overlap would let
@@ -52,6 +57,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 FAULT_POINTS_HEADER = "src/common/fault_points.h"
+TRACE_POINTS_HEADER = "src/common/trace_points.h"
 
 # Directories whose files are linted in default mode.
 LINT_ROOTS = ("src", "tests", "bench", "examples")
@@ -89,6 +95,15 @@ FAULT_CALL_RE = re.compile(
 
 FAULT_DECL_RE = re.compile(r"\"([a-z0-9_]+\.[a-z0-9_]+)\"")
 
+# Span-name literals at Tracer call sites. Names are "<layer>.<event>" with
+# optional further dots (e.g. "osd.stage.queue"); the domain argument that
+# follows is free-form and is not checked.
+TRACE_CALL_RE = re.compile(
+    r"\.\s*(span|record_span)\s*\(\s*\"((?:[a-z0-9_]+\.)+[a-z0-9_]+)\""
+)
+
+TRACE_DECL_RE = re.compile(r"\"((?:[a-z0-9_]+\.)+[a-z0-9_]+)\"")
+
 FIRST_RE = re.compile(r"\bl_([A-Za-z0-9_]+)_first\s*=\s*(\d+)")
 
 
@@ -118,6 +133,13 @@ def load_fault_registry() -> set[str]:
     return set(FAULT_DECL_RE.findall(path.read_text()))
 
 
+def load_trace_registry() -> set[str]:
+    path = REPO / TRACE_POINTS_HEADER
+    if not path.is_file():
+        return set()
+    return set(TRACE_DECL_RE.findall(path.read_text()))
+
+
 def rel(path: Path) -> str:
     try:
         return path.relative_to(REPO).as_posix()
@@ -125,7 +147,8 @@ def rel(path: Path) -> str:
         return path.as_posix()
 
 
-def lint_file(path: Path, registry: set[str], enforce_allowlists: bool = True):
+def lint_file(path: Path, registry: set[str], trace_registry: set[str],
+              enforce_allowlists: bool = True):
     findings: list[Finding] = []
     text = path.read_text(errors="replace")
     relpath = rel(path)
@@ -174,6 +197,15 @@ def lint_file(path: Path, registry: set[str], enforce_allowlists: bool = True):
                     f'fault point "{point}" is not declared in '
                     f"{FAULT_POINTS_HEADER}; declare it there (typo-proofing: "
                     "unregistered names never fire)"))
+
+        # Rule: trace-point
+        for _verb, point in TRACE_CALL_RE.findall(code):
+            if point not in trace_registry:
+                findings.append(Finding(
+                    path, lineno, "trace-point",
+                    f'span name "{point}" is not declared in '
+                    f"{TRACE_POINTS_HEADER}; declare it there (typo-proofing: "
+                    "unregistered names orphan the span from its op tree)"))
 
     return findings
 
@@ -243,22 +275,28 @@ def run_default() -> int:
     if not registry:
         print(f"doceph_lint: {FAULT_POINTS_HEADER} missing or empty", file=sys.stderr)
         return 2
+    trace_registry = load_trace_registry()
+    if not trace_registry:
+        print(f"doceph_lint: {TRACE_POINTS_HEADER} missing or empty", file=sys.stderr)
+        return 2
     files = list(iter_tree_files())
     findings: list[Finding] = []
     for path in files:
-        findings.extend(lint_file(path, registry))
+        findings.extend(lint_file(path, registry, trace_registry))
     findings.extend(lint_counter_ranges([p for p in files if rel(p).startswith("src/")]))
     for f in findings:
         print(f)
     if findings:
         print(f"doceph_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
-    print(f"doceph_lint: OK ({len(files)} files, {len(registry)} fault points)")
+    print(f"doceph_lint: OK ({len(files)} files, {len(registry)} fault points, "
+          f"{len(trace_registry)} trace points)")
     return 0
 
 
 def run_self_test(fixture_dir: Path) -> int:
     registry = load_fault_registry()
+    trace_registry = load_trace_registry()
     fixtures = sorted(p for p in fixture_dir.rglob("*")
                       if p.suffix in (".h", ".hpp", ".cc", ".cpp"))
     if not fixtures:
@@ -271,7 +309,7 @@ def run_self_test(fixture_dir: Path) -> int:
             print(f"{rel(path)}: fixture has no doceph-lint-expect annotation", file=sys.stderr)
             failures += 1
             continue
-        findings = lint_file(path, registry, enforce_allowlists=False)
+        findings = lint_file(path, registry, trace_registry, enforce_allowlists=False)
         findings.extend(lint_counter_ranges([path]))
         got = {f.rule for f in findings}
         for rule in expected:

@@ -37,8 +37,22 @@ std::string RunSpec::cache_key() const {
   return os.str();
 }
 
+void apply_trace_flags(RunSpec& spec, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      spec.trace_out = argv[++i];
+      if (spec.trace_sample_every == 0) spec.trace_sample_every = 64;
+    } else if (arg == "--trace-sample" && i + 1 < argc) {
+      spec.trace_sample_every =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    }
+  }
+}
+
 RunResult run_experiment(const RunSpec& spec) {
   sim::Env env(sim::TimeKeeper::Mode::virtual_time, spec.seed);
+  env.tracer().set_sample_every(spec.trace_sample_every);
   auto cfg = cluster::ClusterConfig::paper_testbed(spec.mode, spec.net,
                                                    /*retain_data=*/false);
   cfg.pg_num = spec.pg_num;
@@ -192,6 +206,21 @@ RunResult run_experiment(const RunSpec& spec) {
     }
 
     cl.stop();
+
+    // Dump traces after stop so every span has been closed at a
+    // deterministic virtual time (same seed => byte-identical file).
+    if (!spec.trace_out.empty()) {
+      std::string path = spec.trace_out;
+      if (const auto pos = path.find("%k"); pos != std::string::npos)
+        path.replace(pos, 2, spec.cache_key());
+      std::ofstream out(path);
+      if (out) {
+        out << cl.dump_traces() << "\n";
+        std::fprintf(stderr, "[bench] wrote trace %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "[bench] cannot write trace %s\n", path.c_str());
+      }
+    }
   });
   return result;
 }
@@ -255,9 +284,13 @@ void store_cached(const std::string& key, const RunResult& r) {
 
 RunResult run_cached(const RunSpec& spec) {
   const std::string key = spec.cache_key();
+  // The trace artifact is the whole point of a traced run, so a cached
+  // result (which has no trace file) must not satisfy it. The run still
+  // refreshes the numeric cache for later untraced callers.
+  const bool tracing = spec.trace_sample_every > 0 || !spec.trace_out.empty();
   const bool no_cache = std::getenv("DOCEPH_NO_CACHE") != nullptr;
   RunResult result;
-  if (!no_cache && load_cached(key, result)) {
+  if (!no_cache && !tracing && load_cached(key, result)) {
     std::fprintf(stderr, "[bench] cache hit: %s\n", key.c_str());
     return result;
   }

@@ -28,9 +28,24 @@ struct RunSpec {
   /// stderr at the end of the measured window. Diagnostic; not cached.
   bool dump_admin = false;
 
+  /// Distributed tracing: sample every Nth client op (0 = off) and, when
+  /// `trace_out` is set, write the merged Chrome trace_event JSON for the
+  /// run there. A `%k` in the path expands to cache_key(), so multi-cell
+  /// figure harnesses can emit one trace per cell. Traced runs always
+  /// execute (run_cached() bypasses the result cache); the trace fields are
+  /// deliberately not part of the cache key.
+  std::uint32_t trace_sample_every = 0;
+  std::string trace_out;
+
   /// Stable cache key for this configuration.
   [[nodiscard]] std::string cache_key() const;
 };
+
+/// Parse the shared tracing flags (`--trace-out <file>`,
+/// `--trace-sample <n>`) out of a harness's argv into the spec. Passing
+/// only --trace-out defaults the sampler to 1-in-64. Unknown arguments are
+/// left for the harness to reject or ignore.
+void apply_trace_flags(RunSpec& spec, int argc, char** argv);
 
 /// Everything the paper's tables/figures need from one run.
 struct RunResult {

@@ -222,8 +222,14 @@ void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
     domain_->charge(cfg_.per_op_prep * static_cast<sim::Duration>(txn.num_ops()));
 
   auto txc = std::make_shared<TxContext>();
-  txc->on_commit = [this, queued = env_.now(),
+  // Shared, not captured by value: Span is move-only and on_commit is a
+  // copyable std::function. No-op unless the transaction's op was sampled.
+  auto sp = std::make_shared<trace::Span>(
+      env_.tracer().span("bluestore.txn", "bluestore." + cfg_.device.name,
+                         txn.trace(), env_.now()));
+  txc->on_commit = [this, sp, queued = env_.now(),
                     cb = std::move(on_commit)](Status st) {
+    sp->end(env_.now());
     counters_->inc(l_bstore_txns);
     counters_->rec(l_bstore_commit_lat, env_.now() - queued);
     if (cb) cb(std::move(st));

@@ -106,6 +106,21 @@ Status RadosClient::connect() {
   admin_.register_command(
       "dump_historic_ops", "list recently completed ops with event timelines",
       [this](const auto&) { return tracker_.dump_historic_ops(); });
+  admin_.register_command(
+      "trace dump",
+      "dump completed spans as Chrome trace JSON; optional domain-substring arg",
+      [this](const std::vector<std::string>& args) {
+        return env_.tracer().dump_chrome_json(args.empty() ? std::string_view{}
+                                                           : args.front());
+      });
+  admin_.register_command("trace reset", "discard recorded spans",
+                          [this](const auto&) {
+                            env_.tracer().reset();
+                            return std::string("{}");
+                          });
+  admin_.register_command(
+      "trace flight", "most recent flight-recorder snapshot (crash dump)",
+      [this](const auto&) { return env_.tracer().last_flight_json(); });
   connected_ = true;
   return Status::OK();
 }
@@ -122,6 +137,7 @@ void RadosClient::shutdown() {
   for (auto& [tid, op] : orphans) {
     if (op.tracked != nullptr) {
       op.tracked->mark_event("done", env_.now());
+      op.tracked->span().end(env_.now());
       tracker_.finish_op(op.tracked, env_.now());
     }
     const dbg::LockGuard lk(op.completion->m_);
@@ -159,6 +175,18 @@ AioCompletionRef RadosClient::aio_operate(os::pool_t pool, const std::string& ob
   desc += object;
   desc += ')';
   auto tracked = tracker_.create_op(std::move(desc), env_.now());
+  // Sampling decision happens once, here at the root: the op's stable
+  // identity hashes to a trace id, and the context rides the request so
+  // every downstream layer (msgr, OSD, DPU, host store) joins the tree.
+  const trace::TraceContext root =
+      env_.tracer().root_context((client_id_ << 32) ^ request->tid);
+  if (root.sampled()) {
+    auto sp = env_.tracer().span(
+        "client.op", "client." + std::to_string(client_id_), root, env_.now());
+    request->trace = sp.context();
+    tracked->set_trace(sp.context());
+    tracked->adopt_span(std::move(sp));
+  }
   {
     const dbg::LockGuard lk(mutex_);
     in_flight_[request->tid] = InFlight{request, completion, tracked, -1, 0};
@@ -188,6 +216,7 @@ void RadosClient::fail_op(std::uint64_t tid, Status st) {
   DLOG(warn, "client") << "op tid=" << tid << " failed: " << st.to_string();
   if (tracked != nullptr) {
     tracked->mark_event("done", env_.now());
+    tracked->span().end(env_.now());
     tracker_.finish_op(tracked, env_.now());
   }
   const dbg::LockGuard lk(completion->m_);
@@ -284,6 +313,7 @@ void RadosClient::finish_op(std::uint64_t tid, const msgr::MessageRef& reply) {
     counters_->inc(l_client_op);
     counters_->rec(l_client_op_lat,
                    static_cast<std::uint64_t>(env_.now() - tracked->initiated_at()));
+    tracked->span().end(env_.now());
     tracker_.finish_op(tracked, env_.now());
   }
   const dbg::LockGuard lk(completion->m_);

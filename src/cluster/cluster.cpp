@@ -145,6 +145,11 @@ Status Cluster::hard_kill_osd(int i) {
   if (!node.osd || node.osd_down)
     return Status(Errc::invalid_argument, "osd." + std::to_string(i) + " not up");
   node.osd_down = true;
+  // Flight recorder: snapshot open spans (the killed op's partial trace)
+  // and recent fault firings *before* teardown destroys the TrackedOps
+  // holding them.
+  env_.tracer().flight_snapshot("osd." + std::to_string(i) + ".hard_crash",
+                                env_.faults().firing_log());
   // Power-loss ordering: the NIC dies first (hard_kill downs the messenger
   // before anything else, so no error replies escape the dead node), then
   // the host store crashes — in-flight transactions and queued KV txns drop
@@ -202,7 +207,11 @@ Status Cluster::restart_osd(int i) {
   // chaos monitor retries.
   if (!node.store->is_mounted()) {
     const Status st = node.store->mount();
-    if (!st.ok()) return st;
+    if (!st.ok()) {
+      env_.tracer().flight_snapshot("osd." + std::to_string(i) + ".remount_failed",
+                                    env_.faults().firing_log());
+      return st;
+    }
   }
   if (cfg_.mode == DeployMode::doceph && !node.pstore) {
     // Re-create the DPU-side daemons over the surviving DpuDevice so the
@@ -352,7 +361,12 @@ std::string Cluster::admin_dump(const std::string& command) {
   return w.str();
 }
 
+std::string Cluster::dump_traces(std::string_view domain_filter) const {
+  return env_.tracer().dump_chrome_json(domain_filter);
+}
+
 void Cluster::reset_observability() {
+  env_.tracer().reset();
   if (mon_) mon_->perf_collection().reset_all();
   for (const auto& node : nodes_) {
     if (node->osd) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "client/rados_client.h"
@@ -105,6 +106,12 @@ class Cluster {
   /// "dpu.N", "client"). Daemons that don't register the command are
   /// omitted from the result.
   [[nodiscard]] std::string admin_dump(const std::string& command);
+
+  /// Chrome trace_event JSON covering every daemon in the universe (the
+  /// whole cluster shares one Tracer, so client, msgr, DPU, host and
+  /// BlueStore spans land in one timeline). Optionally filtered to domains
+  /// containing `domain_filter` ("osd.0", "dma", ...).
+  [[nodiscard]] std::string dump_traces(std::string_view domain_filter = {}) const;
 
   /// Zero every perf counter and histogram and drop tracked-op history
   /// across the cluster. Experiments call this between warmup and the

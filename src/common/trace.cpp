@@ -1,0 +1,384 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <tuple>
+
+#include "common/encoding.h"
+#include "common/json.h"
+
+namespace doceph::trace {
+namespace {
+
+/// splitmix64 finalizer: the same avalanche FaultRegistry uses for its
+/// per-entry seeds; all trace/span ids are chains of this over stable
+/// inputs, never counters, so ids are interleaving-independent.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kSampleSalt = 0x73616d706c65ULL;  // "sample"
+constexpr std::size_t kMaxFlights = 8;
+constexpr std::size_t kFlightCompletedCap = 512;
+constexpr std::size_t kFlightFiringsCap = 64;
+
+std::uint64_t derive_span_id(std::uint64_t trace_id, std::uint64_t parent_id,
+                             std::string_view name, std::string_view domain,
+                             std::int64_t start, std::uint64_t index) noexcept {
+  std::uint64_t h = trace_id;
+  h = mix(h ^ parent_id);
+  h = mix(h ^ fnv1a(name));
+  h = mix(h ^ fnv1a(domain));
+  h = mix(h ^ static_cast<std::uint64_t>(start));
+  h = mix(h ^ index);
+  return h == 0 ? 1 : h;
+}
+
+/// Canonical order: makes dumps a pure function of the recorded set, not of
+/// ring-append interleaving.
+bool span_less(const SpanRecord& a, const SpanRecord& b) {
+  return std::tie(a.trace_id, a.start, a.domain, a.name, a.span_id, a.end) <
+         std::tie(b.trace_id, b.start, b.domain, b.name, b.span_id, b.end);
+}
+
+std::string hex_id(std::uint64_t v) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void span_to_json(JsonWriter& w, const SpanRecord& s) {
+  w.begin_object();
+  w.kv("trace_id", hex_id(s.trace_id));
+  w.kv("span_id", hex_id(s.span_id));
+  w.kv("parent_id", hex_id(s.parent_id));
+  w.kv("name", s.name);
+  w.kv("domain", s.domain);
+  w.kv("start_ns", static_cast<std::int64_t>(s.start));
+  if (s.end >= 0) {
+    w.kv("end_ns", static_cast<std::int64_t>(s.end));
+    w.kv("dur_ns", static_cast<std::int64_t>(s.end - s.start));
+  } else {
+    w.kv("partial", true);
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+// ---- TraceContext --------------------------------------------------------------
+
+void TraceContext::encode(BufferList& bl) const {
+  doceph::encode(trace_id, bl);
+  doceph::encode(span_id, bl);
+  doceph::encode(flags, bl);
+}
+
+bool TraceContext::decode(BufferList::Cursor& cur) {
+  return doceph::decode(trace_id, cur) && doceph::decode(span_id, cur) &&
+         doceph::decode(flags, cur);
+}
+
+// ---- Span ----------------------------------------------------------------------
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    ctx_ = other.ctx_;
+    other.tracer_ = nullptr;
+    other.ctx_ = {};
+  }
+  return *this;
+}
+
+Span::~Span() { end(); }
+
+void Span::end(std::int64_t at) {
+  if (tracer_ == nullptr) return;
+  tracer_->end_span(ctx_, at);
+  tracer_ = nullptr;
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* t = tracer_;
+  end(t->clock_now());
+}
+
+// ---- SpanRing ------------------------------------------------------------------
+
+SpanRing::SpanRing(std::size_t capacity)
+    : cap_(capacity == 0 ? 1 : capacity), slots_(new Slot[cap_]) {}
+
+void SpanRing::push(const SpanRecord& rec) {
+  const std::uint64_t idx = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& s = slots_[idx % cap_];
+  s.stamp.store(0, std::memory_order_release);  // invalidate for readers
+  s.rec = rec;
+  s.stamp.store(idx + 1, std::memory_order_release);  // publish
+}
+
+std::vector<SpanRecord> SpanRing::snapshot() const {
+  std::vector<SpanRecord> out;
+  out.reserve(cap_);
+  for (std::size_t i = 0; i < cap_; ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t before = s.stamp.load(std::memory_order_acquire);
+    if (before == 0) continue;
+    SpanRecord rec = s.rec;
+    if (s.stamp.load(std::memory_order_acquire) != before) continue;  // torn
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::uint64_t SpanRing::dropped() const noexcept {
+  const std::uint64_t h = head_.load(std::memory_order_acquire);
+  return h > cap_ ? h - cap_ : 0;
+}
+
+// ---- Tracer --------------------------------------------------------------------
+
+Tracer::Tracer(std::uint64_t seed) : salt_(mix(seed ^ fnv1a("doceph.tracer"))) {}
+
+TraceContext Tracer::root_context(std::uint64_t key) const {
+  const std::uint32_t n = sample_every_.load(std::memory_order_relaxed);
+  if (n == 0) return {};
+  TraceContext ctx;
+  ctx.trace_id = mix(salt_ ^ mix(key));
+  if (ctx.trace_id == 0) ctx.trace_id = 1;
+  const bool sampled = n == 1 || mix(ctx.trace_id ^ kSampleSalt) % n == 0;
+  if (!sampled) return {};
+  ctx.flags = TraceContext::kSampled;
+  return ctx;
+}
+
+SpanRing& Tracer::ring_for(const std::string& domain) {
+  auto it = rings_.find(domain);
+  if (it == rings_.end()) {
+    it = rings_
+             .emplace(domain, std::make_unique<SpanRing>(
+                                  ring_capacity_.load(std::memory_order_relaxed)))
+             .first;
+  }
+  return *it->second;
+}
+
+Span Tracer::span(std::string_view name, std::string_view domain,
+                  const TraceContext& parent, std::int64_t start,
+                  std::uint64_t index) {
+  if (!parent.sampled()) return {};
+  SpanRecord rec;
+  rec.trace_id = parent.trace_id;
+  rec.parent_id = parent.span_id;
+  rec.span_id =
+      derive_span_id(parent.trace_id, parent.span_id, name, domain, start, index);
+  rec.name = std::string(name);
+  rec.domain = std::string(domain);
+  rec.start = start;
+  TraceContext ctx{parent.trace_id, rec.span_id, parent.flags};
+  {
+    const dbg::LockGuard lk(mutex_);
+    open_[rec.span_id] = std::move(rec);
+  }
+  return Span(this, ctx);
+}
+
+TraceContext Tracer::record_span(std::string_view name, std::string_view domain,
+                                 const TraceContext& parent, std::int64_t start,
+                                 std::int64_t end_at, std::uint64_t index) {
+  if (!parent.sampled()) return {};
+  SpanRecord rec;
+  rec.trace_id = parent.trace_id;
+  rec.parent_id = parent.span_id;
+  rec.span_id =
+      derive_span_id(parent.trace_id, parent.span_id, name, domain, start, index);
+  rec.name = std::string(name);
+  rec.domain = std::string(domain);
+  rec.start = start;
+  rec.end = end_at;
+  const TraceContext ctx{parent.trace_id, rec.span_id, parent.flags};
+  {
+    const dbg::LockGuard lk(mutex_);
+    ring_for(rec.domain).push(rec);
+  }
+  return ctx;
+}
+
+void Tracer::end_span(const TraceContext& ctx, std::int64_t at) {
+  const dbg::LockGuard lk(mutex_);
+  auto it = open_.find(ctx.span_id);
+  if (it == open_.end()) return;
+  SpanRecord rec = std::move(it->second);
+  open_.erase(it);
+  rec.end = at < rec.start ? rec.start : at;
+  ring_for(rec.domain).push(rec);
+}
+
+std::vector<SpanRecord> Tracer::completed(std::string_view domain_filter) const {
+  std::vector<SpanRecord> out;
+  {
+    const dbg::LockGuard lk(mutex_);
+    for (const auto& [domain, ring] : rings_) {
+      if (!domain_filter.empty() && domain.find(domain_filter) == std::string::npos)
+        continue;
+      auto spans = ring->snapshot();
+      out.insert(out.end(), std::make_move_iterator(spans.begin()),
+                 std::make_move_iterator(spans.end()));
+    }
+  }
+  std::sort(out.begin(), out.end(), span_less);
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::open_spans() const {
+  std::vector<SpanRecord> out;
+  {
+    const dbg::LockGuard lk(mutex_);
+    out.reserve(open_.size());
+    for (const auto& [id, rec] : open_) out.push_back(rec);
+  }
+  std::sort(out.begin(), out.end(), span_less);
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const dbg::LockGuard lk(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& [domain, ring] : rings_) n += ring->dropped();
+  return n;
+}
+
+void Tracer::reset() {
+  const dbg::LockGuard lk(mutex_);
+  rings_.clear();
+}
+
+std::string Tracer::dump_chrome_json(std::string_view domain_filter) const {
+  const auto spans = completed(domain_filter);
+
+  // Deterministic pid/tid assignment: domains and trace ids in sorted order.
+  std::map<std::string, int> pids;
+  std::map<std::uint64_t, int> tids;
+  for (const auto& s : spans) {
+    pids.emplace(s.domain, 0);
+    tids.emplace(s.trace_id, 0);
+  }
+  int next = 1;
+  for (auto& [domain, pid] : pids) pid = next++;
+  next = 1;
+  for (auto& [id, tid] : tids) tid = next++;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& [domain, pid] : pids) {
+    w.begin_object();
+    w.kv("ph", "M");
+    w.kv("pid", pid);
+    w.kv("name", "process_name");
+    w.key("args");
+    w.begin_object();
+    w.kv("name", domain);
+    w.end_object();
+    w.end_object();
+  }
+  for (const auto& s : spans) {
+    w.begin_object();
+    w.kv("ph", "X");
+    w.kv("pid", pids.at(s.domain));
+    w.kv("tid", tids.at(s.trace_id));
+    w.kv("name", s.name);
+    w.kv("cat", "doceph");
+    w.kv("ts", static_cast<double>(s.start) / 1e3);   // us
+    w.kv("dur", static_cast<double>(s.end - s.start) / 1e3);
+    w.key("args");
+    w.begin_object();
+    w.kv("trace_id", hex_id(s.trace_id));
+    w.kv("span_id", hex_id(s.span_id));
+    w.kv("parent_id", hex_id(s.parent_id));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+void Tracer::flight_snapshot(std::string_view reason,
+                             const std::vector<std::string>& fault_firings) {
+  const std::int64_t at = clock_now();
+  const auto open = open_spans();
+  auto done = completed();
+  // Bound the snapshot: keep the most recent completed spans (highest start).
+  if (done.size() > kFlightCompletedCap)
+    done.erase(done.begin(),
+               done.end() - static_cast<std::ptrdiff_t>(kFlightCompletedCap));
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("reason", reason);
+  w.kv("at_ns", static_cast<std::int64_t>(at));
+  w.key("open_spans");
+  w.begin_array();
+  for (const auto& s : open) span_to_json(w, s);
+  w.end_array();
+  w.key("completed_spans");
+  w.begin_array();
+  for (const auto& s : done) span_to_json(w, s);
+  w.end_array();
+  w.key("fault_firings");
+  w.begin_array();
+  const std::size_t skip =
+      fault_firings.size() > kFlightFiringsCap ? fault_firings.size() - kFlightFiringsCap : 0;
+  for (std::size_t i = skip; i < fault_firings.size(); ++i) w.value(fault_firings[i]);
+  w.end_array();
+  w.end_object();
+
+  std::string dir;
+  std::uint64_t seq = 0;
+  {
+    const dbg::LockGuard lk(mutex_);
+    seq = flight_seq_++;
+    flights_.emplace_back(std::string(reason), w.str());
+    while (flights_.size() > kMaxFlights) flights_.pop_front();
+    dir = flight_dir_;
+  }
+  if (!dir.empty()) {
+    std::ofstream out(dir + "/flight_" + std::to_string(seq) + ".json");
+    if (out) out << w.str() << "\n";
+  }
+}
+
+std::string Tracer::last_flight_json() const {
+  const dbg::LockGuard lk(mutex_);
+  return flights_.empty() ? std::string{} : flights_.back().second;
+}
+
+std::size_t Tracer::flight_count() const {
+  const dbg::LockGuard lk(mutex_);
+  return flights_.size();
+}
+
+void Tracer::set_flight_dir(std::string dir) {
+  const dbg::LockGuard lk(mutex_);
+  flight_dir_ = std::move(dir);
+}
+
+}  // namespace doceph::trace

@@ -1,0 +1,208 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/buffer.h"
+#include "dbg/mutex.h"
+
+namespace doceph::trace {
+
+/// Propagated identity of one sampled request (Dapper-style): carried in
+/// every Message wire header, RpcChannel fragment, os::Transaction and DMA
+/// job, so any layer can attach spans to the op's tree without plumbing.
+/// `span_id` is the would-be parent of spans created from this context.
+struct TraceContext {
+  static constexpr std::uint8_t kSampled = 1;
+  /// Fixed wire footprint: trace_id + span_id + flags.
+  static constexpr std::size_t kWireSize = 8 + 8 + 1;
+
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint8_t flags = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+  [[nodiscard]] bool sampled() const noexcept {
+    return valid() && (flags & kSampled) != 0;
+  }
+
+  void encode(BufferList& bl) const;
+  [[nodiscard]] bool decode(BufferList::Cursor& cur);
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// One completed (or still-open) span. `end == -1` marks a span that was
+/// still open when observed — the flight recorder's "partial span".
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::string name;
+  std::string domain;
+  std::int64_t start = 0;
+  std::int64_t end = -1;
+};
+
+class Tracer;
+
+/// RAII span: created via Tracer::span() with an explicit virtual-clock
+/// start, ended explicitly (or by the destructor at the tracer's clock).
+/// While open it is registered with the tracer so the flight recorder can
+/// snapshot in-flight work; end() retires it into its domain's ring.
+/// Movable, not copyable; an unsampled parent yields an inactive no-op Span.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  ~Span();
+
+  /// Close at an explicit virtual time (idempotent).
+  void end(std::int64_t at);
+  /// Close at the tracer's clock.
+  void end();
+
+  /// Context for child spans: {trace_id, this span's id, flags}. Zero for
+  /// an inactive span.
+  [[nodiscard]] const TraceContext& context() const noexcept { return ctx_; }
+  [[nodiscard]] bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, const TraceContext& ctx) : tracer_(tracer), ctx_(ctx) {}
+
+  Tracer* tracer_ = nullptr;
+  TraceContext ctx_;
+};
+
+/// Per-domain lock-free ring of completed spans: slots are claimed with an
+/// atomic fetch-add and published with a per-slot stamp (seqlock-style), so
+/// the hot path never takes a lock and readers skip slots caught mid-write.
+/// On overflow the oldest records are overwritten (flight-recorder
+/// semantics); `dropped()` counts the overwrites.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity);
+
+  void push(const SpanRecord& rec);
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> stamp{0};  // 0 = empty; else claim index + 1
+    SpanRecord rec;
+  };
+  std::size_t cap_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};
+};
+
+/// Universe-wide trace collector (one per sim::Env, like FaultRegistry).
+///
+/// Determinism contract: everything is a pure function of (env seed, op
+/// identity) — trace ids derive from the seed-salted op key, the sampling
+/// decision is a hash of the trace id, and span ids derive from
+/// (trace_id, parent, name, domain, start, index). No global counters, so
+/// two same-seed runs produce byte-identical dumps regardless of thread
+/// interleaving. Times are virtual-clock ns via the injected clock.
+class Tracer {
+ public:
+  explicit Tracer(std::uint64_t seed);
+
+  /// Virtual clock used by Span destructors / end(). Set once at Env
+  /// construction, before any sampled traffic.
+  void set_clock(std::function<std::int64_t()> now) { clock_ = std::move(now); }
+
+  /// Sample 1-in-N ops (deterministic hash of the trace id). 0 disables
+  /// tracing entirely (root_context returns an invalid context).
+  void set_sample_every(std::uint32_t n) noexcept { sample_every_.store(n); }
+  [[nodiscard]] std::uint32_t sample_every() const noexcept {
+    return sample_every_.load();
+  }
+
+  /// Ring capacity for domains created after this call (test hook).
+  void set_ring_capacity(std::size_t n) noexcept { ring_capacity_.store(n); }
+
+  /// Root context for a new op with stable identity `key` (e.g.
+  /// client_id << 32 | tid). Invalid context when tracing is off or the op
+  /// is not sampled — callers propagate nothing in that case.
+  [[nodiscard]] TraceContext root_context(std::uint64_t key) const;
+
+  /// Open a span under `parent` starting at virtual time `start`. Inactive
+  /// no-op unless parent.sampled(). `index` disambiguates same-name
+  /// same-start siblings (segment number, byte offset).
+  [[nodiscard]] Span span(std::string_view name, std::string_view domain,
+                          const TraceContext& parent, std::int64_t start,
+                          std::uint64_t index = 0);
+
+  /// Record a completed span retrospectively; returns the child context
+  /// (zero unless parent.sampled()).
+  TraceContext record_span(std::string_view name, std::string_view domain,
+                           const TraceContext& parent, std::int64_t start,
+                           std::int64_t end_at, std::uint64_t index = 0);
+
+  // ---- export ----------------------------------------------------------------
+  /// Chrome trace_event JSON (load in chrome://tracing or Perfetto): one
+  /// "X" complete event per retired span, pid = domain, tid = trace index,
+  /// canonically sorted so same-seed runs dump byte-identical files.
+  /// `domain_filter` keeps only domains containing the substring.
+  [[nodiscard]] std::string dump_chrome_json(std::string_view domain_filter = {}) const;
+
+  /// Retired spans, canonically sorted (tests, aggregators).
+  [[nodiscard]] std::vector<SpanRecord> completed(
+      std::string_view domain_filter = {}) const;
+  /// Spans currently open (begin seen, no end), canonically sorted.
+  [[nodiscard]] std::vector<SpanRecord> open_spans() const;
+  /// Total ring overwrites across domains.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Clear retired spans (open spans survive): scopes dumps to a measured
+  /// window, like perf-counter resets.
+  void reset();
+
+  // ---- flight recorder -------------------------------------------------------
+  /// Snapshot everything (open partial spans, retired rings, the supplied
+  /// fault firings) into a JSON document kept in memory (last 8 retained;
+  /// also written to `<dir>/flight_<n>.json` when a directory was set).
+  /// Called automatically on osd.hard_crash / failed remount.
+  void flight_snapshot(std::string_view reason,
+                       const std::vector<std::string>& fault_firings);
+  [[nodiscard]] std::string last_flight_json() const;
+  [[nodiscard]] std::size_t flight_count() const;
+  void set_flight_dir(std::string dir);
+
+ private:
+  friend class Span;
+  void end_span(const TraceContext& ctx, std::int64_t at);
+  SpanRing& ring_for(const std::string& domain);
+  [[nodiscard]] std::int64_t clock_now() const {
+    return clock_ ? clock_() : 0;
+  }
+
+  std::uint64_t salt_;
+  std::function<std::int64_t()> clock_;
+  std::atomic<std::uint32_t> sample_every_{0};
+  std::atomic<std::size_t> ring_capacity_{4096};
+
+  mutable dbg::Mutex mutex_{"trace.tracer"};
+  std::map<std::string, std::unique_ptr<SpanRing>> rings_ DOCEPH_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, SpanRecord> open_ DOCEPH_GUARDED_BY(mutex_);
+  std::deque<std::pair<std::string, std::string>> flights_  // (reason, json)
+      DOCEPH_GUARDED_BY(mutex_);
+  std::uint64_t flight_seq_ DOCEPH_GUARDED_BY(mutex_) = 0;
+  std::string flight_dir_ DOCEPH_GUARDED_BY(mutex_);
+};
+
+}  // namespace doceph::trace

@@ -16,7 +16,8 @@ void DmaEngine::set_failure_rate(double rate) {
 
 void DmaEngine::fail_next(int n) { env_.faults().fire_next("doca.dma_error", n, name_); }
 
-Status DmaEngine::submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb) {
+Status DmaEngine::submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb,
+                         const trace::TraceContext& ctx) {
   if (!src.valid() || !dst.valid() || src.len != dst.len || src.len == 0)
     return Status(Errc::invalid_argument, "bad dma buffers");
   if (src.len > cfg_.max_transfer)
@@ -38,6 +39,13 @@ Status DmaEngine::submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb) {
                                   ? link_.reserve_d2h(now, src.len)
                                   : link_.reserve_h2d(now, src.len);
   const sim::Time done = std::max(engine_done, pcie_done) + cfg_.setup_latency;
+  if (ctx.sampled()) {
+    // The modeled completion time is known at submit, so the job span is
+    // recorded retrospectively up front (crash-safe: it is in the ring even
+    // if the callback never runs).
+    env_.tracer().record_span("doca.dma_job", "dma." + name_, ctx, now, done,
+                              src.off);
+  }
 
   env_.scheduler().schedule_at(done, [this, src, dst, fail, cb = std::move(cb)] {
     inflight_.fetch_sub(1);

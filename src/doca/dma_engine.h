@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/trace.h"
 #include "doca/mmap.h"
 #include "doca/pcie_link.h"
 #include "sim/env.h"
@@ -41,7 +42,10 @@ class DmaEngine {
   /// Submit a copy job; `cb` fires at modeled completion (success or
   /// injected failure). Fails fast with too_large (over the hardware cap),
   /// invalid_argument (bad bufs / length mismatch) or busy (queue full).
-  Status submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb);
+  /// A sampled `ctx` records a "doca.dma_job" span for this job (the source
+  /// offset disambiguates same-op segments).
+  Status submit(const Buf& src, const Buf& dst, DmaDir dir, JobCb cb,
+                const trace::TraceContext& ctx = {});
 
   [[nodiscard]] const DmaConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::uint64_t jobs_completed() const noexcept { return jobs_done_; }

@@ -5,6 +5,7 @@ namespace doceph::dpu {
 DpuDevice::DpuDevice(sim::Env& env, net::Fabric& fabric, const std::string& name,
                      DpuProfile profile)
     : env_(env),
+      name_(name),
       profile_(profile),
       cpu_(env.keeper(), name, profile.cores, profile.core_speed),
       net_(fabric.add_node(name, profile.nic, profile.stack)),

@@ -53,9 +53,12 @@ class DpuDevice {
   void reset_comch();
 
   [[nodiscard]] const DpuProfile& profile() const noexcept { return profile_; }
+  /// Device name ("dpu.0", ...): scopes trace domains and fault matches.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
  private:
   sim::Env& env_;
+  std::string name_;
   DpuProfile profile_;
   sim::CpuDomain cpu_;
   net::NetNode& net_;

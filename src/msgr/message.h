@@ -6,6 +6,7 @@
 
 #include "common/buffer.h"
 #include "common/encoding.h"
+#include "common/trace.h"
 #include "net/address.h"
 #include "sim/time.h"
 
@@ -55,6 +56,11 @@ class Message {
 
   /// Transaction id chosen by the sender for matching replies.
   std::uint64_t tid = 0;
+
+  /// Distributed-trace identity, carried in the wire header (zero for
+  /// unsampled traffic). The sender sets it; every receiving layer parents
+  /// its spans under it (DESIGN.md §12).
+  trace::TraceContext trace;
 
   // ---- set by the receiving messenger --------------------------------------
   /// Connection the message arrived on (reply path); null on the send side.

@@ -10,7 +10,8 @@ namespace {
 
 constexpr std::uint32_t kBannerMagic = 0xD0CE0001;
 constexpr std::size_t kBannerSize = 4 + 6;          // magic + Address
-constexpr std::size_t kHeaderSize = 2 + 8 + 8 + 4 + 4 + 6;  // see WireHeader
+constexpr std::size_t kHeaderSize =
+    2 + 8 + 8 + 4 + 4 + 6 + trace::TraceContext::kWireSize;  // see WireHeader
 constexpr std::size_t kFooterSize = 4 + 4;          // front_crc + data_crc
 constexpr std::size_t kRecvChunk = 4 << 20;
 
@@ -69,6 +70,7 @@ BufferList Connection::encode_message(const Message& m) {
   encode(static_cast<std::uint32_t>(front.length()), frame);
   encode(static_cast<std::uint32_t>(m.data.length()), frame);
   encode(msgr_.addr(), frame);
+  encode(m.trace, frame);
   assert(frame.length() == kHeaderSize);
 
   const std::uint32_t front_crc = front.crc32c();
@@ -129,7 +131,7 @@ bool Connection::parse_one() {
     std::uint16_t type_raw = 0;
     if (!decode(type_raw, cur) || !decode(hdr_.seq, cur) || !decode(hdr_.tid, cur) ||
         !decode(hdr_.front_len, cur) || !decode(hdr_.data_len, cur) ||
-        !hdr_.src.decode(cur)) {
+        !hdr_.src.decode(cur) || !hdr_.trace.decode(cur)) {
       fail(Status(Errc::corrupt, "bad header"));
       return false;
     }
@@ -177,6 +179,7 @@ bool Connection::parse_one() {
   m->tid = hdr_.tid;
   m->seq = hdr_.seq;
   m->src = hdr_.src;
+  m->trace = hdr_.trace;
   m->connection = shared_from_this();
   // Anchor at header arrival so the op's messenger stage covers payload
   // wait + decode + CRC, not just the dispatch instant.
@@ -307,7 +310,17 @@ ConnectionRef Messenger::get_connection(const net::Address& peer) {
 }
 
 void Messenger::dispatch_message(const MessageRef& m) {
-  if (dispatcher_ != nullptr) dispatcher_->ms_dispatch(m);
+  if (dispatcher_ == nullptr) return;
+  if (m->trace.sampled()) {
+    // Fig.-2 "msgr worker recv/dispatch": header arrival (payload wait +
+    // decode + CRC) through the dispatcher's fast-dispatch return.
+    auto sp = env_.tracer().span("msgr.dispatch", "msgr." + entity_, m->trace,
+                                 m->recv_stamp);
+    dispatcher_->ms_dispatch(m);
+    sp.end(env_.now());
+    return;
+  }
+  dispatcher_->ms_dispatch(m);
 }
 
 void Messenger::connection_reset(const ConnectionRef& con) {

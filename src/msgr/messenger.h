@@ -121,6 +121,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
     std::uint32_t front_len = 0;
     std::uint32_t data_len = 0;
     net::Address src;
+    trace::TraceContext trace;
   } hdr_;
 
   std::atomic<std::uint64_t> sent_{0};

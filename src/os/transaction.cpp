@@ -84,10 +84,19 @@ std::uint64_t Transaction::data_bytes() const noexcept {
 void Transaction::append(Transaction&& other) {
   for (auto& op : other.ops_) ops_.push_back(std::move(op));
   other.ops_.clear();
+  // Merging must not sever the op's trace: a receiver without an identity
+  // adopts the donor's (the ensure_pg_collection prepend pattern builds the
+  // merged txn from a fresh, traceless one).
+  if (!trace_.valid()) trace_ = other.trace_;
 }
 
-void Transaction::encode(BufferList& bl) const { doceph::encode(ops_, bl); }
+void Transaction::encode(BufferList& bl) const {
+  doceph::encode(ops_, bl);
+  doceph::encode(trace_, bl);
+}
 
-bool Transaction::decode(BufferList::Cursor& cur) { return doceph::decode(ops_, cur); }
+bool Transaction::decode(BufferList::Cursor& cur) {
+  return doceph::decode(ops_, cur) && doceph::decode(trace_, cur);
+}
 
 }  // namespace doceph::os

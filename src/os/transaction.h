@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "os/types.h"
 
 namespace doceph::os {
@@ -69,11 +70,19 @@ class Transaction {
 
   void append(Transaction&& other);
 
+  /// Distributed-trace identity of the op this transaction belongs to.
+  /// Encoded with the transaction, so it survives the primary->replica
+  /// repop hop and the DPU->host WireTxn hop — the stores at both ends
+  /// attach their commit spans to the same trace (DESIGN.md §12).
+  void set_trace(const trace::TraceContext& ctx) noexcept { trace_ = ctx; }
+  [[nodiscard]] const trace::TraceContext& trace() const noexcept { return trace_; }
+
   void encode(BufferList& bl) const;
   bool decode(BufferList::Cursor& cur);
 
  private:
   std::vector<Op> ops_;
+  trace::TraceContext trace_;
 };
 
 }  // namespace doceph::os

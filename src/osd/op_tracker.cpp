@@ -76,6 +76,10 @@ void TrackedOp::dump(JsonWriter& w) const {
   w.begin_object();
   w.kv("description", desc_);
   w.kv("initiated_at_ns", initiated_);
+  if (trace_.valid()) {
+    w.kv("trace_id", trace_.trace_id);
+    w.kv("span_id", trace_.span_id);
+  }
   if (!events.empty()) {
     const sim::Time last = events.back().second;
     w.kv("age_ns", last - initiated_);

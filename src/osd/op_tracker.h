@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "dbg/mutex.h"
 #include "sim/time.h"
 
@@ -73,6 +74,17 @@ class TrackedOp {
   };
   [[nodiscard]] StageBreakdown stage_breakdown() const;
 
+  /// Trace identity of this op (zero when unsampled): the context of the
+  /// op-level span (`osd.op` / `client.op`), so admin-socket op dumps and
+  /// trace dumps cross-reference by trace_id/span_id.
+  void set_trace(const trace::TraceContext& ctx) noexcept { trace_ = ctx; }
+  [[nodiscard]] const trace::TraceContext& trace() const noexcept { return trace_; }
+
+  /// The op-level RAII span, owned here so it lives exactly as long as the
+  /// op is in flight (partial on crash, ended at retirement).
+  void adopt_span(trace::Span sp) noexcept { span_ = std::move(sp); }
+  [[nodiscard]] trace::Span& span() noexcept { return span_; }
+
   /// {"description":..., "initiated_at":..., "events":[{event,at},...]}
   void dump(JsonWriter& w) const;
 
@@ -81,6 +93,9 @@ class TrackedOp {
 
   std::string desc_;
   sim::Time initiated_;
+  // Both set once at registration (before the op is visible to dumps).
+  trace::TraceContext trace_;
+  trace::Span span_;
   // Guarded by the owning OpTracker's mutex_, not mutex_ below (set once at
   // registration, read at retirement) — not expressible as a static guard.
   std::uint64_t seq_ = 0;  // tracker registration id

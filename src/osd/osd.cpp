@@ -141,6 +141,21 @@ void OSD::register_admin_commands() {
       "dump_historic_ops", "list recently completed ops with stage breakdowns",
       [this](const auto&) { return tracker_.dump_historic_ops(); });
   admin_.register_command(
+      "trace dump",
+      "dump completed spans as Chrome trace JSON; optional domain-substring arg",
+      [this](const std::vector<std::string>& args) {
+        return env_.tracer().dump_chrome_json(args.empty() ? std::string_view{}
+                                                           : args.front());
+      });
+  admin_.register_command("trace reset", "discard recorded spans",
+                          [this](const auto&) {
+                            env_.tracer().reset();
+                            return std::string("{}");
+                          });
+  admin_.register_command(
+      "trace flight", "most recent flight-recorder snapshot (crash dump)",
+      [this](const auto&) { return env_.tracer().last_flight_json(); });
+  admin_.register_command(
       "dump_thread_stats", "per-thread modeled CPU time and context switches",
       [this](const auto&) {
         JsonWriter w;
@@ -209,6 +224,14 @@ void OSD::ms_dispatch(const MessageRef& m) {
       auto* op = static_cast<msgr::MOSDOp*>(m.get());
       const sim::Time recv = m->recv_stamp != 0 ? m->recv_stamp : env_.now();
       TrackedOpRef tracked = tracker_.create_op(osd_op_desc(*op), recv);
+      if (m->trace.sampled()) {
+        // The op-level span opens at the wire receive stamp and lives in the
+        // TrackedOp, so a crash leaves it partial in the flight recorder.
+        auto sp = env_.tracer().span("osd.op", "osd." + std::to_string(cfg_.id),
+                                     m->trace, recv);
+        tracked->set_trace(sp.context());
+        tracked->adopt_span(std::move(sp));
+      }
       tracked->mark_event("queued", env_.now());
       counters_->inc(l_osd_op_in_bytes, m->data.length());
       enqueue_op([this, m, tracked] { handle_client_op(m, tracked); });
@@ -274,6 +297,7 @@ void OSD::reply_client(const MessageRef& req, std::int32_t result,
   reply->object_size = size;
   reply->map_epoch = monc_.epoch();
   reply->data = std::move(data);
+  reply->trace = req->trace;  // the client messenger traces the reply dispatch
   req->connection->send_message(reply);
   if (op != nullptr) {
     op->mark_event("reply_sent", env_.now());
@@ -290,6 +314,25 @@ void OSD::account_op(const TrackedOpRef& op) {
   counters_->rec(l_osd_op_store_lat, bd.objectstore_ns);
   counters_->rec(l_osd_op_repl_lat, bd.replication_ns);
   counters_->rec(l_osd_op_reply_lat, bd.reply_ns);
+  if (op->trace().sampled()) {
+    // Retrospective per-stage children of osd.op, rebuilt from the same
+    // clamped breakdown the histograms use: boundaries are cumulative, so
+    // the stages tile [initiated, reply] exactly (exact-sum by construction).
+    const std::string domain = "osd." + std::to_string(cfg_.id);
+    auto& tr = env_.tracer();
+    const std::int64_t t0 = op->initiated_at();
+    const std::int64_t t1 = t0 + static_cast<std::int64_t>(bd.messenger_ns);
+    const std::int64_t t2 = t1 + static_cast<std::int64_t>(bd.queue_ns);
+    const std::int64_t t3 = t2 + static_cast<std::int64_t>(bd.objectstore_ns);
+    const std::int64_t t4 = t3 + static_cast<std::int64_t>(bd.replication_ns);
+    const std::int64_t t5 = t4 + static_cast<std::int64_t>(bd.reply_ns);
+    tr.record_span("osd.stage.messenger", domain, op->trace(), t0, t1);
+    tr.record_span("osd.stage.queue", domain, op->trace(), t1, t2);
+    tr.record_span("osd.stage.store", domain, op->trace(), t2, t3);
+    tr.record_span("osd.stage.replication", domain, op->trace(), t3, t4);
+    tr.record_span("osd.stage.reply", domain, op->trace(), t4, t5);
+    op->span().end(t5);
+  }
   tracker_.finish_op(op, env_.now());
 }
 
@@ -375,6 +418,9 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
                    tracked);
       return;
   }
+  // Travels inside the encoded transaction: replicas and (in DoCeph mode)
+  // the host-side store attach their commit spans to this op's trace.
+  txn.set_trace(tracked->trace());
 
   const std::uint64_t tid = next_tid_.fetch_add(1);
   {
@@ -409,6 +455,7 @@ void OSD::start_write(const MessageRef& m, const pg_t& pg,
     repop->from_osd = cfg_.id;
     repop->map_epoch = map.epoch();
     repop->txn = txn_bl;
+    repop->trace = tracked->trace();
     con->send_message(repop);
   }
   tracked->mark_event("sub_op_sent", env_.now());
@@ -466,11 +513,13 @@ void OSD::handle_repop(const MessageRef& m) {
   ensure_pg_collection(pg, txn);
   auto con = m->connection;
   const std::uint64_t tid = m->tid;
-  store_.queue_transaction(std::move(txn), [this, con, tid](Status st) {
+  const trace::TraceContext ctx = txn.trace();
+  store_.queue_transaction(std::move(txn), [this, con, tid, ctx](Status st) {
     auto reply = std::make_shared<msgr::MOSDRepOpReply>();
     reply->tid = tid;
     reply->from_osd = cfg_.id;
     reply->result = st.ok() ? 0 : -static_cast<std::int32_t>(st.code());
+    reply->trace = ctx;
     con->send_message(reply);
   });
 }

@@ -23,8 +23,9 @@ HostBackendService::~HostBackendService() { shutdown(); }  // NOLINT(bugprone-ex
 
 Status HostBackendService::start() {
   rpc_.set_request_handler(
-      [this](BufferList req, bool oneway, RpcChannel::Responder respond) {
-        handle_request(std::move(req), oneway, std::move(respond));
+      [this](BufferList req, bool oneway, RpcChannel::Responder respond,
+             const trace::TraceContext& ctx) {
+        handle_request(std::move(req), oneway, std::move(respond), ctx);
       });
   rpc_.start(center_);
   {
@@ -74,7 +75,8 @@ void HostBackendService::worker_loop() {
 }
 
 void HostBackendService::handle_request(BufferList req, bool oneway,
-                                        RpcChannel::Responder respond) {
+                                        RpcChannel::Responder respond,
+                                        const trace::TraceContext& ctx) {
   // Runs on the channel pump thread: decode the op byte, then hand the work
   // to a host worker (store calls block in simulated time).
   BufferList::Cursor cur(req);
@@ -89,10 +91,11 @@ void HostBackendService::handle_request(BufferList req, bool oneway,
 
   const dbg::LockGuard lk(queue_mutex_);
   if (stopping_) return;
-  queue_.push_back([this, op, body = std::move(body), respond = std::move(respond)] {
+  queue_.push_back([this, op, ctx, body = std::move(body),
+                    respond = std::move(respond)] {
     switch (op) {
       case ProxyOp::submit_txn:
-        do_submit_txn(body, respond);
+        do_submit_txn(body, respond, ctx);
         break;
       case ProxyOp::stage_segment:
         do_stage_segment(body, respond);
@@ -175,7 +178,8 @@ BufferList HostBackendService::assemble_payload(std::uint64_t token,
 }
 
 void HostBackendService::do_submit_txn(BufferList body,
-                                       const RpcChannel::Responder& respond) {
+                                       const RpcChannel::Responder& respond,
+                                       const trace::TraceContext& ctx) {
   WireTxn wire;
   BufferList::Cursor cur(body);
   if (!wire.decode(cur) || wire.parts.size() != wire.meta.ops().size()) {
@@ -195,8 +199,13 @@ void HostBackendService::do_submit_txn(BufferList body,
   txns_.fetch_add(1, std::memory_order_relaxed);
 
   const sim::Time t0 = env_.now();
+  // Shared, not captured by value: Span is move-only and OnCommit is a
+  // copyable std::function.
+  auto sp = std::make_shared<trace::Span>(
+      env_.tracer().span("host.submit_txn", "host." + cfg_.name, ctx, t0));
   store_.queue_transaction(
-      std::move(wire.meta), [this, t0, respond](Status st) {
+      std::move(wire.meta), [this, t0, sp, respond](Status st) {
+        sp->end(env_.now());
         TxnReply reply;
         reply.result = st.ok() ? 0 : -static_cast<std::int32_t>(st.code());
         reply.host_write_ns = env_.now() - t0;

@@ -16,6 +16,8 @@ namespace doceph::proxy {
 
 struct HostBackendConfig {
   int workers = 2;                 ///< host-side RPC execution threads
+  /// Names this service's trace domain ("host.<name>").
+  std::string name = "backend";
   /// Copy cost (ns/byte) for moving DMA'd payloads from the pre-exported
   /// write buffers into store-owned memory (Fig. 4's post-transfer write
   /// buffers) — the residual host CPU DoCeph cannot eliminate.
@@ -46,8 +48,10 @@ class HostBackendService {
   }
 
  private:
-  void handle_request(BufferList req, bool oneway, RpcChannel::Responder respond);
-  void do_submit_txn(BufferList body, const RpcChannel::Responder& respond);
+  void handle_request(BufferList req, bool oneway, RpcChannel::Responder respond,
+                      const trace::TraceContext& ctx);
+  void do_submit_txn(BufferList body, const RpcChannel::Responder& respond,
+                     const trace::TraceContext& ctx);
   void do_stage_segment(BufferList body, const RpcChannel::Responder& respond);
   void do_control(ProxyOp op, BufferList body, const RpcChannel::Responder& respond);
   void do_read(BufferList body, const RpcChannel::Responder& respond);

@@ -196,17 +196,20 @@ DataRef ProxyObjectStore::move_segment(BufferList seg,
         BufferList request;
         encode(ProxyOp::stage_segment, request);
         msg.encode(request);
-        rpc_.call_async(std::move(request),
-                        [finish_segment](Result<BufferList> r) {
-                          bool failed = !r.ok();
-                          if (r.ok()) {
-                            BufferList::Cursor cur(*r);
-                            std::int32_t res = 0;
-                            failed = !decode(res, cur) || res != 0;
-                          }
-                          finish_segment(failed);
-                        });
-      });
+        rpc_.call_async(
+            std::move(request),
+            [finish_segment](Result<BufferList> r) {
+              bool failed = !r.ok();
+              if (r.ok()) {
+                BufferList::Cursor cur(*r);
+                std::int32_t res = 0;
+                failed = !decode(res, cur) || res != 0;
+              }
+              finish_segment(failed);
+            },
+            ctx->trace);
+      },
+      ctx->trace);
   if (!submitted.ok()) {
     fallback_.on_dma_failure(env_.now());
     finish_segment(true);
@@ -251,6 +254,12 @@ void ProxyObjectStore::process_write(WriteReq req) {
 
   auto ctx = std::make_shared<SegCtx>(env_.keeper());
   ctx->token = wire.token;
+  ctx->trace = wire.meta.trace();
+  // The request-level DPU span: covers segmentation, DMA, and the host
+  // commit round trip (open during the crash window, so a hard kill leaves
+  // it partial in the flight recorder).
+  auto write_span = env_.tracer().span("dpu.write", "dpu." + dpu_.name(),
+                                       ctx->trace, t_start);
 
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     BufferList& payload = payloads[i];
@@ -308,10 +317,15 @@ void ProxyObjectStore::process_write(WriteReq req) {
   }
 
   // Ship the transaction (metadata + refs) and wait for the host commit.
+  // The RPC span's context travels in the fragment headers, so the host
+  // backend parents its commit span under this one.
   BufferList request;
   encode(ProxyOp::submit_txn, request);
   wire.encode(request);
-  auto response = timed_call(std::move(request));
+  auto rpc_span = env_.tracer().span("dpu.rpc.submit_txn", "dpu." + dpu_.name(),
+                                     write_span.context(), env_.now());
+  auto response = timed_call(std::move(request), rpc_span.context());
+  rpc_span.end(env_.now());
 
   Status st;
   TxnReply reply;
@@ -360,13 +374,15 @@ void ProxyObjectStore::process_write(WriteReq req) {
         reply.host_write_ns, 0));
   }
 
+  write_span.end(env_.now());
   if (req.on_commit) req.on_commit(st);
 }
 
 // ---- control plane / reads ---------------------------------------------------------
 
-Result<BufferList> ProxyObjectStore::timed_call(BufferList request) {
-  auto r = rpc_.call(std::move(request), cfg_.rpc_timeout);
+Result<BufferList> ProxyObjectStore::timed_call(BufferList request,
+                                                const trace::TraceContext& ctx) {
+  auto r = rpc_.call(std::move(request), cfg_.rpc_timeout, ctx);
   if (!r.ok() && r.status().code() == Errc::timed_out)
     counters_->inc(l_dpu_rpc_timeout);
   return r;

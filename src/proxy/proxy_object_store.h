@@ -141,10 +141,12 @@ class ProxyObjectStore final : public os::ObjectStore {
     bool any_failed DOCEPH_GUARDED_BY(m) = false;
     sim::Time first_submit DOCEPH_GUARDED_BY(m) = -1;
     std::atomic<sim::Time> last_complete{-1};
-    // token/next_seg/dma_wait are touched only by the owning write worker.
+    // token/next_seg/dma_wait/trace are touched only by the owning write
+    // worker before any callback can observe them.
     std::uint64_t token = 0;
     std::uint32_t next_seg = 0;
     sim::Duration dma_wait = 0;
+    trace::TraceContext trace;  ///< the op's context, for per-segment DMA spans
   };
 
   /// Move one payload chunk to the host, honoring fallback state. Returns
@@ -155,7 +157,8 @@ class ProxyObjectStore final : public os::ObjectStore {
 
   /// Blocking RPC with the configured timeout; accounts timed-out calls in
   /// l_dpu_rpc_timeout (the channel slot itself is reclaimed by RpcChannel).
-  Result<BufferList> timed_call(BufferList request);
+  Result<BufferList> timed_call(BufferList request,
+                                const trace::TraceContext& ctx = {});
 
   sim::Env& env_;
   dpu::DpuDevice& dpu_;

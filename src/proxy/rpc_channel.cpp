@@ -6,7 +6,8 @@
 
 namespace doceph::proxy {
 namespace {
-constexpr std::size_t kFragHeader = 8 + 1;  // req_id + flags
+// req_id + flags + trace context
+constexpr std::size_t kFragHeader = 8 + 1 + trace::TraceContext::kWireSize;
 }
 
 RpcChannel::RpcChannel(sim::Env& env, doca::CommChannelRef channel)
@@ -19,7 +20,8 @@ void RpcChannel::start(event::EventCenter& center) {
 void RpcChannel::detach() { ch_->close(); }
 
 Status RpcChannel::send_fragmented(std::uint64_t req_id, std::uint8_t flags,
-                                   BufferList payload) {
+                                   BufferList payload,
+                                   const trace::TraceContext& ctx) {
   const std::size_t chunk_max = ch_->config().max_msg_size - kFragHeader;
   bytes_sent_.fetch_add(payload.length(), std::memory_order_relaxed);
   std::size_t off = 0;
@@ -29,6 +31,7 @@ Status RpcChannel::send_fragmented(std::uint64_t req_id, std::uint8_t flags,
     BufferList frame;
     encode(req_id, frame);
     encode(static_cast<std::uint8_t>(flags | (last ? kLastPart : 0)), frame);
+    encode(ctx, frame);
     frame.append(payload.substr(off, n));
     const Status st = ch_->send(std::move(frame));
     if (!st.ok()) return st;
@@ -37,13 +40,14 @@ Status RpcChannel::send_fragmented(std::uint64_t req_id, std::uint8_t flags,
   return Status::OK();
 }
 
-std::uint64_t RpcChannel::call_async(BufferList request, ResponseCb cb) {
+std::uint64_t RpcChannel::call_async(BufferList request, ResponseCb cb,
+                                     const trace::TraceContext& ctx) {
   const std::uint64_t id = next_id_.fetch_add(1);
   {
     const dbg::LockGuard lk(mutex_);
     pending_[id] = std::move(cb);
   }
-  const Status st = send_fragmented(id, 0, std::move(request));
+  const Status st = send_fragmented(id, 0, std::move(request), ctx);
   if (!st.ok()) {
     ResponseCb pending;
     {
@@ -63,7 +67,8 @@ bool RpcChannel::cancel(std::uint64_t id) {
   return pending_.erase(id) != 0;
 }
 
-Result<BufferList> RpcChannel::call(BufferList request, sim::Duration timeout) {
+Result<BufferList> RpcChannel::call(BufferList request, sim::Duration timeout,
+                                    const trace::TraceContext& ctx) {
   // Heap-shared wait state: on timeout the pending_ callback may still fire
   // later (or be firing right now on the pump thread); it must never touch
   // this frame's stack. The callback keeps the state alive via shared_ptr.
@@ -75,13 +80,15 @@ Result<BufferList> RpcChannel::call(BufferList request, sim::Duration timeout) {
     Result<BufferList> result = BufferList{};
   };
   auto state = std::make_shared<CallState>(env_.keeper());
-  const std::uint64_t id =
-      call_async(std::move(request), [state](Result<BufferList> r) {
+  const std::uint64_t id = call_async(
+      std::move(request),
+      [state](Result<BufferList> r) {
         const dbg::LockGuard lk(state->m);
         state->result = std::move(r);
         state->done = true;
         state->cv.notify_all();
-      });
+      },
+      ctx);
   dbg::UniqueLock lk(state->m);
   if (!state->cv.wait_until(lk, env_.now() + timeout, [&] { return state->done; })) {
     lk.unlock();
@@ -97,15 +104,16 @@ Result<BufferList> RpcChannel::call(BufferList request, sim::Duration timeout) {
   return state->result;
 }
 
-Status RpcChannel::notify(BufferList request) {
-  return send_fragmented(next_id_.fetch_add(1), kOneway, std::move(request));
+Status RpcChannel::notify(BufferList request, const trace::TraceContext& ctx) {
+  return send_fragmented(next_id_.fetch_add(1), kOneway, std::move(request), ctx);
 }
 
 void RpcChannel::on_message(BufferList msg) {
   BufferList::Cursor cur(msg);
   std::uint64_t req_id = 0;
   std::uint8_t flags = 0;
-  if (!decode(req_id, cur) || !decode(flags, cur)) {
+  trace::TraceContext ctx;
+  if (!decode(req_id, cur) || !decode(flags, cur) || !ctx.decode(cur)) {
     DLOG(warn, "proxy") << "malformed rpc fragment";
     return;
   }
@@ -152,7 +160,7 @@ void RpcChannel::on_message(BufferList msg) {
   Responder respond = [this, req_id](BufferList response) {
     (void)send_fragmented(req_id, kResponse, std::move(response));
   };
-  handler_(std::move(full), oneway, oneway ? Responder{} : std::move(respond));
+  handler_(std::move(full), oneway, oneway ? Responder{} : std::move(respond), ctx);
 }
 
 }  // namespace doceph::proxy

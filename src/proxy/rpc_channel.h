@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 
+#include "common/trace.h"
 #include "dbg/mutex.h"
 
 #include "doca/comm_channel.h"
@@ -31,25 +32,30 @@ class RpcChannel {
   using ResponseCb = std::function<void(Result<BufferList>)>;
   /// Fire a request; `cb` runs in the channel's EventCenter thread when the
   /// response arrives (or with a status on channel failure). Returns the
-  /// request id, usable with cancel().
-  std::uint64_t call_async(BufferList request, ResponseCb cb);
+  /// request id, usable with cancel(). `ctx` rides every fragment's header
+  /// and reaches the server's RequestHandler (distributed tracing).
+  std::uint64_t call_async(BufferList request, ResponseCb cb,
+                           const trace::TraceContext& ctx = {});
   /// Drop the pending callback for `id`; a late response is then ignored.
   /// Returns false if the response already claimed the callback (it has run
   /// or is about to).
   bool cancel(std::uint64_t id);
   /// Blocking call (sim time) with timeout. On timeout the pending slot is
   /// reclaimed — a late response cannot touch freed state.
-  Result<BufferList> call(BufferList request, sim::Duration timeout);
+  Result<BufferList> call(BufferList request, sim::Duration timeout,
+                          const trace::TraceContext& ctx = {});
   /// One-way request (no response expected).
-  Status notify(BufferList request);
+  Status notify(BufferList request, const trace::TraceContext& ctx = {});
 
   /// Blocking calls that ended in timed_out (diagnostics).
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_.load(); }
 
   // ---- server role -----------------------------------------------------------
   /// `respond` may be invoked from any thread, exactly once (skip for oneway).
+  /// The TraceContext is the caller's (zero when the request is untraced).
   using Responder = std::function<void(BufferList)>;
-  using RequestHandler = std::function<void(BufferList, bool oneway, Responder)>;
+  using RequestHandler = std::function<void(BufferList, bool oneway, Responder,
+                                            const trace::TraceContext&)>;
   void set_request_handler(RequestHandler h) { handler_ = std::move(h); }
 
   /// Total payload bytes moved through this endpoint (diagnostics).
@@ -58,7 +64,8 @@ class RpcChannel {
  private:
   enum Flags : std::uint8_t { kResponse = 1, kOneway = 2, kLastPart = 4 };
 
-  Status send_fragmented(std::uint64_t req_id, std::uint8_t flags, BufferList payload);
+  Status send_fragmented(std::uint64_t req_id, std::uint8_t flags, BufferList payload,
+                         const trace::TraceContext& ctx = {});
   void on_message(BufferList msg);
 
   sim::Env& env_;

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/fault.h"
+#include "common/trace.h"
 #include "sim/rng.h"
 #include "sim/scheduler.h"
 #include "sim/stats.h"
@@ -19,7 +20,10 @@ class Env {
  public:
   explicit Env(TimeKeeper::Mode mode = TimeKeeper::Mode::virtual_time,
                std::uint64_t seed = 42)
-      : keeper_(mode), scheduler_(keeper_, stats_), seed_(seed), faults_(seed) {}
+      : keeper_(mode), scheduler_(keeper_, stats_), seed_(seed), faults_(seed),
+        tracer_(seed) {
+    tracer_.set_clock([this] { return keeper_.now(); });
+  }
 
   [[nodiscard]] TimeKeeper& keeper() noexcept { return keeper_; }
   [[nodiscard]] StatsRegistry& stats() noexcept { return stats_; }
@@ -29,6 +33,11 @@ class Env {
   /// Deterministic fault-injection registry shared by every component in
   /// this universe (see common/fault.h for the determinism contract).
   [[nodiscard]] fault::FaultRegistry& faults() noexcept { return faults_; }
+
+  /// Universe-wide distributed tracer: every daemon, device and store in
+  /// this Env records spans here (see common/trace.h for the determinism
+  /// contract). Sampling is off until set_sample_every() arms it.
+  [[nodiscard]] trace::Tracer& tracer() noexcept { return tracer_; }
 
   [[nodiscard]] Time now() const { return keeper_.now(); }
 
@@ -63,6 +72,7 @@ class Env {
   EventScheduler scheduler_;
   std::uint64_t seed_;
   fault::FaultRegistry faults_;
+  trace::Tracer tracer_;
 };
 
 }  // namespace doceph::sim

@@ -1,0 +1,20 @@
+// doceph_lint negative fixture: a span-name literal that is not declared in
+// src/common/trace_points.h — the typo class the registry exists to catch.
+// Never compiled — consumed by `scripts/doceph_lint.py --self-test tests/lint`.
+//
+// doceph-lint-expect: trace-point
+
+#include "common/trace.h"
+#include "sim/env.h"
+
+namespace doceph::fixture {
+
+inline void typo_span(sim::Env& env, const trace::TraceContext& parent) {
+  // flagged: "osd.stage.mesenger" (typo) is not in the registry; the span
+  // would render as an orphan disconnected from the op's tree.
+  auto sp = env.tracer().span("osd.stage.mesenger", "osd.0", parent, env.now());
+  // flagged: retrospective recording with an unregistered name.
+  env.tracer().record_span("dpu.wrte", "dpu.dpu-0", parent, 0, 1);
+}
+
+}  // namespace doceph::fixture

@@ -37,10 +37,11 @@ struct RpcFixture {
   }
 
   void start_echo() {
-    server->set_request_handler(
-        [](BufferList req, bool oneway, RpcChannel::Responder respond) {
-          if (!oneway) respond(std::move(req));
-        });
+    server->set_request_handler([](BufferList req, bool oneway,
+                                   RpcChannel::Responder respond,
+                                   const trace::TraceContext&) {
+      if (!oneway) respond(std::move(req));
+    });
     server->start(sc);
     client->start(cc);
   }
@@ -99,13 +100,14 @@ TEST(RpcChannel, OnewayNeverGetsResponder) {
   RpcFixture f;
   std::atomic<int> oneway_seen{0};
   std::atomic<bool> had_responder{true};
-  f.server->set_request_handler(
-      [&](BufferList, bool oneway, RpcChannel::Responder respond) {
-        if (oneway) {
-          oneway_seen.fetch_add(1);
-          had_responder.store(static_cast<bool>(respond));
-        }
-      });
+  f.server->set_request_handler([&](BufferList, bool oneway,
+                                    RpcChannel::Responder respond,
+                                    const trace::TraceContext&) {
+    if (oneway) {
+      oneway_seen.fetch_add(1);
+      had_responder.store(static_cast<bool>(respond));
+    }
+  });
   f.server->start(f.sc);
   f.client->start(f.cc);
   run_sim(f.env, [&] {
@@ -133,13 +135,14 @@ TEST(RpcChannel, CallTimesOutWithoutServer) {
 TEST(RpcChannel, DelayedResponseCompletesLater) {
   RpcFixture f;
   // Server answers 20 ms later from the scheduler (like a commit callback).
-  f.server->set_request_handler(
-      [&](BufferList req, bool, RpcChannel::Responder respond) {
-        f.env.scheduler().schedule_after(
-            20'000'000, [req = std::move(req), respond = std::move(respond)]() mutable {
-              respond(std::move(req));
-            });
-      });
+  f.server->set_request_handler([&](BufferList req, bool,
+                                    RpcChannel::Responder respond,
+                                    const trace::TraceContext&) {
+    f.env.scheduler().schedule_after(
+        20'000'000, [req = std::move(req), respond = std::move(respond)]() mutable {
+          respond(std::move(req));
+        });
+  });
   f.server->start(f.sc);
   f.client->start(f.cc);
   run_sim(f.env, [&] {
