@@ -17,6 +17,15 @@
 //              [--threshold 0.20] [--p99-threshold 0.30]
 //              [--cores-threshold 0.25] [--measure-ms 1500] [--repeats N]
 //              [--trace-out TRACE.json] [--trace-sample N]
+//              [--disable-batching]
+//
+// Two laps per deploy mode: the 1 MB DMA-path lap ("baseline"/"doceph")
+// and a 16 KB qd16 small-write lap ("baseline_smallwrite"/
+// "doceph_smallwrite") that exercises the batched offload hot path (comch
+// doorbell coalescing + scatter-gather DMA + write corking).
+// --disable-batching strips all batching knobs — that is how the committed
+// BENCH_baseline.json is produced, so the delta against it shows the
+// batching win.
 //
 // A threshold of 0 disables that gate (iops/p99/cores each independently).
 // --trace-out makes the DoCeph lap sample 1-in-N client ops (default 64)
@@ -106,6 +115,7 @@ int main(int argc, char** argv) {
   long repeats = 1;
   std::string trace_out;
   long trace_sample = 64;
+  bool batching = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -119,6 +129,7 @@ int main(int argc, char** argv) {
     else if (arg == "--trace-out") trace_out = next();
     else if (arg == "--trace-sample")
       trace_sample = std::max(1l, std::strtol(next(), nullptr, 10));
+    else if (arg == "--disable-batching") batching = false;
     else {
       std::fprintf(stderr, "unknown arg: %s\n", arg.c_str());
       return 2;
@@ -131,10 +142,12 @@ int main(int argc, char** argv) {
   spec.warmup = 500'000'000;
   spec.measure = measure_ms * 1'000'000;
   spec.pg_num = 32;
+  spec.batching = batching;
 
   doceph::JsonWriter w;
   w.begin_object();
   RunResult doceph_result;
+  RunResult doceph_small;
   for (const auto mode :
        {doceph::cluster::DeployMode::baseline, doceph::cluster::DeployMode::doceph}) {
     spec.mode = mode;
@@ -150,6 +163,34 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[perf-smoke] %s: %.0f ops/s, p50 %.2f ms, p99 %.2f ms\n",
                  is_doceph ? "doceph" : "baseline", r.iops, r.p50_lat_s * 1e3,
                  r.p99_lat_s * 1e3);
+  }
+
+  // Small-write lap (16 KB, qd16): many sub-slot segments per interval —
+  // the workload the batched offload hot path is built for.
+  {
+    RunSpec small = spec;
+    small.object_size = 16 << 10;
+    small.concurrency = 16;
+    // Bounded working set: 16 KB writes are BlueStore-inline (the payload
+    // lives in the KV map), so the object count must keep the map's WAL
+    // checkpoint well under one 32 MiB segment: 16 writers x 32 names x
+    // 2 prefixes (warm/bench) x 16 KB = 16 MiB.
+    small.reuse_objects = 32;
+    small.trace_out.clear();
+    small.trace_sample_every = 0;
+    for (const auto mode : {doceph::cluster::DeployMode::baseline,
+                            doceph::cluster::DeployMode::doceph}) {
+      small.mode = mode;
+      const bool is_doceph = mode == doceph::cluster::DeployMode::doceph;
+      const RunResult r = doceph::benchcore::run_experiment(small);
+      if (is_doceph) doceph_small = r;
+      emit_result(w, is_doceph ? "doceph_smallwrite" : "baseline_smallwrite", r);
+      std::fprintf(stderr,
+                   "[perf-smoke] %s_smallwrite: %.0f ops/s, p50 %.2f ms, "
+                   "p99 %.2f ms\n",
+                   is_doceph ? "doceph" : "baseline", r.iops, r.p50_lat_s * 1e3,
+                   r.p99_lat_s * 1e3);
+    }
   }
 
   if (repeats > 1) {
@@ -202,23 +243,34 @@ int main(int argc, char** argv) {
   const std::string baseline_json = ss.str();
   bool failed = false;
 
-  // Gate 1: DoCeph throughput may not DROP past `threshold`.
-  double base_iops = 0;
-  if (threshold > 0 &&
-      extract_number(baseline_json, "doceph", "ops_per_sec", base_iops) &&
-      base_iops > 0) {
-    const double drop = (base_iops - doceph_result.iops) / base_iops;
-    std::fprintf(stderr,
-                 "[perf-smoke] doceph ops/s: baseline %.0f, this run %.0f "
-                 "(%+.1f%%; gate: -%.0f%%)\n",
-                 base_iops, doceph_result.iops, -drop * 100, threshold * 100);
-    if (drop > threshold) {
-      std::fprintf(stderr, "[perf-smoke] FAIL: throughput regression beyond gate\n");
-      failed = true;
+  // Gate 1: DoCeph throughput may not DROP past `threshold` — on the 1 MB
+  // lap and on the 16 KB small-write lap (the batching hot path).
+  const struct {
+    const char* object;
+    double current;
+  } iops_gates[] = {
+      {"doceph", doceph_result.iops},
+      {"doceph_smallwrite", doceph_small.iops},
+  };
+  for (const auto& g : iops_gates) {
+    double base_iops = 0;
+    if (threshold > 0 &&
+        extract_number(baseline_json, g.object, "ops_per_sec", base_iops) &&
+        base_iops > 0) {
+      const double drop = (base_iops - g.current) / base_iops;
+      std::fprintf(stderr,
+                   "[perf-smoke] %s ops/s: baseline %.0f, this run %.0f "
+                   "(%+.1f%%; gate: -%.0f%%)\n",
+                   g.object, base_iops, g.current, -drop * 100, threshold * 100);
+      if (drop > threshold) {
+        std::fprintf(stderr, "[perf-smoke] FAIL: %s throughput regression beyond gate\n",
+                     g.object);
+        failed = true;
+      }
+    } else if (threshold > 0) {
+      std::fprintf(stderr, "baseline %s has no %s ops_per_sec; skipping iops gate\n",
+                   baseline_path.c_str(), g.object);
     }
-  } else if (threshold > 0) {
-    std::fprintf(stderr, "baseline %s has no doceph ops_per_sec; skipping iops gate\n",
-                 baseline_path.c_str());
   }
 
   // Gates 2+3: p99 latency and host-CPU cores may not GROW past their

@@ -15,7 +15,8 @@
 # Also invocable as `cmake --build build --target check`.
 #
 # Knobs: JOBS (parallelism), CTEST_FILTER (-R regex; a filter matching no
-# tests is an error, not a silent pass), CTEST_TIMEOUT (per-test seconds).
+# tests is an error, not a silent pass), CTEST_TIMEOUT (per-test seconds),
+# CTEST_TIMEOUT_ASAN (asan-only override; sanitizer runs are 3-5x slower).
 set -u -o pipefail
 
 cd "$(dirname "$0")/.." || exit 1
@@ -41,12 +42,18 @@ run_config() { # name cmake-args...
     FAILED+=("$name:configure")
     return 1
   }
+  # Zero per-config so the post-build stats show THIS build's hit rate.
+  [ ${#LAUNCHER[@]} -gt 0 ] && ccache -z > /dev/null
   cmake --build "build-$name" -j "$JOBS" > "build-$name.build.log" 2>&1 || {
     echo "build failed (build-$name.build.log)"
     tail -30 "build-$name.build.log"
     FAILED+=("$name:build")
     return 1
   }
+  if [ ${#LAUNCHER[@]} -gt 0 ]; then
+    banner "ccache stats: $name"
+    ccache -s
+  fi
   banner "ctest: $name${CTEST_FILTER:+ (-R $CTEST_FILTER)}"
   # --no-tests=error: a mistyped filter must fail loudly, not pass silently.
   # shellcheck disable=SC2086
@@ -101,7 +108,13 @@ case "$MODE" in
   default) run_config default ;;
   lockdep) run_config lockdep -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_LOCKDEP=ON ;;
   tsan) run_config tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDOCEPH_TSAN=ON ;;
-  asan) run_config asan -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_ASAN_UBSAN=ON ;;
+  asan)
+    # Address+UB instrumented tests run several times slower than stock;
+    # give each one a bigger ctest --timeout than the 1200s default (override
+    # with CTEST_TIMEOUT_ASAN).
+    CTEST_TIMEOUT=${CTEST_TIMEOUT_ASAN:-1800}
+    run_config asan -DCMAKE_BUILD_TYPE=Debug -DDOCEPH_ASAN_UBSAN=ON
+    ;;
   thread-safety)
     # Static lock checking: build only (the annotations are compile-time; the
     # binaries are the same ones `default` already tests).

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Perf-delta report for CI: compare a perf_smoke JSON against the committed
+baseline and render a markdown table (per config: IOPS, p50, p99, host-CPU
+cores, with signed deltas).
+
+Usage:
+    perf_report.py BASELINE.json CURRENT.json
+
+The markdown is appended to $GITHUB_STEP_SUMMARY when that variable is set
+(the GitHub Actions job summary) and always echoed to stdout, so the table
+shows up in local runs and in the step log too. Exit code is always 0: the
+regression *gate* lives in perf_smoke itself; this script only reports.
+"""
+
+import json
+import os
+import sys
+
+# Render order; unknown configs found in either file are appended after.
+KNOWN_CONFIGS = ["baseline", "doceph", "baseline_smallwrite", "doceph_smallwrite"]
+# Non-result blocks perf_smoke emits alongside the configs.
+SKIP_KEYS = {"doceph_variance"}
+
+METRICS = [
+    # (json key, header, scale, unit, higher_is_better)
+    ("ops_per_sec", "IOPS", 1.0, "", True),
+    ("p50_lat_s", "p50", 1e3, " ms", False),
+    ("p99_lat_s", "p99", 1e3, " ms", False),
+    ("host_cores", "host cores", 1.0, "", False),
+]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_report: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+
+def fmt(value, scale):
+    if value is None:
+        return "-"
+    v = value * scale
+    return f"{v:.3f}" if abs(v) < 10 else f"{v:.1f}"
+
+
+def delta_cell(base, cur, higher_is_better):
+    if base is None or cur is None or base == 0:
+        return "n/a"
+    pct = (cur - base) / base * 100.0
+    improved = pct >= 0 if higher_is_better else pct <= 0
+    mark = "" if abs(pct) < 0.05 else (" ✅" if improved else " 🔺")
+    return f"{pct:+.1f}%{mark}"
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base_doc = load(argv[1])
+    cur_doc = load(argv[2])
+    if cur_doc is None:
+        return 0  # nothing to report; the bench step already failed loudly
+
+    base_doc = base_doc or {}
+    configs = [c for c in KNOWN_CONFIGS if c in base_doc or c in cur_doc]
+    for doc in (base_doc, cur_doc):
+        for key, val in doc.items():
+            if key not in configs and key not in SKIP_KEYS and isinstance(val, dict):
+                configs.append(key)
+
+    lines = ["## Perf delta vs committed baseline", ""]
+    header = "| config |"
+    rule = "|---|"
+    for _, title, _, unit, _ in METRICS:
+        header += f" {title}{unit} (base → PR) | Δ |"
+        rule += "---|---|"
+    lines += [header, rule]
+
+    for cfg in configs:
+        base = base_doc.get(cfg) or {}
+        cur = cur_doc.get(cfg) or {}
+        row = f"| {cfg} |"
+        for key, _, scale, _, higher in METRICS:
+            b, c = base.get(key), cur.get(key)
+            row += f" {fmt(b, scale)} → {fmt(c, scale)} | {delta_cell(b, c, higher)} |"
+        lines.append(row)
+
+    lines += [
+        "",
+        "IOPS: higher is better; p50/p99/host cores: lower is better. "
+        "The `*_smallwrite` rows are the 16 KB qd16 lap where the batched "
+        "offload hot path (comch doorbell coalescing + scatter-gather DMA + "
+        "write corking) earns its keep.",
+    ]
+    report = "\n".join(lines) + "\n"
+
+    print(report)
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as f:
+            f.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,6 +19,18 @@ struct RunSpec {
   std::uint32_t pg_num = 64;
   std::uint64_t seed = 42;
 
+  /// Hot-path batching (comch doorbell coalescing, scatter-gather DMA,
+  /// messenger write corking). Off by default: the paper's hot path has no
+  /// coalescing and the figure sweeps (and their committed bench_cache
+  /// cells) reproduce the paper. perf_smoke and ablation_batching opt in.
+  bool batching = false;
+
+  /// >0: writers cycle through a bounded object working set (see
+  /// BenchConfig::reuse_objects). Required for small-object laps: at high
+  /// op rates an unbounded set of fresh onodes outgrows the KV WAL
+  /// checkpoint and the run collapses into no_space.
+  std::uint64_t reuse_objects = 0;
+
   /// Ablation overrides for the proxy (DoCeph mode only).
   std::optional<proxy::ProxyConfig> proxy_override;
   /// DMA error injection rate (fallback experiments).

@@ -16,6 +16,12 @@ struct BenchConfig {
   std::uint64_t object_size = 4 << 20;     ///< bytes per object (-b)
   sim::Duration duration = 10'000'000'000; ///< 10 s
   std::string prefix = "bench";            ///< object name prefix
+  /// >0: each writer cycles through this many object names instead of a
+  /// fresh name per op. Small-object runs at high op rates need it: every
+  /// unique object adds an onode to the KV map, and the map snapshot must
+  /// fit one WAL segment at every roll — an unbounded working set turns
+  /// into no_space mid-run.
+  std::uint64_t reuse_objects = 0;
   /// Dump the client's admin-socket surface ("perf dump", historic ops) to
   /// stderr when the run completes, so every experiment ships its per-stage
   /// latency table.

@@ -58,6 +58,9 @@ inline msgr::MessengerConfig default_msgr() {
   cfg.num_workers = 3;
   cfg.costs = {.per_msg_encode = 60'000, .per_msg_decode = 70'000,
                .crc_per_byte_ns = 0.3};
+  // cfg.cork stays disabled here: the paper's hot path has no write
+  // coalescing, and the figure sweeps reproduce the paper. Batched runs
+  // (RunSpec::batching, perf_smoke, ablation_batching) switch it on.
   return cfg;
 }
 
@@ -135,11 +138,18 @@ inline proxy::ProxyConfig default_proxy() {
   cfg.mr_cache = true;
   cfg.cooldown = 500'000'000;
   cfg.stage_copy_ns_per_byte = 0.15;
+  // rpc_batch / dma_batch stay disabled here for the same reason as the
+  // messenger cork: the paper's offload path issues one doorbell and one
+  // DMA job per segment, and the calibration (Table 3's DMA row) encodes
+  // that. RunSpec::batching flips all three on for batched runs.
   return cfg;
 }
 
 inline proxy::HostBackendConfig default_backend() {
-  return proxy::HostBackendConfig{.workers = 2, .copy_ns_per_byte = 0.02};
+  proxy::HostBackendConfig cfg;
+  cfg.workers = 2;
+  cfg.copy_ns_per_byte = 0.02;
+  return cfg;
 }
 
 struct ClusterConfig {

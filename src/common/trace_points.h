@@ -30,13 +30,16 @@ inline constexpr std::string_view kClientOp = "client.op";
 // doca/ — one DMA copy job, submit -> completion (domain "dma.<engine>").
 inline constexpr std::string_view kDocaDmaJob = "doca.dma_job";
 
-// proxy/ (DPU side) — domain "dpu.<name>".
+// proxy/ (DPU side) — domain "dpu.<name>". dpu.batch parents the
+// doca.dma_job spans of every segment that rode one coalesced flush.
+inline constexpr std::string_view kDpuBatch = "dpu.batch";
 inline constexpr std::string_view kDpuRead = "dpu.read";
 inline constexpr std::string_view kDpuRpcSubmitTxn = "dpu.rpc.submit_txn";
 inline constexpr std::string_view kDpuWrite = "dpu.write";
 
 // proxy/ (host side) — comch request arrival -> store commit (domain
 // "host.<name>").
+inline constexpr std::string_view kHostStageBatch = "host.stage_batch";
 inline constexpr std::string_view kHostSubmitTxn = "host.submit_txn";
 
 // msgr/ — header arrival -> dispatcher return (domain "msgr.<entity>").
@@ -54,10 +57,11 @@ inline constexpr std::string_view kOsdStageReply = "osd.stage.reply";
 }  // namespace points
 
 /// Every registered point, for enumeration (admin tooling, tests).
-inline constexpr std::array<std::string_view, 14> kAllTracePoints = {
+inline constexpr std::array<std::string_view, 16> kAllTracePoints = {
     points::kBluestoreTxn,     points::kClientOp,       points::kDocaDmaJob,
-    points::kDpuRead,          points::kDpuRpcSubmitTxn, points::kDpuWrite,
-    points::kHostSubmitTxn,    points::kMsgrDispatch,   points::kOsdOp,
+    points::kDpuBatch,         points::kDpuRead,        points::kDpuRpcSubmitTxn,
+    points::kDpuWrite,         points::kHostStageBatch, points::kHostSubmitTxn,
+    points::kMsgrDispatch,     points::kOsdOp,
     points::kOsdStageMessenger, points::kOsdStageQueue,  points::kOsdStageStore,
     points::kOsdStageRepl,     points::kOsdStageReply,
 };

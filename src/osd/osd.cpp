@@ -30,7 +30,7 @@ OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
       cfg_(cfg),
       domain_(domain),
       store_(store),
-      msgr_(env, fabric, node, domain, "osd." + std::to_string(cfg.id)),
+      msgr_(env, fabric, node, domain, "osd." + std::to_string(cfg.id), cfg.msgr),
       monc_(env, msgr_, mon_addr),
       queue_cv_(env.keeper(), "osd.queue_cv"),
       tick_cv_(env.keeper(), "osd.tick_cv"),

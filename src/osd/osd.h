@@ -39,6 +39,10 @@ struct OsdConfig {
   std::uint16_t public_port = 6800;
   int op_threads = 2;  ///< "tp_osd_tp" worker count
 
+  /// Passed to this OSD's messenger (cluster wiring plumbs the cork knobs
+  /// here; the cost model keeps the messenger defaults).
+  msgr::MessengerConfig msgr;
+
   sim::Duration heartbeat_interval = 1'000'000'000;   // 1 s
   sim::Duration heartbeat_grace = 4'000'000'000;      // 4 s
   sim::Duration tick_interval = 500'000'000;          // 500 ms

@@ -27,6 +27,7 @@ Status HostBackendService::start() {
              const trace::TraceContext& ctx) {
         handle_request(std::move(req), oneway, std::move(respond), ctx);
       });
+  rpc_.set_batch_config(cfg_.rpc_batch);
   rpc_.start(center_);
   {
     const dbg::LockGuard lk(queue_mutex_);
@@ -100,6 +101,9 @@ void HostBackendService::handle_request(BufferList req, bool oneway,
       case ProxyOp::stage_segment:
         do_stage_segment(body, respond);
         break;
+      case ProxyOp::stage_batch:
+        do_stage_batch(body, respond, ctx);
+        break;
       case ProxyOp::read_obj:
         do_read(body, respond);
         break;
@@ -135,6 +139,44 @@ void HostBackendService::do_stage_segment(BufferList body,
     staged_[seg.token][seg.seg_index] = std::move(copy);
   }
   if (respond) respond(encode_to_bl(std::int32_t{0}));
+}
+
+void HostBackendService::do_stage_batch(BufferList body,
+                                        const RpcChannel::Responder& respond,
+                                        const trace::TraceContext& ctx) {
+  StageBatch batch;
+  BufferList::Cursor cur(body);
+  if (!batch.decode(cur)) {
+    if (respond) respond(encode_to_bl(std::int32_t{
+        -static_cast<std::int32_t>(Errc::corrupt)}));
+    return;
+  }
+  const sim::Time t0 = env_.now();
+  auto sp = env_.tracer().span("host.stage_batch", "host." + cfg_.name, ctx, t0,
+                               batch.entries.size());
+  // The batch is acked as a unit: every entry is copied out (Fig. 4's
+  // staging -> write-buffer hop, one doorbell for the whole batch) and the
+  // single ack carries 0 or the first per-entry validation error.
+  const std::size_t slot_base =
+      static_cast<std::size_t>(batch.slot) * slot_size_;
+  std::int32_t result = 0;
+  for (const auto& e : batch.entries) {
+    if (static_cast<std::size_t>(e.off) + e.len > slot_size_) {
+      if (result == 0) result = -static_cast<std::int32_t>(Errc::corrupt);
+      continue;
+    }
+    BufferList copy;
+    copy.append(host_mmap_->data() + slot_base + e.off, e.len);
+    domain_.charge(static_cast<sim::Duration>(cfg_.copy_ns_per_byte *
+                                              static_cast<double>(e.len)));
+    dma_bytes_.fetch_add(e.len, std::memory_order_relaxed);
+    {
+      const dbg::LockGuard lk(staged_mutex_);
+      staged_[e.token][e.seg_index] = std::move(copy);
+    }
+  }
+  sp.end(env_.now());
+  if (respond) respond(encode_to_bl(result));
 }
 
 BufferList HostBackendService::assemble_payload(std::uint64_t token,

@@ -22,6 +22,11 @@ ProxyObjectStore::ProxyObjectStore(sim::Env& env, dpu::DpuDevice& dpu, ProxyConf
                     .add_counter(l_dpu_rpc_timeout, "rpc_timeout")
                     .add_histogram(l_dpu_write_lat, "write_lat")
                     .add_histogram(l_dpu_dma_wait, "dma_wait")
+                    .add_counter(l_dpu_batch_flushes, "batch_flushes")
+                    .add_counter(l_dpu_batch_segments, "batch_segments")
+                    .add_counter(l_dpu_batch_bytes, "batch_bytes")
+                    .add_counter(l_dpu_batch_stalls, "batch_stalls")
+                    .add_histogram(l_dpu_batch_fill, "batch_fill")
                     .create()) {
   queues_.reserve(static_cast<std::size_t>(cfg_.write_workers));
   for (int i = 0; i < cfg_.write_workers; ++i) {
@@ -37,7 +42,14 @@ ProxyObjectStore::~ProxyObjectStore() {  // NOLINT(bugprone-exception-escape): t
 }
 
 Status ProxyObjectStore::mount() {
+  rpc_.set_batch_config(cfg_.rpc_batch);
   rpc_.start(center_);
+  if (cfg_.dma_batch.enabled) {
+    batcher_ = std::make_unique<DmaBatcher>(
+        env_, dpu_, slots_, rpc_, fallback_, counters_, cfg_.dma_batch,
+        cfg_.stage_copy_ns_per_byte, dpu_.name());
+    batcher_->start();
+  }
   stopping_ = false;
   pump_thread_ = sim::Thread(env_.keeper(), env_.stats(), "dpu-proxy-ch",
                              &dpu_.cpu(), [this] { center_.run(); },
@@ -82,6 +94,13 @@ Status ProxyObjectStore::umount() {
     q->cv->notify_all();
   }
   workers_.clear();
+  // The batcher outlives the workers (their in-flight segments complete
+  // through it) but must stop while the channel pump can still deliver
+  // stage_batch acks.
+  if (batcher_ != nullptr) {
+    batcher_->stop();
+    batcher_.reset();
+  }
   rpc_.detach();  // stop channel -> center dispatches before the center dies
   center_.stop();
   pump_thread_.join();
@@ -141,10 +160,59 @@ DataRef ProxyObjectStore::move_segment(BufferList seg,
     return ref;
   }
 
+  // Coalesced fast path: hand the segment to the batcher, which packs it
+  // with companions from concurrent requests into one slot, one
+  // scatter-gather DMA pass, and one stage_batch RPC. Probe transfers and
+  // the pipelining/mr_cache ablations keep the legacy one-slot-per-segment
+  // path (the probe must exercise exactly the plain DMA machinery).
+  if (batcher_ != nullptr && cfg_.pipelining && cfg_.mr_cache &&
+      path == FallbackManager::Path::dma) {
+    const std::uint32_t seg_index = ctx->next_seg;
+    const auto seg_len = static_cast<std::uint32_t>(seg.length());
+    const sim::Time enq = env_.now();
+    {
+      const dbg::LockGuard lk(ctx->m);
+      ++ctx->outstanding;
+    }
+    auto done = [this, ctx, enq](Status st, sim::Time submit,
+                                 sim::Time complete) {
+      sim::Time prev = ctx->last_complete.load(std::memory_order_relaxed);
+      while (complete > prev &&
+             !ctx->last_complete.compare_exchange_weak(prev, complete)) {
+      }
+      const dbg::LockGuard lk(ctx->m);
+      if (ctx->first_submit < 0 || submit < ctx->first_submit)
+        ctx->first_submit = submit;
+      ctx->dma_wait += submit > enq ? submit - enq : 0;
+      if (!st.ok()) ctx->any_failed = true;
+      --ctx->outstanding;
+      ctx->cv.notify_all();
+    };
+    if (batcher_->enqueue(seg, ctx->token, seg_index, ctx->trace,
+                          std::move(done))) {
+      ctx->next_seg++;
+      dma_bytes_.fetch_add(seg_len, std::memory_order_relaxed);
+      counters_->inc(l_dpu_dma_bytes, seg_len);
+      DataRef ref;
+      ref.kind = DataRef::Kind::staged;
+      ref.index = seg_index;
+      ref.len = seg_len;
+      return ref;
+    }
+    // Rejected (oversized segment or batcher stopped): undo and fall
+    // through to the legacy path, which consumes `seg` itself.
+    const dbg::LockGuard lk(ctx->m);
+    --ctx->outstanding;
+    ctx->cv.notify_all();
+  }
+
   // Acquire a paired staging/write buffer; blocked time is DMA-wait.
   const sim::Time w0 = env_.now();
   const int slot = slots_.acquire();
-  ctx->dma_wait += env_.now() - w0;
+  {
+    const dbg::LockGuard lk(ctx->m);
+    ctx->dma_wait += env_.now() - w0;
+  }
 
   if (!cfg_.mr_cache) {
     // Without the MR cache each transfer renegotiates its memory region
@@ -288,6 +356,7 @@ void ProxyObjectStore::process_write(WriteReq req) {
   // callback-shared state — nothing mutates it once outstanding hits zero.
   bool any_failed = false;
   sim::Time first_submit = -1;
+  sim::Duration dma_wait = 0;
   {
     dbg::UniqueLock lk(ctx->m);
     ctx->cv.wait(lk, [&] {
@@ -296,6 +365,7 @@ void ProxyObjectStore::process_write(WriteReq req) {
     });
     any_failed = ctx->any_failed;
     first_submit = ctx->first_submit;
+    dma_wait = ctx->dma_wait;
   }
 
   if (any_failed) {
@@ -363,13 +433,13 @@ void ProxyObjectStore::process_write(WriteReq req) {
     counters_->inc(l_dpu_writes);
     counters_->rec(l_dpu_write_lat, static_cast<std::uint64_t>(env_.now() - t_start));
     counters_->rec(l_dpu_dma_wait,
-                   static_cast<std::uint64_t>(ctx->dma_wait) + serialization);
+                   static_cast<std::uint64_t>(dma_wait) + serialization);
 
     const dbg::LockGuard lk(bd_mutex_);
     bd_.count++;
     bd_.total_ns += static_cast<std::uint64_t>(env_.now() - t_start);
     bd_.dma_ns += dma_transfer;
-    bd_.dma_wait_ns += static_cast<std::uint64_t>(ctx->dma_wait) + serialization;
+    bd_.dma_wait_ns += static_cast<std::uint64_t>(dma_wait) + serialization;
     bd_.host_write_ns += static_cast<std::uint64_t>(std::max<std::int64_t>(
         reply.host_write_ns, 0));
   }

@@ -9,6 +9,7 @@
 #include "dbg/mutex.h"
 #include "dpu/dpu_device.h"
 #include "os/object_store.h"
+#include "proxy/dma_batcher.h"
 #include "proxy/fallback.h"
 #include "proxy/proxy_protocol.h"
 #include "proxy/rpc_channel.h"
@@ -26,6 +27,11 @@ enum {
   l_dpu_rpc_timeout,         ///< blocking RPCs that timed out (slot reclaimed)
   l_dpu_write_lat,           ///< enqueue -> host commit, ns histogram
   l_dpu_dma_wait,            ///< per-request DMA wait (slots + serialization)
+  l_dpu_batch_flushes,       ///< coalesced SG flushes (one slot+pass+RPC each)
+  l_dpu_batch_segments,      ///< segments that rode a coalesced flush
+  l_dpu_batch_bytes,         ///< payload bytes moved by coalesced flushes
+  l_dpu_batch_stalls,        ///< flushes deferred by dpu.batch_flush_stall
+  l_dpu_batch_fill,          ///< segments per flush, histogram
   l_dpu_last,
 };
 
@@ -47,6 +53,12 @@ struct ProxyConfig {
   std::uint64_t inline_write_max = 4096;  ///< tiny payloads skip the DMA path
   std::uint64_t inline_read_max = 4096;
   double stage_copy_ns_per_byte = 0.25;   ///< DPU staging memcpy cost
+
+  /// Doorbell coalescing on the DPU endpoint of the proxy channel.
+  RpcBatchConfig rpc_batch;
+  /// Segment coalescing into scatter-gather DMA passes (small-write
+  /// amortization; engages only on the pipelined, MR-cached fast path).
+  DmaBatchConfig dma_batch;
 };
 
 /// Latency breakdown accumulators reproducing the taxonomy of paper Table 3.
@@ -105,6 +117,8 @@ class ProxyObjectStore final : public os::ObjectStore {
   [[nodiscard]] SlotPool& slots() noexcept { return slots_; }
   [[nodiscard]] FallbackManager& fallback() noexcept { return fallback_; }
   [[nodiscard]] const ProxyConfig& config() const noexcept { return cfg_; }
+  /// The proxy's comch RPC endpoint (batching diagnostics live on it).
+  [[nodiscard]] RpcChannel& rpc() noexcept { return rpc_; }
 
   [[nodiscard]] BreakdownSnapshot breakdown() const;
   void reset_breakdown();
@@ -140,12 +154,14 @@ class ProxyObjectStore final : public os::ObjectStore {
     int outstanding DOCEPH_GUARDED_BY(m) = 0;
     bool any_failed DOCEPH_GUARDED_BY(m) = false;
     sim::Time first_submit DOCEPH_GUARDED_BY(m) = -1;
+    // Accumulated batching/slot wait: mutated by the worker (legacy path)
+    // and by batch completion callbacks, so it lives under m.
+    sim::Duration dma_wait DOCEPH_GUARDED_BY(m) = 0;
     std::atomic<sim::Time> last_complete{-1};
-    // token/next_seg/dma_wait/trace are touched only by the owning write
-    // worker before any callback can observe them.
+    // token/next_seg/trace are touched only by the owning write worker
+    // before any callback can observe them.
     std::uint64_t token = 0;
     std::uint32_t next_seg = 0;
-    sim::Duration dma_wait = 0;
     trace::TraceContext trace;  ///< the op's context, for per-segment DMA spans
   };
 
@@ -167,6 +183,7 @@ class ProxyObjectStore final : public os::ObjectStore {
   event::EventCenter center_;
   SlotPool slots_;
   FallbackManager fallback_;
+  std::unique_ptr<DmaBatcher> batcher_;
 
   struct WorkerQueue {
     dbg::Mutex m{"proxy.worker_queue"};

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -31,6 +32,16 @@ inline std::vector<std::string> chaos_run(
   sim::Env env(sim::TimeKeeper::Mode::virtual_time, seed);
   run_sim(env, [&] { scenario(env); });
   return env.faults().firing_log();
+}
+
+/// Universe seed for drills whose assertions hold for ANY seed: the nightly
+/// chaos matrix exports DOCEPH_SEED to sweep the suite across universes;
+/// without it the fallback keeps local runs deterministic. Tests that pin
+/// an exact firing log must keep their literal seed instead.
+inline std::uint64_t env_seed(std::uint64_t fallback) {
+  const char* s = std::getenv("DOCEPH_SEED");
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoull(s, nullptr, 10);
 }
 
 /// The suite's determinism contract: two runs from one seed must produce

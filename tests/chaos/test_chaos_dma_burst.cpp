@@ -79,7 +79,8 @@ TEST(ChaosDmaBurst, FallbackCyclesDmaRpcProbeDma) {
 }
 
 TEST(ChaosDmaBurst, FiringSequenceIsSeedReproducible) {
-  doceph::testing::expect_reproducible(/*seed=*/99, dma_burst_scenario);
+  doceph::testing::expect_reproducible(doceph::testing::env_seed(99),
+                                       dma_burst_scenario);
 }
 
 TEST(ChaosDmaBurst, ProbabilisticErrorsRecoverAndReplay) {
@@ -108,7 +109,7 @@ TEST(ChaosDmaBurst, ProbabilisticErrorsRecoverAndReplay) {
     EXPECT_TRUE(node.proxy->fallback().dma_enabled());
     node.down();
   };
-  doceph::testing::expect_reproducible(/*seed=*/7, scenario);
+  doceph::testing::expect_reproducible(doceph::testing::env_seed(7), scenario);
 }
 
 }  // namespace

@@ -133,7 +133,7 @@ TEST(ChaosHardKill, BaselineReplayIoErrorIsRetriedUntilMountSucceeds) {
 }
 
 TEST(ChaosHardKill, KillScheduleIsSeedReproducible) {
-  doceph::testing::expect_reproducible(/*seed=*/4242, [](Env& env) {
+  doceph::testing::expect_reproducible(doceph::testing::env_seed(4242), [](Env& env) {
     hard_kill_scenario(env, DeployMode::doceph, /*replay_io_error=*/false);
   });
 }

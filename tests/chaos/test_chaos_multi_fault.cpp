@@ -111,7 +111,8 @@ TEST(ChaosMultiFault, HardKillDuringPartitionConvergesClean) {
 }
 
 TEST(ChaosMultiFault, OverlapScheduleIsSeedReproducible) {
-  doceph::testing::expect_reproducible(/*seed=*/9090, multi_fault_scenario);
+  doceph::testing::expect_reproducible(doceph::testing::env_seed(9090),
+                                       multi_fault_scenario);
 }
 
 }  // namespace

@@ -94,7 +94,8 @@ TEST(ChaosOsdCrash, PrimaryKilledMidBenchRecovers) {
 }
 
 TEST(ChaosOsdCrash, KillScheduleIsSeedReproducible) {
-  doceph::testing::expect_reproducible(/*seed=*/2024, crash_scenario);
+  doceph::testing::expect_reproducible(doceph::testing::env_seed(2024),
+                                       crash_scenario);
 }
 
 }  // namespace
