@@ -20,9 +20,13 @@
 //              [--disable-batching]
 //
 // Two laps per deploy mode: the 1 MB DMA-path lap ("baseline"/"doceph")
-// and a 16 KB qd16 small-write lap ("baseline_smallwrite"/
+// and a 16 KB qd64 fresh-object small-write lap ("baseline_smallwrite"/
 // "doceph_smallwrite") that exercises the batched offload hot path (comch
-// doorbell coalescing + scatter-gather DMA + write corking).
+// doorbell coalescing + scatter-gather DMA + write corking) plus the
+// chained-KV-checkpoint + backpressure degradation path (every write is a
+// new object; the map snapshot outgrows one WAL segment mid-run).
+// --measure-ms scales only the 1 MB laps; the small lap has dedicated
+// durations sized against the store's nearfull ratio.
 // --disable-batching strips all batching knobs — that is how the committed
 // BENCH_baseline.json is produced, so the delta against it shows the
 // batching win.
@@ -57,6 +61,10 @@ void emit_result(doceph::JsonWriter& w, const char* name, const RunResult& r) {
   w.kv("p99_lat_s", r.p99_lat_s);
   w.kv("host_cores", r.host_cores);
   w.kv("dpu_cores", r.dpu_cores);
+  w.kv("failed_ops", static_cast<std::int64_t>(r.failed_ops));
+  w.kv("osd_throttled", static_cast<std::int64_t>(r.osd_throttled));
+  w.kv("client_throttled", static_cast<std::int64_t>(r.client_throttled));
+  w.kv("proxy_throttled", static_cast<std::int64_t>(r.proxy_throttled));
   w.key("stages_s");
   w.begin_object();
   w.kv("messenger", r.stage_msgr_s);
@@ -165,17 +173,26 @@ int main(int argc, char** argv) {
                  r.p99_lat_s * 1e3);
   }
 
-  // Small-write lap (16 KB, qd16): many sub-slot segments per interval —
-  // the workload the batched offload hot path is built for.
+  // Small-write lap (16 KB, qd64, fresh object names): many sub-slot
+  // segments per interval — the workload the batched offload hot path is
+  // built for. Every write creates a new object, so the 16 KB inline
+  // payloads accumulate in the KV map: the baseline lap's snapshot grows
+  // past one 32 MiB WAL segment mid-run, exercising the chained
+  // checkpoint path (pre-chaining this lap died with no_space).
+  // Backpressure is on so the run degrades gracefully instead of
+  // collapsing if a queue or the store ever saturates; durations are
+  // sized to stay under the 0.85 nearfull ratio (~3300 objects), above
+  // which writes shed permanently.
   {
     RunSpec small = spec;
     small.object_size = 16 << 10;
-    small.concurrency = 16;
-    // Bounded working set: 16 KB writes are BlueStore-inline (the payload
-    // lives in the KV map), so the object count must keep the map's WAL
-    // checkpoint well under one 32 MiB segment: 16 writers x 32 names x
-    // 2 prefixes (warm/bench) x 16 KB = 16 MiB.
-    small.reuse_objects = 32;
+    small.concurrency = 64;
+    small.reuse_objects = 0;
+    small.backpressure = true;
+    small.warmup = 200'000'000;    // 200 ms
+    small.measure = 400'000'000;   // 400 ms: ~2700 fresh objects ≈ 43 MiB of
+                                   // inline payloads — past one segment,
+                                   // safely under 0.85 * 64 MiB nearfull
     small.trace_out.clear();
     small.trace_sample_every = 0;
     for (const auto mode : {doceph::cluster::DeployMode::baseline,

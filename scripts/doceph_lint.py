@@ -35,6 +35,13 @@ Rules (each finding prints as `path:line: [rule] message`):
                   decades (msgr 90000, osd 91000, ...); an overlap would let
                   two subsystems write the same slot in merged dumps.
 
+  errc-to-string  An `enum class Errc` enumerator with no matching
+                  `case Errc::<name>:` in errc_name()'s switch. A new error
+                  code without a name prints as "error N" in every throttle
+                  log, test failure and Status::to_string() — it fails lint
+                  when the code is added, not when someone finally reads
+                  the log.
+
 Modes:
   doceph_lint.py                  lint the tree (src/ tests/ bench/ examples/,
                                   minus tests/lint/ fixtures); exit 1 on any
@@ -105,6 +112,13 @@ TRACE_CALL_RE = re.compile(
 TRACE_DECL_RE = re.compile(r"\"((?:[a-z0-9_]+\.)+[a-z0-9_]+)\"")
 
 FIRST_RE = re.compile(r"\bl_([A-Za-z0-9_]+)_first\s*=\s*(\d+)")
+
+# errc-to-string: the enum lives in status.h, the name switch in status.cpp.
+ERRC_ENUM_HEADER = "src/common/status.h"
+ERRC_NAME_IMPL = "src/common/status.cpp"
+ERRC_ENUM_RE = re.compile(r"\benum\s+class\s+Errc\b")
+ERRC_ENUMERATOR_RE = re.compile(r"^\s*([a-z_][a-z0-9_]*)\s*(?:=\s*[^,]*)?,?\s*$")
+ERRC_CASE_RE = re.compile(r"\bcase\s+Errc::([a-z_][a-z0-9_]*)\s*:")
 
 
 class Finding:
@@ -257,6 +271,40 @@ def lint_counter_ranges(paths):
     return findings
 
 
+def collect_errc_enumerators(path: Path):
+    """Enumerators of `enum class Errc` in `path`: [(name, line)]."""
+    out = []
+    in_enum = False
+    for lineno, raw in enumerate(path.read_text(errors="replace").splitlines(), 1):
+        code = strip_line_comment(raw)
+        if not in_enum:
+            if ERRC_ENUM_RE.search(code):
+                in_enum = True
+            continue
+        if "}" in code:
+            break
+        m = ERRC_ENUMERATOR_RE.match(code)
+        if m:
+            out.append((m.group(1), lineno))
+    return out
+
+
+def lint_errc_names(enum_path: Path, impl_path: Path):
+    """Rule errc-to-string: every Errc enumerator must have a name case."""
+    findings: list[Finding] = []
+    if not enum_path.is_file() or not impl_path.is_file():
+        return findings
+    named = set(ERRC_CASE_RE.findall(impl_path.read_text(errors="replace")))
+    for name, lineno in collect_errc_enumerators(enum_path):
+        if name not in named:
+            findings.append(Finding(
+                enum_path, lineno, "errc-to-string",
+                f'Errc::{name} has no "case Errc::{name}:" in errc_name() '
+                f"({rel(impl_path)}); it would print as a raw integer in "
+                "every Status::to_string() and throttle log"))
+    return findings
+
+
 def iter_tree_files():
     for root in LINT_ROOTS:
         base = REPO / root
@@ -284,6 +332,7 @@ def run_default() -> int:
     for path in files:
         findings.extend(lint_file(path, registry, trace_registry))
     findings.extend(lint_counter_ranges([p for p in files if rel(p).startswith("src/")]))
+    findings.extend(lint_errc_names(REPO / ERRC_ENUM_HEADER, REPO / ERRC_NAME_IMPL))
     for f in findings:
         print(f)
     if findings:
@@ -311,6 +360,8 @@ def run_self_test(fixture_dir: Path) -> int:
             continue
         findings = lint_file(path, registry, trace_registry, enforce_allowlists=False)
         findings.extend(lint_counter_ranges([path]))
+        # Self-contained errc fixtures carry both the enum and the switch.
+        findings.extend(lint_errc_names(path, path))
         got = {f.rule for f in findings}
         for rule in expected:
             if rule in got:

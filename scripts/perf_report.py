@@ -29,6 +29,16 @@ METRICS = [
     ("host_cores", "host cores", 1.0, "", False),
 ]
 
+# Backpressure telemetry (per config; perf_smoke emits these since the
+# overload-collapse fix). failed_ops must stay 0 — throttles are the
+# graceful path, failures are the collapse the backpressure PR removed.
+THROTTLE_KEYS = [
+    ("failed_ops", "failed ops"),
+    ("osd_throttled", "OSD throttles"),
+    ("proxy_throttled", "proxy throttles"),
+    ("client_throttled", "client throttles"),
+]
+
 
 def load(path):
     try:
@@ -87,6 +97,28 @@ def main(argv):
             b, c = base.get(key), cur.get(key)
             row += f" {fmt(b, scale)} → {fmt(c, scale)} | {delta_cell(b, c, higher)} |"
         lines.append(row)
+
+    # Throttle/backpressure table: only for configs whose current run
+    # reports the telemetry (older JSONs without the keys render nothing).
+    throttled_cfgs = [c for c in configs
+                      if any(k in (cur_doc.get(c) or {}) for k, _ in THROTTLE_KEYS)]
+    if throttled_cfgs:
+        lines += ["", "### Backpressure", "",
+                  "| config | " + " | ".join(t for _, t in THROTTLE_KEYS) + " |",
+                  "|---|" + "---|" * len(THROTTLE_KEYS)]
+        for cfg in throttled_cfgs:
+            cur = cur_doc.get(cfg) or {}
+            cells = []
+            for key, _ in THROTTLE_KEYS:
+                v = cur.get(key)
+                if key == "failed_ops" and v is not None:
+                    cells.append(f"{v} {'✅' if v == 0 else '❌'}")
+                else:
+                    cells.append("-" if v is None else str(v))
+            lines.append(f"| {cfg} | " + " | ".join(cells) + " |")
+        lines += ["", "Throttles are retried, not failed: any nonzero "
+                  "`failed ops` is a regression of the graceful-degradation "
+                  "contract (DESIGN.md §14)."]
 
     lines += [
         "",

@@ -35,6 +35,7 @@ std::string RunSpec::cache_key() const {
   }
   if (dma_failure_rate > 0) os << "_f" << static_cast<int>(dma_failure_rate * 1e4);
   if (reuse_objects > 0) os << "_r" << reuse_objects;
+  if (backpressure) os << "_bp";
   if (batching) {
     // Batched cells key on the coalescing knobs too (swept by
     // ablation_batching): depth and flush deadlines change the numbers.
@@ -75,6 +76,17 @@ RunResult run_experiment(const RunSpec& spec) {
   cfg.proxy.rpc_batch.enabled = spec.batching;
   cfg.proxy.dma_batch.enabled = spec.batching;
   cfg.backend.rpc_batch.enabled = spec.batching;
+  if (spec.backpressure) {
+    // End-to-end admission control: bounded queues at every layer, typed
+    // throttled bounces, nearfull write shedding, client AIMD windowing.
+    cfg.osd_template.max_queue_depth = 256;
+    cfg.osd_template.max_conn_inflight = 128;
+    cfg.osd_template.throttle_retry_delay = 2'000'000;  // 2 ms
+    cfg.osd_template.nearfull_ratio = 0.85;
+    cfg.proxy.max_worker_queue = 512;
+    cfg.proxy.slot_acquire_timeout = 5'000'000'000;  // 5 s
+    cfg.client.flow_control = true;
+  }
 
   cluster::Cluster cl(env, cfg);
   RunResult result;
@@ -139,6 +151,7 @@ RunResult run_experiment(const RunSpec& spec) {
     result.p50_lat_s = bres.latency.quantile(0.5) * 1e-9;
     result.p99_lat_s = bres.p99_latency_s();
     result.ops = bres.ops;
+    result.failed_ops = bres.failed;
     result.window_s = bres.seconds;
 
     result.host_cores = cl.host_cores_used(cpu0, cpu1);
@@ -218,6 +231,20 @@ RunResult run_experiment(const RunSpec& spec) {
       }
     }
 
+    // Backpressure telemetry: throttled bounces by layer (counters were
+    // reset at the start of the measured window; all zero with the knobs
+    // off, so legacy cells are unaffected).
+    for (int i = 0; i < nodes; ++i) {
+      result.osd_throttled += cl.osd(i).perf_counters()->get(osd::l_osd_op_throttled);
+      if (auto* p = cl.proxy_store(i)) {
+        const auto& pc = p->perf_counters();
+        result.proxy_throttled += pc->get(proxy::l_dpu_throttle_queue) +
+                                  pc->get(proxy::l_dpu_throttle_slot);
+      }
+    }
+    result.client_throttled =
+        cl.client().perf_counters()->get(client::l_client_op_throttled);
+
     if (spec.dump_admin) {
       for (const char* cmd : {"perf dump", "dump_historic_ops"}) {
         std::fprintf(stderr, "[bench admin] %s: %s\n", cmd,
@@ -276,10 +303,16 @@ bool load_cached(const std::string& key, RunResult& out) {
     if (name == "ctx_objectstore")
       out.ctx_objectstore = static_cast<std::uint64_t>(value);
     if (name == "ops") out.ops = static_cast<std::uint64_t>(value);
+    if (name == "failed_ops") out.failed_ops = static_cast<std::uint64_t>(value);
     if (name == "dma_fallback_events")
       out.dma_fallback_events = static_cast<std::uint64_t>(value);
     if (name == "rpc_fallback_bytes")
       out.rpc_fallback_bytes = static_cast<std::uint64_t>(value);
+    if (name == "osd_throttled") out.osd_throttled = static_cast<std::uint64_t>(value);
+    if (name == "client_throttled")
+      out.client_throttled = static_cast<std::uint64_t>(value);
+    if (name == "proxy_throttled")
+      out.proxy_throttled = static_cast<std::uint64_t>(value);
   }
   return true;
 }
@@ -296,8 +329,12 @@ void store_cached(const std::string& key, const RunResult& r) {
   out << "ctx_messenger " << r.ctx_messenger << "\n";
   out << "ctx_objectstore " << r.ctx_objectstore << "\n";
   out << "ops " << r.ops << "\n";
+  out << "failed_ops " << r.failed_ops << "\n";
   out << "dma_fallback_events " << r.dma_fallback_events << "\n";
   out << "rpc_fallback_bytes " << r.rpc_fallback_bytes << "\n";
+  out << "osd_throttled " << r.osd_throttled << "\n";
+  out << "client_throttled " << r.client_throttled << "\n";
+  out << "proxy_throttled " << r.proxy_throttled << "\n";
 }
 
 }  // namespace

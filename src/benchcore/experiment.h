@@ -26,10 +26,16 @@ struct RunSpec {
   bool batching = false;
 
   /// >0: writers cycle through a bounded object working set (see
-  /// BenchConfig::reuse_objects). Required for small-object laps: at high
-  /// op rates an unbounded set of fresh onodes outgrows the KV WAL
-  /// checkpoint and the run collapses into no_space.
+  /// BenchConfig::reuse_objects). Documented opt-in for bounding metadata
+  /// growth; fresh-object small-write floods now degrade gracefully via
+  /// chained KV checkpoints + backpressure instead of dying with no_space.
   std::uint64_t reuse_objects = 0;
+
+  /// End-to-end backpressure: bounded OSD/proxy queues replying
+  /// Errc::throttled, nearfull write shedding, and client AIMD flow
+  /// control. Off by default — the paper profiles predate admission
+  /// control, and the committed figure cells must stay byte-identical.
+  bool backpressure = false;
 
   /// Ablation overrides for the proxy (DoCeph mode only).
   std::optional<proxy::ProxyConfig> proxy_override;
@@ -101,8 +107,15 @@ struct RunResult {
   double stage_total_s = 0;  // recv -> reply_sent, per op
 
   std::uint64_t ops = 0;
+  std::uint64_t failed_ops = 0;  ///< measured-window ops that returned an error
   std::uint64_t dma_fallback_events = 0;
   std::uint64_t rpc_fallback_bytes = 0;
+
+  // Backpressure telemetry (0 unless spec.backpressure): throttled bounces
+  // by layer over the measured window.
+  std::uint64_t osd_throttled = 0;
+  std::uint64_t client_throttled = 0;
+  std::uint64_t proxy_throttled = 0;
 };
 
 /// Execute the spec on a fresh simulated cluster (warmup, then measure).

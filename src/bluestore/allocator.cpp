@@ -1,6 +1,7 @@
 #include "bluestore/allocator.h"
 
 #include <cassert>
+#include <string>
 
 namespace doceph::bluestore {
 
@@ -14,7 +15,12 @@ ExtentAllocator::ExtentAllocator(std::uint64_t base, std::uint64_t size,
 Result<std::vector<Extent>> ExtentAllocator::allocate(std::uint64_t len) {
   len = round_up(len == 0 ? alloc_unit_ : len);
   const dbg::LockGuard lk(mutex_);
-  if (free_.size() < len) return Status(Errc::no_space, "allocator exhausted");
+  if (free_.size() < len) {
+    return Status(Errc::no_space,
+                  "allocator exhausted: requested " + std::to_string(len) +
+                      " B, " + std::to_string(free_.size()) + " B free in " +
+                      std::to_string(free_.num_intervals()) + " fragment(s)");
+  }
 
   std::vector<Extent> out;
   std::uint64_t remaining = len;

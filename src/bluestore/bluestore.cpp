@@ -45,6 +45,9 @@ BlueStore::BlueStore(sim::Env& env, sim::CpuDomain* domain, BlueStoreConfig cfg,
   counters_ = perf::Builder("bluestore", l_bstore_first, l_bstore_last)
                   .add_counter(l_bstore_txns, "txns")
                   .add_histogram(l_bstore_commit_lat, "commit_lat")
+                  .add_gauge(l_bstore_free_bytes, "free_bytes")
+                  .add_gauge(l_bstore_kv_bytes, "kv_bytes")
+                  .add_gauge(l_bstore_nearfull, "nearfull")
                   .create();
 }
 
@@ -479,7 +482,31 @@ void BlueStore::finish_txc(const TxRef& txc, Status st) {
   if (st.ok()) {
     for (const auto& extents : txc->release_after_commit) alloc_->release(extents);
   }
+  // Refresh the capacity gauges on every commit: allocator headroom, KV
+  // checkpoint pressure, and the near-full flag the admission throttle
+  // mirrors (OsdConfig::nearfull_ratio reads the same fullness() figure).
+  counters_->set(l_bstore_free_bytes, alloc_->free_bytes());
+  counters_->set(l_bstore_kv_bytes, kv_->map_bytes());
+  counters_->set(l_bstore_nearfull,
+                 fullness() >= cfg_.nearfull_ratio ? 1 : 0);
   if (txc->on_commit) txc->on_commit(st);
+}
+
+double BlueStore::fullness() const {
+  if (!mounted_ || !alloc_) return 0.0;
+  const double total = static_cast<double>(alloc_->total_bytes());
+  const double alloc_used =
+      total > 0 ? 1.0 - static_cast<double>(alloc_->free_bytes()) / total : 0.0;
+  // KV pressure against the chained-checkpoint ceiling: a snapshot may span
+  // both WAL segments (two max-packed chunks), so 1.0 is the hard limit
+  // beyond which checkpoint rolls fail with no_space. Above ~0.5 the store
+  // is already in the degraded spanning regime (rolls rewrite both
+  // segments); a nearfull_ratio between the two sheds load before the
+  // ceiling becomes fatal.
+  const double cap = static_cast<double>(cfg_.wal_len);
+  const double kv_used =
+      cap > 0 ? static_cast<double>(kv_->map_bytes()) / cap : 0.0;
+  return std::max(alloc_used, kv_used);
 }
 
 void BlueStore::flush_collection(const os::coll_t& cid) {

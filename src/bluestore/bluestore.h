@@ -23,6 +23,9 @@ enum {
   l_bstore_first = 95000,
   l_bstore_txns,        ///< transactions committed
   l_bstore_commit_lat,  ///< queue_transaction -> commit callback, ns histogram
+  l_bstore_free_bytes,  ///< gauge: allocator free bytes
+  l_bstore_kv_bytes,    ///< gauge: KV map resident bytes (checkpoint pressure)
+  l_bstore_nearfull,    ///< gauge: 1 when fullness() >= nearfull_ratio
   l_bstore_last,
 };
 
@@ -42,6 +45,11 @@ struct BlueStoreConfig {
   sim::Duration per_aio = 2000;        ///< ns per device IO completion
 
   std::size_t onode_cache_capacity = 65536;
+
+  /// High-water fullness ratio above which the store reports near-full (the
+  /// l_bstore_nearfull gauge; the OSD's early admission throttle reads the
+  /// same fullness() figure against its own configured ratio).
+  double nearfull_ratio = 0.85;
 };
 
 /// BlueStore-lite: the host-resident storage backend (paper Fig. 3, right).
@@ -99,6 +107,12 @@ class BlueStore final : public os::ObjectStore {
   [[nodiscard]] perf::PerfCountersRef perf_counters() const override {
     return counters_;
   }
+
+  /// Max over allocator pressure (1 - free/total) and KV checkpoint
+  /// pressure (map bytes vs the chained-checkpoint ceiling of both WAL
+  /// segments; 1.0 is the point past which rolls fail with no_space).
+  /// 0 while unmounted.
+  [[nodiscard]] double fullness() const override;
 
  private:
   struct Onode {

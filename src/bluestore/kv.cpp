@@ -1,5 +1,6 @@
 #include "bluestore/kv.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/crc32c.h"
@@ -13,6 +14,7 @@ constexpr std::uint8_t kKindCheckpoint = 1;
 constexpr std::uint8_t kKindTxn = 2;
 constexpr std::size_t kRecHeader = 4 + 1 + 8 + 8 + 4;  // magic kind gen seq len
 constexpr std::size_t kRecTrailer = 4;                 // crc
+constexpr std::size_t kChunkHdr = 4 + 4;  // checkpoint chunk_index + total_chunks
 
 /// Serialize one WAL record.
 BufferList make_record(std::uint8_t kind, std::uint64_t gen, std::uint64_t seq,
@@ -61,6 +63,7 @@ Status KvStore::mkfs() {
   {
     const dbg::WriteLockGuard lk(map_mutex_);
     map_.clear();
+    map_bytes_ = 0;
   }
   generation_ = 1;
   active_segment_ = 0;
@@ -73,14 +76,59 @@ Status KvStore::write_checkpoint_locked(int segment, std::uint64_t generation) {
     const dbg::ReadLockGuard lk(map_mutex_);
     doceph::encode(map_, snapshot);
   }
-  BufferList rec = make_record(kKindCheckpoint, generation, 0, snapshot);
-  if (rec.length() + kRecHeader > segment_len())
-    return Status(Errc::no_space, "KV checkpoint exceeds WAL segment");
-  const Status st = dev_.write(segment_off(segment), rec);
+  // Chained checkpoint: one or two kKindCheckpoint records, each carrying
+  // (chunk_index, total_chunks) ahead of its slice of the snapshot (the seq
+  // field doubles as the chunk index). The common case is a single chunk at
+  // the head of `segment`; an oversized snapshot spills its remainder once
+  // into the head of the other segment. Write order — target segment first,
+  // spill second — keeps the previous generation's checkpoint recoverable
+  // until the chain is complete (the spill write is what overwrites it).
+  // Journal headroom: the segment where appends resume after the roll must
+  // keep room for subsequent txn records, or the store wedges — every roll
+  // would rewrite the same snapshot and still reject the record that forced
+  // it. A snapshot that would leave less than this in its own segment
+  // spills into the other one instead (the spill chunk is small there, so
+  // appends after it see nearly a full segment).
+  const std::uint64_t chunk_cap =
+      segment_len() - (kRecHeader + kChunkHdr + kRecTrailer);
+  const std::uint64_t headroom =
+      std::min<std::uint64_t>(4 << 20, segment_len() / 8);
+  const std::uint64_t single_cap = chunk_cap - headroom;
+  const std::uint32_t total = snapshot.length() > single_cap ? 2 : 1;
+  const std::uint64_t first_len =
+      std::min<std::uint64_t>(snapshot.length(), chunk_cap);
+  const std::uint64_t spill_len = snapshot.length() - first_len;
+  if (spill_len > single_cap) {
+    return Status(Errc::no_space,
+                  "KV checkpoint exceeds WAL region: snapshot " +
+                      std::to_string(snapshot.length()) + " B > " +
+                      std::to_string(chunk_cap + single_cap) +
+                      " B chained capacity");
+  }
+  auto chunk_record = [&](std::uint32_t index, std::uint64_t off,
+                          std::uint64_t len) {
+    BufferList payload;
+    doceph::encode(index, payload);
+    doceph::encode(total, payload);
+    payload.append(snapshot.substr(off, len));
+    return make_record(kKindCheckpoint, generation, index, payload);
+  };
+
+  BufferList first = chunk_record(0, 0, first_len);
+  int end_seg = segment;
+  std::uint64_t end_off = segment_off(segment) + first.length();
+  Status st = dev_.write(segment_off(segment), first);
   if (!st.ok()) return st;
-  active_segment_ = segment;
+  if (total == 2) {
+    BufferList second = chunk_record(1, first_len, spill_len);
+    end_seg = 1 - segment;
+    end_off = segment_off(end_seg) + second.length();
+    st = dev_.write(segment_off(end_seg), second);
+    if (!st.ok()) return st;
+  }
+  active_segment_ = end_seg;
   generation_ = generation;
-  append_off_ = segment_off(segment) + rec.length();
+  append_off_ = end_off;
   next_seq_ = 1;
   return Status::OK();
 }
@@ -129,28 +177,72 @@ Status KvStore::replay() {
     return rec;
   };
 
-  // Find the newest checkpoint.
-  int best_seg = -1;
-  std::uint64_t best_gen = 0;
-  for (int seg = 0; seg < 2; ++seg) {
-    auto rec = read_record(segment_off(seg), segment_off(seg) + segment_len());
-    if (rec && rec->kind == kKindCheckpoint && rec->gen >= best_gen) {
-      best_seg = seg;
-      best_gen = rec->gen;
+  // Reassemble one checkpoint chain starting at `seg`'s head: a chunk-0
+  // record, plus (for a spanning checkpoint) the matching chunk-1 record at
+  // the other segment's head. Incomplete chains (crash between the two
+  // chunk writes) yield nullopt so discovery falls back to the other
+  // generation.
+  struct Chain {
+    std::uint64_t gen = 0;
+    BufferList snapshot;
+    int end_seg = 0;
+    std::uint64_t end_off = 0;
+  };
+  auto chunk_of = [](const ParsedRecord& rec)
+      -> std::optional<std::pair<std::uint32_t, std::uint32_t>> {
+    if (rec.kind != kKindCheckpoint || rec.payload.length() < kChunkHdr)
+      return std::nullopt;
+    BufferList::Cursor cur(rec.payload);
+    std::uint32_t index = 0;
+    std::uint32_t total = 0;
+    if (!doceph::decode(index, cur) || !doceph::decode(total, cur))
+      return std::nullopt;
+    return std::make_pair(index, total);
+  };
+  auto read_chain = [&](int seg) -> std::optional<Chain> {
+    auto head = read_record(segment_off(seg), segment_off(seg) + segment_len());
+    if (!head) return std::nullopt;
+    auto ct = chunk_of(*head);
+    if (!ct || ct->first != 0 || ct->second < 1 || ct->second > 2)
+      return std::nullopt;
+    Chain chain;
+    chain.gen = head->gen;
+    chain.snapshot =
+        head->payload.substr(kChunkHdr, head->payload.length() - kChunkHdr);
+    chain.end_seg = seg;
+    chain.end_off = segment_off(seg) + head->total_len;
+    if (ct->second == 2) {
+      const int other = 1 - seg;
+      auto spill =
+          read_record(segment_off(other), segment_off(other) + segment_len());
+      if (!spill || spill->gen != head->gen) return std::nullopt;
+      auto sct = chunk_of(*spill);
+      if (!sct || sct->first != 1 || sct->second != 2) return std::nullopt;
+      chain.snapshot.append(
+          spill->payload.substr(kChunkHdr, spill->payload.length() - kChunkHdr));
+      chain.end_seg = other;
+      chain.end_off = segment_off(other) + spill->total_len;
     }
-  }
-  if (best_seg < 0) return Status(Errc::corrupt, "no KV checkpoint found (mkfs?)");
+    return chain;
+  };
 
-  const std::uint64_t seg_start = segment_off(best_seg);
-  const std::uint64_t seg_end = seg_start + segment_len();
-  auto cp = read_record(seg_start, seg_end);
-  assert(cp);
+  // Find the newest complete checkpoint chain.
+  std::optional<Chain> best;
+  for (int seg = 0; seg < 2; ++seg) {
+    auto chain = read_chain(seg);
+    if (chain && (!best || chain->gen >= best->gen)) best = std::move(chain);
+  }
+  if (!best) return Status(Errc::corrupt, "no KV checkpoint found (mkfs?)");
+  const std::uint64_t best_gen = best->gen;
+
   {
     const dbg::WriteLockGuard lk(map_mutex_);
     map_.clear();
-    BufferList::Cursor cur(cp->payload);
+    BufferList::Cursor cur(best->snapshot);
     if (!doceph::decode(map_, cur))
       return Status(Errc::corrupt, "bad KV checkpoint payload");
+    map_bytes_ = 0;
+    for (const auto& [k, v] : map_) map_bytes_ += k.size() + v.length();
   }
 
   // Replay txn records after the checkpoint. Valid records carry strictly
@@ -159,7 +251,8 @@ Status KvStore::replay() {
   // record, or a non-increasing seq. Gaps in seq are tolerated (historical
   // logs could skip numbers when a mid-roll write failed; since the chunked
   // sync_thread stamps seqs only on durable writes, new logs are gapless).
-  std::uint64_t off = seg_start + cp->total_len;
+  const std::uint64_t seg_end = segment_off(best->end_seg) + segment_len();
+  std::uint64_t off = best->end_off;
   std::uint64_t seq = 0;
   while (true) {
     auto rec = read_record(off, seg_end);
@@ -170,14 +263,13 @@ Status KvStore::replay() {
     if (!txn.decode(cur)) break;
     {
       const dbg::WriteLockGuard lk(map_mutex_);
-      for (auto& [k, v] : txn.sets) map_[k] = std::move(v);
-      for (const auto& k : txn.rms) map_.erase(k);
+      apply_locked(txn);
     }
     seq = rec->seq;
     off += rec->total_len;
   }
 
-  active_segment_ = best_seg;
+  active_segment_ = best->end_seg;
   generation_ = best_gen;
   append_off_ = off;
   next_seq_ = seq + 1;
@@ -323,15 +415,29 @@ void KvStore::sync_thread() {
       at_fresh_checkpoint = false;
       {
         const dbg::WriteLockGuard lk(map_mutex_);
-        for (std::size_t i = idx; i < end; ++i) {
-          for (auto& [k, v] : batch[i].first.sets) map_[k] = v;
-          for (const auto& k : batch[i].first.rms) map_.erase(k);
-        }
+        for (std::size_t i = idx; i < end; ++i) apply_locked(batch[i].first);
       }
       committed_.fetch_add(end - idx, std::memory_order_relaxed);
       for (std::size_t i = idx; i < end; ++i)
         if (auto& cb = batch[i].second) cb(Status::OK());
       idx = end;
+    }
+  }
+}
+
+void KvStore::apply_locked(const KvTxn& txn) {
+  for (const auto& [k, v] : txn.sets) {
+    auto it = map_.find(k);
+    if (it != map_.end())
+      map_bytes_ -= k.size() + it->second.length();
+    map_bytes_ += k.size() + v.length();
+    map_[k] = v;
+  }
+  for (const auto& k : txn.rms) {
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      map_bytes_ -= k.size() + it->second.length();
+      map_.erase(it);
     }
   }
 }
@@ -361,6 +467,11 @@ void KvStore::for_each_prefix(
 std::size_t KvStore::num_keys() const {
   const dbg::ReadLockGuard lk(map_mutex_);
   return map_.size();
+}
+
+std::uint64_t KvStore::map_bytes() const {
+  const dbg::ReadLockGuard lk(map_mutex_);
+  return map_bytes_;
 }
 
 }  // namespace doceph::bluestore

@@ -51,9 +51,23 @@ struct KvCostModel {
 /// queued transactions, exactly like Ceph's kv_sync_thread.
 ///
 /// WAL layout: the region is split into two segments; records are appended
-/// to the active segment. When it fills, a checkpoint record (full map
-/// snapshot) opens the other segment with a higher generation. mount()
-/// locates the newest checkpoint and replays records after it.
+/// to the active segment. When it fills, a checkpoint (full map snapshot)
+/// opens the other segment with a higher generation. mount() locates the
+/// newest checkpoint and replays records after it.
+///
+/// A checkpoint is a CHAIN of one or two records, each tagged with
+/// (chunk_index, total_chunks). The common case is a single chunk at the
+/// head of the target segment; a snapshot too large to leave journal
+/// headroom in one segment spills its remainder once into the head of the
+/// other segment instead of failing permanently (the degraded spanning
+/// regime). The spill overwrites the
+/// previous checkpoint, so write order (target segment first) keeps the old
+/// generation recoverable until the chain completes; a crash between the two
+/// chunk writes of a SECOND consecutive spanning roll is the one window
+/// with no complete chain on disk — strictly narrower than the pre-chain
+/// behavior, which wedged the store with `no_space` at the first oversized
+/// snapshot. The near-full gauge (`map_bytes()` vs the chained ceiling)
+/// exists so upper layers throttle before the ceiling becomes fatal.
 class KvStore {
  public:
   using OnCommit = std::function<void(Status)>;
@@ -99,6 +113,12 @@ class KvStore {
 
   [[nodiscard]] std::size_t num_keys() const;
 
+  /// Total bytes of keys + values resident in the map — the size a
+  /// checkpoint snapshot will serialize to (plus small encoding overhead).
+  /// Compared against one WAL segment this is the KV-pressure half of
+  /// BlueStore's fullness() gauge.
+  [[nodiscard]] std::uint64_t map_bytes() const;
+
   /// Committed transaction count (diagnostics).
   [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
 
@@ -112,6 +132,7 @@ class KvStore {
 
   void sync_thread();
   Status write_checkpoint_locked(int segment, std::uint64_t generation);
+  void apply_locked(const KvTxn& txn) DOCEPH_REQUIRES(map_mutex_);
   Status replay();
   [[nodiscard]] std::uint64_t segment_off(int seg) const noexcept {
     return wal_off_ + static_cast<std::uint64_t>(seg) * (wal_len_ / 2);
@@ -127,6 +148,7 @@ class KvStore {
 
   mutable dbg::SharedMutex map_mutex_{"bluestore.kv_map"};
   std::map<std::string, BufferList> map_ DOCEPH_GUARDED_BY(map_mutex_);
+  std::uint64_t map_bytes_ DOCEPH_GUARDED_BY(map_mutex_) = 0;
 
   // Sync-thread state.
   dbg::Mutex queue_mutex_{"bluestore.kv_queue"};

@@ -13,6 +13,7 @@ BenchResult RadosBench::run(sim::CpuDomain* domain) {
   sim::Env& env = client_.env();
   Histogram latency;
   std::atomic<std::uint64_t> total_ops{0};
+  std::atomic<std::uint64_t> failed_ops{0};
 
   // All writers share one payload allocation (the messenger and stores never
   // mutate sent buffers), so generating data is not a bottleneck.
@@ -54,6 +55,7 @@ BenchResult RadosBench::run(sim::CpuDomain* domain) {
               const Status st = io.write_full(name, payload);
               if (!st.ok()) {
                 DLOG(warn, "bench") << "write failed: " << st.to_string();
+                failed_ops.fetch_add(1, std::memory_order_relaxed);
                 continue;
               }
               latency.record(static_cast<std::uint64_t>(env.now() - t0));
@@ -76,6 +78,7 @@ BenchResult RadosBench::run(sim::CpuDomain* domain) {
 
   BenchResult result;
   result.ops = total_ops.load();
+  result.failed = failed_ops.load();
   result.seconds = sim::to_seconds(env.now() - start);
   result.latency = latency.snapshot();
 

@@ -17,10 +17,10 @@ struct BenchConfig {
   sim::Duration duration = 10'000'000'000; ///< 10 s
   std::string prefix = "bench";            ///< object name prefix
   /// >0: each writer cycles through this many object names instead of a
-  /// fresh name per op. Small-object runs at high op rates need it: every
-  /// unique object adds an onode to the KV map, and the map snapshot must
-  /// fit one WAL segment at every roll — an unbounded working set turns
-  /// into no_space mid-run.
+  /// fresh name per op. Documented opt-in for bounding KV metadata growth
+  /// on very long small-object runs; fresh-object floods now degrade
+  /// gracefully (chained WAL checkpoints + backpressure) instead of dying
+  /// with no_space, so most runs no longer need it.
   std::uint64_t reuse_objects = 0;
   /// Dump the client's admin-socket surface ("perf dump", historic ops) to
   /// stderr when the run completes, so every experiment ships its per-stage
@@ -30,6 +30,7 @@ struct BenchConfig {
 
 struct BenchResult {
   std::uint64_t ops = 0;
+  std::uint64_t failed = 0;  ///< ops that completed with an error status
   double seconds = 0;
   Histogram::Snapshot latency;  ///< per-op latency, nanoseconds
 

@@ -43,10 +43,15 @@ RadosClient::RadosClient(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
                     .add_counter(l_client_op_retry, "op_retry")
                     .add_counter(l_client_op_timeout, "op_timeout")
                     .add_histogram(l_client_op_lat, "op_lat")
+                    .add_counter(l_client_op_throttled, "op_throttled")
+                    .add_gauge(l_client_cwnd, "cwnd")
                     .create()) {
   msgr_.set_dispatcher(this);
   perf_.add(counters_);
   perf_.add(msgr_.counters());
+  const dbg::LockGuard lk(mutex_);
+  cwnd_ = cfg_.cwnd_init;
+  counters_->set(l_client_cwnd, static_cast<std::uint64_t>(cwnd_));
 }
 
 RadosClient::~RadosClient() {  // NOLINT(bugprone-exception-escape): teardown disarms timers; a throw terminates, by design
@@ -133,6 +138,8 @@ void RadosClient::shutdown() {
   {
     const dbg::LockGuard lk(mutex_);
     orphans.swap(in_flight_);
+    admit_queue_.clear();
+    admitted_ = 0;
   }
   for (auto& [tid, op] : orphans) {
     if (op.tracked != nullptr) {
@@ -187,18 +194,49 @@ AioCompletionRef RadosClient::aio_operate(os::pool_t pool, const std::string& ob
     tracked->set_trace(sp.context());
     tracked->adopt_span(std::move(sp));
   }
+  const std::uint64_t tid = request->tid;
+  bool send_now = true;
   {
     const dbg::LockGuard lk(mutex_);
-    in_flight_[request->tid] = InFlight{request, completion, tracked, -1, 0};
+    auto& entry = in_flight_[tid];
+    entry = InFlight{request, completion, tracked, -1, 0};
+    if (cfg_.flow_control) {
+      // Window admission: ops beyond cwnd wait client-side instead of
+      // piling onto an OSD that just told us it is overloaded.
+      if (admitted_ < static_cast<int>(cwnd_)) {
+        ++admitted_;
+        entry.admitted = true;
+      } else {
+        send_now = false;
+        admit_queue_.push_back(tid);
+        if (tracked != nullptr) tracked->mark_event("admit_wait", env_.now());
+      }
+    }
   }
-  const std::uint64_t tid = request->tid;
-  send_op(tid);
+  if (send_now) send_op(tid);
   // Hard lifetime bound: whatever faults the cluster is under, the op
   // completes (possibly with timed_out) rather than hanging a caller.
   schedule_guarded(cfg_.op_deadline, [this, tid] {
     fail_op(tid, Status(Errc::timed_out, "op deadline exceeded"));
   });
   return completion;
+}
+
+void RadosClient::admit_waiters() {
+  std::vector<std::uint64_t> to_send;
+  {
+    const dbg::LockGuard lk(mutex_);
+    while (!admit_queue_.empty() && admitted_ < static_cast<int>(cwnd_)) {
+      const std::uint64_t tid = admit_queue_.front();
+      admit_queue_.pop_front();
+      auto it = in_flight_.find(tid);
+      if (it == in_flight_.end()) continue;  // failed while waiting (deadline)
+      it->second.admitted = true;
+      ++admitted_;
+      to_send.push_back(tid);
+    }
+  }
+  for (const auto tid : to_send) send_op(tid);
 }
 
 void RadosClient::fail_op(std::uint64_t tid, Status st) {
@@ -210,8 +248,10 @@ void RadosClient::fail_op(std::uint64_t tid, Status st) {
     if (it == in_flight_.end()) return;  // completed in time
     completion = it->second.completion;
     tracked = it->second.tracked;
+    if (it->second.admitted && admitted_ > 0) --admitted_;
     in_flight_.erase(it);
   }
+  if (cfg_.flow_control) admit_waiters();
   counters_->inc(l_client_op_timeout);
   DLOG(warn, "client") << "op tid=" << tid << " failed: " << st.to_string();
   if (tracked != nullptr) {
@@ -286,6 +326,27 @@ void RadosClient::send_op(std::uint64_t tid) {
 
 void RadosClient::finish_op(std::uint64_t tid, const msgr::MessageRef& reply) {
   auto* r = static_cast<msgr::MOSDOpReply*>(reply.get());
+  if (r->result == -static_cast<std::int32_t>(Errc::throttled)) {
+    // Server-side admission bounce: shrink the window multiplicatively and
+    // retry after max(server-suggested delay, jittered equal-jitter
+    // backoff). The op keeps its window slot — it is still in flight.
+    int attempt = 1;
+    {
+      const dbg::LockGuard lk(mutex_);
+      auto it = in_flight_.find(tid);
+      if (it == in_flight_.end()) return;  // duplicate reply after resend
+      attempt = it->second.attempts;
+      if (cfg_.flow_control) {
+        cwnd_ = std::max(cfg_.cwnd_min, cwnd_ / 2.0);
+        counters_->set(l_client_cwnd, static_cast<std::uint64_t>(cwnd_));
+      }
+    }
+    counters_->inc(l_client_op_throttled);
+    const auto delay = std::max<sim::Duration>(
+        static_cast<sim::Duration>(r->retry_after_ns), retry_delay(attempt));
+    schedule_guarded(delay, [this, tid] { send_op(tid); });
+    return;
+  }
   if (r->result == -static_cast<std::int32_t>(Errc::busy)) {
     // Wrong primary: our map is stale (or failover mid-flight). Retry with
     // backoff; the subscription will deliver the fresher map.
@@ -306,8 +367,15 @@ void RadosClient::finish_op(std::uint64_t tid, const msgr::MessageRef& reply) {
     if (it == in_flight_.end()) return;  // duplicate reply after resend
     completion = it->second.completion;
     tracked = it->second.tracked;
+    if (it->second.admitted && admitted_ > 0) --admitted_;
     in_flight_.erase(it);
+    if (cfg_.flow_control && r->result == 0) {
+      // Additive increase: +1 per window's worth of successes.
+      cwnd_ = std::min(cfg_.cwnd_max, cwnd_ + 1.0 / std::max(cwnd_, 1.0));
+      counters_->set(l_client_cwnd, static_cast<std::uint64_t>(cwnd_));
+    }
   }
+  if (cfg_.flow_control) admit_waiters();
   if (tracked != nullptr) {
     tracked->mark_event("done", env_.now());
     counters_->inc(l_client_op);

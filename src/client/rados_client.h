@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -27,6 +28,8 @@ enum {
   l_client_op_retry,    ///< resends (busy bounce, retarget, no-primary, silence)
   l_client_op_timeout,  ///< ops failed by deadline or retry exhaustion
   l_client_op_lat,      ///< client-observed end-to-end latency, ns histogram
+  l_client_op_throttled,  ///< throttled bounces received (each is later retried)
+  l_client_cwnd,          ///< gauge: current AIMD window (effective queue depth)
   l_client_last,
 };
 
@@ -42,6 +45,15 @@ struct ClientConfig {
   sim::Duration retry_delay_max = 1'000'000'000;  // 1 s
   sim::Duration resend_timeout = 5'000'000'000;   // 5 s of reply silence
   sim::Duration op_deadline = 120'000'000'000;    // 120 s hard limit
+
+  // ---- AIMD flow control (OFF by default; paper sweeps unchanged) -------
+  /// Cap concurrently-sent ops by a congestion window: halved on each
+  /// Errc::throttled bounce, grown by 1/cwnd per successful op. Ops beyond
+  /// the window wait client-side instead of hammering an overloaded OSD.
+  bool flow_control = false;
+  double cwnd_init = 64;
+  double cwnd_min = 1;
+  double cwnd_max = 4096;
 };
 
 /// Completion handle for asynchronous object operations (librados
@@ -127,6 +139,7 @@ class RadosClient final : public msgr::Dispatcher {
     osd::TrackedOpRef tracked;
     int target_osd = -1;
     int attempts = 0;
+    bool admitted = false;  ///< holds one flow-control window slot
   };
 
   /// (Re)send an op to the current primary; reschedules itself on failure.
@@ -143,6 +156,9 @@ class RadosClient final : public msgr::Dispatcher {
 
   /// Exponential backoff with equal jitter for retry number `attempt`.
   [[nodiscard]] sim::Duration retry_delay(int attempt);
+
+  /// Send ops waiting in admit_queue_ while the window has room.
+  void admit_waiters();
 
   /// Timer lifecycle gate (BlockDevice::IoGate pattern): scheduled retry /
   /// timeout lambdas capture `this`, and the scheduler outlives the client.
@@ -167,6 +183,11 @@ class RadosClient final : public msgr::Dispatcher {
   std::atomic<std::uint64_t> next_tid_{1};
   bool connected_ = false;  // connect/shutdown caller thread only
   sim::Rng rng_ DOCEPH_GUARDED_BY(mutex_);  // jitter stream
+
+  // AIMD flow-control state (only touched when cfg_.flow_control is on).
+  double cwnd_ DOCEPH_GUARDED_BY(mutex_) = 0;
+  int admitted_ DOCEPH_GUARDED_BY(mutex_) = 0;
+  std::deque<std::uint64_t> admit_queue_ DOCEPH_GUARDED_BY(mutex_);
 
   std::shared_ptr<TimerGate> timer_gate_ = std::make_shared<TimerGate>();
 

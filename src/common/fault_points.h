@@ -43,20 +43,24 @@ inline constexpr std::string_view kDpuBatchFlushStall = "dpu.batch_flush_stall";
 inline constexpr std::string_view kBdevIoError = "bdev.io_error";
 inline constexpr std::string_view kBdevLatencySpike = "bdev.latency_spike";
 
-// osd/ — polled by the cluster chaos monitor (scope "osd.N").
+// osd/ — crash/restart points are polled by the cluster chaos monitor;
+// osd.overload is consulted inline at client-op dispatch and forces the
+// next op to be bounced with Errc::throttled (scope "osd.N").
 inline constexpr std::string_view kOsdCrash = "osd.crash";
 inline constexpr std::string_view kOsdHardCrash = "osd.hard_crash";
+inline constexpr std::string_view kOsdOverload = "osd.overload";
 inline constexpr std::string_view kOsdRestart = "osd.restart";
 
 }  // namespace points
 
 /// Every registered point, for enumeration (admin tooling, tests).
-inline constexpr std::array<std::string_view, 13> kAllFaultPoints = {
+inline constexpr std::array<std::string_view, 14> kAllFaultPoints = {
     points::kNetDelay,      points::kNetDisconnect,   points::kNetDrop,
     points::kNetPartition,  points::kDocaComchDrop,   points::kDocaComchStall,
     points::kDocaDmaError,  points::kDpuBatchFlushStall,
     points::kBdevIoError,   points::kBdevLatencySpike,
-    points::kOsdCrash,      points::kOsdHardCrash,    points::kOsdRestart,
+    points::kOsdCrash,      points::kOsdHardCrash,    points::kOsdOverload,
+    points::kOsdRestart,
 };
 
 }  // namespace doceph::fault

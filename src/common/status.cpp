@@ -19,6 +19,7 @@ std::string_view errc_name(Errc c) noexcept {
     case Errc::busy: return "busy";
     case Errc::not_supported: return "not_supported";
     case Errc::range_error: return "range_error";
+    case Errc::throttled: return "throttled";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@ enum class Errc : int {
   busy,
   not_supported,
   range_error,
+  throttled,        ///< server overloaded; retry after the suggested delay
 };
 
 /// Human-readable name of an error code.

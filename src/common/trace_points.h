@@ -53,17 +53,20 @@ inline constexpr std::string_view kOsdStageQueue = "osd.stage.queue";
 inline constexpr std::string_view kOsdStageStore = "osd.stage.store";
 inline constexpr std::string_view kOsdStageRepl = "osd.stage.replication";
 inline constexpr std::string_view kOsdStageReply = "osd.stage.reply";
+// osd.throttle replaces osd.op for ops bounced at admission (recv ->
+// throttled reply sent; no stage children, the op never entered the queue).
+inline constexpr std::string_view kOsdThrottle = "osd.throttle";
 
 }  // namespace points
 
 /// Every registered point, for enumeration (admin tooling, tests).
-inline constexpr std::array<std::string_view, 16> kAllTracePoints = {
+inline constexpr std::array<std::string_view, 17> kAllTracePoints = {
     points::kBluestoreTxn,     points::kClientOp,       points::kDocaDmaJob,
     points::kDpuBatch,         points::kDpuRead,        points::kDpuRpcSubmitTxn,
     points::kDpuWrite,         points::kHostStageBatch, points::kHostSubmitTxn,
     points::kMsgrDispatch,     points::kOsdOp,
     points::kOsdStageMessenger, points::kOsdStageQueue,  points::kOsdStageStore,
-    points::kOsdStageRepl,     points::kOsdStageReply,
+    points::kOsdStageRepl,     points::kOsdStageReply,  points::kOsdThrottle,
 };
 
 }  // namespace doceph::trace

@@ -67,6 +67,7 @@ class MOSDOpReply final : public Message {
   std::uint64_t object_version = 0;
   std::uint64_t object_size = 0;   ///< for stat
   std::uint32_t map_epoch = 0;     ///< primary's epoch (client refresh hint)
+  std::uint64_t retry_after_ns = 0;  ///< throttled: server-suggested backoff
 
   [[nodiscard]] MsgType type() const noexcept override { return MsgType::osd_op_reply; }
   void encode_payload(BufferList& out) const override {
@@ -74,10 +75,12 @@ class MOSDOpReply final : public Message {
     encode(object_version, out);
     encode(object_size, out);
     encode(map_epoch, out);
+    encode(retry_after_ns, out);
   }
   [[nodiscard]] bool decode_payload(BufferList::Cursor& cur) override {
     return decode(result, cur) && decode(object_version, cur) &&
-           decode(object_size, cur) && decode(map_epoch, cur);
+           decode(object_size, cur) && decode(map_epoch, cur) &&
+           decode(retry_after_ns, cur);
   }
 };
 

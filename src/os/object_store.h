@@ -53,6 +53,13 @@ class ObjectStore {
   [[nodiscard]] virtual perf::PerfCountersRef perf_counters() const {
     return nullptr;
   }
+
+  /// Fraction of backend capacity in use — the max over allocator pressure
+  /// and KV/WAL checkpoint pressure for BlueStore-backed stores (it can
+  /// exceed 1.0 in the degraded spanning regime). 0 when unknown; the OSD's
+  /// near-full admission throttle compares this against its configured
+  /// high-water ratio.
+  [[nodiscard]] virtual double fullness() const { return 0.0; }
 };
 
 using ObjectStoreRef = std::unique_ptr<ObjectStore>;

@@ -46,6 +46,12 @@ OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
                     .add_histogram(l_osd_op_store_lat, "op_store_lat")
                     .add_histogram(l_osd_op_repl_lat, "op_repl_lat")
                     .add_histogram(l_osd_op_reply_lat, "op_reply_lat")
+                    .add_counter(l_osd_op_throttled, "op_throttled")
+                    .add_counter(l_osd_throttle_queue, "throttle_queue")
+                    .add_counter(l_osd_throttle_conn, "throttle_conn")
+                    .add_counter(l_osd_throttle_nearfull, "throttle_nearfull")
+                    .add_gauge(l_osd_queue_depth, "queue_depth")
+                    .add_gauge(l_osd_queue_depth_hw, "queue_depth_hw")
                     .create()) {
   msgr_.set_dispatcher(this);
   perf_.add(counters_);
@@ -106,6 +112,7 @@ Status OSD::init() {
     const auto colls = store_.list_collections();
     const dbg::LockGuard lk(mutex_);
     for (const auto& c : colls) created_colls_.insert(c);
+    client_inflight_.clear();  // a restart forgets pre-crash admissions
   }
 
   {
@@ -223,6 +230,50 @@ void OSD::ms_dispatch(const MessageRef& m) {
     case msgr::MsgType::osd_op: {
       auto* op = static_cast<msgr::MOSDOp*>(m.get());
       const sim::Time recv = m->recv_stamp != 0 ? m->recv_stamp : env_.now();
+
+      // Admission control, before the op is tracked or queued: a bounced op
+      // costs one throttled reply and nothing else. Repops are exempt —
+      // throttling mid-replication would wedge the primary's write.
+      if (env_.faults().any_armed() &&
+          env_.faults().should_fire("osd.overload", env_.now(),
+                                    "osd." + std::to_string(cfg_.id))) {
+        throttle_client(m, l_osd_throttle_queue, recv);
+        break;
+      }
+      if (cfg_.max_queue_depth > 0) {
+        bool full = false;
+        {
+          const dbg::LockGuard lk(queue_mutex_);
+          full = op_queue_.size() >= cfg_.max_queue_depth;
+        }
+        if (full) {
+          throttle_client(m, l_osd_throttle_queue, recv);
+          break;
+        }
+      }
+      if (cfg_.nearfull_ratio > 0 && op->op != msgr::OsdOpType::read &&
+          op->op != msgr::OsdOpType::stat &&
+          store_.fullness() >= cfg_.nearfull_ratio) {
+        throttle_client(m, l_osd_throttle_nearfull, recv);
+        break;
+      }
+      if (cfg_.max_conn_inflight > 0) {
+        bool over = false;
+        {
+          const dbg::LockGuard lk(mutex_);
+          int& n = client_inflight_[op->client_id];
+          if (n >= cfg_.max_conn_inflight) {
+            over = true;
+          } else {
+            ++n;  // released when reply_client answers this op
+          }
+        }
+        if (over) {
+          throttle_client(m, l_osd_throttle_conn, recv);
+          break;
+        }
+      }
+
       TrackedOpRef tracked = tracker_.create_op(osd_op_desc(*op), recv);
       if (m->trace.sampled()) {
         // The op-level span opens at the wire receive stamp and lives in the
@@ -264,6 +315,10 @@ void OSD::enqueue_op(std::function<void()> fn) {
   const dbg::LockGuard lk(queue_mutex_);
   if (stopping_) return;
   op_queue_.push_back(std::move(fn));
+  const auto depth = static_cast<std::uint64_t>(op_queue_.size());
+  counters_->set(l_osd_queue_depth, depth);
+  if (depth > counters_->get(l_osd_queue_depth_hw))
+    counters_->set(l_osd_queue_depth_hw, depth);
   queue_cv_.notify_one();
 }
 
@@ -279,6 +334,8 @@ void OSD::op_worker() {
       if (stopping_) return;
       fn = std::move(op_queue_.front());
       op_queue_.pop_front();
+      counters_->set(l_osd_queue_depth,
+                     static_cast<std::uint64_t>(op_queue_.size()));
     }
     if (domain_ != nullptr) domain_->charge(cfg_.per_op_cost);
     fn();
@@ -290,6 +347,13 @@ void OSD::op_worker() {
 void OSD::reply_client(const MessageRef& req, std::int32_t result,
                        std::uint64_t version, std::uint64_t size, BufferList data,
                        const TrackedOpRef& op) {
+  if (cfg_.max_conn_inflight > 0 && req->type() == msgr::MsgType::osd_op) {
+    // Release this client's admission slot (taken at dispatch).
+    const auto* cop = static_cast<const msgr::MOSDOp*>(req.get());
+    const dbg::LockGuard lk(mutex_);
+    auto it = client_inflight_.find(cop->client_id);
+    if (it != client_inflight_.end() && it->second > 0) --it->second;
+  }
   auto reply = std::make_shared<msgr::MOSDOpReply>();
   reply->tid = req->tid;
   reply->result = result;
@@ -303,6 +367,22 @@ void OSD::reply_client(const MessageRef& req, std::int32_t result,
     op->mark_event("reply_sent", env_.now());
     account_op(op);
   }
+}
+
+void OSD::throttle_client(const MessageRef& req, int counter, sim::Time recv) {
+  counters_->inc(l_osd_op_throttled);
+  counters_->inc(counter);
+  if (req->trace.sampled()) {
+    env_.tracer().record_span("osd.throttle", "osd." + std::to_string(cfg_.id),
+                              req->trace, recv, env_.now());
+  }
+  auto reply = std::make_shared<msgr::MOSDOpReply>();
+  reply->tid = req->tid;
+  reply->result = -static_cast<std::int32_t>(Errc::throttled);
+  reply->map_epoch = monc_.epoch();
+  reply->retry_after_ns = static_cast<std::uint64_t>(cfg_.throttle_retry_delay);
+  reply->trace = req->trace;
+  req->connection->send_message(reply);
 }
 
 void OSD::account_op(const TrackedOpRef& op) {

@@ -31,6 +31,12 @@ enum {
   l_osd_op_store_lat,  ///< stage: ObjectStore prep + WAL commit
   l_osd_op_repl_lat,   ///< stage: replica-ack tail beyond the local commit
   l_osd_op_reply_lat,  ///< stage: reply encode + tx hand-off
+  l_osd_op_throttled,  ///< client ops bounced with Errc::throttled (total)
+  l_osd_throttle_queue,    ///< ... because the op queue was full
+  l_osd_throttle_conn,     ///< ... because the connection hit its in-flight cap
+  l_osd_throttle_nearfull, ///< ... because the store is near-full (writes)
+  l_osd_queue_depth,       ///< gauge: current op-queue depth
+  l_osd_queue_depth_hw,    ///< gauge: high-water op-queue depth
   l_osd_last,
 };
 
@@ -56,6 +62,22 @@ struct OsdConfig {
   /// genuinely missing objects, and (like Ceph throttling recovery under
   /// client load) catching up proceeds once the PG quiesces.
   sim::Duration recovery_quiesce = 5'000'000'000;  // 5 s
+
+  // ---- admission control / backpressure (all OFF by default; the paper
+  // profiles keep them off so the figure sweeps are unchanged) -----------
+  /// Bound on op_queue_: a client op arriving while the queue holds this
+  /// many entries is bounced with Errc::throttled instead of enqueued.
+  /// 0 = unbounded (legacy behavior). Repops are never throttled.
+  std::size_t max_queue_depth = 0;
+  /// Per-client in-flight cap enforced at dispatch (0 = unlimited).
+  int max_conn_inflight = 0;
+  /// Server-suggested client backoff carried in throttled replies.
+  sim::Duration throttle_retry_delay = 2'000'000;  // 2 ms
+  /// Bounce client WRITES with throttled once store_.fullness() reaches
+  /// this ratio — early shedding before the allocator or the KV WAL
+  /// actually exhausts (so clients never see no_space for transient
+  /// pressure). 0 = disabled.
+  double nearfull_ratio = 0.0;
 };
 
 /// The Object Storage Daemon: client request handling, PG-based
@@ -131,6 +153,11 @@ class OSD final : public msgr::Dispatcher {
                     std::uint64_t version = 0, std::uint64_t size = 0,
                     BufferList data = {}, const TrackedOpRef& op = nullptr);
 
+  /// Bounce a client op with Errc::throttled + the suggested retry delay.
+  /// `counter` is the per-cause l_osd_throttle_* index. Throttled ops are
+  /// never tracked and never touch the in-flight accounting.
+  void throttle_client(const msgr::MessageRef& req, int counter, sim::Time recv);
+
   /// Stamp "reply_sent", feed the stage histograms, retire the tracked op.
   void account_op(const TrackedOpRef& op);
   void register_admin_commands();
@@ -180,6 +207,10 @@ class OSD final : public msgr::Dispatcher {
   std::atomic<std::uint64_t> next_tid_{1};
   std::map<std::uint64_t, InFlightOp> in_flight_ DOCEPH_GUARDED_BY(mutex_);
   std::set<os::coll_t> created_colls_ DOCEPH_GUARDED_BY(mutex_);
+
+  // Per-client admitted-op counts (only maintained when max_conn_inflight
+  // is enabled; decremented when the reply goes out).
+  std::map<std::uint64_t, int> client_inflight_ DOCEPH_GUARDED_BY(mutex_);
 
   // Heartbeat bookkeeping: peer -> last reply time.
   std::map<int, sim::Time> last_heard_ DOCEPH_GUARDED_BY(mutex_);

@@ -109,6 +109,17 @@ void HostBackendService::handle_request(BufferList req, bool oneway,
         break;
       case ProxyOp::release_slots:
         break;  // slot bookkeeping lives on the DPU side; nothing to do here
+      case ProxyOp::abort_txn: {
+        // The DPU gave up on this request (throttled abort): drop whatever
+        // it had already staged so the token's write buffer doesn't leak.
+        BufferList::Cursor c(body);
+        std::uint64_t token = 0;
+        if (decode(token, c)) {
+          const dbg::LockGuard slk(staged_mutex_);
+          staged_.erase(token);
+        }
+        break;
+      }
       default:
         do_control(op, body, respond);
         break;
@@ -251,6 +262,10 @@ void HostBackendService::do_submit_txn(BufferList body,
         TxnReply reply;
         reply.result = st.ok() ? 0 : -static_cast<std::int32_t>(st.code());
         reply.host_write_ns = env_.now() - t0;
+        // Piggyback the host store's pressure so the DPU-side OSD can run
+        // nearfull admission without an extra control RPC.
+        reply.fullness_permille =
+            static_cast<std::uint32_t>(store_.fullness() * 1000.0);
         if (respond) respond(encode_to_bl(reply));
       });
 }

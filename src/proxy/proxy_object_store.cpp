@@ -1,5 +1,6 @@
 #include "proxy/proxy_object_store.h"
 
+#include <algorithm>
 #include <cstring>
 #include <functional>
 
@@ -27,6 +28,10 @@ ProxyObjectStore::ProxyObjectStore(sim::Env& env, dpu::DpuDevice& dpu, ProxyConf
                     .add_counter(l_dpu_batch_bytes, "batch_bytes")
                     .add_counter(l_dpu_batch_stalls, "batch_stalls")
                     .add_histogram(l_dpu_batch_fill, "batch_fill")
+                    .add_counter(l_dpu_throttle_queue, "throttle_queue")
+                    .add_counter(l_dpu_throttle_slot, "throttle_slot")
+                    .add_gauge(l_dpu_worker_queue_depth, "worker_queue_depth")
+                    .add_gauge(l_dpu_worker_queue_depth_hw, "worker_queue_depth_hw")
                     .create()) {
   queues_.reserve(static_cast<std::size_t>(cfg_.write_workers));
   for (int i = 0; i < cfg_.write_workers; ++i) {
@@ -88,6 +93,8 @@ Status ProxyObjectStore::umount() {
     for (auto& req : q->q) orphans.push_back(std::move(req));
     q->q.clear();
   }
+  queued_writes_.fetch_sub(static_cast<std::int64_t>(orphans.size()),
+                           std::memory_order_relaxed);
   stopping_ = true;
   for (auto& q : queues_) {
     const dbg::LockGuard lk(q->m);
@@ -124,9 +131,26 @@ void ProxyObjectStore::queue_transaction(os::Transaction txn, OnCommit on_commit
       (static_cast<std::size_t>(cid.pool) * 1315423911u + cid.pg_seed) %
       queues_.size();
   auto& q = *queues_[idx];
-  const dbg::LockGuard lk(q.m);
-  q.q.push_back(WriteReq{std::move(txn), std::move(on_commit), env_.now()});
-  q.cv->notify_one();
+  bool bounced = false;
+  {
+    const dbg::LockGuard lk(q.m);
+    if (cfg_.max_worker_queue > 0 && q.q.size() >= cfg_.max_worker_queue) {
+      bounced = true;  // complete below, outside the queue lock
+    } else {
+      q.q.push_back(WriteReq{std::move(txn), std::move(on_commit), env_.now()});
+      q.cv->notify_one();
+    }
+  }
+  if (bounced) {
+    counters_->inc(l_dpu_throttle_queue);
+    if (on_commit) on_commit(Status(Errc::throttled, "DPU worker queue full"));
+    return;
+  }
+  const auto depth = static_cast<std::uint64_t>(
+      queued_writes_.fetch_add(1, std::memory_order_relaxed) + 1);
+  counters_->set(l_dpu_worker_queue_depth, depth);
+  if (depth > counters_->get(l_dpu_worker_queue_depth_hw))
+    counters_->set(l_dpu_worker_queue_depth_hw, depth);
 }
 
 void ProxyObjectStore::write_worker(int idx) {
@@ -143,6 +167,10 @@ void ProxyObjectStore::write_worker(int idx) {
       req = std::move(q.q.front());
       q.q.pop_front();
     }
+    counters_->set(
+        l_dpu_worker_queue_depth,
+        static_cast<std::uint64_t>(std::max<std::int64_t>(
+            queued_writes_.fetch_sub(1, std::memory_order_relaxed) - 1, 0)));
     process_write(std::move(req));
   }
 }
@@ -206,10 +234,30 @@ DataRef ProxyObjectStore::move_segment(BufferList seg,
     ctx->cv.notify_all();
   }
 
-  // Acquire a paired staging/write buffer; blocked time is DMA-wait.
+  // Acquire a paired staging/write buffer; blocked time is DMA-wait. With a
+  // deadline configured, starvation surfaces as a throttled txn instead of
+  // wedging this worker behind a saturated DMA pipeline.
   const sim::Time w0 = env_.now();
-  const int slot = slots_.acquire();
-  {
+  int slot = -1;
+  if (cfg_.slot_acquire_timeout > 0) {
+    const auto acquired = slots_.acquire_for(cfg_.slot_acquire_timeout);
+    {
+      const dbg::LockGuard lk(ctx->m);
+      ctx->dma_wait += env_.now() - w0;
+    }
+    if (!acquired) {
+      counters_->inc(l_dpu_throttle_slot);
+      const dbg::LockGuard lk(ctx->m);
+      ctx->slot_timed_out = true;
+      DataRef ref;  // placeholder; process_write aborts the whole request
+      ref.kind = DataRef::Kind::inline_;
+      ref.len = static_cast<std::uint32_t>(seg.length());
+      ref.data = std::move(seg);
+      return ref;
+    }
+    slot = *acquired;
+  } else {
+    slot = slots_.acquire();
     const dbg::LockGuard lk(ctx->m);
     ctx->dma_wait += env_.now() - w0;
   }
@@ -355,6 +403,7 @@ void ProxyObjectStore::process_write(WriteReq req) {
   // Drain in-flight segments (DMA + staging handoff), then snapshot the
   // callback-shared state — nothing mutates it once outstanding hits zero.
   bool any_failed = false;
+  bool slot_timed_out = false;
   sim::Time first_submit = -1;
   sim::Duration dma_wait = 0;
   {
@@ -364,8 +413,25 @@ void ProxyObjectStore::process_write(WriteReq req) {
       return ctx->outstanding == 0;
     });
     any_failed = ctx->any_failed;
+    slot_timed_out = ctx->slot_timed_out;
     first_submit = ctx->first_submit;
     dma_wait = ctx->dma_wait;
+  }
+
+  if (slot_timed_out) {
+    // Staging starved past slot_acquire_timeout: give up on the whole
+    // request with a typed throttle (the OSD/client retry machinery takes
+    // it from here) instead of wedging this worker. Oneway abort so the
+    // host drops any segments already staged under this token.
+    BufferList abort_req;
+    encode(ProxyOp::abort_txn, abort_req);
+    encode(wire.token, abort_req);
+    (void)rpc_.notify(std::move(abort_req), ctx->trace);
+    write_span.end(env_.now());
+    if (req.on_commit)
+      req.on_commit(Status(Errc::throttled,
+                           "DPU staging slots exhausted past deadline"));
+    return;
   }
 
   if (any_failed) {
@@ -405,8 +471,11 @@ void ProxyObjectStore::process_write(WriteReq req) {
     BufferList::Cursor cur(*response);
     if (!reply.decode(cur)) {
       st = Status(Errc::corrupt, "bad txn reply");
-    } else if (reply.result != 0) {
-      st = Status(static_cast<Errc>(-reply.result), "host backend error");
+    } else {
+      host_fullness_permille_.store(reply.fullness_permille,
+                                    std::memory_order_relaxed);
+      if (reply.result != 0)
+        st = Status(static_cast<Errc>(-reply.result), "host backend error");
     }
   }
 

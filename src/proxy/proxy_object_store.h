@@ -32,6 +32,10 @@ enum {
   l_dpu_batch_bytes,         ///< payload bytes moved by coalesced flushes
   l_dpu_batch_stalls,        ///< flushes deferred by dpu.batch_flush_stall
   l_dpu_batch_fill,          ///< segments per flush, histogram
+  l_dpu_throttle_queue,      ///< txns bounced: worker queue at max_worker_queue
+  l_dpu_throttle_slot,       ///< txns failed: slot_acquire_timeout expired
+  l_dpu_worker_queue_depth,    ///< gauge: total queued write txns (all workers)
+  l_dpu_worker_queue_depth_hw, ///< gauge: high-water of the above
   l_dpu_last,
 };
 
@@ -59,6 +63,17 @@ struct ProxyConfig {
   /// Segment coalescing into scatter-gather DMA passes (small-write
   /// amortization; engages only on the pipelined, MR-cached fast path).
   DmaBatchConfig dma_batch;
+
+  // ---- backpressure (OFF by default; paper sweeps unchanged) ------------
+  /// Bound on each write worker's queue: a txn arriving while the target
+  /// queue holds this many entries is completed immediately with
+  /// Errc::throttled instead of enqueued. 0 = unbounded (legacy behavior).
+  std::size_t max_worker_queue = 0;
+  /// Deadline for staging-slot acquisition on the legacy (non-batched) DMA
+  /// path; on expiry the txn fails with Errc::throttled so the throttle
+  /// propagates to the OSD/client instead of wedging a write worker.
+  /// 0 = block forever (legacy behavior).
+  sim::Duration slot_acquire_timeout = 0;
 };
 
 /// Latency breakdown accumulators reproducing the taxonomy of paper Table 3.
@@ -113,6 +128,14 @@ class ProxyObjectStore final : public os::ObjectStore {
   bool collection_exists(const os::coll_t& c) override;
   [[nodiscard]] std::string store_type() const override { return "proxy"; }
 
+  /// Host-store fullness as last reported in a TxnReply (piggybacked
+  /// permille -> fraction). 0 until the first write completes; lets the
+  /// DPU-side OSD run its nearfull admission check without an extra RPC.
+  [[nodiscard]] double fullness() const override {
+    return static_cast<double>(host_fullness_permille_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+
   // ---- introspection ------------------------------------------------------------
   [[nodiscard]] SlotPool& slots() noexcept { return slots_; }
   [[nodiscard]] FallbackManager& fallback() noexcept { return fallback_; }
@@ -153,6 +176,9 @@ class ProxyObjectStore final : public os::ObjectStore {
     dbg::CondVar cv;
     int outstanding DOCEPH_GUARDED_BY(m) = 0;
     bool any_failed DOCEPH_GUARDED_BY(m) = false;
+    /// slot_acquire_timeout expired on the legacy path: the request aborts
+    /// with Errc::throttled after draining whatever was already in flight.
+    bool slot_timed_out DOCEPH_GUARDED_BY(m) = false;
     sim::Time first_submit DOCEPH_GUARDED_BY(m) = -1;
     // Accumulated batching/slot wait: mutated by the worker (legacy path)
     // and by batch completion callbacks, so it lives under m.
@@ -205,6 +231,10 @@ class ProxyObjectStore final : public os::ObjectStore {
   std::atomic<std::uint64_t> dma_bytes_{0};
   std::atomic<std::uint64_t> rpc_fallback_bytes_{0};
   std::atomic<std::uint64_t> next_token_{1};
+  /// Latest host fullness seen in a TxnReply (permille), for fullness().
+  std::atomic<std::uint32_t> host_fullness_permille_{0};
+  /// Total write txns sitting in worker queues (for the bound + gauges).
+  std::atomic<std::int64_t> queued_writes_{0};
 
   perf::PerfCountersRef counters_;
   perf::Collection perf_;

@@ -26,6 +26,7 @@ enum class ProxyOp : std::uint8_t {
   list_collections = 8,
   coll_exists = 9,
   release_slots = 10,  ///< oneway: read-path slots returned by the DPU
+  abort_txn = 13,      ///< oneway: drop staged segments of an aborted token
 };
 
 /// Where one chunk of an op's bulk payload lives. `staged`: it was DMA'd
@@ -135,17 +136,22 @@ struct WireTxn {
 };
 
 /// Response to submit_txn, with the host-side commit time (paper Table 3's
-/// "Host write" row comes from here).
+/// "Host write" row comes from here). `fullness_permille` piggybacks the
+/// host store's fullness() (x1000) so the DPU-side OSD can run nearfull
+/// admission checks without an extra control RPC.
 struct TxnReply {
   std::int32_t result = 0;
   std::int64_t host_write_ns = 0;
+  std::uint32_t fullness_permille = 0;
 
   void encode(BufferList& bl) const {
     doceph::encode(result, bl);
     doceph::encode(host_write_ns, bl);
+    doceph::encode(fullness_permille, bl);
   }
   bool decode(BufferList::Cursor& cur) {
-    return doceph::decode(result, cur) && doceph::decode(host_write_ns, cur);
+    return doceph::decode(result, cur) && doceph::decode(host_write_ns, cur) &&
+           doceph::decode(fullness_permille, cur);
   }
 };
 

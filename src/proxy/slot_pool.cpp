@@ -27,6 +27,20 @@ int SlotPool::acquire() {
   return slot;
 }
 
+std::optional<int> SlotPool::acquire_for(sim::Duration timeout) {
+  const sim::Time t0 = env_.now();
+  dbg::UniqueLock lk(mutex_);
+  const bool ok = cv_.wait_until(lk, t0 + timeout, [&] {
+    mutex_.assert_held();  // predicate runs as a separate function
+    return !free_.empty();
+  });
+  total_wait_ += env_.now() - t0;
+  if (!ok) return std::nullopt;
+  const int slot = free_.front();
+  free_.pop_front();
+  return slot;
+}
+
 std::optional<int> SlotPool::try_acquire() {
   const dbg::LockGuard lk(mutex_);
   if (free_.empty()) return std::nullopt;

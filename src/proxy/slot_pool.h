@@ -22,6 +22,10 @@ class SlotPool {
 
   /// Block until a slot is free; returns its index.
   int acquire();
+  /// Bounded variant: give up after `timeout` (nullopt on timeout). The
+  /// proxy's backpressure path uses this so a wedged DMA pipeline surfaces
+  /// as a throttled txn instead of a worker blocked forever.
+  std::optional<int> acquire_for(sim::Duration timeout);
   /// Non-blocking variant.
   std::optional<int> try_acquire();
   void release(int slot);

@@ -325,6 +325,79 @@ TEST(KvStore, TornTrailingRecordsReplayCommittedPrefix) {
   }
 }
 
+TEST(KvStore, FreshObjectFloodChainsCheckpointAcrossSegments) {
+  // Regression (overload collapse): a fresh-object small-write flood grows
+  // the map monotonically — every record carries a NEW key. Pre-chaining,
+  // the first roll whose snapshot left no journal room in one 1 MiB
+  // segment wedged the store: the checkpoint itself still fit, but the
+  // record that forced the roll was rejected with a fatal no_space, and so
+  // was everything after it. With chained checkpoints the snapshot spills
+  // into the second segment and the flood keeps committing well past one
+  // segment's worth of live data.
+  KvFixture f(2 << 20);
+  constexpr int kKeys = 33;  // 33 x 40 KiB = 1.29 MiB live > one 1 MiB segment
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mkfs().ok());
+    ASSERT_TRUE(f.kv->mount().ok());
+    for (int i = 0; i < kKeys; ++i) {
+      const Status st = f.kv->submit(KvFixture::set(
+          "obj" + std::to_string(i), pattern(40 << 10, static_cast<unsigned>(i))));
+      ASSERT_TRUE(st.ok()) << "txn " << i << ": " << st.to_string();
+    }
+    EXPECT_GT(f.kv->map_bytes(), 1u << 20);  // live data exceeds one segment
+    f.kv->crash();  // replay must reassemble the spanning chain + tail txns
+  });
+  f.reopen(2 << 20);
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mount().ok());
+    EXPECT_EQ(f.kv->num_keys(), static_cast<std::size_t>(kKeys));
+    for (int i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE(f.kv->contains("obj" + std::to_string(i))) << i;
+    }
+    EXPECT_EQ(f.kv->get("obj32")->to_string(), pattern(40 << 10, 32));
+    EXPECT_TRUE(f.kv->umount().ok());
+  });
+}
+
+TEST(KvStore, CheckpointBeyondChainedCapacityFailsWithNoSpace) {
+  // The chained ceiling is still finite: ~1.875 MiB of snapshot for 1 MiB
+  // segments (one full chunk + one chunk that keeps journal headroom).
+  // Past it the roll must fail with a diagnostic no_space — naming the
+  // chained capacity — while everything committed before stays durable.
+  KvFixture f(2 << 20);
+  // Enough keys to push the snapshot past the ceiling AND fill the journal
+  // headroom left by the last successful roll, forcing the failing roll.
+  constexpr int kKeys = 60;  // 60 x 40 KiB = 2.3 MiB live
+  int first_fail = -1;
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mkfs().ok());
+    ASSERT_TRUE(f.kv->mount().ok());
+    for (int i = 0; i < kKeys && first_fail < 0; ++i) {
+      const Status st = f.kv->submit(KvFixture::set(
+          "obj" + std::to_string(i), pattern(40 << 10, static_cast<unsigned>(i))));
+      if (!st.ok()) {
+        EXPECT_EQ(st.code(), Errc::no_space) << st.to_string();
+        EXPECT_NE(st.to_string().find("chained capacity"), std::string::npos)
+            << st.to_string();
+        first_fail = i;
+      }
+    }
+    ASSERT_GE(first_fail, 0) << "flood never hit the chained ceiling";
+    // Chaining bought more than one segment of live data before the wall.
+    EXPECT_GT(f.kv->map_bytes(), 1u << 20);
+    f.kv->crash();
+  });
+  f.reopen(2 << 20);
+  run_sim(f.env, [&] {
+    ASSERT_TRUE(f.kv->mount().ok());
+    for (int i = 0; i < first_fail; ++i) {
+      EXPECT_TRUE(f.kv->contains("obj" + std::to_string(i))) << i;
+    }
+    EXPECT_FALSE(f.kv->contains("obj" + std::to_string(first_fail)));
+    EXPECT_TRUE(f.kv->umount().ok());
+  });
+}
+
 TEST(KvStore, GroupCommitBatchesConcurrentWriters) {
   KvFixture f;
   run_sim(f.env, [&] {

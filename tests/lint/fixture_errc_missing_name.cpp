@@ -1,0 +1,23 @@
+// Negative fixture for the errc-to-string rule: an Errc enumerator added
+// without a matching case in errc_name(). Never compiled — linter input
+// proving scripts/doceph_lint.py still flags the violation class.
+// doceph-lint-expect: errc-to-string
+#include <string_view>
+
+namespace fixture {
+
+enum class Errc : int {
+  ok = 0,
+  no_space,
+  throttled,  // new code, forgot the errc_name() case below
+};
+
+std::string_view errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::no_space: return "no_space";
+  }
+  return "unknown";
+}
+
+}  // namespace fixture
