@@ -15,7 +15,8 @@
 //
 //   perf_smoke --out BENCH_pr.json [--baseline BENCH_baseline.json]
 //              [--threshold 0.20] [--p99-threshold 0.30]
-//              [--cores-threshold 0.25] [--measure-ms 1500] [--repeats N]
+//              [--cores-threshold 0.25] [--shard-gate 1.8]
+//              [--measure-ms 1500] [--repeats N]
 //              [--trace-out TRACE.json] [--trace-sample N]
 //              [--disable-batching]
 //
@@ -26,7 +27,10 @@
 // chained-KV-checkpoint + backpressure degradation path (every write is a
 // new object; the map snapshot outgrows one WAL segment mid-run).
 // --measure-ms scales only the 1 MB laps; the small lap has dedicated
-// durations sized against the store's nearfull ratio.
+// durations sized against the store's nearfull ratio. The small-write lap
+// is then re-run with op_shards = kv_shards = 4 ("*_smallwrite_sharded")
+// and gated intra-run: DoCeph sharded ops/s must be >= --shard-gate times
+// the unsharded lap (0 disables), with zero failed ops.
 // --disable-batching strips all batching knobs — that is how the committed
 // BENCH_baseline.json is produced, so the delta against it shows the
 // batching win.
@@ -119,6 +123,7 @@ int main(int argc, char** argv) {
   double threshold = 0.20;
   double p99_threshold = 0.30;
   double cores_threshold = 0.25;
+  double shard_gate = 1.8;
   long measure_ms = 1500;
   long repeats = 1;
   std::string trace_out;
@@ -132,6 +137,7 @@ int main(int argc, char** argv) {
     else if (arg == "--threshold") threshold = std::strtod(next(), nullptr);
     else if (arg == "--p99-threshold") p99_threshold = std::strtod(next(), nullptr);
     else if (arg == "--cores-threshold") cores_threshold = std::strtod(next(), nullptr);
+    else if (arg == "--shard-gate") shard_gate = std::strtod(next(), nullptr);
     else if (arg == "--measure-ms") measure_ms = std::strtol(next(), nullptr, 10);
     else if (arg == "--repeats") repeats = std::max(1l, std::strtol(next(), nullptr, 10));
     else if (arg == "--trace-out") trace_out = next();
@@ -156,6 +162,7 @@ int main(int argc, char** argv) {
   w.begin_object();
   RunResult doceph_result;
   RunResult doceph_small;
+  RunResult doceph_small_sharded;
   for (const auto mode :
        {doceph::cluster::DeployMode::baseline, doceph::cluster::DeployMode::doceph}) {
     spec.mode = mode;
@@ -208,6 +215,34 @@ int main(int argc, char** argv) {
                    is_doceph ? "doceph" : "baseline", r.iops, r.p50_lat_s * 1e3,
                    r.p99_lat_s * 1e3);
     }
+
+    // Sharded re-run of the same lap (op_shards = kv_shards = 4, DESIGN.md
+    // §15): four OSD op lanes, one proxy staging slot per lane, and four
+    // independent KV group-commit streams (each with its own full-size WAL
+    // ring). Gated intra-run against the unsharded lap below, so a change
+    // that quietly re-serializes the write path fails this binary even with
+    // no committed baseline on hand. The measure window shrinks so the
+    // baseline lap's ~4x higher op rate (~125 MiB of fresh inline payloads
+    // over the run) still averages well under each shard's 0.85 * 64 MiB
+    // nearfull ceiling with margin for hash imbalance.
+    small.shards = 4;
+    small.measure = 250'000'000;  // 250 ms
+    for (const auto mode : {doceph::cluster::DeployMode::baseline,
+                            doceph::cluster::DeployMode::doceph}) {
+      small.mode = mode;
+      const bool is_doceph = mode == doceph::cluster::DeployMode::doceph;
+      const RunResult r = doceph::benchcore::run_experiment(small);
+      if (is_doceph) doceph_small_sharded = r;
+      emit_result(w,
+                  is_doceph ? "doceph_smallwrite_sharded"
+                            : "baseline_smallwrite_sharded",
+                  r);
+      std::fprintf(stderr,
+                   "[perf-smoke] %s_smallwrite_sharded: %.0f ops/s, p50 %.2f "
+                   "ms, p99 %.2f ms\n",
+                   is_doceph ? "doceph" : "baseline", r.iops, r.p50_lat_s * 1e3,
+                   r.p99_lat_s * 1e3);
+    }
   }
 
   if (repeats > 1) {
@@ -248,17 +283,45 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "[perf-smoke] wrote %s\n", out_path.c_str());
 
-  if (baseline_path.empty()) return 0;
+  bool failed = false;
+
+  // Intra-run sharding gate: needs no committed baseline, so it guards the
+  // sharded write path even on a fresh checkout. op_shards=kv_shards=4 must
+  // keep a real speedup over the unsharded small-write lap (acceptance:
+  // >= 1.8x over the full 400 ms lap; the shorter sharded window is gated
+  // at the same bar) and must finish with zero failed ops — backpressure
+  // may defer writes, never drop them.
+  if (shard_gate > 0 && doceph_small.iops > 0) {
+    const double speedup = doceph_small_sharded.iops / doceph_small.iops;
+    std::fprintf(stderr,
+                 "[perf-smoke] doceph_smallwrite sharded/unsharded: %.0f / "
+                 "%.0f ops/s = %.2fx (gate: >= %.2fx)\n",
+                 doceph_small_sharded.iops, doceph_small.iops, speedup,
+                 shard_gate);
+    if (speedup < shard_gate) {
+      std::fprintf(stderr,
+                   "[perf-smoke] FAIL: sharded small-write speedup below gate\n");
+      failed = true;
+    }
+    if (doceph_small_sharded.failed_ops > 0) {
+      std::fprintf(stderr,
+                   "[perf-smoke] FAIL: sharded small-write lap had %llu "
+                   "failed ops\n",
+                   static_cast<unsigned long long>(doceph_small_sharded.failed_ops));
+      failed = true;
+    }
+  }
+
+  if (baseline_path.empty()) return failed ? 1 : 0;
   std::ifstream in(baseline_path);
   if (!in) {
     std::fprintf(stderr, "baseline %s missing; skipping regression gate\n",
                  baseline_path.c_str());
-    return 0;
+    return failed ? 1 : 0;
   }
   std::stringstream ss;
   ss << in.rdbuf();
   const std::string baseline_json = ss.str();
-  bool failed = false;
 
   // Gate 1: DoCeph throughput may not DROP past `threshold` — on the 1 MB
   // lap and on the 16 KB small-write lap (the batching hot path).

@@ -35,6 +35,14 @@ Rules (each finding prints as `path:line: [rule] message`):
                   decades (msgr 90000, osd 91000, ...); an overlap would let
                   two subsystems write the same slot in merged dumps.
 
+  shard-bounds    A `*_shards` config knob declaration with no bounds check
+                  (`std::max` / `std::clamp` / `assert` / `>= 1` mentioning
+                  the knob) anywhere in the linted scope. Every shard count
+                  must be clamped to >= 1 at its config parse site: a zero
+                  slips straight into a `% shards` and a modulo-by-zero
+                  (DESIGN.md §15) — it fails lint when the knob is added,
+                  not when someone first sets it to 0.
+
   errc-to-string  An `enum class Errc` enumerator with no matching
                   `case Errc::<name>:` in errc_name()'s switch. A new error
                   code without a name prints as "error N" in every throttle
@@ -112,6 +120,14 @@ TRACE_CALL_RE = re.compile(
 TRACE_DECL_RE = re.compile(r"\"((?:[a-z0-9_]+\.)+[a-z0-9_]+)\"")
 
 FIRST_RE = re.compile(r"\bl_([A-Za-z0-9_]+)_first\s*=\s*(\d+)")
+
+# shard-bounds: a `*_shards` knob DECLARATION (int member/local with an
+# initializer). `op_shards_override`-style names deliberately do not match:
+# overrides funnel through the knob they override, which carries the clamp.
+SHARD_DECL_RE = re.compile(r"\bint\s+(\w*_shards)\s*=")
+# A line "checks" a knob when it mentions the knob together with a clamp
+# or an assertion. `>= 1` covers hand-rolled guards and doc'd asserts.
+SHARD_CHECK_TOKENS = ("std::max", "std::clamp", "assert", ">= 1")
 
 # errc-to-string: the enum lives in status.h, the name switch in status.cpp.
 ERRC_ENUM_HEADER = "src/common/status.h"
@@ -271,6 +287,38 @@ def lint_counter_ranges(paths):
     return findings
 
 
+def lint_shard_bounds(paths):
+    """Rule shard-bounds: every `int *_shards = ...` knob declared in the
+    scope must have a bounds-check line (clamp/assert mentioning the knob)
+    somewhere in the same scope. The scope is the whole tree in default
+    mode (knobs are declared in headers, clamped at the consumer's parse
+    site) and the single fixture file under --self-test."""
+    decls = []  # (name, path, line)
+    checks: set[str] = set()  # knob names with a bounds check
+    for path in paths:
+        for lineno, raw in enumerate(path.read_text(errors="replace").splitlines(), 1):
+            code = strip_line_comment(raw)
+            m = SHARD_DECL_RE.search(code)
+            if m:
+                decls.append((m.group(1), path, lineno))
+                continue  # the declaration's own initializer is not a check
+            if any(tok in code for tok in SHARD_CHECK_TOKENS):
+                # Match by name pattern, not against decls seen so far:
+                # checks may precede the declaration across files, so the
+                # ordering of `paths` must not matter.
+                for m2 in re.finditer(r"\b(\w*_shards)\b", code):
+                    checks.add(m2.group(1))
+    findings: list[Finding] = []
+    for name, path, lineno in decls:
+        if name not in checks:
+            findings.append(Finding(
+                path, lineno, "shard-bounds",
+                f'shard knob "{name}" has no bounds check; clamp it to >= 1 '
+                "at its config parse site (std::max/std::clamp/assert) — a "
+                "zero reaches `% shards` as a modulo-by-zero (DESIGN.md §15)"))
+    return findings
+
+
 def collect_errc_enumerators(path: Path):
     """Enumerators of `enum class Errc` in `path`: [(name, line)]."""
     out = []
@@ -332,6 +380,7 @@ def run_default() -> int:
     for path in files:
         findings.extend(lint_file(path, registry, trace_registry))
     findings.extend(lint_counter_ranges([p for p in files if rel(p).startswith("src/")]))
+    findings.extend(lint_shard_bounds(files))
     findings.extend(lint_errc_names(REPO / ERRC_ENUM_HEADER, REPO / ERRC_NAME_IMPL))
     for f in findings:
         print(f)
@@ -360,6 +409,7 @@ def run_self_test(fixture_dir: Path) -> int:
             continue
         findings = lint_file(path, registry, trace_registry, enforce_allowlists=False)
         findings.extend(lint_counter_ranges([path]))
+        findings.extend(lint_shard_bounds([path]))
         # Self-contained errc fixtures carry both the enum and the switch.
         findings.extend(lint_errc_names(path, path))
         got = {f.rule for f in findings}

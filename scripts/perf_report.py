@@ -17,7 +17,8 @@ import os
 import sys
 
 # Render order; unknown configs found in either file are appended after.
-KNOWN_CONFIGS = ["baseline", "doceph", "baseline_smallwrite", "doceph_smallwrite"]
+KNOWN_CONFIGS = ["baseline", "doceph", "baseline_smallwrite", "doceph_smallwrite",
+                 "baseline_smallwrite_sharded", "doceph_smallwrite_sharded"]
 # Non-result blocks perf_smoke emits alongside the configs.
 SKIP_KEYS = {"doceph_variance"}
 
@@ -37,6 +38,17 @@ THROTTLE_KEYS = [
     ("osd_throttled", "OSD throttles"),
     ("proxy_throttled", "proxy throttles"),
     ("client_throttled", "client throttles"),
+]
+
+# Per-stage OSD latency decomposition (perf_smoke emits stages_s since the
+# tracing PR). The stage deltas attribute an IOPS move to the pipeline
+# stage that caused it — e.g. the sharding PR shows up as queue + store
+# (lanes + KV streams) and replication (parallel fan-out) drops.
+STAGE_KEYS = [
+    ("messenger", "messenger"),
+    ("queue", "queue"),
+    ("store", "store"),
+    ("replication", "replication"),
 ]
 
 
@@ -119,6 +131,28 @@ def main(argv):
         lines += ["", "Throttles are retried, not failed: any nonzero "
                   "`failed ops` is a regression of the graceful-degradation "
                   "contract (DESIGN.md §14)."]
+
+    # Per-stage latency deltas: configs where both runs report stages_s.
+    staged_cfgs = [c for c in configs
+                   if isinstance(cur_doc.get(c), dict)
+                   and "stages_s" in (cur_doc.get(c) or {})]
+    if staged_cfgs:
+        lines += ["", "### Per-stage OSD latency (base → PR)", "",
+                  "| config | " + " | ".join(
+                      f"{t} (ms) | Δ" for _, t in STAGE_KEYS) + " |",
+                  "|---|" + "---|---|" * len(STAGE_KEYS)]
+        for cfg in staged_cfgs:
+            base_st = (base_doc.get(cfg) or {}).get("stages_s") or {}
+            cur_st = (cur_doc.get(cfg) or {}).get("stages_s") or {}
+            row = f"| {cfg} |"
+            for key, _ in STAGE_KEYS:
+                b, c = base_st.get(key), cur_st.get(key)
+                row += (f" {fmt(b, 1e3)} → {fmt(c, 1e3)} |"
+                        f" {delta_cell(b, c, False)} |")
+            lines.append(row)
+        lines += ["", "Stages are the Fig.-2 decomposition measured on the "
+                  "primary OSD (queue = op-lane wait, store = ObjectStore "
+                  "prep + WAL commit, replication = repop fan-out wait)."]
 
     lines += [
         "",

@@ -36,6 +36,17 @@ std::string RunSpec::cache_key() const {
   if (dma_failure_rate > 0) os << "_f" << static_cast<int>(dma_failure_rate * 1e4);
   if (reuse_objects > 0) os << "_r" << reuse_objects;
   if (backpressure) os << "_bp";
+  {
+    // Sharded cells (DESIGN.md §15): `_shN` on the diagonal, `_shOPxKV`
+    // when the ablation overrides split op- and kv-shard counts. Nothing
+    // at 1/1 so the committed paper cells keep their keys.
+    const int op_sh = op_shards_override > 0 ? op_shards_override : shards;
+    const int kv_sh = kv_shards_override > 0 ? kv_shards_override : shards;
+    if (op_sh != kv_sh)
+      os << "_sh" << op_sh << "x" << kv_sh;
+    else if (op_sh > 1)
+      os << "_sh" << op_sh;
+  }
   if (batching) {
     // Batched cells key on the coalescing knobs too (swept by
     // ablation_batching): depth and flush deadlines change the numbers.
@@ -68,7 +79,21 @@ RunResult run_experiment(const RunSpec& spec) {
   auto cfg = cluster::ClusterConfig::paper_testbed(spec.mode, spec.net,
                                                    /*retain_data=*/false);
   cfg.pg_num = spec.pg_num;
+  // Write-path sharding: op lanes and KV shards move together unless an
+  // ablation override splits them (both clamped >= 1 downstream).
+  cfg.osd_template.op_shards =
+      spec.op_shards_override > 0 ? spec.op_shards_override : spec.shards;
+  cfg.kv_shards =
+      spec.kv_shards_override > 0 ? spec.kv_shards_override : spec.shards;
   if (spec.proxy_override) cfg.proxy = *spec.proxy_override;
+  // Sharded deployments provision one staging slot per op lane (DESIGN.md
+  // §15): the paper's single pre-established slot is the unsharded hot
+  // path's calibration, and keeping it would re-serialize every lane at the
+  // offload boundary (the store stage pins at the DMA-wait on slot 0 and
+  // the lanes buy ~nothing). An explicit proxy_override still wins.
+  if (!spec.proxy_override && cfg.osd_template.op_shards > 1) {
+    cfg.proxy.slots = std::max(cfg.proxy.slots, cfg.osd_template.op_shards);
+  }
   // spec.batching governs the enabled flags of every coalescing knob (the
   // proxy_override only tunes depths/deadlines), so batched and unbatched
   // cells differ in exactly one dimension.

@@ -40,14 +40,31 @@ BlueStore::BlueStore(sim::Env& env, sim::CpuDomain* domain, BlueStoreConfig cfg,
     : env_(env), domain_(domain), cfg_(cfg), seq_drained_(env.keeper(), "bluestore.seq_drained"),
       aio_cv_(env.keeper(), "bluestore.aio_cv") {
   dev_ = std::make_unique<BlockDevice>(env_, cfg_.device, std::move(backing));
+  cfg_.kv_shards = std::max(1, cfg_.kv_shards);  // shard-bounds: knob >= 1
+  // Shard router: keys are "O/<coll>/<name>" and "C/<coll>" — route by the
+  // collection token so one object's onode and its collection key colocate
+  // and every single-object transaction stays single-shard.
+  KvStore::ShardKeyFn shard_key;
+  if (cfg_.kv_shards > 1) {
+    shard_key = [](const std::string& key) -> std::string_view {
+      const std::string_view k(key);
+      const auto a = k.find('/');
+      if (a == std::string_view::npos) return k;
+      const auto b = k.find('/', a + 1);
+      return k.substr(a + 1, b == std::string_view::npos ? b : b - a - 1);
+    };
+  }
   kv_ = std::make_unique<KvStore>(env_, *dev_, cfg_.wal_off, cfg_.wal_len, domain_,
-                                  cfg_.kv_costs);
+                                  cfg_.kv_costs, cfg_.kv_shards,
+                                  std::move(shard_key));
   counters_ = perf::Builder("bluestore", l_bstore_first, l_bstore_last)
                   .add_counter(l_bstore_txns, "txns")
                   .add_histogram(l_bstore_commit_lat, "commit_lat")
                   .add_gauge(l_bstore_free_bytes, "free_bytes")
                   .add_gauge(l_bstore_kv_bytes, "kv_bytes")
                   .add_gauge(l_bstore_nearfull, "nearfull")
+                  .add_gauge(l_bstore_kv_shard_bytes_hw, "kv_shard_bytes_hw")
+                  .add_gauge(l_bstore_kv_shard_cross, "kv_shard_cross")
                   .create();
 }
 
@@ -225,11 +242,19 @@ void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
     domain_->charge(cfg_.per_op_prep * static_cast<sim::Duration>(txn.num_ops()));
 
   auto txc = std::make_shared<TxContext>();
+  txc->seq_cid = txn.ops().empty() ? os::coll_t{} : txn.ops().front().cid;
+  // Per-shard txn parent: with kv_shards > 1 the span's domain names the KV
+  // shard this transaction commits through (collection-token routing), so a
+  // trace shows which group-commit stream carried it. The default store
+  // keeps the legacy domain — byte-identical dumps.
+  std::string span_domain = "bluestore." + cfg_.device.name;
+  if (kv_->shards() > 1) {
+    span_domain += ".kv" + std::to_string(kv_->shard_of(coll_key(txc->seq_cid)));
+  }
   // Shared, not captured by value: Span is move-only and on_commit is a
   // copyable std::function. No-op unless the transaction's op was sampled.
-  auto sp = std::make_shared<trace::Span>(
-      env_.tracer().span("bluestore.txn", "bluestore." + cfg_.device.name,
-                         txn.trace(), env_.now()));
+  auto sp = std::make_shared<trace::Span>(env_.tracer().span(
+      "bluestore.txn", span_domain, txn.trace(), env_.now()));
   txc->on_commit = [this, sp, queued = env_.now(),
                     cb = std::move(on_commit)](Status st) {
     sp->end(env_.now());
@@ -237,7 +262,6 @@ void BlueStore::queue_transaction(os::Transaction txn, OnCommit on_commit) {
     counters_->rec(l_bstore_commit_lat, env_.now() - queued);
     if (cb) cb(std::move(st));
   };
-  txc->seq_cid = txn.ops().empty() ? os::coll_t{} : txn.ops().front().cid;
 
   // Read-modify-write ops must observe stable device content: wait for the
   // collection's in-flight data writes first (write_full — the hot path —
@@ -489,6 +513,10 @@ void BlueStore::finish_txc(const TxRef& txc, Status st) {
   counters_->set(l_bstore_kv_bytes, kv_->map_bytes());
   counters_->set(l_bstore_nearfull,
                  fullness() >= cfg_.nearfull_ratio ? 1 : 0);
+  if (kv_->shards() > 1) {
+    counters_->set(l_bstore_kv_shard_bytes_hw, kv_->max_shard_bytes());
+    counters_->set(l_bstore_kv_shard_cross, kv_->cross_shard_commits());
+  }
   if (txc->on_commit) txc->on_commit(st);
 }
 
@@ -498,15 +526,13 @@ double BlueStore::fullness() const {
   const double alloc_used =
       total > 0 ? 1.0 - static_cast<double>(alloc_->free_bytes()) / total : 0.0;
   // KV pressure against the chained-checkpoint ceiling: a snapshot may span
-  // both WAL segments (two max-packed chunks), so 1.0 is the hard limit
-  // beyond which checkpoint rolls fail with no_space. Above ~0.5 the store
-  // is already in the degraded spanning regime (rolls rewrite both
-  // segments); a nearfull_ratio between the two sheds load before the
-  // ceiling becomes fatal.
-  const double cap = static_cast<double>(cfg_.wal_len);
-  const double kv_used =
-      cap > 0 ? static_cast<double>(kv_->map_bytes()) / cap : 0.0;
-  return std::max(alloc_used, kv_used);
+  // both WAL segments of its shard (two max-packed chunks), so 1.0 is the
+  // hard limit beyond which checkpoint rolls fail with no_space. Above ~0.5
+  // the shard is already in the degraded spanning regime (rolls rewrite
+  // both segments); a nearfull_ratio between the two sheds load before the
+  // ceiling becomes fatal. Sharded stores gauge the FULLEST shard — it hits
+  // the ceiling first, and hash imbalance makes it the binding constraint.
+  return std::max(alloc_used, kv_->checkpoint_pressure());
 }
 
 void BlueStore::flush_collection(const os::coll_t& cid) {

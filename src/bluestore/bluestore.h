@@ -26,6 +26,8 @@ enum {
   l_bstore_free_bytes,  ///< gauge: allocator free bytes
   l_bstore_kv_bytes,    ///< gauge: KV map resident bytes (checkpoint pressure)
   l_bstore_nearfull,    ///< gauge: 1 when fullness() >= nearfull_ratio
+  l_bstore_kv_shard_bytes_hw,  ///< gauge: resident bytes of the fullest KV shard
+  l_bstore_kv_shard_cross,     ///< gauge: cross-shard chained commits completed
   l_bstore_last,
 };
 
@@ -34,6 +36,10 @@ struct BlueStoreConfig {
 
   std::uint64_t wal_off = 4096;        ///< KV write-ahead-log region start
   std::uint64_t wal_len = 64 << 20;    ///< two 32 MiB segments
+  /// KV shard count: the WAL region and the map split into this many
+  /// independent group-commit streams, keyed by collection (DESIGN.md §15).
+  /// Clamped to >= 1 at the BlueStore ctor; 1 = the unsharded legacy store.
+  int kv_shards = 1;
   std::uint64_t alloc_unit = 64 << 10;
   /// Objects at or below this size live inline in their onode (the
   /// metadata-only path standing in for BlueStore's deferred small writes).

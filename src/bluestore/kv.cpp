@@ -5,6 +5,7 @@
 
 #include "common/crc32c.h"
 #include "common/logger.h"
+#include "common/shard.h"
 
 namespace doceph::bluestore {
 namespace {
@@ -43,38 +44,60 @@ struct ParsedRecord {
 }  // namespace
 
 KvStore::KvStore(sim::Env& env, BlockDevice& dev, std::uint64_t wal_off,
-                 std::uint64_t wal_len, sim::CpuDomain* domain, KvCostModel costs)
+                 std::uint64_t wal_len, sim::CpuDomain* domain, KvCostModel costs,
+                 int shards, ShardKeyFn shard_key)
     : env_(env),
       dev_(dev),
       wal_off_(wal_off),
       wal_len_(wal_len),
       domain_(domain),
       costs_(costs),
-      queue_cv_(env.keeper(), "bluestore.kv_queue_cv") {
-  assert(wal_len_ >= 2 << 20 && "WAL region too small");
+      shard_key_(std::move(shard_key)) {
+  shards = std::max(1, shards);  // *_shards knobs are clamped to >= 1 at parse
+  assert(wal_len_ / static_cast<std::uint64_t>(shards) >= 2 << 20 &&
+         "WAL sub-region per shard too small");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(shards); ++i)
+    shards_.push_back(std::make_unique<Shard>(env.keeper(), i));
 }
 
 KvStore::~KvStore() {  // NOLINT(bugprone-exception-escape): teardown must complete; a throw terminates, by design
   if (running_) crash();
 }
 
-Status KvStore::mkfs() {
-  assert(!running_);
-  {
-    const dbg::WriteLockGuard lk(map_mutex_);
-    map_.clear();
-    map_bytes_ = 0;
-  }
-  generation_ = 1;
-  active_segment_ = 0;
-  return write_checkpoint_locked(0, 1);
+std::uint64_t KvStore::shard_wal_off(const Shard& s) const noexcept {
+  return wal_off_ + s.index * shard_wal_len();
 }
 
-Status KvStore::write_checkpoint_locked(int segment, std::uint64_t generation) {
+std::size_t KvStore::shard_of(const std::string& key) const {
+  if (shards_.size() == 1) return 0;
+  const std::string_view token =
+      shard_key_ ? shard_key_(key) : std::string_view(key);
+  return common::shard_of_key(token, shards_.size());
+}
+
+Status KvStore::mkfs() {
+  assert(!running_);
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    {
+      const dbg::WriteLockGuard lk(s.map_mutex);
+      s.map.clear();
+      s.map_bytes = 0;
+    }
+    s.generation = 1;
+    s.active_segment = 0;
+    const Status st = write_checkpoint(s, 0, 1);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+Status KvStore::write_checkpoint(Shard& s, int segment, std::uint64_t generation) {
   BufferList snapshot;
   {
-    const dbg::ReadLockGuard lk(map_mutex_);
-    doceph::encode(map_, snapshot);
+    const dbg::ReadLockGuard lk(s.map_mutex);
+    doceph::encode(s.map, snapshot);
   }
   // Chained checkpoint: one or two kKindCheckpoint records, each carrying
   // (chunk_index, total_chunks) ahead of its slice of the snapshot (the seq
@@ -116,38 +139,49 @@ Status KvStore::write_checkpoint_locked(int segment, std::uint64_t generation) {
 
   BufferList first = chunk_record(0, 0, first_len);
   int end_seg = segment;
-  std::uint64_t end_off = segment_off(segment) + first.length();
-  Status st = dev_.write(segment_off(segment), first);
+  std::uint64_t end_off = segment_off(s, segment) + first.length();
+  Status st = dev_.write(segment_off(s, segment), first);
   if (!st.ok()) return st;
   if (total == 2) {
     BufferList second = chunk_record(1, first_len, spill_len);
     end_seg = 1 - segment;
-    end_off = segment_off(end_seg) + second.length();
-    st = dev_.write(segment_off(end_seg), second);
+    end_off = segment_off(s, end_seg) + second.length();
+    st = dev_.write(segment_off(s, end_seg), second);
     if (!st.ok()) return st;
   }
-  active_segment_ = end_seg;
-  generation_ = generation;
-  append_off_ = end_off;
-  next_seq_ = 1;
+  s.active_segment = end_seg;
+  s.generation = generation;
+  s.append_off = end_off;
+  s.next_seq = 1;
   return Status::OK();
 }
 
 Status KvStore::mount() {
   assert(!running_);
-  const Status st = replay();
-  if (!st.ok()) return st;
-  {
-    const dbg::LockGuard lk(queue_mutex_);
-    stopping_ = false;
+  for (auto& sp : shards_) {
+    const Status st = replay(*sp);
+    if (!st.ok()) return st;
+  }
+  for (auto& sp : shards_) {
+    const dbg::LockGuard lk(sp->queue_mutex);
+    sp->stopping = false;
   }
   running_ = true;
-  thread_ = sim::Thread(env_.keeper(), env_.stats(), "bstore_kv_sync", domain_,
-                        [this] { sync_thread(); }, /*daemon=*/true);
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    // Shard 0 keeps the exact legacy thread name: sim/stats classifies by
+    // the "bstore_" prefix and the default single-shard store must stay
+    // byte-identical.
+    const std::string name =
+        s.index == 0 ? "bstore_kv_sync"
+                     : "bstore_kv_sync." + std::to_string(s.index);
+    s.thread = sim::Thread(env_.keeper(), env_.stats(), name, domain_,
+                           [this, &s] { sync_thread(s); }, /*daemon=*/true);
+  }
   return Status::OK();
 }
 
-Status KvStore::replay() {
+Status KvStore::replay(Shard& s) {
   // Helper to parse one record at an absolute offset within a segment.
   auto read_record = [&](std::uint64_t off, std::uint64_t seg_end)
       -> std::optional<ParsedRecord> {
@@ -182,7 +216,7 @@ Status KvStore::replay() {
   // the other segment's head. Incomplete chains (crash between the two
   // chunk writes) yield nullopt so discovery falls back to the other
   // generation.
-  struct Chain {
+  struct FoundChain {
     std::uint64_t gen = 0;
     BufferList snapshot;
     int end_seg = 0;
@@ -199,35 +233,36 @@ Status KvStore::replay() {
       return std::nullopt;
     return std::make_pair(index, total);
   };
-  auto read_chain = [&](int seg) -> std::optional<Chain> {
-    auto head = read_record(segment_off(seg), segment_off(seg) + segment_len());
+  auto read_chain = [&](int seg) -> std::optional<FoundChain> {
+    auto head =
+        read_record(segment_off(s, seg), segment_off(s, seg) + segment_len());
     if (!head) return std::nullopt;
     auto ct = chunk_of(*head);
     if (!ct || ct->first != 0 || ct->second < 1 || ct->second > 2)
       return std::nullopt;
-    Chain chain;
+    FoundChain chain;
     chain.gen = head->gen;
     chain.snapshot =
         head->payload.substr(kChunkHdr, head->payload.length() - kChunkHdr);
     chain.end_seg = seg;
-    chain.end_off = segment_off(seg) + head->total_len;
+    chain.end_off = segment_off(s, seg) + head->total_len;
     if (ct->second == 2) {
       const int other = 1 - seg;
-      auto spill =
-          read_record(segment_off(other), segment_off(other) + segment_len());
+      auto spill = read_record(segment_off(s, other),
+                               segment_off(s, other) + segment_len());
       if (!spill || spill->gen != head->gen) return std::nullopt;
       auto sct = chunk_of(*spill);
       if (!sct || sct->first != 1 || sct->second != 2) return std::nullopt;
       chain.snapshot.append(
           spill->payload.substr(kChunkHdr, spill->payload.length() - kChunkHdr));
       chain.end_seg = other;
-      chain.end_off = segment_off(other) + spill->total_len;
+      chain.end_off = segment_off(s, other) + spill->total_len;
     }
     return chain;
   };
 
   // Find the newest complete checkpoint chain.
-  std::optional<Chain> best;
+  std::optional<FoundChain> best;
   for (int seg = 0; seg < 2; ++seg) {
     auto chain = read_chain(seg);
     if (chain && (!best || chain->gen >= best->gen)) best = std::move(chain);
@@ -236,13 +271,13 @@ Status KvStore::replay() {
   const std::uint64_t best_gen = best->gen;
 
   {
-    const dbg::WriteLockGuard lk(map_mutex_);
-    map_.clear();
+    const dbg::WriteLockGuard lk(s.map_mutex);
+    s.map.clear();
     BufferList::Cursor cur(best->snapshot);
-    if (!doceph::decode(map_, cur))
+    if (!doceph::decode(s.map, cur))
       return Status(Errc::corrupt, "bad KV checkpoint payload");
-    map_bytes_ = 0;
-    for (const auto& [k, v] : map_) map_bytes_ += k.size() + v.length();
+    s.map_bytes = 0;
+    for (const auto& [k, v] : s.map) s.map_bytes += k.size() + v.length();
   }
 
   // Replay txn records after the checkpoint. Valid records carry strictly
@@ -251,7 +286,7 @@ Status KvStore::replay() {
   // record, or a non-increasing seq. Gaps in seq are tolerated (historical
   // logs could skip numbers when a mid-roll write failed; since the chunked
   // sync_thread stamps seqs only on durable writes, new logs are gapless).
-  const std::uint64_t seg_end = segment_off(best->end_seg) + segment_len();
+  const std::uint64_t seg_end = segment_off(s, best->end_seg) + segment_len();
   std::uint64_t off = best->end_off;
   std::uint64_t seq = 0;
   while (true) {
@@ -262,52 +297,121 @@ Status KvStore::replay() {
     BufferList::Cursor cur(rec->payload);
     if (!txn.decode(cur)) break;
     {
-      const dbg::WriteLockGuard lk(map_mutex_);
-      apply_locked(txn);
+      const dbg::WriteLockGuard lk(s.map_mutex);
+      apply_locked(s, txn);
     }
     seq = rec->seq;
     off += rec->total_len;
   }
 
-  active_segment_ = best->end_seg;
-  generation_ = best_gen;
-  append_off_ = off;
-  next_seq_ = seq + 1;
+  s.active_segment = best->end_seg;
+  s.generation = best_gen;
+  s.append_off = off;
+  s.next_seq = seq + 1;
   return Status::OK();
 }
 
 Status KvStore::umount() {
   if (!running_) return Status::OK();
-  {
-    const dbg::LockGuard lk(queue_mutex_);
-    stopping_ = true;
-    queue_cv_.notify_all();
+  for (auto& sp : shards_) {
+    const dbg::LockGuard lk(sp->queue_mutex);
+    sp->stopping = true;
+    sp->queue_cv.notify_all();
   }
-  thread_.join();
+  for (auto& sp : shards_) sp->thread.join();
   running_ = false;
   return Status::OK();
 }
 
 void KvStore::crash() {
   std::deque<std::pair<KvTxn, OnCommit>> dropped;
-  {
-    const dbg::LockGuard lk(queue_mutex_);
-    stopping_ = true;
-    dropped.swap(queue_);  // power loss: queued txns never reach the WAL
-    queue_cv_.notify_all();
+  for (auto& sp : shards_) {
+    const dbg::LockGuard lk(sp->queue_mutex);
+    sp->stopping = true;
+    // Power loss: queued txns never reach the WAL (collected in shard
+    // order; callbacks fire after every thread has stopped).
+    for (auto& item : sp->queue) dropped.push_back(std::move(item));
+    sp->queue.clear();
+    sp->queue_cv.notify_all();
   }
-  thread_.join();
+  for (auto& sp : shards_) sp->thread.join();
   running_ = false;
   for (auto& [txn, cb] : dropped) {
     if (cb) cb(Status(Errc::shutting_down, "kv store crashed"));
   }
 }
 
+void KvStore::enqueue_shard(Shard& s, KvTxn txn, OnCommit cb) {
+  bool rejected = false;
+  {
+    const dbg::LockGuard lk(s.queue_mutex);
+    // A chain link can land after crash()/umount() already stopped this
+    // shard's thread (its predecessor committed on another shard first);
+    // enqueuing would strand it, so fail it like a crash-dropped txn.
+    if (s.stopping) {
+      rejected = true;
+    } else {
+      s.queue.emplace_back(std::move(txn), std::move(cb));
+      s.queue_cv.notify_one();
+    }
+  }
+  if (rejected && cb) cb(Status(Errc::shutting_down, "kv store stopping"));
+}
+
+void KvStore::queue_chain_link(const std::shared_ptr<Chain>& chain,
+                               std::size_t i) {
+  auto& [shard_idx, part] = chain->links[i];
+  enqueue_shard(*shards_[shard_idx], std::move(part),
+                [this, chain, i](Status st) {
+                  // Runs on the link's sync thread, outside any shard lock.
+                  if (!st.ok()) {
+                    // Later links are never queued: an error truncates the
+                    // chain and the caller sees the failure. Links already
+                    // durable stay durable (DESIGN.md §15: atomicity is
+                    // all-links-durable-once-acked, not all-or-nothing).
+                    if (chain->cb) chain->cb(st);
+                    return;
+                  }
+                  if (i + 1 < chain->links.size()) {
+                    queue_chain_link(chain, i + 1);
+                    return;
+                  }
+                  cross_shard_commits_.fetch_add(1, std::memory_order_relaxed);
+                  if (chain->cb) chain->cb(Status::OK());
+                });
+}
+
 void KvStore::queue(KvTxn txn, OnCommit cb) {
-  const dbg::LockGuard lk(queue_mutex_);
-  assert(running_ && !stopping_);
-  queue_.emplace_back(std::move(txn), std::move(cb));
-  queue_cv_.notify_one();
+  assert(running_);
+  if (shards_.size() == 1) {
+    enqueue_shard(*shards_[0], std::move(txn), std::move(cb));
+    return;
+  }
+
+  // Partition by shard. The common case (every key of one txn in one shard
+  // — BlueStore's collection-token routing guarantees it for single-object
+  // txns) must not pay for the split.
+  std::map<std::size_t, KvTxn> parts;
+  for (auto& [k, v] : txn.sets) parts[shard_of(k)].sets[k] = std::move(v);
+  for (auto& k : txn.rms) parts[shard_of(k)].rms.push_back(std::move(k));
+  if (parts.empty()) {
+    enqueue_shard(*shards_[0], {}, std::move(cb));  // empty txn: still acked
+    return;
+  }
+  if (parts.size() == 1) {
+    auto& [idx, part] = *parts.begin();
+    enqueue_shard(*shards_[idx], std::move(part), std::move(cb));
+    return;
+  }
+
+  // Cross-shard: ordered chained commit in ascending shard index. Each link
+  // is queued only after the previous link's record is durable; the
+  // caller's cb fires after the last link (see DESIGN.md §15).
+  auto chain = std::make_shared<Chain>();
+  chain->links.reserve(parts.size());
+  for (auto& [idx, part] : parts) chain->links.emplace_back(idx, std::move(part));
+  chain->cb = std::move(cb);
+  queue_chain_link(chain, 0);
 }
 
 Status KvStore::submit(KvTxn txn) {
@@ -326,17 +430,17 @@ Status KvStore::submit(KvTxn txn) {
   return result;
 }
 
-void KvStore::sync_thread() {
+void KvStore::sync_thread(Shard& s) {
   while (true) {
     std::deque<std::pair<KvTxn, OnCommit>> batch;
     {
-      dbg::UniqueLock lk(queue_mutex_);
-      queue_cv_.wait(lk, [&] {
-        queue_mutex_.assert_held();  // predicate runs as a separate function
-        return stopping_ || !queue_.empty();
+      dbg::UniqueLock lk(s.queue_mutex);
+      s.queue_cv.wait(lk, [&] {
+        s.queue_mutex.assert_held();  // predicate runs as a separate function
+        return s.stopping || !s.queue.empty();
       });
-      if (queue_.empty() && stopping_) return;
-      batch.swap(queue_);
+      if (s.queue.empty() && s.stopping) return;
+      batch.swap(s.queue);
     }
 
     // Serialize every txn once; records are stamped per chunk below, so a
@@ -365,13 +469,14 @@ void KvStore::sync_thread() {
     std::size_t idx = 0;
     bool at_fresh_checkpoint = false;  // nothing appended since the last roll
     while (idx < batch.size()) {
-      const std::uint64_t seg_end = segment_off(active_segment_) + segment_len();
+      const std::uint64_t seg_end =
+          segment_off(s, s.active_segment) + segment_len();
       BufferList wal_bl;
       std::size_t end = idx;
       while (end < batch.size()) {
-        BufferList rec = make_record(kKindTxn, generation_,
-                                     next_seq_ + (end - idx), payloads[end]);
-        if (append_off_ + wal_bl.length() + rec.length() > seg_end) break;
+        BufferList rec = make_record(kKindTxn, s.generation,
+                                     s.next_seq + (end - idx), payloads[end]);
+        if (s.append_off + wal_bl.length() + rec.length() > seg_end) break;
         wal_bl.claim_append(rec);
         ++end;
       }
@@ -388,10 +493,11 @@ void KvStore::sync_thread() {
           ++idx;
           continue;
         }
-        const Status st = write_checkpoint_locked(1 - active_segment_, generation_ + 1);
+        const Status st =
+            write_checkpoint(s, 1 - s.active_segment, s.generation + 1);
         if (!st.ok()) {
           // The roll failed before anything was stamped under the new
-          // generation: generation_/next_seq_ are untouched, so no sequence
+          // generation: generation/next_seq are untouched, so no sequence
           // numbers leak. Fail the remainder of the batch — committing a
           // later chunk after dropping an earlier one would reorder writes.
           for (std::size_t i = idx; i < batch.size(); ++i)
@@ -402,7 +508,7 @@ void KvStore::sync_thread() {
         continue;
       }
 
-      const Status st = dev_.write(append_off_, wal_bl);  // durable before apply
+      const Status st = dev_.write(s.append_off, wal_bl);  // durable before apply
       if (!st.ok()) {
         // The media is untouched and this chunk's sequence numbers were
         // never consumed; fail the remainder (ordering, as above).
@@ -410,12 +516,12 @@ void KvStore::sync_thread() {
           if (auto& cb = batch[i].second) cb(st);
         break;
       }
-      append_off_ += wal_bl.length();
-      next_seq_ += end - idx;
+      s.append_off += wal_bl.length();
+      s.next_seq += end - idx;
       at_fresh_checkpoint = false;
       {
-        const dbg::WriteLockGuard lk(map_mutex_);
-        for (std::size_t i = idx; i < end; ++i) apply_locked(batch[i].first);
+        const dbg::WriteLockGuard lk(s.map_mutex);
+        for (std::size_t i = idx; i < end; ++i) apply_locked(s, batch[i].first);
       }
       committed_.fetch_add(end - idx, std::memory_order_relaxed);
       for (std::size_t i = idx; i < end; ++i)
@@ -425,53 +531,93 @@ void KvStore::sync_thread() {
   }
 }
 
-void KvStore::apply_locked(const KvTxn& txn) {
+void KvStore::apply_locked(Shard& s, const KvTxn& txn) {
   for (const auto& [k, v] : txn.sets) {
-    auto it = map_.find(k);
-    if (it != map_.end())
-      map_bytes_ -= k.size() + it->second.length();
-    map_bytes_ += k.size() + v.length();
-    map_[k] = v;
+    auto it = s.map.find(k);
+    if (it != s.map.end())
+      s.map_bytes -= k.size() + it->second.length();
+    s.map_bytes += k.size() + v.length();
+    s.map[k] = v;
   }
   for (const auto& k : txn.rms) {
-    auto it = map_.find(k);
-    if (it != map_.end()) {
-      map_bytes_ -= k.size() + it->second.length();
-      map_.erase(it);
+    auto it = s.map.find(k);
+    if (it != s.map.end()) {
+      s.map_bytes -= k.size() + it->second.length();
+      s.map.erase(it);
     }
   }
 }
 
 std::optional<BufferList> KvStore::get(const std::string& key) const {
-  const dbg::ReadLockGuard lk(map_mutex_);
-  auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
+  const Shard& s = *shards_[shard_of(key)];
+  const dbg::ReadLockGuard lk(s.map_mutex);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return std::nullopt;
   return it->second;
 }
 
 bool KvStore::contains(const std::string& key) const {
-  const dbg::ReadLockGuard lk(map_mutex_);
-  return map_.contains(key);
+  const Shard& s = *shards_[shard_of(key)];
+  const dbg::ReadLockGuard lk(s.map_mutex);
+  return s.map.contains(key);
 }
 
 void KvStore::for_each_prefix(
     const std::string& prefix,
     const std::function<void(const std::string&, const BufferList&)>& fn) const {
-  const dbg::ReadLockGuard lk(map_mutex_);
-  for (auto it = map_.lower_bound(prefix);
-       it != map_.end() && it->first.starts_with(prefix); ++it) {
-    fn(it->first, it->second);
+  if (shards_.size() == 1) {
+    const Shard& s = *shards_[0];
+    const dbg::ReadLockGuard lk(s.map_mutex);
+    for (auto it = s.map.lower_bound(prefix);
+         it != s.map.end() && it->first.starts_with(prefix); ++it) {
+      fn(it->first, it->second);
+    }
+    return;
   }
+  // Gather per shard (one lock at a time — shard map mutexes share a lock
+  // class and must never nest), then merge so callers see globally sorted
+  // key order exactly like the unsharded store.
+  std::map<std::string, BufferList> merged;
+  for (const auto& sp : shards_) {
+    const dbg::ReadLockGuard lk(sp->map_mutex);
+    for (auto it = sp->map.lower_bound(prefix);
+         it != sp->map.end() && it->first.starts_with(prefix); ++it) {
+      merged.emplace(it->first, it->second);
+    }
+  }
+  for (const auto& [k, v] : merged) fn(k, v);
 }
 
 std::size_t KvStore::num_keys() const {
-  const dbg::ReadLockGuard lk(map_mutex_);
-  return map_.size();
+  std::size_t n = 0;
+  for (const auto& sp : shards_) {
+    const dbg::ReadLockGuard lk(sp->map_mutex);
+    n += sp->map.size();
+  }
+  return n;
 }
 
 std::uint64_t KvStore::map_bytes() const {
-  const dbg::ReadLockGuard lk(map_mutex_);
-  return map_bytes_;
+  std::uint64_t n = 0;
+  for (const auto& sp : shards_) {
+    const dbg::ReadLockGuard lk(sp->map_mutex);
+    n += sp->map_bytes;
+  }
+  return n;
+}
+
+std::uint64_t KvStore::max_shard_bytes() const {
+  std::uint64_t hw = 0;
+  for (const auto& sp : shards_) {
+    const dbg::ReadLockGuard lk(sp->map_mutex);
+    hw = std::max(hw, sp->map_bytes);
+  }
+  return hw;
+}
+
+double KvStore::checkpoint_pressure() const {
+  const double cap = static_cast<double>(shard_wal_len());
+  return cap > 0 ? static_cast<double>(max_shard_bytes()) / cap : 0.0;
 }
 
 }  // namespace doceph::bluestore

@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,10 +51,24 @@ struct KvCostModel {
 /// in real BlueStore). A dedicated "bstore_kv_sync" thread group-commits
 /// queued transactions, exactly like Ceph's kv_sync_thread.
 ///
-/// WAL layout: the region is split into two segments; records are appended
-/// to the active segment. When it fills, a checkpoint (full map snapshot)
-/// opens the other segment with a higher generation. mount() locates the
-/// newest checkpoint and replays records after it.
+/// Sharding (`shards > 1`): the map and the WAL group-commit stream split
+/// into `shards` independent shards. A key routes by a deterministic FNV-1a
+/// hash of its shard token (`shard_key` extracts the token — BlueStore
+/// passes the collection component so one object's onode and collection
+/// keys colocate); each shard owns an equal WAL sub-region, its own
+/// checkpoint chain, and its own "bstore_kv_sync" thread. A transaction
+/// touching several shards falls back to an ordered chained commit
+/// (ascending shard index, each link queued after the previous link's
+/// record is durable); the caller's callback fires after the LAST link, so
+/// an acknowledged cross-shard txn is durable on every shard. With
+/// `shards == 1` (the default) layout, thread naming and timing are
+/// byte-identical to the unsharded store.
+///
+/// WAL layout (per shard): the sub-region is split into two segments;
+/// records are appended to the active segment. When it fills, a checkpoint
+/// (full shard-map snapshot) opens the other segment with a higher
+/// generation. mount() locates the newest checkpoint and replays records
+/// after it.
 ///
 /// A checkpoint is a CHAIN of one or two records, each tagged with
 /// (chunk_index, total_chunks). The common case is a single chunk at the
@@ -66,33 +81,42 @@ struct KvCostModel {
 /// chunk writes of a SECOND consecutive spanning roll is the one window
 /// with no complete chain on disk — strictly narrower than the pre-chain
 /// behavior, which wedged the store with `no_space` at the first oversized
-/// snapshot. The near-full gauge (`map_bytes()` vs the chained ceiling)
-/// exists so upper layers throttle before the ceiling becomes fatal.
+/// snapshot. The near-full gauge (`max_shard_bytes()` vs the chained
+/// ceiling) exists so upper layers throttle before the ceiling becomes fatal.
 class KvStore {
  public:
   using OnCommit = std::function<void(Status)>;
+  /// Extracts the routing token from a key; keys with equal tokens land on
+  /// the same shard. Default (empty fn): the whole key.
+  using ShardKeyFn = std::function<std::string_view(const std::string&)>;
 
   KvStore(sim::Env& env, BlockDevice& dev, std::uint64_t wal_off,
-          std::uint64_t wal_len, sim::CpuDomain* domain, KvCostModel costs = {});
+          std::uint64_t wal_len, sim::CpuDomain* domain, KvCostModel costs = {},
+          int shards = 1, ShardKeyFn shard_key = {});
   ~KvStore();
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
 
-  /// Initialize an empty store on the device (writes the first checkpoint).
+  /// Initialize an empty store on the device (writes the first checkpoint
+  /// of every shard).
   Status mkfs();
 
-  /// Load state from the WAL (checkpoint + replay) and start the sync thread.
+  /// Load state from the WAL (checkpoint + replay, per shard) and start the
+  /// sync threads.
   Status mount();
 
-  /// Graceful stop: drain queued transactions, checkpoint, stop the thread.
+  /// Graceful stop: drain queued transactions, checkpoint, stop the threads.
   Status umount();
 
   /// Simulated power loss: stop without checkpoint or drain. Queued but
   /// uncommitted transactions are lost; committed ones replay on mount.
+  /// A cross-shard chain whose tail links were still queued loses those
+  /// links — but the caller was never acked, so the contract holds.
   void crash();
 
-  /// Queue a transaction; `cb` fires after the WAL record is durable. A
+  /// Queue a transaction; `cb` fires after the WAL record is durable (for a
+  /// cross-shard txn: after the last link of the chain is durable). A
   /// transaction whose serialized record does not fit a WAL segment even
   /// right after a fresh checkpoint (the map snapshot shares the segment)
   /// fails with `no_space` — it is never written partially or past the
@@ -105,39 +129,108 @@ class KvStore {
   [[nodiscard]] std::optional<BufferList> get(const std::string& key) const;
   [[nodiscard]] bool contains(const std::string& key) const;
 
-  /// Visit all keys with `prefix` (snapshot semantics not guaranteed across
-  /// concurrent commits; callers serialize at a higher level).
+  /// Visit all keys with `prefix`, in sorted key order across every shard
+  /// (snapshot semantics not guaranteed across concurrent commits; callers
+  /// serialize at a higher level). Sorted order is load-bearing: allocator
+  /// rebuild, list_objects and replica scrubs iterate through here.
   void for_each_prefix(const std::string& prefix,
                        const std::function<void(const std::string&,
                                                 const BufferList&)>& fn) const;
 
   [[nodiscard]] std::size_t num_keys() const;
 
-  /// Total bytes of keys + values resident in the map — the size a
-  /// checkpoint snapshot will serialize to (plus small encoding overhead).
-  /// Compared against one WAL segment this is the KV-pressure half of
-  /// BlueStore's fullness() gauge.
+  /// Total bytes of keys + values resident across all shard maps.
   [[nodiscard]] std::uint64_t map_bytes() const;
 
-  /// Committed transaction count (diagnostics).
+  /// Bytes resident in the FULLEST shard — the size its next checkpoint
+  /// snapshot will serialize to. Compared against one shard's WAL segment
+  /// this is the KV-pressure half of BlueStore's fullness() gauge (the
+  /// fullest shard hits the chained-checkpoint ceiling first).
+  [[nodiscard]] std::uint64_t max_shard_bytes() const;
+
+  /// Checkpoint pressure in [0, ~1]: fullest shard's resident bytes over
+  /// its WAL sub-region. With shards == 1 this is exactly the pre-sharding
+  /// map_bytes()/wal_len figure.
+  [[nodiscard]] double checkpoint_pressure() const;
+
+  /// Committed transaction count (diagnostics). A cross-shard txn counts
+  /// once per shard link.
   [[nodiscard]] std::uint64_t committed() const noexcept { return committed_; }
 
-  /// WAL append cursor: absolute device offset where the next record lands.
-  /// Diagnostics/tests only — racy against a concurrently committing sync
-  /// thread; read it while the store is quiesced (or crashed).
-  [[nodiscard]] std::uint64_t append_offset() const noexcept { return append_off_; }
+  /// Cross-shard chained commits completed (0 unless shards > 1).
+  [[nodiscard]] std::uint64_t cross_shard_commits() const noexcept {
+    return cross_shard_commits_;
+  }
+
+  [[nodiscard]] int shards() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+
+  /// Shard a key routes to (tests use this to craft cross-shard txns).
+  [[nodiscard]] std::size_t shard_of(const std::string& key) const;
+
+  /// WAL append cursor of one shard: absolute device offset where its next
+  /// record lands. Diagnostics/tests only — racy against a concurrently
+  /// committing sync thread; read it while the store is quiesced (or
+  /// crashed).
+  [[nodiscard]] std::uint64_t append_offset(int shard = 0) const noexcept {
+    return shards_[static_cast<std::size_t>(shard)]->append_off;
+  }
 
  private:
   struct Record;  // wire format helpers in kv.cpp
 
-  void sync_thread();
-  Status write_checkpoint_locked(int segment, std::uint64_t generation);
-  void apply_locked(const KvTxn& txn) DOCEPH_REQUIRES(map_mutex_);
-  Status replay();
-  [[nodiscard]] std::uint64_t segment_off(int seg) const noexcept {
-    return wal_off_ + static_cast<std::uint64_t>(seg) * (wal_len_ / 2);
+  /// All per-shard state. Every shard mutex belongs to the same lock class
+  /// ("bluestore.kv_map"/"bluestore.kv_queue"); no code path ever holds two
+  /// instances of a class at once — cross-shard work is CHAINED through the
+  /// commit queues, never nested under two shard locks (DESIGN.md §15).
+  struct Shard {
+    Shard(sim::TimeKeeper& tk, std::size_t idx)
+        : index(idx), queue_cv(tk, "bluestore.kv_queue_cv") {}
+
+    const std::size_t index;  ///< position in shards_ (fixes the WAL sub-region)
+
+    mutable dbg::SharedMutex map_mutex{"bluestore.kv_map"};
+    std::map<std::string, BufferList> map DOCEPH_GUARDED_BY(map_mutex);
+    std::uint64_t map_bytes DOCEPH_GUARDED_BY(map_mutex) = 0;
+
+    // Sync-thread state.
+    dbg::Mutex queue_mutex{"bluestore.kv_queue"};
+    dbg::CondVar queue_cv;
+    std::deque<std::pair<KvTxn, OnCommit>> queue DOCEPH_GUARDED_BY(queue_mutex);
+    bool stopping DOCEPH_GUARDED_BY(queue_mutex) = false;
+    sim::Thread thread;
+
+    // WAL positions (sync thread only, except at mount).
+    int active_segment = 0;
+    std::uint64_t append_off = 0;  // absolute device offset
+    std::uint64_t generation = 1;
+    std::uint64_t next_seq = 1;
+  };
+
+  /// State of an in-flight cross-shard chained commit.
+  struct Chain {
+    std::vector<std::pair<std::size_t, KvTxn>> links;  // ascending shard idx
+    OnCommit cb;
+  };
+
+  void sync_thread(Shard& s);
+  void enqueue_shard(Shard& s, KvTxn txn, OnCommit cb);
+  void queue_chain_link(const std::shared_ptr<Chain>& chain, std::size_t i);
+  Status write_checkpoint(Shard& s, int segment, std::uint64_t generation);
+  void apply_locked(Shard& s, const KvTxn& txn) DOCEPH_REQUIRES(s.map_mutex);
+  Status replay(Shard& s);
+  [[nodiscard]] std::uint64_t shard_wal_off(const Shard& s) const noexcept;
+  [[nodiscard]] std::uint64_t shard_wal_len() const noexcept {
+    return wal_len_ / shards_.size();
   }
-  [[nodiscard]] std::uint64_t segment_len() const noexcept { return wal_len_ / 2; }
+  [[nodiscard]] std::uint64_t segment_off(const Shard& s, int seg) const noexcept {
+    return shard_wal_off(s) +
+           static_cast<std::uint64_t>(seg) * (shard_wal_len() / 2);
+  }
+  [[nodiscard]] std::uint64_t segment_len() const noexcept {
+    return shard_wal_len() / 2;
+  }
 
   sim::Env& env_;
   BlockDevice& dev_;
@@ -145,25 +238,12 @@ class KvStore {
   std::uint64_t wal_len_;
   sim::CpuDomain* domain_;
   KvCostModel costs_;
+  ShardKeyFn shard_key_;
 
-  mutable dbg::SharedMutex map_mutex_{"bluestore.kv_map"};
-  std::map<std::string, BufferList> map_ DOCEPH_GUARDED_BY(map_mutex_);
-  std::uint64_t map_bytes_ DOCEPH_GUARDED_BY(map_mutex_) = 0;
-
-  // Sync-thread state.
-  dbg::Mutex queue_mutex_{"bluestore.kv_queue"};
-  dbg::CondVar queue_cv_;
-  std::deque<std::pair<KvTxn, OnCommit>> queue_ DOCEPH_GUARDED_BY(queue_mutex_);
-  bool stopping_ DOCEPH_GUARDED_BY(queue_mutex_) = false;
+  std::vector<std::unique_ptr<Shard>> shards_;
   bool running_ = false;  // mount/umount/crash caller thread only
-  sim::Thread thread_;
-
-  // WAL positions (sync thread only, except at mount).
-  int active_segment_ = 0;
-  std::uint64_t append_off_ = 0;  // absolute device offset
-  std::uint64_t generation_ = 1;
-  std::uint64_t next_seq_ = 1;
   std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> cross_shard_commits_{0};
 };
 
 }  // namespace doceph::bluestore

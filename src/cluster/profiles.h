@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -170,6 +171,11 @@ struct ClusterConfig {
 
   bool retain_data = true;  ///< false for long benches (bounds host RAM)
 
+  /// BlueStore KV shard count for every storage node (the op-lane half of
+  /// the sharding contract rides in osd_template.op_shards). Clamped to
+  /// >= 1 in store_config(); 1 keeps the paper cells byte-identical.
+  int kv_shards = 1;
+
   msgr::MessengerConfig msgr = default_msgr();
   osd::OsdConfig osd_template = default_osd(0);
   proxy::ProxyConfig proxy = default_proxy();
@@ -189,7 +195,18 @@ struct ClusterConfig {
   sim::Duration chaos_poll = 250'000'000;  // 250 ms
 
   [[nodiscard]] bluestore::BlueStoreConfig store_config() const {
-    return default_store(retain_data);
+    bluestore::BlueStoreConfig cfg = default_store(retain_data);
+    cfg.kv_shards = std::max(1, kv_shards);  // shard-bounds: knob >= 1
+    // Each KV shard owns a full-size WAL ring (DESIGN.md §15), mirroring
+    // multi-instance RocksDB where every shard gets its own WAL files.
+    // Splitting the single 64 MiB region N ways instead would shrink the
+    // per-shard checkpoint ceiling by N (worse with hash imbalance), and
+    // fresh-object floods that fit the unsharded store would trip nearfull
+    // shedding. At kv_shards == 1 this is the identity, so paper cells are
+    // untouched; the data region shifts by (N-1) * 64 MiB of 256 GiB.
+    cfg.wal_len *= static_cast<std::uint64_t>(cfg.kv_shards);
+    cfg.device.retain_below = cfg.wal_off + cfg.wal_len;
+    return cfg;
   }
   [[nodiscard]] dpu::DpuProfile dpu_profile() const { return default_dpu(network); }
 

@@ -1,6 +1,9 @@
 #include "osd/osd.h"
 
+#include <algorithm>
+
 #include "common/crc32c.h"
+#include "common/shard.h"
 #include "common/json.h"
 #include "common/logger.h"
 #include "sim/stats.h"
@@ -21,6 +24,13 @@ std::string osd_op_desc(const msgr::MOSDOp& op) {
   return desc;
 }
 
+/// Per-PG ordering token for enqueue_op_on. Bit 63 keeps every token
+/// distinct from 0 (the unordered marker); a cross-pool collision below it
+/// only over-serializes, never under-serializes.
+std::uint64_t pg_ord(std::int64_t pool, std::uint32_t pg_seed) {
+  return (1ull << 63) | (static_cast<std::uint64_t>(pool) << 32) | pg_seed;
+}
+
 }  // namespace
 
 OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
@@ -32,7 +42,6 @@ OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
       store_(store),
       msgr_(env, fabric, node, domain, "osd." + std::to_string(cfg.id), cfg.msgr),
       monc_(env, msgr_, mon_addr),
-      queue_cv_(env.keeper(), "osd.queue_cv"),
       tick_cv_(env.keeper(), "osd.tick_cv"),
       counters_(perf::Builder("osd", l_osd_first, l_osd_last)
                     .add_counter(l_osd_op, "op")
@@ -52,7 +61,13 @@ OSD::OSD(sim::Env& env, net::Fabric& fabric, net::NetNode& node,
                     .add_counter(l_osd_throttle_nearfull, "throttle_nearfull")
                     .add_gauge(l_osd_queue_depth, "queue_depth")
                     .add_gauge(l_osd_queue_depth_hw, "queue_depth_hw")
+                    .add_counter(l_osd_shard_enqueues, "shard_enqueues")
+                    .add_gauge(l_osd_shard_lane_hw, "shard_lane_hw")
                     .create()) {
+  cfg_.op_shards = std::max(1, cfg_.op_shards);  // shard-bounds: knob >= 1
+  lanes_.reserve(static_cast<std::size_t>(cfg_.op_shards));
+  for (int i = 0; i < cfg_.op_shards; ++i)
+    lanes_.push_back(std::make_unique<OpLane>(env.keeper()));
   msgr_.set_dispatcher(this);
   perf_.add(counters_);
   perf_.add(msgr_.counters());
@@ -116,12 +131,21 @@ Status OSD::init() {
   }
 
   {
-    const dbg::LockGuard lk(queue_mutex_);
+    const dbg::LockGuard lk(tick_mutex_);
     stopping_ = false;
   }
-  for (int i = 0; i < cfg_.op_threads; ++i) {
-    op_workers_.emplace_back(env_.keeper(), env_.stats(), "tp_osd_tp", domain_,
-                             [this] { op_worker(); }, /*daemon=*/true);
+  for (auto& lane : lanes_) {
+    const dbg::LockGuard lk(lane->mutex);
+    lane->stopping = false;
+  }
+  // op_threads workers per lane; every worker keeps the exact "tp_osd_tp"
+  // name (sim/stats classifies OSD CPU by it, and the default single-lane
+  // OSD must stay byte-identical).
+  for (std::size_t lane = 0; lane < lanes_.size(); ++lane) {
+    for (int i = 0; i < cfg_.op_threads; ++i) {
+      op_workers_.emplace_back(env_.keeper(), env_.stats(), "tp_osd_tp", domain_,
+                               [this, lane] { op_worker(lane); }, /*daemon=*/true);
+    }
   }
   ticker_ = sim::Thread(env_.keeper(), env_.stats(),
                         "osd-tick." + std::to_string(cfg_.id), domain_,
@@ -205,10 +229,14 @@ void OSD::hard_kill() {
 
 void OSD::stop_threads() {
   {
-    const dbg::LockGuard lk(queue_mutex_);
+    const dbg::LockGuard lk(tick_mutex_);
     stopping_ = true;
-    queue_cv_.notify_all();
     tick_cv_.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    const dbg::LockGuard lk(lane->mutex);
+    lane->stopping = true;
+    lane->cv.notify_all();
   }
   {
     // Unblock any tick-thread scan waits.
@@ -240,16 +268,12 @@ void OSD::ms_dispatch(const MessageRef& m) {
         throttle_client(m, l_osd_throttle_queue, recv);
         break;
       }
-      if (cfg_.max_queue_depth > 0) {
-        bool full = false;
-        {
-          const dbg::LockGuard lk(queue_mutex_);
-          full = op_queue_.size() >= cfg_.max_queue_depth;
-        }
-        if (full) {
-          throttle_client(m, l_osd_throttle_queue, recv);
-          break;
-        }
+      if (cfg_.max_queue_depth > 0 &&
+          queue_depth_.load(std::memory_order_relaxed) >= cfg_.max_queue_depth) {
+        // The depth bound covers the TOTAL across lanes, so the admission
+        // envelope is shard-count invariant.
+        throttle_client(m, l_osd_throttle_queue, recv);
+        break;
       }
       if (cfg_.nearfull_ratio > 0 && op->op != msgr::OsdOpType::read &&
           op->op != msgr::OsdOpType::stat &&
@@ -285,21 +309,48 @@ void OSD::ms_dispatch(const MessageRef& m) {
       }
       tracked->mark_event("queued", env_.now());
       counters_->inc(l_osd_op_in_bytes, m->data.length());
-      enqueue_op([this, m, tracked] { handle_client_op(m, tracked); });
+      // PG-stable routing: object -> pg is epoch-independent, so one object
+      // always hashes to the same lane and the same ordering token, and
+      // per-object ordering holds across map churn (DESIGN.md §15). The
+      // lookup is pure computation — it charges no simulated CPU on either
+      // path, so the shards=1 dispatch timing is unchanged by it.
+      const crush::pg_t pg = monc_.map().object_to_pg(op->pool, op->object);
+      std::size_t lane = 0;
+      if (lanes_.size() > 1) {
+        lane = lane_of(pg.pool, pg.seed);
+        counters_->inc(l_osd_shard_enqueues);
+        if (m->trace.sampled()) {
+          env_.tracer().record_span(
+              "osd.shard.enqueue",
+              "osd." + std::to_string(cfg_.id) + ".lane" + std::to_string(lane),
+              m->trace, env_.now(), env_.now());
+        }
+      }
+      enqueue_op_on(lane, [this, m, tracked] { handle_client_op(m, tracked); },
+                    pg_ord(pg.pool, pg.seed));
       break;
     }
-    case msgr::MsgType::osd_repop:
-      enqueue_op([this, m] { handle_repop(m); });
+    case msgr::MsgType::osd_repop: {
+      // Repops carry their PG on the wire: same hash, same lane as the
+      // primary's client op for that object.
+      auto* repop = static_cast<msgr::MOSDRepOp*>(m.get());
+      enqueue_op_on(lane_of(repop->pool, repop->pg_seed),
+                    [this, m] { handle_repop(m); },
+                    pg_ord(repop->pool, repop->pg_seed));
       break;
+    }
     case msgr::MsgType::osd_repop_reply:
       handle_repop_reply(m);
       break;
     case msgr::MsgType::osd_ping:
       handle_ping(m);
       break;
-    case msgr::MsgType::pg_scan:
-      enqueue_op([this, m] { handle_pg_scan(m); });
+    case msgr::MsgType::pg_scan: {
+      auto* scan = static_cast<msgr::MPGScan*>(m.get());
+      enqueue_op_on(lane_of(scan->pool, scan->pg_seed),
+                    [this, m] { handle_pg_scan(m); });
       break;
+    }
     case msgr::MsgType::pg_scan_reply:
       handle_pg_scan_reply(m);
       break;
@@ -311,34 +362,62 @@ void OSD::ms_dispatch(const MessageRef& m) {
 
 void OSD::ms_handle_reset(const msgr::ConnectionRef&) {}
 
+std::size_t OSD::lane_of(std::int64_t pool, std::uint32_t pg_seed) const {
+  return common::shard_of_pg(pool, pg_seed, lanes_.size());
+}
+
 void OSD::enqueue_op(std::function<void()> fn) {
-  const dbg::LockGuard lk(queue_mutex_);
-  if (stopping_) return;
-  op_queue_.push_back(std::move(fn));
-  const auto depth = static_cast<std::uint64_t>(op_queue_.size());
+  enqueue_op_on(0, std::move(fn));
+}
+
+void OSD::enqueue_op_on(std::size_t lane, std::function<void()> fn,
+                        std::uint64_t ord) {
+  OpLane& l = *lanes_[lane];
+  const dbg::LockGuard lk(l.mutex);
+  if (l.stopping) return;
+  l.queue.push_back(OpLane::Entry{ord, std::move(fn)});
+  const auto depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
   counters_->set(l_osd_queue_depth, depth);
   if (depth > counters_->get(l_osd_queue_depth_hw))
     counters_->set(l_osd_queue_depth_hw, depth);
-  queue_cv_.notify_one();
+  if (lanes_.size() > 1) {
+    const auto lane_depth = static_cast<std::uint64_t>(l.queue.size());
+    if (lane_depth > counters_->get(l_osd_shard_lane_hw))
+      counters_->set(l_osd_shard_lane_hw, lane_depth);
+  }
+  l.cv.notify_one();
 }
 
-void OSD::op_worker() {
+void OSD::op_worker(std::size_t lane) {
+  OpLane& l = *lanes_[lane];
   while (true) {
-    std::function<void()> fn;
+    OpLane::Entry e;
     {
-      dbg::UniqueLock lk(queue_mutex_);
-      queue_cv_.wait(lk, [&] {
-        queue_mutex_.assert_held();  // predicate runs as a separate function
-        return stopping_ || !op_queue_.empty();
+      dbg::UniqueLock lk(l.mutex);
+      l.cv.wait(lk, [&] {
+        l.mutex.assert_held();  // predicate runs as a separate function
+        // Head-of-line gate: the head stays queued while a same-token op is
+        // executing on the other worker, so per-PG store submissions happen
+        // in arrival order (DESIGN.md §15.1). Ops behind a gated head wait
+        // too — skipping past it would reorder the lane FIFO.
+        return l.stopping ||
+               (!l.queue.empty() && (l.queue.front().ord == 0 ||
+                                     l.executing.count(l.queue.front().ord) == 0));
       });
-      if (stopping_) return;
-      fn = std::move(op_queue_.front());
-      op_queue_.pop_front();
+      if (l.stopping) return;
+      e = std::move(l.queue.front());
+      l.queue.pop_front();
+      if (e.ord != 0) l.executing.insert(e.ord);
       counters_->set(l_osd_queue_depth,
-                     static_cast<std::uint64_t>(op_queue_.size()));
+                     queue_depth_.fetch_sub(1, std::memory_order_relaxed) - 1);
     }
     if (domain_ != nullptr) domain_->charge(cfg_.per_op_cost);
-    fn();
+    e.fn();
+    if (e.ord != 0) {
+      const dbg::LockGuard lk(l.mutex);
+      l.executing.erase(e.ord);
+      l.cv.notify_all();  // release a head gated on this token
+    }
   }
 }
 
@@ -639,7 +718,7 @@ void OSD::tick_thread() {
   sim::Time next_hb = env_.now();
   while (true) {
     {
-      dbg::UniqueLock lk(queue_mutex_);
+      dbg::UniqueLock lk(tick_mutex_);
       (void)tick_cv_.wait_for(lk, cfg_.tick_interval);
       if (stopping_) return;
     }
@@ -750,29 +829,45 @@ Result<std::vector<msgr::ObjectSummary>> OSD::scan_pg_local(const pg_t& pg) {
   return out;
 }
 
-Result<std::vector<msgr::ObjectSummary>> OSD::scan_pg_remote(const pg_t& pg, int osd) {
+OSD::ScanHandle OSD::start_pg_scan(const pg_t& pg, int osd) {
+  ScanHandle h;
   const crush::OSDMap map = monc_.map();
-  if (!map.is_up(osd)) return Status(Errc::not_connected, "peer down");
+  if (!map.is_up(osd)) {
+    h.error = Status(Errc::not_connected, "peer down");
+    return h;
+  }
   auto con = msgr_.get_connection(map.osd(osd).addr);
-  if (con == nullptr) return Status(Errc::not_connected, "peer unreachable");
-
+  if (con == nullptr) {
+    h.error = Status(Errc::not_connected, "peer unreachable");
+    return h;
+  }
   auto scan = std::make_shared<msgr::MPGScan>();
   scan->tid = next_tid_.fetch_add(1);
   scan->pool = pg.pool;
   scan->pg_seed = pg.seed;
-  auto pending = std::make_shared<PendingScan>(env_.keeper());
+  h.tid = scan->tid;
+  h.pending = std::make_shared<PendingScan>(env_.keeper());
   {
     const dbg::LockGuard lk(mutex_);
-    pending_scans_[scan->tid] = pending;
+    pending_scans_[h.tid] = h.pending;
   }
   con->send_message(scan);
+  return h;
+}
 
+Result<std::vector<msgr::ObjectSummary>> OSD::wait_pg_scan(ScanHandle& h) {
+  if (h.pending == nullptr) return h.error;
   dbg::UniqueLock lk(mutex_);
-  const bool ok = pending->cv.wait_until(lk, env_.now() + cfg_.heartbeat_grace,
-                                         [&] { return pending->done; });
-  pending_scans_.erase(scan->tid);
+  const bool ok = h.pending->cv.wait_until(lk, env_.now() + cfg_.heartbeat_grace,
+                                           [&] { return h.pending->done; });
+  pending_scans_.erase(h.tid);
   if (!ok) return Status(Errc::timed_out, "pg scan");
-  return pending->objects;
+  return h.pending->objects;
+}
+
+Result<std::vector<msgr::ObjectSummary>> OSD::scan_pg_remote(const pg_t& pg, int osd) {
+  ScanHandle h = start_pg_scan(pg, osd);
+  return wait_pg_scan(h);
 }
 
 void OSD::handle_pg_scan(const MessageRef& m) {
@@ -830,10 +925,20 @@ void OSD::recover_pg(const pg_t& pg, const std::vector<int>& acting) {
   std::map<std::string, msgr::ObjectSummary> mine;
   for (auto& o : *local) mine[o.name] = o;
 
-  bool clean = true;
+  // Parallel scan fan-out: issue every peer's MPGScan up front, then
+  // collect — mirroring the repop fan-out, recovery of a wide acting set
+  // costs one scan round-trip instead of one sequential RTT per peer. With
+  // a single remote peer (replicas=2, the paper testbed) the event
+  // sequence is identical to the old sequential loop.
+  std::vector<std::pair<int, ScanHandle>> scans;
   for (const int peer : acting) {
     if (peer == cfg_.id) continue;
-    auto remote = scan_pg_remote(pg, peer);
+    scans.emplace_back(peer, start_pg_scan(pg, peer));
+  }
+
+  bool clean = true;
+  for (auto& [peer, handle] : scans) {
+    auto remote = wait_pg_scan(handle);
     if (!remote.ok()) {
       clean = false;
       continue;

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
+#include <unordered_set>
 
 #include "common/admin_socket.h"
 #include "common/perf_counters.h"
@@ -35,15 +37,25 @@ enum {
   l_osd_throttle_queue,    ///< ... because the op queue was full
   l_osd_throttle_conn,     ///< ... because the connection hit its in-flight cap
   l_osd_throttle_nearfull, ///< ... because the store is near-full (writes)
-  l_osd_queue_depth,       ///< gauge: current op-queue depth
-  l_osd_queue_depth_hw,    ///< gauge: high-water op-queue depth
+  l_osd_queue_depth,       ///< gauge: current op-queue depth (all lanes)
+  l_osd_queue_depth_hw,    ///< gauge: high-water op-queue depth (all lanes)
+  l_osd_shard_enqueues,    ///< ops hash-routed onto a lane (op_shards > 1)
+  l_osd_shard_lane_hw,     ///< gauge: high-water depth of a single lane
   l_osd_last,
 };
 
 struct OsdConfig {
   int id = 0;
   std::uint16_t public_port = 6800;
-  int op_threads = 2;  ///< "tp_osd_tp" worker count
+  int op_threads = 2;  ///< "tp_osd_tp" worker count PER LANE
+
+  /// Op-queue lanes: client ops and repops hash by placement group
+  /// (common::shard_of_pg — the same PG-stable hash the DPU proxy's write
+  /// workers use) onto this many independent dbg::-instrumented queues,
+  /// each served by `op_threads` workers. Per-object ordering holds within
+  /// a lane (DESIGN.md §15); clamped to >= 1 at the OSD ctor. 1 = the
+  /// legacy single dispatch queue.
+  int op_shards = 1;
 
   /// Passed to this OSD's messenger (cluster wiring plumbs the cork knobs
   /// here; the cost model keeps the messenger defaults).
@@ -139,8 +151,17 @@ class OSD final : public msgr::Dispatcher {
   void stop_threads();
 
   // ---- op pipeline -----------------------------------------------------------
+  /// Route `fn` onto lane 0 (misc deferrals with no PG affinity).
   void enqueue_op(std::function<void()> fn);
-  void op_worker();
+  /// Route `fn` onto a specific lane (PG-hashed; see lane_of). A nonzero
+  /// `ord` token serializes this op against every other op carrying the
+  /// same token: the lane head is not handed to a worker while a same-token
+  /// op is still executing, so per-PG store submissions happen in queue
+  /// order even with op_threads > 1 (DESIGN.md §15.1).
+  void enqueue_op_on(std::size_t lane, std::function<void()> fn,
+                     std::uint64_t ord = 0);
+  [[nodiscard]] std::size_t lane_of(std::int64_t pool, std::uint32_t pg_seed) const;
+  void op_worker(std::size_t lane);
 
   void handle_client_op(const msgr::MessageRef& m, const TrackedOpRef& op);
   void handle_repop(const msgr::MessageRef& m);
@@ -184,6 +205,9 @@ class OSD final : public msgr::Dispatcher {
   void recover_pg(const crush::pg_t& pg, const std::vector<int>& acting);
   Result<std::vector<msgr::ObjectSummary>> scan_pg_local(const crush::pg_t& pg);
   Result<std::vector<msgr::ObjectSummary>> scan_pg_remote(const crush::pg_t& pg, int osd);
+  struct ScanHandle;  // in-flight remote scan (parallel recovery fan-out)
+  ScanHandle start_pg_scan(const crush::pg_t& pg, int osd);
+  Result<std::vector<msgr::ObjectSummary>> wait_pg_scan(ScanHandle& h);
   Status push_object(const crush::pg_t& pg, int target, const std::string& name,
                      bool remove);
 
@@ -194,12 +218,31 @@ class OSD final : public msgr::Dispatcher {
   msgr::Messenger msgr_;
   mon::MonClient monc_;
 
-  // Op queue feeding tp_osd_tp workers.
-  dbg::Mutex queue_mutex_{"osd.queue"};
-  dbg::CondVar queue_cv_;
-  std::deque<std::function<void()>> op_queue_ DOCEPH_GUARDED_BY(queue_mutex_);
-  bool stopping_ DOCEPH_GUARDED_BY(queue_mutex_) = false;
+  // Op-queue lanes feeding tp_osd_tp workers (op_shards lanes, op_threads
+  // workers each). Lane mutexes share the "osd.queue" lock class; no path
+  // holds two lanes at once. queue_depth_ tracks the cross-lane total so
+  // admission control reads it without touching any lane lock.
+  struct OpLane {
+    dbg::Mutex mutex{"osd.queue"};
+    dbg::CondVar cv;
+    struct Entry {
+      std::uint64_t ord = 0;  ///< 0 = unordered; else per-PG serial token
+      std::function<void()> fn;
+    };
+    std::deque<Entry> queue DOCEPH_GUARDED_BY(mutex);
+    /// Ordering tokens with an op currently executing on a worker. The lane
+    /// head stays queued while its token is in here: with two tp_osd_tp
+    /// workers per lane, dispatching consecutive same-PG ops concurrently
+    /// would let their store submissions race and acked writes reorder.
+    std::unordered_set<std::uint64_t> executing DOCEPH_GUARDED_BY(mutex);
+    bool stopping DOCEPH_GUARDED_BY(mutex) = false;
+    explicit OpLane(sim::TimeKeeper& tk) : cv(tk, "osd.queue_cv") {}
+  };
+  std::vector<std::unique_ptr<OpLane>> lanes_;
+  std::atomic<std::size_t> queue_depth_{0};
   std::vector<sim::Thread> op_workers_;
+  dbg::Mutex tick_mutex_{"osd.tick"};
+  bool stopping_ DOCEPH_GUARDED_BY(tick_mutex_) = false;  // ticker only
   dbg::CondVar tick_cv_;
   sim::Thread ticker_;
 
@@ -230,6 +273,11 @@ class OSD final : public msgr::Dispatcher {
   };
   std::map<std::uint64_t, std::shared_ptr<PendingScan>> pending_scans_
       DOCEPH_GUARDED_BY(mutex_);
+  struct ScanHandle {
+    std::uint64_t tid = 0;
+    std::shared_ptr<PendingScan> pending;  // null when the send failed
+    Status error;
+  };
 
   std::atomic<std::uint64_t> ops_served_{0};
   bool started_ = false;

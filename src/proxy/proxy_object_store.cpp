@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/logger.h"
+#include "common/shard.h"
 
 namespace doceph::proxy {
 
@@ -126,10 +127,10 @@ void ProxyObjectStore::queue_transaction(os::Transaction txn, OnCommit on_commit
     return;
   }
   // Per-collection ordering: requests for one PG always land on one worker.
+  // Uses the same PG hash as the OSD op lanes (common::shard_of_pg), so a
+  // PG's proxy worker and its OSD lane agree across the offload boundary.
   const os::coll_t cid = txn.ops().empty() ? os::coll_t{} : txn.ops().front().cid;
-  const std::size_t idx =
-      (static_cast<std::size_t>(cid.pool) * 1315423911u + cid.pg_seed) %
-      queues_.size();
+  const std::size_t idx = common::shard_of_pg(cid.pool, cid.pg_seed, queues_.size());
   auto& q = *queues_[idx];
   bool bounced = false;
   {

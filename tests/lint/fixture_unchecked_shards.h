@@ -1,0 +1,26 @@
+// doceph_lint negative fixture: a `*_shards` config knob declared with no
+// bounds check anywhere in the file — a zero would reach `% shards` as a
+// modulo-by-zero. Never compiled — consumed by
+// `scripts/doceph_lint.py --self-test tests/lint`.
+//
+// doceph-lint-expect: shard-bounds
+
+#pragma once
+
+namespace doceph::fixture {
+
+struct WidgetConfig {
+  // Flagged: no std::max/std::clamp/assert line mentions widget_shards.
+  int widget_shards = 4;
+
+  // Not flagged: the clamp below names it.
+  int gadget_shards = 1;
+};
+
+inline WidgetConfig parse_widget_config(int gadget) {
+  WidgetConfig cfg;
+  cfg.gadget_shards = std::max(1, gadget);  // shard-bounds: knob >= 1
+  return cfg;
+}
+
+}  // namespace doceph::fixture
